@@ -1,0 +1,107 @@
+// Command sharc-bench regenerates the paper's evaluation: Table 1 (six
+// legacy-program models measured for annotation burden, runtime overhead,
+// memory overhead, and dynamic-access fraction) and the §6 comparison
+// against the Eraser-style lockset and vector-clock happens-before
+// detectors.
+//
+// Usage:
+//
+//	sharc-bench                         run Table 1 at quick scale
+//	sharc-bench -scale full -reps 5     the full-size workloads
+//	sharc-bench -run dillo              one row only
+//	sharc-bench -detectors              the detector comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
+	reps := flag.Int("reps", 3, "timing repetitions per configuration")
+	runOne := flag.String("run", "", "run a single benchmark by name")
+	detectors := flag.Bool("detectors", false, "compare against Eraser and happens-before detectors")
+	ladder := flag.Bool("ladder", false, "measure the incremental-annotation claim: unannotated vs annotated")
+	flag.Parse()
+
+	scale := bench.Quick
+	if *scaleFlag == "full" {
+		scale = bench.Full
+	} else if *scaleFlag != "quick" {
+		fmt.Fprintln(os.Stderr, "sharc-bench: -scale must be quick or full")
+		os.Exit(2)
+	}
+
+	if *ladder {
+		var rows []bench.LadderRow
+		for i := range bench.Benchmarks {
+			b := &bench.Benchmarks[i]
+			if *runOne != "" && b.Name != *runOne {
+				continue
+			}
+			r, err := bench.AnnotationLadder(b, scale, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println("Annotation ladder (false warnings and overhead, unannotated vs annotated):")
+		fmt.Print(bench.FormatLadder(rows))
+		return
+	}
+
+	if *detectors {
+		var rows []bench.DetectorRow
+		for i := range bench.Benchmarks {
+			b := &bench.Benchmarks[i]
+			if *runOne != "" && b.Name != *runOne {
+				continue
+			}
+			r, err := bench.RunDetectors(b, scale, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println("Detector comparison (times; distinct racy locations reported):")
+		fmt.Print(bench.FormatDetectors(rows))
+		return
+	}
+
+	var rows []bench.Row
+	if *runOne != "" {
+		b := bench.ByName(*runOne)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "sharc-bench: unknown benchmark %q (have %v)\n", *runOne, bench.Names())
+			os.Exit(2)
+		}
+		r, err := bench.Run(b, scale, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, r)
+	} else {
+		var err error
+		rows, err = bench.Table1(scale, *reps)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Println("Table 1 (reproduction):")
+	fmt.Print(bench.FormatTable(rows))
+	for _, r := range rows {
+		if r.Races+r.LockViolations+r.OneRefFails > 0 {
+			fmt.Printf("NOTE: %s reported %d races, %d lock violations, %d oneref failures\n",
+				r.Name, r.Races, r.LockViolations, r.OneRefFails)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sharc-bench:", err)
+	os.Exit(1)
+}

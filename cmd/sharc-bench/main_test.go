@@ -1,0 +1,73 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBenchCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sharc-bench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestBenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs benchmarks")
+	}
+	bin := buildBenchCLI(t)
+
+	t.Run("single row", func(t *testing.T) {
+		out, err := exec.Command(bin, "-run", "pfscan", "-reps", "1").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		s := string(out)
+		if !strings.Contains(s, "Table 1") || !strings.Contains(s, "pfscan") {
+			t.Fatalf("output:\n%s", s)
+		}
+		if !strings.Contains(s, "%") {
+			t.Fatalf("missing percentages:\n%s", s)
+		}
+	})
+
+	t.Run("ladder single row", func(t *testing.T) {
+		out, err := exec.Command(bin, "-ladder", "-run", "stunnel", "-reps", "1").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "Annotation ladder") {
+			t.Fatalf("output:\n%s", out)
+		}
+	})
+
+	t.Run("detectors single row", func(t *testing.T) {
+		out, err := exec.Command(bin, "-detectors", "-run", "pfscan", "-reps", "1").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "Eraser") {
+			t.Fatalf("output:\n%s", out)
+		}
+	})
+
+	t.Run("bad scale", func(t *testing.T) {
+		if _, err := exec.Command(bin, "-scale", "huge").CombinedOutput(); err == nil {
+			t.Fatal("expected scale error")
+		}
+	})
+
+	t.Run("unknown benchmark", func(t *testing.T) {
+		if _, err := exec.Command(bin, "-run", "nosuch").CombinedOutput(); err == nil {
+			t.Fatal("expected unknown-benchmark error")
+		}
+	})
+}

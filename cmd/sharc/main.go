@@ -1,0 +1,125 @@
+// Command sharc is the SharC checker CLI: it parses ShC sources (the
+// C-with-sharing-modes dialect), runs qualifier inference and the static
+// checker, and can execute programs under the instrumented runtime.
+//
+// Usage:
+//
+//	sharc check  file.shc...   static checking; prints errors, warnings,
+//	                           and SCAST suggestions
+//	sharc infer  file.shc...   print the inferred sharing modes for every
+//	                           struct, global, and function (Figure 2 view)
+//	sharc run    file.shc...   execute with full instrumentation; prints
+//	                           program output, then any violation reports
+//	sharc run -unchecked ...   execute without instrumentation ("Orig")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: sharc {check|infer|run} [flags] file.shc...\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	unchecked := fs.Bool("unchecked", false, "run without instrumentation (run only)")
+	stats := fs.Bool("stats", false, "print execution statistics (run only)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		usage()
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		usage()
+	}
+
+	var sources []sharc.Source
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, sharc.Source{Name: f, Text: string(data)})
+	}
+
+	a, err := sharc.Check(sources...)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "check":
+		for _, e := range a.Errors() {
+			fmt.Println("error:", e)
+		}
+		for _, w := range a.Warnings() {
+			fmt.Println("warning:", w)
+		}
+		for _, s := range a.Suggestions() {
+			fmt.Println("suggestion:", s)
+		}
+		if !a.OK() {
+			os.Exit(1)
+		}
+		fmt.Println("ok")
+
+	case "infer":
+		if !a.OK() {
+			for _, e := range a.Errors() {
+				fmt.Println("error:", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Print(a.InferredAnnotations())
+
+	case "run":
+		if !a.OK() {
+			for _, e := range a.Errors() {
+				fmt.Println("error:", e)
+			}
+			for _, s := range a.Suggestions() {
+				fmt.Println("suggestion:", s)
+			}
+			os.Exit(1)
+		}
+		opts := sharc.DefaultOptions()
+		if *unchecked {
+			opts = sharc.Options{}
+		}
+		opts.Stdout = os.Stdout
+		p, err := a.Build(opts)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := p.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runtime error:", err)
+		}
+		for _, r := range res.Reports {
+			fmt.Fprintln(os.Stderr, r.Msg)
+		}
+		if *stats {
+			st := res.Stats
+			fmt.Fprintf(os.Stderr, "accesses=%d dynamic=%d lockchecks=%d barriers=%d collections=%d threads=%d\n",
+				st.TotalAccesses, st.DynamicAccesses, st.LockChecks, st.Barriers, st.Collections, st.MaxThreads)
+		}
+		os.Exit(int(res.Exit) & 0xff)
+
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sharc:", err)
+	os.Exit(1)
+}

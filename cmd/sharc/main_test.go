@@ -1,0 +1,122 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the sharc binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sharc")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "prog.shc")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const cleanProg = `
+int main(void) {
+	print("hello from shc\n");
+	return 3;
+}
+`
+
+const badProg = `
+int main(void) {
+	int dynamic *p = malloc(4);
+	int private *q;
+	q = p;
+	return 0;
+}
+`
+
+func TestCLICheckRunInfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+
+	t.Run("check clean", func(t *testing.T) {
+		out, err := exec.Command(bin, "check", writeProg(t, cleanProg)).CombinedOutput()
+		if err != nil {
+			t.Fatalf("check: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "ok") {
+			t.Fatalf("output: %s", out)
+		}
+	})
+
+	t.Run("check rejects and suggests", func(t *testing.T) {
+		out, err := exec.Command(bin, "check", writeProg(t, badProg)).CombinedOutput()
+		if err == nil {
+			t.Fatalf("check should fail:\n%s", out)
+		}
+		if !strings.Contains(string(out), "sharing modes differ") {
+			t.Fatalf("output: %s", out)
+		}
+		if !strings.Contains(string(out), "suggest SCAST") {
+			t.Fatalf("missing suggestion: %s", out)
+		}
+	})
+
+	t.Run("run executes and exits with main's value", func(t *testing.T) {
+		cmd := exec.Command(bin, "run", writeProg(t, cleanProg))
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 3 {
+			t.Fatalf("exit: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "hello from shc") {
+			t.Fatalf("output: %s", out)
+		}
+	})
+
+	t.Run("infer prints modes", func(t *testing.T) {
+		src := `
+void *worker(void *d) { return NULL; }
+int main(void) { spawn(worker, malloc(4)); return 0; }
+`
+		out, err := exec.Command(bin, "infer", writeProg(t, src)).CombinedOutput()
+		if err != nil {
+			t.Fatalf("infer: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "void dynamic * d") {
+			t.Fatalf("inferred modes missing:\n%s", out)
+		}
+	})
+
+	t.Run("run unchecked", func(t *testing.T) {
+		cmd := exec.Command(bin, "run", "-unchecked", writeProg(t, cleanProg))
+		out, _ := cmd.CombinedOutput()
+		if !strings.Contains(string(out), "hello from shc") {
+			t.Fatalf("output: %s", out)
+		}
+	})
+
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := exec.Command(bin, "check", "/nonexistent.shc").CombinedOutput(); err == nil {
+			t.Fatal("expected failure for missing file")
+		}
+	})
+
+	t.Run("usage", func(t *testing.T) {
+		if _, err := exec.Command(bin).CombinedOutput(); err == nil {
+			t.Fatal("expected usage error")
+		}
+	})
+}

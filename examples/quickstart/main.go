@@ -1,0 +1,195 @@
+// Quickstart: the paper's §2.1 walkthrough on the Figure-1 pipeline.
+//
+// Step 1 runs the pipeline WITHOUT sharing annotations: SharC compiles it
+// as is, assumes all sharing it sees is an error, and produces runtime
+// conflict reports in the paper's format. Step 2 adds one annotation (the
+// private argument of the processing function): type checking now fails at
+// the handoffs and SharC suggests the sharing casts. Step 3 runs the fully
+// annotated pipeline cleanly and prints the inferred annotations (the
+// Figure-2 view).
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+// unannotated is Figure 1 exactly as a programmer would first write it: no
+// sharing modes, no casts.
+const unannotated = `
+typedef struct stage {
+	struct stage *next;
+	cond *cv;
+	mutex *mut;
+	char *sdata;
+	void (*fun)(char *fdata);
+} stage_t;
+
+int notDone;
+
+void procA(char *fdata) { fdata[0] = fdata[0] + 1; }
+
+void *thrFunc(void *d) {
+	stage_t *S = d;
+	char *ldata;
+	while (notDone) {
+		mutexLock(S->mut);
+		while (S->sdata == NULL)
+			condWait(S->cv, S->mut);
+		ldata = S->sdata;
+		S->sdata = NULL;
+		notDone = 0;
+		condSignal(S->cv);
+		mutexUnlock(S->mut);
+		S->fun(ldata);
+		free(ldata);
+	}
+	return NULL;
+}
+
+int main(void) {
+	stage_t *st = malloc(sizeof(stage_t));
+	st->next = NULL;
+	st->cv = condNew();
+	st->mut = mutexNew();
+	st->sdata = NULL;
+	st->fun = procA;
+	notDone = 1;
+	int t1 = spawn(thrFunc, st);
+	char *buf = malloc(64);
+	mutexLock(st->mut);
+	st->sdata = buf;
+	condSignal(st->cv);
+	mutexUnlock(st->mut);
+	join(t1);
+	return 0;
+}
+`
+
+// annotated is the same pipeline with the sharing strategy declared: the
+// sdata field is locked, ownership moves with sharing casts, and the
+// end-of-stream flag is intentionally racy.
+const annotated = `
+typedef struct stage {
+	struct stage *next;
+	cond *cv;
+	mutex *mut;
+	char locked(mut) *locked(mut) sdata;
+	void (*fun)(char private *fdata);
+} stage_t;
+
+int racy notDone;
+
+void procA(char private *fdata) { fdata[0] = fdata[0] + 1; }
+
+void *thrFunc(void *d) {
+	stage_t *S = d;
+	char *ldata;
+	while (notDone) {
+		mutexLock(S->mut);
+		while (S->sdata == NULL)
+			condWait(S->cv, S->mut);
+		ldata = SCAST(char private *, S->sdata);
+		S->sdata = NULL;
+		notDone = 0;
+		condSignal(S->cv);
+		mutexUnlock(S->mut);
+		S->fun(ldata);
+		free(ldata);
+		ldata = NULL;
+	}
+	return NULL;
+}
+
+int main(void) {
+	stage_t *st = malloc(sizeof(stage_t));
+	st->next = NULL;
+	st->cv = condNew();
+	st->mut = mutexNew();
+	mutexLock(st->mut);
+	st->sdata = NULL;
+	mutexUnlock(st->mut);
+	st->fun = procA;
+	notDone = 1;
+	stage_t dynamic *std = SCAST(stage_t dynamic *, st);
+	int t1 = spawn(thrFunc, std);
+	char *buf = malloc(64);
+	mutexLock(std->mut);
+	std->sdata = SCAST(char locked(std->mut) *, buf);
+	condSignal(std->cv);
+	mutexUnlock(std->mut);
+	join(t1);
+	return 0;
+}
+`
+
+func main() {
+	fmt.Println("=== 1. Running the unannotated pipeline ===")
+	fmt.Println("(SharC compiles it as is and reports the sharing it sees)")
+	res0, err := sharc.Run(unannotated, sharc.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range res0.Reports {
+		fmt.Println(r.Msg)
+	}
+	if len(res0.Reports) == 0 {
+		fmt.Println("(this schedule produced no overlapping accesses; re-run to see reports)")
+	}
+
+	fmt.Println()
+	fmt.Println("=== 2. Adding 'private' to the processing function ===")
+	fmt.Println("(type checking now fails at the handoffs; SharC suggests the casts)")
+	partial := strings.Replace(unannotated,
+		"void procA(char *fdata)", "void procA(char private *fdata)", 1)
+	partial = strings.Replace(partial,
+		"void (*fun)(char *fdata);", "void (*fun)(char private *fdata);", 1)
+	ap, err := sharc.Check(sharc.Source{Name: "pipeline.shc", Text: partial})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, e := range ap.Errors() {
+		fmt.Println("error:", e)
+	}
+	for _, s := range ap.Suggestions() {
+		fmt.Println("suggestion:", s)
+	}
+
+	fmt.Println()
+	fmt.Println("=== 3. Running the annotated pipeline ===")
+	res, err := sharc.Run(annotated, sharc.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(res.Reports) == 0 {
+		fmt.Println("clean: no conflicts, no lock violations, no failed casts")
+	}
+	for _, r := range res.Reports {
+		fmt.Println(r.Msg)
+	}
+	fmt.Printf("accesses=%d checked=%d (%.1f%% dynamic)\n",
+		res.Stats.TotalAccesses, res.Stats.DynamicAccesses,
+		100*float64(res.Stats.DynamicAccesses)/float64(max(res.Stats.TotalAccesses, 1)))
+
+	fmt.Println()
+	fmt.Println("=== 4. Inferred annotations (the Figure-2 view) ===")
+	a2, err := sharc.Check(sharc.Source{Name: "pipeline.shc", Text: annotated})
+	if err != nil || !a2.OK() {
+		fmt.Fprintln(os.Stderr, "annotated pipeline should check cleanly")
+		os.Exit(1)
+	}
+	fmt.Print(a2.InferredAnnotations())
+}
+
+func max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,510 @@
+// Package ast defines the abstract syntax tree for ShC, the C subset with
+// SharC sharing-mode qualifiers. The tree is produced by internal/parser,
+// annotated by internal/qualinfer, verified by internal/check, and lowered by
+// internal/compile.
+package ast
+
+import (
+	"repro/internal/token"
+)
+
+// QualKind enumerates the sharing-mode qualifiers a type level can carry.
+// QualNone means "unannotated": inference will choose private or dynamic.
+type QualKind int
+
+const (
+	QualNone QualKind = iota
+	QualPrivate
+	QualReadonly
+	QualLocked
+	QualRacy
+	QualDynamic
+)
+
+func (q QualKind) String() string {
+	switch q {
+	case QualNone:
+		return ""
+	case QualPrivate:
+		return "private"
+	case QualReadonly:
+		return "readonly"
+	case QualLocked:
+		return "locked"
+	case QualRacy:
+		return "racy"
+	case QualDynamic:
+		return "dynamic"
+	}
+	return "qual?"
+}
+
+// Qual is a sharing-mode annotation attached to one level of a type. For
+// QualLocked, Lock is the lock expression (which must be verifiably
+// constant: built from unmodified locals, formals, readonly fields).
+type Qual struct {
+	Kind QualKind
+	Lock Expr // non-nil iff Kind == QualLocked
+	Pos  token.Pos
+}
+
+// IsSet reports whether the qualifier was written (or inferred) rather than
+// still unannotated.
+func (q Qual) IsSet() bool { return q.Kind != QualNone }
+
+// BaseKind enumerates the scalar base types.
+type BaseKind int
+
+const (
+	BaseInt BaseKind = iota
+	BaseChar
+	BaseVoid
+	BaseLong
+)
+
+func (b BaseKind) String() string {
+	switch b {
+	case BaseInt:
+		return "int"
+	case BaseChar:
+		return "char"
+	case BaseVoid:
+		return "void"
+	case BaseLong:
+		return "long"
+	}
+	return "base?"
+}
+
+// Type is a syntactic type expression. Exactly one of the shape fields is
+// used, selected by Kind.
+type Type struct {
+	Kind TypeKind
+	Pos  token.Pos
+
+	// Qual is the sharing-mode annotation for this level of the type.
+	Qual Qual
+
+	Base   BaseKind // TBase
+	Name   string   // TNamed (typedef) and TStruct (tag)
+	Elem   *Type    // TPtr and TArray element type
+	Len    int      // TArray length (0 = unsized)
+	Ret    *Type    // TFunc return type
+	Params []*Type  // TFunc parameter types
+}
+
+// TypeKind selects the shape of a Type node.
+type TypeKind int
+
+const (
+	TBase TypeKind = iota
+	TNamed
+	TStruct
+	TPtr
+	TArray
+	TFunc
+)
+
+// Clone returns a deep copy of the type, sharing lock expressions (which are
+// never mutated after parse).
+func (t *Type) Clone() *Type {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.Elem = t.Elem.Clone()
+	c.Ret = t.Ret.Clone()
+	if t.Params != nil {
+		c.Params = make([]*Type, len(t.Params))
+		for i, p := range t.Params {
+			c.Params[i] = p.Clone()
+		}
+	}
+	return &c
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Pos() token.Pos
+	exprNode()
+}
+
+// Ident is a variable, function, or enum-constant reference.
+type Ident struct {
+	Name string
+	P    token.Pos
+}
+
+// IntLit is an integer literal (decimal, hex, octal, or character).
+type IntLit struct {
+	Value int64
+	P     token.Pos
+}
+
+// StringLit is a string literal; it evaluates to a pointer to a fresh
+// readonly char array.
+type StringLit struct {
+	Value string
+	P     token.Pos
+}
+
+// NullLit is the NULL pointer constant.
+type NullLit struct {
+	P token.Pos
+}
+
+// Unary is a prefix unary operation: one of - ! ~ * & ++ --.
+type Unary struct {
+	Op token.Kind
+	X  Expr
+	P  token.Pos
+}
+
+// Postfix is a postfix ++ or --.
+type Postfix struct {
+	Op token.Kind // INC or DEC
+	X  Expr
+	P  token.Pos
+}
+
+// Binary is an infix binary operation (arithmetic, comparison, logical,
+// bitwise). Logical && and || short-circuit.
+type Binary struct {
+	Op   token.Kind
+	L, R Expr
+	P    token.Pos
+}
+
+// Assign is a simple or compound assignment. For compound ops, Op is the
+// underlying binary operator (e.g. PLUS for +=); for simple assignment Op is
+// ASSIGN.
+type Assign struct {
+	Op   token.Kind
+	L, R Expr
+	P    token.Pos
+}
+
+// Cond is the ternary conditional c ? t : f.
+type Cond struct {
+	C, T, F Expr
+	P       token.Pos
+}
+
+// Call is a function call, direct or through a function pointer.
+type Call struct {
+	Fun  Expr
+	Args []Expr
+	P    token.Pos
+}
+
+// Index is array/pointer subscripting x[i].
+type Index struct {
+	X, I Expr
+	P    token.Pos
+}
+
+// Member is structure member access: x.Name or x->Name.
+type Member struct {
+	X     Expr
+	Name  string
+	Arrow bool
+	P     token.Pos
+}
+
+// Cast is an ordinary C cast (no sharing-mode change allowed).
+type Cast struct {
+	To *Type
+	X  Expr
+	P  token.Pos
+}
+
+// Scast is a SharC sharing cast SCAST(type, expr): it nulls the source
+// l-value and dynamically checks the reference count is one.
+type Scast struct {
+	To *Type
+	X  Expr
+	P  token.Pos
+}
+
+// Sizeof is sizeof(type). ShC measures sizes in abstract cells.
+type Sizeof struct {
+	T *Type
+	P token.Pos
+}
+
+func (e *Ident) Pos() token.Pos     { return e.P }
+func (e *IntLit) Pos() token.Pos    { return e.P }
+func (e *StringLit) Pos() token.Pos { return e.P }
+func (e *NullLit) Pos() token.Pos   { return e.P }
+func (e *Unary) Pos() token.Pos     { return e.P }
+func (e *Postfix) Pos() token.Pos   { return e.P }
+func (e *Binary) Pos() token.Pos    { return e.P }
+func (e *Assign) Pos() token.Pos    { return e.P }
+func (e *Cond) Pos() token.Pos      { return e.P }
+func (e *Call) Pos() token.Pos      { return e.P }
+func (e *Index) Pos() token.Pos     { return e.P }
+func (e *Member) Pos() token.Pos    { return e.P }
+func (e *Cast) Pos() token.Pos      { return e.P }
+func (e *Scast) Pos() token.Pos     { return e.P }
+func (e *Sizeof) Pos() token.Pos    { return e.P }
+
+func (*Ident) exprNode()     {}
+func (*IntLit) exprNode()    {}
+func (*StringLit) exprNode() {}
+func (*NullLit) exprNode()   {}
+func (*Unary) exprNode()     {}
+func (*Postfix) exprNode()   {}
+func (*Binary) exprNode()    {}
+func (*Assign) exprNode()    {}
+func (*Cond) exprNode()      {}
+func (*Call) exprNode()      {}
+func (*Index) exprNode()     {}
+func (*Member) exprNode()    {}
+func (*Cast) exprNode()      {}
+func (*Scast) exprNode()     {}
+func (*Sizeof) exprNode()    {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Pos() token.Pos
+	stmtNode()
+}
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	X Expr
+	P token.Pos
+}
+
+// DeclStmt declares one local variable, optionally initialized.
+type DeclStmt struct {
+	Name string
+	Type *Type
+	Init Expr // may be nil
+	P    token.Pos
+}
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	P     token.Pos
+}
+
+// If is a conditional with optional else branch.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	P    token.Pos
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+	P    token.Pos
+}
+
+// DoWhile is a do { } while loop.
+type DoWhile struct {
+	Body Stmt
+	Cond Expr
+	P    token.Pos
+}
+
+// For is a C for loop; any of Init, Cond, Post may be nil.
+type For struct {
+	Init Stmt // ExprStmt or DeclStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+	P    token.Pos
+}
+
+// Return returns from the enclosing function, with optional value.
+type Return struct {
+	X Expr // may be nil
+	P token.Pos
+}
+
+// Break exits the innermost loop or switch.
+type Break struct{ P token.Pos }
+
+// Continue continues the innermost loop.
+type Continue struct{ P token.Pos }
+
+// Switch is a C switch over an integer expression. Cases execute with C
+// fallthrough semantics.
+type Switch struct {
+	X     Expr
+	Cases []SwitchCase
+	P     token.Pos
+}
+
+// SwitchCase is one case (or default, when IsDefault) arm of a switch.
+type SwitchCase struct {
+	Value     int64
+	IsDefault bool
+	Body      []Stmt
+	P         token.Pos
+}
+
+func (s *ExprStmt) Pos() token.Pos { return s.P }
+func (s *DeclStmt) Pos() token.Pos { return s.P }
+func (s *Block) Pos() token.Pos    { return s.P }
+func (s *If) Pos() token.Pos       { return s.P }
+func (s *While) Pos() token.Pos    { return s.P }
+func (s *DoWhile) Pos() token.Pos  { return s.P }
+func (s *For) Pos() token.Pos      { return s.P }
+func (s *Return) Pos() token.Pos   { return s.P }
+func (s *Break) Pos() token.Pos    { return s.P }
+func (s *Continue) Pos() token.Pos { return s.P }
+func (s *Switch) Pos() token.Pos   { return s.P }
+
+func (*ExprStmt) stmtNode() {}
+func (*DeclStmt) stmtNode() {}
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*DoWhile) stmtNode()  {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Switch) stmtNode()   {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Field is one member of a structure definition.
+type Field struct {
+	Name string
+	Type *Type
+	P    token.Pos
+}
+
+// StructDecl defines a structure type. Racy marks the whole definition as
+// inherently racy (used for mutex/cond in the prelude, per §4.1).
+type StructDecl struct {
+	Name   string
+	Fields []Field
+	Racy   bool
+	P      token.Pos
+}
+
+// TypedefDecl names a type.
+type TypedefDecl struct {
+	Name string
+	Type *Type
+	P    token.Pos
+}
+
+// VarDecl is a global variable declaration.
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init Expr // may be nil; must be constant for globals
+	P    token.Pos
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+	P    token.Pos
+}
+
+// FuncDecl is a function definition (Body != nil) or prototype (Body == nil).
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    *Type
+	Body   *Block
+	P      token.Pos
+}
+
+// Decl is implemented by all top-level declarations.
+type Decl interface {
+	Pos() token.Pos
+	declNode()
+}
+
+func (d *StructDecl) Pos() token.Pos  { return d.P }
+func (d *TypedefDecl) Pos() token.Pos { return d.P }
+func (d *VarDecl) Pos() token.Pos     { return d.P }
+func (d *FuncDecl) Pos() token.Pos    { return d.P }
+
+func (*StructDecl) declNode()  {}
+func (*TypedefDecl) declNode() {}
+func (*VarDecl) declNode()     {}
+func (*FuncDecl) declNode()    {}
+
+// File is one parsed source file.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// Program is a whole ShC program: one or more files merged.
+type Program struct {
+	Files []*File
+}
+
+// AllDecls returns the declarations of all files in order.
+func (p *Program) AllDecls() []Decl {
+	var out []Decl
+	for _, f := range p.Files {
+		out = append(out, f.Decls...)
+	}
+	return out
+}
+
+// Structs returns the struct declarations, by name.
+func (p *Program) Structs() map[string]*StructDecl {
+	m := make(map[string]*StructDecl)
+	for _, d := range p.AllDecls() {
+		if sd, ok := d.(*StructDecl); ok {
+			m[sd.Name] = sd
+		}
+	}
+	return m
+}
+
+// Funcs returns function declarations with bodies, by name.
+func (p *Program) Funcs() map[string]*FuncDecl {
+	m := make(map[string]*FuncDecl)
+	for _, d := range p.AllDecls() {
+		if fd, ok := d.(*FuncDecl); ok && fd.Body != nil {
+			m[fd.Name] = fd
+		}
+	}
+	return m
+}
+
+// Globals returns global variable declarations, by name.
+func (p *Program) Globals() map[string]*VarDecl {
+	m := make(map[string]*VarDecl)
+	for _, d := range p.AllDecls() {
+		if vd, ok := d.(*VarDecl); ok {
+			m[vd.Name] = vd
+		}
+	}
+	return m
+}
+
+// Typedefs returns typedef declarations, by name.
+func (p *Program) Typedefs() map[string]*TypedefDecl {
+	m := make(map[string]*TypedefDecl)
+	for _, d := range p.AllDecls() {
+		if td, ok := d.(*TypedefDecl); ok {
+			m[td.Name] = td
+		}
+	}
+	return m
+}

@@ -1,0 +1,238 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// ExprString renders an expression as ShC source, used in race reports
+// ("who(2) S->sdata @ file: line") and SCAST suggestions.
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e, 0)
+	return sb.String()
+}
+
+// Operator precedence levels, loosest to tightest, used to decide when
+// parentheses are needed when rendering.
+func precOf(op token.Kind) int {
+	switch op {
+	case token.LOR:
+		return 1
+	case token.LAND:
+		return 2
+	case token.PIPE:
+		return 3
+	case token.CARET:
+		return 4
+	case token.AMP:
+		return 5
+	case token.EQ, token.NEQ:
+		return 6
+	case token.LT, token.GT, token.LEQ, token.GEQ:
+		return 7
+	case token.SHL, token.SHR:
+		return 8
+	case token.PLUS, token.MINUS:
+		return 9
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 10
+	}
+	return 11
+}
+
+func writeExpr(sb *strings.Builder, e Expr, outer int) {
+	switch e := e.(type) {
+	case *Ident:
+		sb.WriteString(e.Name)
+	case *IntLit:
+		fmt.Fprintf(sb, "%d", e.Value)
+	case *StringLit:
+		fmt.Fprintf(sb, "%q", e.Value)
+	case *NullLit:
+		sb.WriteString("NULL")
+	case *Unary:
+		sb.WriteString(unaryOpString(e.Op))
+		writeExpr(sb, e.X, 11)
+	case *Postfix:
+		writeExpr(sb, e.X, 11)
+		if e.Op == token.INC {
+			sb.WriteString("++")
+		} else {
+			sb.WriteString("--")
+		}
+	case *Binary:
+		p := precOf(e.Op)
+		if p < outer {
+			sb.WriteByte('(')
+		}
+		writeExpr(sb, e.L, p)
+		fmt.Fprintf(sb, " %s ", e.Op)
+		writeExpr(sb, e.R, p+1)
+		if p < outer {
+			sb.WriteByte(')')
+		}
+	case *Assign:
+		if outer > 0 {
+			sb.WriteByte('(')
+		}
+		writeExpr(sb, e.L, 11)
+		if e.Op == token.ASSIGN {
+			sb.WriteString(" = ")
+		} else {
+			fmt.Fprintf(sb, " %s= ", e.Op)
+		}
+		writeExpr(sb, e.R, 0)
+		if outer > 0 {
+			sb.WriteByte(')')
+		}
+	case *Cond:
+		if outer > 0 {
+			sb.WriteByte('(')
+		}
+		writeExpr(sb, e.C, 1)
+		sb.WriteString(" ? ")
+		writeExpr(sb, e.T, 0)
+		sb.WriteString(" : ")
+		writeExpr(sb, e.F, 0)
+		if outer > 0 {
+			sb.WriteByte(')')
+		}
+	case *Call:
+		writeExpr(sb, e.Fun, 11)
+		sb.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a, 0)
+		}
+		sb.WriteByte(')')
+	case *Index:
+		writeExpr(sb, e.X, 11)
+		sb.WriteByte('[')
+		writeExpr(sb, e.I, 0)
+		sb.WriteByte(']')
+	case *Member:
+		writeExpr(sb, e.X, 11)
+		if e.Arrow {
+			sb.WriteString("->")
+		} else {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(e.Name)
+	case *Cast:
+		fmt.Fprintf(sb, "(%s)", TypeString(e.To))
+		writeExpr(sb, e.X, 11)
+	case *Scast:
+		fmt.Fprintf(sb, "SCAST(%s, ", TypeString(e.To))
+		writeExpr(sb, e.X, 0)
+		sb.WriteByte(')')
+	case *Sizeof:
+		fmt.Fprintf(sb, "sizeof(%s)", TypeString(e.T))
+	default:
+		fmt.Fprintf(sb, "<expr %T>", e)
+	}
+}
+
+func unaryOpString(op token.Kind) string {
+	switch op {
+	case token.MINUS:
+		return "-"
+	case token.NOT:
+		return "!"
+	case token.TILDE:
+		return "~"
+	case token.STAR:
+		return "*"
+	case token.AMP:
+		return "&"
+	case token.INC:
+		return "++"
+	case token.DEC:
+		return "--"
+	}
+	return op.String()
+}
+
+// QualString renders a qualifier annotation, including a locked(...) lock
+// expression.
+func QualString(q Qual) string {
+	if q.Kind == QualLocked {
+		if q.Lock != nil {
+			return fmt.Sprintf("locked(%s)", ExprString(q.Lock))
+		}
+		return "locked(?)"
+	}
+	return q.Kind.String()
+}
+
+// TypeString renders a type with its sharing-mode annotations in ShC
+// declaration order: pointee qualifiers before '*', pointer qualifiers
+// after, as in "char locked(mut) *locked(mut)".
+func TypeString(t *Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TBase:
+		return joinQual(t.Base.String(), t.Qual)
+	case TNamed:
+		return joinQual(t.Name, t.Qual)
+	case TStruct:
+		return joinQual("struct "+t.Name, t.Qual)
+	case TPtr:
+		inner := TypeString(t.Elem)
+		s := inner + " *"
+		if t.Qual.IsSet() {
+			s += QualString(t.Qual)
+		}
+		return s
+	case TArray:
+		if t.Len > 0 {
+			return fmt.Sprintf("%s[%d]", TypeString(t.Elem), t.Len)
+		}
+		return TypeString(t.Elem) + "[]"
+	case TFunc:
+		var sb strings.Builder
+		sb.WriteString(TypeString(t.Ret))
+		sb.WriteString(" (")
+		if t.Qual.IsSet() {
+			sb.WriteString(QualString(t.Qual))
+			sb.WriteString(" ")
+		}
+		sb.WriteString("*)(")
+		for i, p := range t.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(TypeString(p))
+		}
+		sb.WriteString(")")
+		return sb.String()
+	}
+	return "<type?>"
+}
+
+func joinQual(base string, q Qual) string {
+	if !q.IsSet() {
+		return base
+	}
+	return base + " " + QualString(q)
+}
+
+// IsLValue reports whether the expression is a valid assignment target:
+// a variable, a dereference, an index, or a member access.
+func IsLValue(e Expr) bool {
+	switch e := e.(type) {
+	case *Ident:
+		return true
+	case *Unary:
+		return e.Op == token.STAR
+	case *Index, *Member:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+package ast_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// parseExpr parses an expression by embedding it in a tiny program.
+func parseExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc",
+		Text: "int g; int a[4]; struct s { int f; struct s *n; }; struct s *p;\n" +
+			"void fn(int x, int y) { g = " + src + "; }"})
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	fd := prog.Funcs()["fn"]
+	return fd.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign).R
+}
+
+func TestExprStringFixedPoint(t *testing.T) {
+	// Rendering then reparsing then rendering again is a fixed point.
+	cases := []string{
+		"x + y * 2",
+		"(x + y) * 2",
+		"x - y - 2",
+		"x << 2 | y & 3",
+		"a[x + 1]",
+		"p->n->f",
+		"-x + !y",
+		"~x ^ y",
+		"x == y && y != 2 || !x",
+		"x % 2 == 0 ? a[0] : a[1]",
+		"fn2(x, y + 1)",
+		"*p2 + 1",
+	}
+	hdr := "int g; int a[4]; struct s { int f; struct s *n; }; struct s *p;\n" +
+		"int *p2; int fn2(int u, int v) { return u; }\n"
+	for _, c := range cases {
+		prog, err := parser.ParseProgram(parser.Source{Name: "t.shc",
+			Text: hdr + "void fn(int x, int y) { g = " + c + "; }"})
+		if err != nil {
+			t.Errorf("%s: parse: %v", c, err)
+			continue
+		}
+		e := prog.Funcs()["fn"].Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign).R
+		r1 := ast.ExprString(e)
+		prog2, err := parser.ParseProgram(parser.Source{Name: "t.shc",
+			Text: hdr + "void fn(int x, int y) { g = " + r1 + "; }"})
+		if err != nil {
+			t.Errorf("%s: reparse %q: %v", c, r1, err)
+			continue
+		}
+		e2 := prog2.Funcs()["fn"].Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign).R
+		r2 := ast.ExprString(e2)
+		if r1 != r2 {
+			t.Errorf("%s: not a fixed point: %q vs %q", c, r1, r2)
+		}
+	}
+}
+
+// Property: random arithmetic expression trees render and reparse to the
+// same rendering (printer emits enough parentheses).
+func TestPropertyPrinterRoundTrip(t *testing.T) {
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "==", "<", ">="}
+	var build func(picks []uint8, depth int) string
+	build = func(picks []uint8, depth int) string {
+		if depth <= 0 || len(picks) == 0 {
+			return "x"
+		}
+		p := picks[0]
+		rest := picks[1:]
+		half := len(rest) / 2
+		switch p % 4 {
+		case 0:
+			return "1"
+		case 1:
+			return "y"
+		case 2:
+			return "-" + build(rest, depth-1)
+		default:
+			op := ops[int(p/4)%len(ops)]
+			return "(" + build(rest[:half], depth-1) + " " + op + " " + build(rest[half:], depth-1) + ")"
+		}
+	}
+	f := func(picks []uint8) bool {
+		src := build(picks, 5)
+		hdr := "int g;\nvoid fn(int x, int y) { g = " + src + "; }"
+		prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: hdr})
+		if err != nil {
+			return false
+		}
+		e := prog.Funcs()["fn"].Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign).R
+		r1 := ast.ExprString(e)
+		prog2, err := parser.ParseProgram(parser.Source{Name: "t.shc",
+			Text: "int g;\nvoid fn(int x, int y) { g = " + r1 + "; }"})
+		if err != nil {
+			return false
+		}
+		e2 := prog2.Funcs()["fn"].Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign).R
+		return ast.ExprString(e2) == r1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeStringForms(t *testing.T) {
+	e := parseExpr(t, "x")
+	_ = e
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: `
+struct q { mutex *m; char locked(m) *locked(m) d; };
+int dynamic * private g;
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd *ast.StructDecl
+	for _, d := range prog.AllDecls() {
+		if s, ok := d.(*ast.StructDecl); ok && s.Name == "q" {
+			sd = s
+		}
+	}
+	got := ast.TypeString(sd.Fields[1].Type)
+	if got != "char locked(m) *locked(m)" {
+		t.Errorf("field type render: %q", got)
+	}
+	g := prog.Globals()["g"]
+	if ast.TypeString(g.Type) != "int dynamic *private" {
+		t.Errorf("global type render: %q", ast.TypeString(g.Type))
+	}
+}
+
+func TestIsLValue(t *testing.T) {
+	lvalues := []string{"x", "*p2", "a[1]", "p->f", "p->n->f"}
+	hdr := "int g; int a[4]; struct s { int f; struct s *n; }; struct s *p; int *p2;\n"
+	for _, c := range lvalues {
+		prog, err := parser.ParseProgram(parser.Source{Name: "t.shc",
+			Text: hdr + "void fn(int x) { g = " + c + "; }"})
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		e := prog.Funcs()["fn"].Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign).R
+		if !ast.IsLValue(e) {
+			t.Errorf("%s should be an l-value", c)
+		}
+	}
+	nonLValues := []string{"1", "x + 1", "-x", "fn2(x)"}
+	hdr2 := hdr + "int fn2(int v) { return v; }\n"
+	for _, c := range nonLValues {
+		prog, err := parser.ParseProgram(parser.Source{Name: "t.shc",
+			Text: hdr2 + "void fn(int x) { g = " + c + "; }"})
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		e := prog.Funcs()["fn"].Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign).R
+		if ast.IsLValue(e) {
+			t.Errorf("%s should not be an l-value", c)
+		}
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: `
+typedef int myint;
+struct s { int a; };
+int g;
+int f(void) { return 0; }
+void proto(void);
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Typedefs()["myint"] == nil {
+		t.Error("typedef accessor")
+	}
+	if prog.Structs()["s"] == nil {
+		t.Error("struct accessor")
+	}
+	if prog.Globals()["g"] == nil {
+		t.Error("global accessor")
+	}
+	if prog.Funcs()["f"] == nil {
+		t.Error("func accessor")
+	}
+	if prog.Funcs()["proto"] != nil {
+		t.Error("prototypes are not definitions")
+	}
+}
+
+func TestQualString(t *testing.T) {
+	q := ast.Qual{Kind: ast.QualLocked, Lock: &ast.Ident{Name: "mu"}}
+	if ast.QualString(q) != "locked(mu)" {
+		t.Errorf("qual render: %q", ast.QualString(q))
+	}
+	if ast.QualString(ast.Qual{Kind: ast.QualRacy}) != "racy" {
+		t.Error("racy render")
+	}
+}
+
+func TestTypeClone(t *testing.T) {
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: "int **g;"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := prog.Globals()["g"].Type
+	c := orig.Clone()
+	c.Elem.Qual = ast.Qual{Kind: ast.QualDynamic}
+	if orig.Elem.Qual.Kind == ast.QualDynamic {
+		t.Fatal("clone must be deep")
+	}
+}

@@ -1,0 +1,407 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintProgram renders a whole program back to ShC source. The output
+// reparses to an equivalent program; it is used by the annotation-stripping
+// transform that regenerates the paper's "unannotated baseline" variant of
+// a program, and by tests as a structural round-trip check.
+func PrintProgram(p *Program) string {
+	var sb strings.Builder
+	for _, f := range p.Files {
+		if f.Name == "<prelude>" {
+			continue
+		}
+		for _, d := range f.Decls {
+			printDecl(&sb, d)
+		}
+	}
+	return sb.String()
+}
+
+// PrintFile renders one file.
+func PrintFile(f *File) string {
+	var sb strings.Builder
+	for _, d := range f.Decls {
+		printDecl(&sb, d)
+	}
+	return sb.String()
+}
+
+func printDecl(sb *strings.Builder, d Decl) {
+	switch d := d.(type) {
+	case *StructDecl:
+		if d.Racy {
+			sb.WriteString("racy ")
+		}
+		fmt.Fprintf(sb, "struct %s {\n", d.Name)
+		for _, f := range d.Fields {
+			sb.WriteString("\t")
+			writeDeclarator(sb, f.Type, f.Name)
+			sb.WriteString(";\n")
+		}
+		sb.WriteString("};\n")
+	case *TypedefDecl:
+		sb.WriteString("typedef ")
+		writeDeclarator(sb, d.Type, d.Name)
+		sb.WriteString(";\n")
+	case *VarDecl:
+		writeDeclarator(sb, d.Type, d.Name)
+		if d.Init != nil {
+			sb.WriteString(" = ")
+			sb.WriteString(ExprString(d.Init))
+		}
+		sb.WriteString(";\n")
+	case *FuncDecl:
+		writeDeclarator(sb, d.Ret, "")
+		sb.WriteString(" " + d.Name + "(")
+		if len(d.Params) == 0 {
+			sb.WriteString("void")
+		}
+		for i, p := range d.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeDeclarator(sb, p.Type, p.Name)
+		}
+		sb.WriteString(")")
+		if d.Body == nil {
+			sb.WriteString(";\n")
+			return
+		}
+		sb.WriteString(" ")
+		printBlock(sb, d.Body, 0)
+		sb.WriteString("\n")
+	}
+}
+
+// writeDeclarator renders "type name" in C declaration syntax, including
+// array suffixes and function-pointer declarators.
+func writeDeclarator(sb *strings.Builder, t *Type, name string) {
+	switch t.Kind {
+	case TArray:
+		writeDeclarator(sb, t.Elem, name)
+		if t.Len > 0 {
+			fmt.Fprintf(sb, "[%d]", t.Len)
+		} else {
+			sb.WriteString("[]")
+		}
+	case TPtr:
+		if t.Elem != nil && t.Elem.Kind == TFunc {
+			// ret (* quals name)(params)
+			fn := t.Elem
+			writeDeclarator(sb, fn.Ret, "")
+			sb.WriteString(" (*")
+			if t.Qual.IsSet() {
+				sb.WriteString(QualString(t.Qual) + " ")
+			}
+			sb.WriteString(name + ")(")
+			for i, p := range fn.Params {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				writeDeclarator(sb, p, "")
+			}
+			sb.WriteString(")")
+			return
+		}
+		writeDeclarator(sb, t.Elem, "")
+		sb.WriteString(" *")
+		if t.Qual.IsSet() {
+			sb.WriteString(QualString(t.Qual))
+			if name != "" {
+				sb.WriteString(" ")
+			}
+		}
+		sb.WriteString(name)
+	default:
+		base := TypeString(&Type{Kind: t.Kind, Base: t.Base, Name: t.Name, Qual: t.Qual})
+		sb.WriteString(base)
+		if name != "" {
+			sb.WriteString(" " + name)
+		}
+	}
+}
+
+func indent(sb *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		sb.WriteString("\t")
+	}
+}
+
+func printBlock(sb *strings.Builder, b *Block, depth int) {
+	sb.WriteString("{\n")
+	for _, s := range b.Stmts {
+		printStmt(sb, s, depth+1)
+	}
+	indent(sb, depth)
+	sb.WriteString("}")
+}
+
+func printStmtAsBlock(sb *strings.Builder, s Stmt, depth int) {
+	if blk, ok := s.(*Block); ok {
+		printBlock(sb, blk, depth)
+		return
+	}
+	// Wrap single statements in braces: printStmt writes its own
+	// indentation and newline.
+	sb.WriteString("{\n")
+	printStmt(sb, s, depth+1)
+	indent(sb, depth)
+	sb.WriteString("}")
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *Block:
+		indent(sb, depth)
+		printBlock(sb, s, depth)
+		sb.WriteString("\n")
+	case *DeclStmt:
+		indent(sb, depth)
+		writeDeclarator(sb, s.Type, s.Name)
+		if s.Init != nil {
+			sb.WriteString(" = ")
+			sb.WriteString(ExprString(s.Init))
+		}
+		sb.WriteString(";\n")
+	case *ExprStmt:
+		indent(sb, depth)
+		sb.WriteString(ExprString(s.X))
+		sb.WriteString(";\n")
+	case *If:
+		indent(sb, depth)
+		sb.WriteString("if (" + ExprString(s.Cond) + ") ")
+		printStmtAsBlock(sb, s.Then, depth)
+		if s.Else != nil {
+			sb.WriteString(" else ")
+			printStmtAsBlock(sb, s.Else, depth)
+		}
+		sb.WriteString("\n")
+	case *While:
+		indent(sb, depth)
+		sb.WriteString("while (" + ExprString(s.Cond) + ") ")
+		printStmtAsBlock(sb, s.Body, depth)
+		sb.WriteString("\n")
+	case *DoWhile:
+		indent(sb, depth)
+		sb.WriteString("do ")
+		printStmtAsBlock(sb, s.Body, depth)
+		sb.WriteString(" while (" + ExprString(s.Cond) + ");\n")
+	case *For:
+		indent(sb, depth)
+		sb.WriteString("for (")
+		switch init := s.Init.(type) {
+		case nil:
+			sb.WriteString(";")
+		case *DeclStmt:
+			writeDeclarator(sb, init.Type, init.Name)
+			if init.Init != nil {
+				sb.WriteString(" = " + ExprString(init.Init))
+			}
+			sb.WriteString(";")
+		case *ExprStmt:
+			sb.WriteString(ExprString(init.X) + ";")
+		default:
+			sb.WriteString(";")
+		}
+		sb.WriteString(" ")
+		if s.Cond != nil {
+			sb.WriteString(ExprString(s.Cond))
+		}
+		sb.WriteString("; ")
+		if s.Post != nil {
+			sb.WriteString(ExprString(s.Post))
+		}
+		sb.WriteString(") ")
+		printStmtAsBlock(sb, s.Body, depth)
+		sb.WriteString("\n")
+	case *Return:
+		indent(sb, depth)
+		if s.X != nil {
+			sb.WriteString("return " + ExprString(s.X) + ";\n")
+		} else {
+			sb.WriteString("return;\n")
+		}
+	case *Break:
+		indent(sb, depth)
+		sb.WriteString("break;\n")
+	case *Continue:
+		indent(sb, depth)
+		sb.WriteString("continue;\n")
+	case *Switch:
+		indent(sb, depth)
+		sb.WriteString("switch (" + ExprString(s.X) + ") {\n")
+		for _, c := range s.Cases {
+			indent(sb, depth)
+			if c.IsDefault {
+				sb.WriteString("default:\n")
+			} else {
+				fmt.Fprintf(sb, "case %d:\n", c.Value)
+			}
+			for _, st := range c.Body {
+				printStmt(sb, st, depth+1)
+			}
+		}
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	}
+}
+
+// StripAnnotations removes every sharing-mode qualifier and rewrites each
+// sharing cast to its bare source expression, producing the program a
+// programmer would have written before adopting SharC — the paper's
+// "baseline dynamic analysis" input. The prelude's racy declarations are
+// kept (they are part of the language, not annotations).
+func StripAnnotations(p *Program) *Program {
+	out := &Program{}
+	for _, f := range p.Files {
+		nf := &File{Name: f.Name}
+		for _, d := range f.Decls {
+			nf.Decls = append(nf.Decls, stripDecl(d, f.Name == "<prelude>"))
+		}
+		out.Files = append(out.Files, nf)
+	}
+	return out
+}
+
+func stripDecl(d Decl, prelude bool) Decl {
+	switch d := d.(type) {
+	case *StructDecl:
+		if prelude {
+			return d
+		}
+		nd := *d
+		nd.Fields = make([]Field, len(d.Fields))
+		for i, f := range d.Fields {
+			nd.Fields[i] = Field{Name: f.Name, Type: stripType(f.Type), P: f.P}
+		}
+		return &nd
+	case *TypedefDecl:
+		if prelude {
+			return d
+		}
+		nd := *d
+		nd.Type = stripType(d.Type)
+		return &nd
+	case *VarDecl:
+		nd := *d
+		nd.Type = stripType(d.Type)
+		nd.Init = stripExpr(d.Init)
+		return &nd
+	case *FuncDecl:
+		nd := *d
+		nd.Ret = stripType(d.Ret)
+		nd.Params = make([]Param, len(d.Params))
+		for i, p := range d.Params {
+			nd.Params[i] = Param{Name: p.Name, Type: stripType(p.Type), P: p.P}
+		}
+		if d.Body != nil {
+			nd.Body = stripStmt(d.Body).(*Block)
+		}
+		return &nd
+	}
+	return d
+}
+
+func stripType(t *Type) *Type {
+	if t == nil {
+		return nil
+	}
+	nt := *t
+	nt.Qual = Qual{}
+	nt.Elem = stripType(t.Elem)
+	nt.Ret = stripType(t.Ret)
+	if t.Params != nil {
+		nt.Params = make([]*Type, len(t.Params))
+		for i, p := range t.Params {
+			nt.Params[i] = stripType(p)
+		}
+	}
+	return &nt
+}
+
+func stripStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Block:
+		nb := &Block{P: s.P}
+		for _, st := range s.Stmts {
+			nb.Stmts = append(nb.Stmts, stripStmt(st))
+		}
+		return nb
+	case *DeclStmt:
+		return &DeclStmt{Name: s.Name, Type: stripType(s.Type), Init: stripExpr(s.Init), P: s.P}
+	case *ExprStmt:
+		return &ExprStmt{X: stripExpr(s.X), P: s.P}
+	case *If:
+		n := &If{Cond: stripExpr(s.Cond), Then: stripStmt(s.Then), P: s.P}
+		if s.Else != nil {
+			n.Else = stripStmt(s.Else)
+		}
+		return n
+	case *While:
+		return &While{Cond: stripExpr(s.Cond), Body: stripStmt(s.Body), P: s.P}
+	case *DoWhile:
+		return &DoWhile{Body: stripStmt(s.Body), Cond: stripExpr(s.Cond), P: s.P}
+	case *For:
+		n := &For{Cond: stripExpr(s.Cond), Post: stripExpr(s.Post), Body: stripStmt(s.Body), P: s.P}
+		if s.Init != nil {
+			n.Init = stripStmt(s.Init)
+		}
+		return n
+	case *Return:
+		return &Return{X: stripExpr(s.X), P: s.P}
+	case *Switch:
+		n := &Switch{X: stripExpr(s.X), P: s.P}
+		for _, c := range s.Cases {
+			nc := SwitchCase{Value: c.Value, IsDefault: c.IsDefault, P: c.P}
+			for _, st := range c.Body {
+				nc.Body = append(nc.Body, stripStmt(st))
+			}
+			n.Cases = append(n.Cases, nc)
+		}
+		return n
+	}
+	return s
+}
+
+func stripExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *Scast:
+		// The cast disappears; its source expression remains. (The null-out
+		// side effect disappears with it, as in the pre-SharC program.)
+		return stripExpr(e.X)
+	case *Unary:
+		return &Unary{Op: e.Op, X: stripExpr(e.X), P: e.P}
+	case *Postfix:
+		return &Postfix{Op: e.Op, X: stripExpr(e.X), P: e.P}
+	case *Binary:
+		return &Binary{Op: e.Op, L: stripExpr(e.L), R: stripExpr(e.R), P: e.P}
+	case *Assign:
+		return &Assign{Op: e.Op, L: stripExpr(e.L), R: stripExpr(e.R), P: e.P}
+	case *Cond:
+		return &Cond{C: stripExpr(e.C), T: stripExpr(e.T), F: stripExpr(e.F), P: e.P}
+	case *Call:
+		n := &Call{Fun: stripExpr(e.Fun), P: e.P}
+		for _, a := range e.Args {
+			n.Args = append(n.Args, stripExpr(a))
+		}
+		return n
+	case *Index:
+		return &Index{X: stripExpr(e.X), I: stripExpr(e.I), P: e.P}
+	case *Member:
+		return &Member{X: stripExpr(e.X), Name: e.Name, Arrow: e.Arrow, P: e.P}
+	case *Cast:
+		return &Cast{To: stripType(e.To), X: stripExpr(e.X), P: e.P}
+	case *Sizeof:
+		return &Sizeof{T: stripType(e.T), P: e.P}
+	default:
+		return e
+	}
+}

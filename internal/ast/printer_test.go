@@ -1,0 +1,157 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+const richProgram = `
+typedef struct node {
+	int value;
+	struct node *next;
+	mutex *m;
+	char locked(m) *locked(m) payload;
+	void (*fun)(char private *p);
+} node_t;
+
+int racy counter;
+int table[16];
+char readonly *greeting = "hi";
+
+int helper(int a, char *b) {
+	int s = 0;
+	for (int i = 0; i < a; i++) {
+		if (i % 2 == 0) s += i;
+		else continue;
+	}
+	while (s > 100) s /= 2;
+	do { s++; } while (s < 3);
+	switch (s) {
+	case 0:
+		return 0;
+	case 1:
+	default:
+		s = 9;
+	}
+	return s + b[0];
+}
+
+void *worker(void *d) {
+	node_t *n = d;
+	char *p;
+	mutexLock(n->m);
+	p = SCAST(char private *, n->payload);
+	n->payload = NULL;
+	mutexUnlock(n->m);
+	free(p);
+	return NULL;
+}
+
+int main(void) {
+	node_t *n = malloc(sizeof(node_t));
+	n->m = mutexNew();
+	mutexLock(n->m);
+	n->payload = NULL;
+	mutexUnlock(n->m);
+	int h = spawn(worker, SCAST(node_t dynamic *, n));
+	join(h);
+	return 0;
+}
+`
+
+func reparse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(parser.Source{Name: "rt.shc", Text: src})
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func TestPrintProgramRoundTrip(t *testing.T) {
+	p1 := reparse(t, richProgram)
+	out1 := ast.PrintProgram(p1)
+	p2 := reparse(t, out1)
+	out2 := ast.PrintProgram(p2)
+	if out1 != out2 {
+		t.Fatalf("printer is not a fixed point:\n--- first:\n%s\n--- second:\n%s", out1, out2)
+	}
+	// Structure is preserved.
+	if len(p2.Funcs()) != len(p1.Funcs()) || len(p2.Globals()) != len(p1.Globals()) {
+		t.Fatal("declarations lost in round trip")
+	}
+	// Annotations survive printing.
+	if !strings.Contains(out1, "locked(m)") || !strings.Contains(out1, "racy counter") {
+		t.Fatalf("annotations missing:\n%s", out1)
+	}
+	if !strings.Contains(out1, "SCAST(char private *, n->payload)") {
+		t.Fatalf("scast missing:\n%s", out1)
+	}
+}
+
+func TestStripAnnotations(t *testing.T) {
+	p := reparse(t, richProgram)
+	stripped := ast.StripAnnotations(p)
+	out := ast.PrintProgram(stripped)
+	for _, bad := range []string{"locked", "racy", "readonly", "private", "dynamic", "SCAST"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("stripped output still contains %q:\n%s", bad, out)
+		}
+	}
+	// The stripped program still parses and keeps its structure.
+	p2 := reparse(t, out)
+	if len(p2.Funcs()) != len(p.Funcs()) {
+		t.Fatal("functions lost")
+	}
+	// The scast's source expression remains in place.
+	if !strings.Contains(out, "p = n->payload") {
+		t.Fatalf("scast source missing:\n%s", out)
+	}
+}
+
+func TestStripKeepsPreludeRacy(t *testing.T) {
+	p := reparse(t, "int main(void) { mutex *m = mutexNew(); mutexLock(m); mutexUnlock(m); return 0; }")
+	stripped := ast.StripAnnotations(p)
+	// The prelude is skipped by PrintProgram but its racy declarations must
+	// survive in the AST for re-analysis.
+	for _, f := range stripped.Files {
+		if f.Name == "<prelude>" {
+			if sd, ok := f.Decls[0].(*ast.StructDecl); !ok || !sd.Racy {
+				t.Fatal("prelude racy structs must be preserved")
+			}
+		}
+	}
+}
+
+func TestPrinterFunctionPointerDeclarators(t *testing.T) {
+	src := `
+struct ops { int (*cmp)(char private *a, char private *b); };
+int main(void) { return 0; }
+`
+	p := reparse(t, src)
+	out := ast.PrintProgram(p)
+	if !strings.Contains(out, "(*cmp)(") {
+		t.Fatalf("function-pointer declarator:\n%s", out)
+	}
+	reparse(t, out)
+}
+
+func TestPrinterArrays(t *testing.T) {
+	src := `
+int grid[4];
+int main(void) {
+	int local[8];
+	local[0] = grid[1];
+	return local[0];
+}
+`
+	p := reparse(t, src)
+	out := ast.PrintProgram(p)
+	if !strings.Contains(out, "grid[4]") || !strings.Contains(out, "local[8]") {
+		t.Fatalf("array declarators:\n%s", out)
+	}
+	reparse(t, out)
+}

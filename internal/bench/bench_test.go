@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// checkClean runs a benchmark program fully instrumented and asserts no
+// violation reports: the annotated programs describe their sharing
+// correctly.
+func checkClean(t *testing.T, name, src string) *interp.Runtime {
+	t.Helper()
+	cfg := interp.DefaultConfig()
+	rt, _, err := core.BuildAndRun(src, compile.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	for _, r := range rt.Reports() {
+		t.Errorf("%s: unexpected report: %s", name, r)
+	}
+	return rt
+}
+
+func TestPfscanClean(t *testing.T) {
+	cfg := interp.DefaultConfig()
+	rt, ret, err := core.BuildAndRun(PfscanSource(Quick), compile.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != PfscanExpect(Quick) {
+		t.Fatalf("matches = %d, want %d", ret, PfscanExpect(Quick))
+	}
+	for _, r := range rt.Reports() {
+		t.Errorf("report: %s", r)
+	}
+}
+
+func TestAgetClean(t *testing.T)    { checkClean(t, "aget", AgetSource(Quick)) }
+func TestPbzip2Clean(t *testing.T)  { checkClean(t, "pbzip2", Pbzip2Source(Quick)) }
+func TestDilloClean(t *testing.T)   { checkClean(t, "dillo", DilloSource(Quick)) }
+func TestFftwClean(t *testing.T)    { checkClean(t, "fftw", FftwSource(Quick)) }
+func TestStunnelClean(t *testing.T) { checkClean(t, "stunnel", StunnelSource(Quick)) }
+
+func TestDeterministicExitValues(t *testing.T) {
+	// Each benchmark must compute the same result with and without
+	// instrumentation (the instrumentation is behavior-preserving).
+	for _, b := range Benchmarks {
+		src := b.Source(Quick)
+		cfg := interp.DefaultConfig()
+		_, retOrig, err := core.BuildAndRun(src, compile.Options{Checks: false, RC: false}, cfg)
+		if err != nil {
+			t.Fatalf("%s orig: %v", b.Name, err)
+		}
+		_, retSharc, err := core.BuildAndRun(src, compile.DefaultOptions(), cfg)
+		if err != nil {
+			t.Fatalf("%s sharc: %v", b.Name, err)
+		}
+		if retOrig != retSharc {
+			t.Errorf("%s: orig exit %d != sharc exit %d", b.Name, retOrig, retSharc)
+		}
+	}
+}
+
+func TestCountAnnotations(t *testing.T) {
+	a, c := CountAnnotations("int private x; char locked(m) *y; SCAST(int dynamic *, z)")
+	if a != 3 {
+		t.Errorf("annots = %d, want 3", a)
+	}
+	if c != 1 {
+		t.Errorf("scasts = %d, want 1", c)
+	}
+}
+
+func TestAnnotationBudget(t *testing.T) {
+	// The paper's headline: few annotations describe all sharing. Our six
+	// models must stay lightweight too — tens of annotations per program,
+	// not hundreds.
+	for _, b := range Benchmarks {
+		src := b.Source(Quick)
+		a, c := CountAnnotations(src)
+		lines := countLines(src)
+		if a == 0 {
+			t.Errorf("%s: no annotations at all?", b.Name)
+		}
+		if a > 40 {
+			t.Errorf("%s: %d annotations for %d lines — far above the paper's budget", b.Name, a, lines)
+		}
+		if c == 0 {
+			t.Errorf("%s: expected at least one sharing cast", b.Name)
+		}
+	}
+}
+
+func TestRunProducesRow(t *testing.T) {
+	r, err := Run(ByName("pfscan"), Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Races != 0 || r.LockViolations != 0 || r.OneRefFails != 0 {
+		t.Errorf("pfscan should run clean: %+v", r)
+	}
+	if r.DynamicPct <= 0 || r.DynamicPct >= 100 {
+		t.Errorf("dynamic%% = %f", r.DynamicPct)
+	}
+	if r.Lines == 0 || r.Annots == 0 {
+		t.Errorf("row metadata: %+v", r)
+	}
+	if r.TimeOrig <= 0 || r.TimeSharc <= 0 {
+		t.Errorf("timings: %+v", r)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("nope") != nil {
+		t.Error("unknown name should be nil")
+	}
+	for _, n := range []string{"pfscan", "aget", "pbzip2", "dillo", "fftw", "stunnel"} {
+		if ByName(n) == nil {
+			t.Errorf("missing benchmark %s", n)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lexer"
+	"repro/internal/parser"
+	"repro/internal/token"
+)
+
+// Benchmark describes one Table-1 program.
+type Benchmark struct {
+	Name    string
+	Source  func(Scale) string
+	Threads int               // peak concurrent threads, as the paper reports
+	Expect  func(Scale) int64 // expected exit value; nil = unchecked
+}
+
+// Benchmarks lists the six Table-1 rows in the paper's order.
+var Benchmarks = []Benchmark{
+	{Name: "pfscan", Source: PfscanSource, Threads: 3, Expect: PfscanExpect},
+	{Name: "aget", Source: AgetSource, Threads: 3},
+	{Name: "pbzip2", Source: Pbzip2Source, Threads: 5},
+	{Name: "dillo", Source: DilloSource, Threads: 5},
+	{Name: "fftw", Source: FftwSource, Threads: 3},
+	{Name: "stunnel", Source: StunnelSource, Threads: 4},
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for i := range Benchmarks {
+		if Benchmarks[i].Name == name {
+			return &Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// Row is one Table-1 row of measurements.
+type Row struct {
+	Name    string
+	Threads int
+	Lines   int
+	Annots  int
+	Changes int
+
+	TimeOrig  time.Duration
+	TimeSharc time.Duration
+	TimePct   float64 // (sharc-orig)/orig * 100
+
+	PagesOrig  int
+	PagesSharc int
+	PagePct    float64
+
+	DynamicPct float64 // checked accesses / total accesses * 100
+
+	Races, LockViolations, OneRefFails int
+	Exit                               int64
+}
+
+// CountAnnotations counts the sharing-mode qualifier annotations in a
+// source text (the paper's "Annots." column) and the sharing casts and
+// racy-flag style changes (the "Changes" column counts SCAST uses).
+func CountAnnotations(src string) (annots, scasts int) {
+	lx := lexer.New("count", src)
+	for _, t := range lx.All() {
+		switch t.Kind {
+		case token.KwPrivate, token.KwReadonly, token.KwLocked, token.KwRacy, token.KwDynamic:
+			annots++
+		case token.KwScast:
+			scasts++
+		}
+	}
+	return annots, scasts
+}
+
+func countLines(src string) int {
+	return strings.Count(strings.TrimSpace(src), "\n") + 1
+}
+
+// build compiles the program once with the given instrumentation; timing
+// runs then measure pure execution, as the paper does (instrumented vs
+// plain native runtime, not compile time).
+func build(src string, opts compile.Options) (*ir.Program, error) {
+	a, err := core.Analyze(parser.Source{Name: "program.shc", Text: src})
+	if err != nil {
+		return nil, err
+	}
+	return a.Build(opts)
+}
+
+// runOnce executes a compiled program and returns the runtime, exit value,
+// and wall-clock execution time.
+func runOnce(prog *ir.Program, obs interp.Observer) (*interp.Runtime, int64, time.Duration, error) {
+	cfg := interp.DefaultConfig()
+	cfg.Observer = obs
+	rt := interp.New(prog, cfg)
+	start := time.Now()
+	ret, err := rt.Run()
+	return rt, ret, time.Since(start), err
+}
+
+// best returns the fastest of n runs (the paper averages 50 runs; minimum
+// of a few is the low-variance equivalent for a harness that must stay
+// fast).
+func best(n int, f func() (time.Duration, error)) (time.Duration, error) {
+	bestD := time.Duration(0)
+	for i := 0; i < n; i++ {
+		d, err := f()
+		if err != nil {
+			return 0, err
+		}
+		if bestD == 0 || d < bestD {
+			bestD = d
+		}
+	}
+	return bestD, nil
+}
+
+// Run measures one benchmark at the given scale, with reps timing
+// repetitions per configuration.
+func Run(b *Benchmark, s Scale, reps int) (Row, error) {
+	src := b.Source(s)
+	row := Row{Name: b.Name, Threads: b.Threads, Lines: countLines(src)}
+	row.Annots, row.Changes = CountAnnotations(src)
+
+	progOrig, err := build(src, compile.Options{Checks: false, RC: false})
+	if err != nil {
+		return row, fmt.Errorf("%s (orig build): %w", b.Name, err)
+	}
+	progSharc, err := build(src, compile.DefaultOptions())
+	if err != nil {
+		return row, fmt.Errorf("%s (sharc build): %w", b.Name, err)
+	}
+
+	// Correctness + stats run (checked).
+	rtS, ret, _, err := runOnce(progSharc, nil)
+	if err != nil {
+		return row, fmt.Errorf("%s (sharc): %w", b.Name, err)
+	}
+	row.Exit = ret
+	if b.Expect != nil {
+		if want := b.Expect(s); ret != want {
+			return row, fmt.Errorf("%s: exit = %d, want %d", b.Name, ret, want)
+		}
+	}
+	st := rtS.Stats()
+	if st.TotalAccesses > 0 {
+		row.DynamicPct = 100 * float64(st.DynamicAccesses) / float64(st.TotalAccesses)
+	}
+	// Memory overhead: the shadow pages the instrumentation adds on top of
+	// the program's own heap pages, both measured on the same run (heap
+	// footprints vary run to run with allocator recycling order).
+	row.PagesOrig = st.HeapPages
+	row.PagesSharc = st.HeapPages + st.ShadowPages
+	if row.PagesOrig > 0 {
+		row.PagePct = 100 * float64(st.ShadowPages) / float64(row.PagesOrig)
+	}
+	row.Races = len(rtS.ReportsOfKind(interp.ReportRace))
+	row.LockViolations = len(rtS.ReportsOfKind(interp.ReportLock))
+	row.OneRefFails = len(rtS.ReportsOfKind(interp.ReportOneRef))
+
+	// Cross-check: the unchecked build computes the same result.
+	_, retO, _, err := runOnce(progOrig, nil)
+	if err != nil {
+		return row, fmt.Errorf("%s (orig): %w", b.Name, err)
+	}
+	if b.Expect == nil && retO != ret {
+		return row, fmt.Errorf("%s: orig exit %d != sharc exit %d", b.Name, retO, ret)
+	}
+
+	// Timing runs.
+	row.TimeOrig, err = best(reps, func() (time.Duration, error) {
+		_, _, d, err := runOnce(progOrig, nil)
+		return d, err
+	})
+	if err != nil {
+		return row, err
+	}
+	row.TimeSharc, err = best(reps, func() (time.Duration, error) {
+		_, _, d, err := runOnce(progSharc, nil)
+		return d, err
+	})
+	if err != nil {
+		return row, err
+	}
+	if row.TimeOrig > 0 {
+		row.TimePct = 100 * float64(row.TimeSharc-row.TimeOrig) / float64(row.TimeOrig)
+	}
+	return row, nil
+}
+
+// Table1 measures every benchmark.
+func Table1(s Scale, reps int) ([]Row, error) {
+	var rows []Row
+	for i := range Benchmarks {
+		r, err := Run(&Benchmarks[i], s, reps)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FormatTable renders rows in the paper's Table-1 layout.
+func FormatTable(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %7s %6s %7s %8s %11s %11s %9s %10s %10s\n",
+		"Name", "Threads", "Lines", "Annots.", "Changes",
+		"Time Orig", "Time SharC", "Time %", "Pages %", "%dynamic")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %7d %6d %7d %8d %11s %11s %8.1f%% %9.1f%% %9.1f%%\n",
+			r.Name, r.Threads, r.Lines, r.Annots, r.Changes,
+			r.TimeOrig.Round(time.Millisecond), r.TimeSharc.Round(time.Millisecond),
+			r.TimePct, r.PagePct, r.DynamicPct)
+	}
+	return sb.String()
+}
+
+// DetectorRow compares SharC's overhead against the baseline detectors on
+// one benchmark (the §6 contrast).
+type DetectorRow struct {
+	Name        string
+	TimeOrig    time.Duration
+	TimeSharc   time.Duration
+	TimeEraser  time.Duration
+	TimeHB      time.Duration
+	SharcRaces  int
+	EraserRaces int
+	HBRaces     int
+}
+
+// RunDetectors measures one benchmark under SharC, Eraser, and the
+// happens-before detector.
+func RunDetectors(b *Benchmark, s Scale, reps int) (DetectorRow, error) {
+	src := b.Source(s)
+	row := DetectorRow{Name: b.Name}
+	progOrig, err := build(src, compile.Options{Checks: false, RC: false})
+	if err != nil {
+		return row, err
+	}
+	progSharc, err := build(src, compile.DefaultOptions())
+	if err != nil {
+		return row, err
+	}
+	row.TimeOrig, err = best(reps, func() (time.Duration, error) {
+		_, _, d, err := runOnce(progOrig, nil)
+		return d, err
+	})
+	if err != nil {
+		return row, err
+	}
+	row.TimeSharc, err = best(reps, func() (time.Duration, error) {
+		rt, _, d, err := runOnce(progSharc, nil)
+		if rt != nil {
+			row.SharcRaces = len(rt.ReportsOfKind(interp.ReportRace))
+		}
+		return d, err
+	})
+	if err != nil {
+		return row, err
+	}
+	row.TimeEraser, err = best(reps, func() (time.Duration, error) {
+		e := baseline.NewEraser()
+		_, _, d, err := runOnce(progOrig, e)
+		row.EraserRaces = e.RaceCount()
+		return d, err
+	})
+	if err != nil {
+		return row, err
+	}
+	row.TimeHB, err = best(reps, func() (time.Duration, error) {
+		h := baseline.NewHB()
+		_, _, d, err := runOnce(progOrig, h)
+		row.HBRaces = h.RaceCount()
+		return d, err
+	})
+	return row, err
+}
+
+// FormatDetectors renders detector comparison rows.
+func FormatDetectors(rows []DetectorRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %11s %11s %11s %11s %6s %7s %4s\n",
+		"Name", "Orig", "SharC", "Eraser", "HB", "SharC", "Eraser", "HB")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %11s %11s %11s %11s %6d %7d %4d\n",
+			r.Name,
+			r.TimeOrig.Round(time.Millisecond), r.TimeSharc.Round(time.Millisecond),
+			r.TimeEraser.Round(time.Millisecond), r.TimeHB.Round(time.Millisecond),
+			r.SharcRaces, r.EraserRaces, r.HBRaces)
+	}
+	return sb.String()
+}
+
+// Names returns benchmark names in order.
+func Names() []string {
+	var out []string
+	for _, b := range Benchmarks {
+		out = append(out, b.Name)
+	}
+	sort.Strings(out)
+	return out
+}

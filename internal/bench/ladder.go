@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/compile"
+	"repro/internal/interp"
+	"repro/internal/parser"
+)
+
+// LadderRow measures one benchmark at two annotation levels — unannotated
+// (the paper's "baseline dynamic analysis can check any C program, but is
+// slow, and will generate false warnings about intentional data sharing")
+// and fully annotated — quantifying the incremental-adoption claim: "as
+// the user adds more annotations, false warnings are reduced, and
+// performance improves".
+type LadderRow struct {
+	Name string
+
+	// Unannotated level: everything inferred dynamic, casts removed.
+	ReportsUnannotated int
+	DynPctUnannotated  float64
+	TimePctUnannotated float64 // overhead vs the same program unchecked
+
+	// Fully annotated level.
+	ReportsAnnotated int
+	DynPctAnnotated  float64
+	TimePctAnnotated float64
+}
+
+// StripSource parses src and regenerates it with every sharing-mode
+// annotation removed and every sharing cast replaced by its source
+// expression.
+func StripSource(src string) (string, error) {
+	prog, err := parser.ParseProgram(parser.Source{Name: "strip.shc", Text: src})
+	if err != nil {
+		return "", err
+	}
+	return ast.PrintProgram(ast.StripAnnotations(prog)), nil
+}
+
+// measureLevel runs one annotation level: report count and %dynamic from a
+// checked run, overhead from best-of-reps checked vs unchecked timing.
+func measureLevel(src string, reps int) (reports int, dynPct, timePct float64, err error) {
+	progOrig, err := build(src, compile.Options{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	progChecked, err := build(src, compile.DefaultOptions())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rt, _, _, err := runOnce(progChecked, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	reports = len(rt.Reports())
+	st := rt.Stats()
+	if st.TotalAccesses > 0 {
+		dynPct = 100 * float64(st.DynamicAccesses) / float64(st.TotalAccesses)
+	}
+	tOrig, err := best(reps, func() (time.Duration, error) {
+		_, _, d, err := runOnce(progOrig, nil)
+		return d, err
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tChecked, err := best(reps, func() (time.Duration, error) {
+		_, _, d, err := runOnce(progChecked, nil)
+		return d, err
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if tOrig > 0 {
+		timePct = 100 * float64(tChecked-tOrig) / float64(tOrig)
+	}
+	return reports, dynPct, timePct, nil
+}
+
+// AnnotationLadder measures a benchmark unannotated and annotated. The
+// unannotated level raises the runtime's report cap so the false-warning
+// count is visible.
+func AnnotationLadder(b *Benchmark, s Scale, reps int) (LadderRow, error) {
+	row := LadderRow{Name: b.Name}
+	annotated := b.Source(s)
+	stripped, err := StripSource(annotated)
+	if err != nil {
+		return row, fmt.Errorf("%s: strip: %w", b.Name, err)
+	}
+	row.ReportsUnannotated, row.DynPctUnannotated, row.TimePctUnannotated, err =
+		measureLevelBigCap(stripped, reps)
+	if err != nil {
+		return row, fmt.Errorf("%s (unannotated): %w", b.Name, err)
+	}
+	row.ReportsAnnotated, row.DynPctAnnotated, row.TimePctAnnotated, err =
+		measureLevel(annotated, reps)
+	if err != nil {
+		return row, fmt.Errorf("%s (annotated): %w", b.Name, err)
+	}
+	return row, nil
+}
+
+// measureLevelBigCap is measureLevel with a large report cap (unannotated
+// programs can produce many distinct reports).
+func measureLevelBigCap(src string, reps int) (int, float64, float64, error) {
+	progChecked, err := build(src, compile.DefaultOptions())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cfg := interp.DefaultConfig()
+	cfg.MaxReports = 4096
+	rt := interp.New(progChecked, cfg)
+	if _, err := rt.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	reports := len(rt.Reports())
+	st := rt.Stats()
+	dynPct := 0.0
+	if st.TotalAccesses > 0 {
+		dynPct = 100 * float64(st.DynamicAccesses) / float64(st.TotalAccesses)
+	}
+	_, rest, timePct, err := measureLevel(src, reps)
+	_ = rest
+	return reports, dynPct, timePct, err
+}
+
+// FormatLadder renders ladder rows.
+func FormatLadder(rows []LadderRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %18s %18s %14s %14s %12s %12s\n",
+		"Name", "Reports(unannot)", "Reports(annot)",
+		"%dyn(unannot)", "%dyn(annot)", "ovh(unannot)", "ovh(annot)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %18d %18d %13.1f%% %13.1f%% %11.1f%% %11.1f%%\n",
+			r.Name, r.ReportsUnannotated, r.ReportsAnnotated,
+			r.DynPctUnannotated, r.DynPctAnnotated,
+			r.TimePctUnannotated, r.TimePctAnnotated)
+	}
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStripSourceRemovesAnnotations(t *testing.T) {
+	for _, b := range Benchmarks {
+		src := b.Source(Quick)
+		stripped, err := StripSource(src)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		a, c := CountAnnotations(stripped)
+		if a != 0 || c != 0 {
+			t.Errorf("%s: stripped source has %d annots, %d casts", b.Name, a, c)
+		}
+	}
+}
+
+func TestStrippedProgramsStillRun(t *testing.T) {
+	// The baseline claim: SharC's dynamic analysis can check ANY program —
+	// the unannotated variants must compile and run (producing warnings,
+	// not errors).
+	for _, b := range Benchmarks {
+		stripped, err := StripSource(b.Source(Quick))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		reports, dynPct, _, err := measureLevelBigCap(stripped, 1)
+		if err != nil {
+			t.Fatalf("%s (stripped): %v", b.Name, err)
+		}
+		t.Logf("%s: %d reports, %.1f%% dynamic", b.Name, reports, dynPct)
+		if dynPct < 1 {
+			t.Errorf("%s: unannotated program should be dominated by dynamic accesses (%.2f%%)",
+				b.Name, dynPct)
+		}
+	}
+}
+
+func TestLadderShowsIncrementalClaim(t *testing.T) {
+	// pfscan: the unannotated variant produces false warnings about the
+	// intentional sharing (the work queue is "racy" to the baseline); the
+	// annotated variant is silent.
+	row, err := AnnotationLadder(ByName("pfscan"), Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ReportsAnnotated != 0 {
+		t.Errorf("annotated pfscan must be clean, got %d reports", row.ReportsAnnotated)
+	}
+	if row.ReportsUnannotated == 0 {
+		t.Errorf("unannotated pfscan should produce false warnings")
+	}
+	if row.DynPctUnannotated <= row.DynPctAnnotated {
+		t.Errorf("annotations must reduce the checked fraction: %.1f%% -> %.1f%%",
+			row.DynPctUnannotated, row.DynPctAnnotated)
+	}
+	out := FormatLadder([]LadderRow{row})
+	if !strings.Contains(out, "pfscan") {
+		t.Error("formatting")
+	}
+}

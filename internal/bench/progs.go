@@ -1,0 +1,717 @@
+// Package bench regenerates the paper's evaluation (Table 1): six ShC
+// programs reproducing the threading architecture of each benchmark —
+// pfscan's scanner pool over a shared path queue, aget's latency-bound
+// chunk downloaders, pbzip2's block-compression pipeline with its benign
+// racy flag, dillo's DNS worker queue, fftw's ownership-transferred array
+// kernels, and stunnel's thread-per-client encrypting relay — plus the
+// harness that measures the paper's columns: annotation counts, runtime
+// overhead (instrumented vs. plain execution of the same IR), memory
+// overhead (shadow pages vs. heap pages, the minor-pagefault stand-in),
+// and the fraction of dynamically checked accesses.
+package bench
+
+import "fmt"
+
+// Scale selects workload sizes.
+type Scale int
+
+const (
+	// Quick finishes each benchmark in tens of milliseconds; used by tests.
+	Quick Scale = iota
+	// Full approximates the paper's workloads more closely.
+	Full
+)
+
+// PfscanSource is the pfscan model: one path-producer (main) and two
+// scanner threads draining a locked work queue of file indexes over an
+// in-memory corpus whose buffers are read-shared in dynamic mode (the
+// paper's pfscan runs 80%% of its accesses through dynamic checks),
+// counting needle matches under a lock.
+func PfscanSource(s Scale) string {
+	files, flen := 24, 512
+	if s == Full {
+		files, flen = 96, 2048
+	}
+	return fmt.Sprintf(`
+// pfscan: parallel file scanner (work queue + scanner pool).
+struct corpus {
+	char *files[%[1]d];
+	int lens[%[1]d];
+};
+
+struct queue {
+	mutex *m;
+	cond *cv;
+	int locked(m) items[%[1]d];
+	int locked(m) count;
+	int locked(m) next;
+	int locked(m) matches;
+	struct corpus * locked(m) corp;
+	// Per-file results, written by whichever scanner handles the file:
+	// disjoint dynamic data, strided to whole 16-byte granules.
+	int dynamic results[%[3]d];
+};
+
+char *genFile(int seed, int n) {
+	char *buf = malloc(n + 1);
+	srand(seed);
+	for (int i = 0; i < n; i++) {
+		buf[i] = 97 + rand() %% 17;
+	}
+	// Plant the needle in half the files.
+	if (seed %% 2 == 0) {
+		int at = (seed * 37) %% (n - 8);
+		buf[at] = 110; buf[at+1] = 101; buf[at+2] = 101;
+		buf[at+3] = 100; buf[at+4] = 108; buf[at+5] = 101;
+	}
+	buf[n] = 0;
+	return buf;
+}
+
+void *scanner(void *d) {
+	struct queue *q = d;
+	while (1) {
+		mutexLock(q->m);
+		while (q->next >= q->count) {
+			mutexUnlock(q->m);
+			return NULL;
+		}
+		int idx = q->items[q->next];
+		q->next = q->next + 1;
+		struct corpus dynamic *c = q->corp;
+		mutexUnlock(q->m);
+		int found = 0;
+		if (strstr(c->files[idx], "needle") >= 0) found = 1;
+		q->results[idx * 2] = found;
+		if (found) {
+			mutexLock(q->m);
+			q->matches = q->matches + 1;
+			mutexUnlock(q->m);
+		}
+	}
+	return NULL;
+}
+
+int main(void) {
+	struct corpus *c = malloc(sizeof(struct corpus));
+	for (int i = 0; i < %[1]d; i++) {
+		char *f = genFile(i, %[2]d);
+		c->files[i] = SCAST(char dynamic *, f);
+		c->lens[i] = %[2]d;
+	}
+	struct corpus dynamic *cr = SCAST(struct corpus dynamic *, c);
+	struct queue *q = malloc(sizeof(struct queue));
+	q->m = mutexNew();
+	q->cv = condNew();
+	mutexLock(q->m);
+	q->count = 0;
+	q->next = 0;
+	q->matches = 0;
+	q->corp = cr;
+	for (int i = 0; i < %[1]d; i++) {
+		q->items[q->count] = i;
+		q->count = q->count + 1;
+	}
+	mutexUnlock(q->m);
+	struct queue dynamic *qd = SCAST(struct queue dynamic *, q);
+	int t1 = spawn(scanner, qd);
+	int t2 = spawn(scanner, qd);
+	join(t1);
+	join(t2);
+	mutexLock(qd->m);
+	int m = qd->matches;
+	mutexUnlock(qd->m);
+	return m;
+}
+`, files, flen, files*2)
+}
+
+// PfscanExpect returns the expected match count for the scale.
+func PfscanExpect(s Scale) int64 {
+	if s == Full {
+		return 48
+	}
+	return 12
+}
+
+// AgetSource is the aget model: two downloader threads fetch chunks of a
+// "remote file" over a simulated network (sleepMs per packet), each owning
+// a private chunk buffer that is handed back to main through a locked
+// mailbox for assembly. Network latency dominates, so instrumentation
+// overhead is unmeasurable — the paper's "n/a" row.
+func AgetSource(s Scale) string {
+	chunks, chunkLen, lat := 6, 256, 2
+	if s == Full {
+		chunks, chunkLen, lat = 16, 1024, 5
+	}
+	return fmt.Sprintf(`
+// aget: download accelerator (chunked parallel fetch, network-bound).
+// Workers write their chunks directly into the shared output file buffer
+// (disjoint, granule-aligned regions), as aget writes file regions.
+struct dl {
+	mutex *m;
+	int locked(m) nextChunk;
+	char dynamic *out;
+};
+
+void fetchChunk(char *out, char private *staging, int id, int n) {
+	srand(id);
+	// One simulated network round-trip per packet of 128 bytes: receive
+	// into the private staging buffer, verify, then write the file region.
+	for (int off = 0; off < n; off += 128) {
+		sleepMs(%[3]d);
+		int sum = 0;
+		for (int i = 0; i < 128; i++)
+			staging[i] = 32 + (id * 131 + (off + i) * 7) %% 90;
+		for (int i = 0; i < 128; i++)
+			sum += staging[i];
+		if (sum < 0) return;
+		for (int i = 0; i < 128 && off + i < n; i++)
+			out[id * n + off + i] = staging[i];
+	}
+}
+
+void *downloader(void *d) {
+	struct dl *mb = d;
+	char *staging = malloc(128);
+	while (1) {
+		mutexLock(mb->m);
+		int id = mb->nextChunk;
+		if (id >= %[1]d) {
+			mutexUnlock(mb->m);
+			free(staging);
+			return NULL;
+		}
+		mb->nextChunk = id + 1;
+		mutexUnlock(mb->m);
+		fetchChunk(mb->out, staging, id, %[2]d);
+	}
+	return NULL;
+}
+
+int main(void) {
+	struct dl *mb = malloc(sizeof(struct dl));
+	mb->m = mutexNew();
+	mutexLock(mb->m);
+	mb->nextChunk = 0;
+	mutexUnlock(mb->m);
+	char *buf = malloc(%[1]d * %[2]d);
+	mb->out = SCAST(char dynamic *, buf);
+	struct dl dynamic *mbd = SCAST(struct dl dynamic *, mb);
+	int t1 = spawn(downloader, mbd);
+	int t2 = spawn(downloader, mbd);
+	join(t1);
+	join(t2);
+	int sum = 0;
+	char dynamic *out = mbd->out;
+	for (int i = 0; i < %[1]d * %[2]d; i++) sum += out[i];
+	return sum %% 256;
+}
+`, chunks, chunkLen, lat)
+}
+
+// Pbzip2Source is the pbzip2 model: a reader thread chunks a generated
+// file into blocks, three compressor threads RLE-compress blocks taken
+// from a locked queue (ownership transferred by sharing casts), and the
+// results are tallied by main. The end-of-input flag is the paper's benign
+// race, annotated racy.
+func Pbzip2Source(s Scale) string {
+	blocks, blockLen := 12, 2048
+	if s == Full {
+		blocks, blockLen = 48, 8192
+	}
+	return fmt.Sprintf(`
+// pbzip2: parallel block compressor (reader + compressor pool).
+struct bq {
+	mutex *m;
+	cond *cv;
+	char locked(m) *locked(m) slot;
+	int locked(m) slotLen;
+	int locked(m) produced;
+	int locked(m) consumed;
+	int locked(m) outBytes;
+	int racy readerDone;
+};
+
+char *makeBlock(int seed, int n) {
+	char *b = malloc(n);
+	srand(seed);
+	int i = 0;
+	while (i < n) {
+		int runLen = 1 + rand() %% 30;
+		int ch = 65 + rand() %% 26;
+		for (int j = 0; j < runLen && i < n; j++) {
+			b[i] = ch;
+			i++;
+		}
+	}
+	return b;
+}
+
+int rleCompress(char private *in, int n, char private *out) {
+	int o = 0;
+	int i = 0;
+	while (i < n) {
+		int ch = in[i];
+		int run = 1;
+		while (i + run < n && in[i + run] == ch && run < 255) run++;
+		out[o] = ch;
+		out[o + 1] = run;
+		o += 2;
+		i += run;
+	}
+	return o;
+}
+
+void *reader(void *d) {
+	struct bq *q = d;
+	for (int b = 0; b < %[1]d; b++) {
+		char *blk = makeBlock(b, %[2]d);
+		mutexLock(q->m);
+		while (q->slot != NULL) condWait(q->cv, q->m);
+		q->slot = SCAST(char locked(q->m) *, blk);
+		q->slotLen = %[2]d;
+		q->produced = q->produced + 1;
+		condBroadcast(q->cv);
+		mutexUnlock(q->m);
+	}
+	q->readerDone = 1;
+	mutexLock(q->m);
+	condBroadcast(q->cv);
+	mutexUnlock(q->m);
+	return NULL;
+}
+
+void *compressor(void *d) {
+	struct bq *q = d;
+	char *out = malloc(2 * %[2]d);
+	while (1) {
+		mutexLock(q->m);
+		while (q->slot == NULL) {
+			if (q->readerDone && q->consumed >= %[1]d) {
+				condBroadcast(q->cv);
+				mutexUnlock(q->m);
+				free(out);
+				return NULL;
+			}
+			if (q->readerDone && q->consumed >= q->produced) {
+				condBroadcast(q->cv);
+				mutexUnlock(q->m);
+				free(out);
+				return NULL;
+			}
+			condWait(q->cv, q->m);
+		}
+		char private *blk = SCAST(char private *, q->slot);
+		q->slot = NULL;
+		int n = q->slotLen;
+		q->consumed = q->consumed + 1;
+		condBroadcast(q->cv);
+		mutexUnlock(q->m);
+		int outLen = rleCompress(blk, n, out);
+		free(blk);
+		blk = NULL;
+		mutexLock(q->m);
+		q->outBytes = q->outBytes + outLen;
+		mutexUnlock(q->m);
+	}
+	return NULL;
+}
+
+int main(void) {
+	struct bq *q = malloc(sizeof(struct bq));
+	q->m = mutexNew();
+	q->cv = condNew();
+	mutexLock(q->m);
+	q->slot = NULL;
+	q->produced = 0;
+	q->consumed = 0;
+	q->outBytes = 0;
+	mutexUnlock(q->m);
+	q->readerDone = 0;
+	struct bq dynamic *qd = SCAST(struct bq dynamic *, q);
+	int tr = spawn(reader, qd);
+	int c1 = spawn(compressor, qd);
+	int c2 = spawn(compressor, qd);
+	int c3 = spawn(compressor, qd);
+	join(tr);
+	join(c1);
+	join(c2);
+	join(c3);
+	mutexLock(qd->m);
+	int out = qd->outBytes;
+	mutexUnlock(qd->m);
+	return out %% 251;
+}
+`, blocks, blockLen)
+}
+
+// DilloSource is the dillo model: a browser keeping a queue of outstanding
+// DNS requests served by four resolver threads that hide lookup latency;
+// request records are handed to workers and back by sharing casts.
+func DilloSource(s Scale) string {
+	urls, work := 8, 400
+	if s == Full {
+		urls, work = 24, 4000
+	}
+	return fmt.Sprintf(`
+// dillo: web browser DNS prefetch (request queue + resolver pool).
+struct req {
+	char *host;
+	int hostLen;
+	int addr;
+};
+
+struct dnsq {
+	mutex *m;
+	cond *cv;
+	struct req locked(m) * locked(m) pending;
+	struct req locked(m) * locked(m) done;
+	int locked(m) submitted;
+	int locked(m) resolved;
+	int racy shutdown;
+};
+
+int hashHost(char *h, int n, char private *pkt) {
+	int acc = 5381;
+	for (int r = 0; r < %[2]d; r++) {
+		// Build the query packet privately, then hash it: roughly one
+		// dynamic read per two private heap accesses.
+		for (int i = 0; i < n; i++) {
+			pkt[i] = h[i];
+		}
+		for (int i = 0; i < n; i++) {
+			acc = (acc * 33 + pkt[i]) %% 16777213;
+		}
+	}
+	return acc;
+}
+
+void *resolver(void *d) {
+	struct dnsq *q = d;
+	char *pkt = malloc(32);
+	while (1) {
+		mutexLock(q->m);
+		while (q->pending == NULL) {
+			if (q->shutdown) {
+				condBroadcast(q->cv);
+				mutexUnlock(q->m);
+				free(pkt);
+				return NULL;
+			}
+			condWait(q->cv, q->m);
+		}
+		struct req private *r = SCAST(struct req private *, q->pending);
+		q->pending = NULL;
+		condBroadcast(q->cv);
+		mutexUnlock(q->m);
+		r->addr = hashHost(r->host, r->hostLen, pkt);
+		mutexLock(q->m);
+		while (q->done != NULL) condWait(q->cv, q->m);
+		q->done = SCAST(struct req locked(q->m) *, r);
+		q->resolved = q->resolved + 1;
+		condBroadcast(q->cv);
+		mutexUnlock(q->m);
+	}
+	return NULL;
+}
+
+struct req *makeReq(int i) {
+	struct req *r = malloc(sizeof(struct req));
+	int n = 8 + i %% 8;
+	char *h = malloc(n + 1);
+	for (int j = 0; j < n; j++) h[j] = 97 + (i * 7 + j * 3) %% 26;
+	h[n] = 0;
+	r->host = SCAST(char dynamic *, h);
+	r->hostLen = n;
+	r->addr = 0;
+	return r;
+}
+
+int main(void) {
+	struct dnsq *q = malloc(sizeof(struct dnsq));
+	q->m = mutexNew();
+	q->cv = condNew();
+	mutexLock(q->m);
+	q->pending = NULL;
+	q->done = NULL;
+	q->submitted = 0;
+	q->resolved = 0;
+	mutexUnlock(q->m);
+	q->shutdown = 0;
+	struct dnsq dynamic *qd = SCAST(struct dnsq dynamic *, q);
+	int w1 = spawn(resolver, qd);
+	int w2 = spawn(resolver, qd);
+	int w3 = spawn(resolver, qd);
+	int w4 = spawn(resolver, qd);
+	int sum = 0;
+	int submitted = 0;
+	int received = 0;
+	while (received < %[1]d) {
+		if (submitted < %[1]d) {
+			struct req *r = makeReq(submitted);
+			mutexLock(qd->m);
+			while (qd->pending != NULL) condWait(qd->cv, qd->m);
+			qd->pending = SCAST(struct req locked(qd->m) *, r);
+			qd->submitted = qd->submitted + 1;
+			condBroadcast(qd->cv);
+			mutexUnlock(qd->m);
+			submitted = submitted + 1;
+		}
+		mutexLock(qd->m);
+		while (qd->done == NULL) condWait(qd->cv, qd->m);
+		struct req private *fin = SCAST(struct req private *, qd->done);
+		qd->done = NULL;
+		condBroadcast(qd->cv);
+		mutexUnlock(qd->m);
+		sum = (sum + fin->addr) %% 65521;
+		free(fin->host);
+		free(fin);
+		fin = NULL;
+		received = received + 1;
+	}
+	qd->shutdown = 1;
+	mutexLock(qd->m);
+	condBroadcast(qd->cv);
+	mutexUnlock(qd->m);
+	join(w1);
+	join(w2);
+	join(w3);
+	join(w4);
+	return sum %% 256;
+}
+`, urls, work)
+}
+
+// FftwSource is the fftw model: a batch of independent fixed-point FFTs
+// whose arrays are ownership-transferred to two worker threads through a
+// locked job board and reclaimed when done — the paper's "functions that
+// compute over the partial arrays assume they own that memory".
+func FftwSource(s Scale) string {
+	tasks, logn := 8, 7 // 8 FFTs of 128 points
+	if s == Full {
+		tasks, logn = 32, 10
+	}
+	n := 1 << logn
+	return fmt.Sprintf(`
+// fftw: batched fixed-point FFTs with array ownership transfer.
+struct jobs {
+	mutex *m;
+	cond *cv;
+	int locked(m) *locked(m) slotRe;
+	int locked(m) *locked(m) slotIm;
+	int locked(m) next;
+	int locked(m) doneCount;
+	int locked(m) acc;
+};
+
+void bitrev(int private *a, int n) {
+	int j = 0;
+	for (int i = 0; i < n - 1; i++) {
+		if (i < j) {
+			int t = a[i]; a[i] = a[j]; a[j] = t;
+		}
+		int m = n >> 1;
+		while (m >= 1 && j >= m) { j -= m; m >>= 1; }
+		j += m;
+	}
+}
+
+// Fixed-point radix-2 FFT with an integer twiddle approximation: the
+// arithmetic shape (butterflies, strides) matches a real FFT kernel.
+void fft(int private *re, int private *im, int n) {
+	bitrev(re, n);
+	bitrev(im, n);
+	for (int len = 2; len <= n; len <<= 1) {
+		int half = len >> 1;
+		for (int i = 0; i < n; i += len) {
+			for (int k = 0; k < half; k++) {
+				int wr = 1024 - (2048 * k) / half;
+				int wi = (2048 * k) / half - 1024;
+				int xr = re[i + k + half];
+				int xi = im[i + k + half];
+				int tr = (wr * xr - wi * xi) >> 10;
+				int ti = (wr * xi + wi * xr) >> 10;
+				re[i + k + half] = re[i + k] - tr;
+				im[i + k + half] = im[i + k] - ti;
+				re[i + k] = re[i + k] + tr;
+				im[i + k] = im[i + k] + ti;
+			}
+		}
+	}
+}
+
+void *worker(void *d) {
+	struct jobs *jb = d;
+	while (1) {
+		mutexLock(jb->m);
+		while (jb->slotRe == NULL) {
+			if (jb->next >= %[1]d) {
+				condBroadcast(jb->cv);
+				mutexUnlock(jb->m);
+				return NULL;
+			}
+			condWait(jb->cv, jb->m);
+		}
+		int private *re = SCAST(int private *, jb->slotRe);
+		int private *im = SCAST(int private *, jb->slotIm);
+		jb->slotRe = NULL;
+		jb->slotIm = NULL;
+		condBroadcast(jb->cv);
+		mutexUnlock(jb->m);
+		fft(re, im, %[2]d);
+		int chk = 0;
+		for (int i = 0; i < %[2]d; i += 8) chk = (chk + re[i] + im[i]) %% 1000003;
+		if (chk < 0) chk += 1000003;
+		free(re);
+		free(im);
+		re = NULL;
+		im = NULL;
+		mutexLock(jb->m);
+		jb->acc = (jb->acc + chk) %% 1000003;
+		jb->doneCount = jb->doneCount + 1;
+		mutexUnlock(jb->m);
+	}
+	return NULL;
+}
+
+int main(void) {
+	struct jobs *jb = malloc(sizeof(struct jobs));
+	jb->m = mutexNew();
+	jb->cv = condNew();
+	mutexLock(jb->m);
+	jb->slotRe = NULL;
+	jb->slotIm = NULL;
+	jb->next = 0;
+	jb->doneCount = 0;
+	jb->acc = 0;
+	mutexUnlock(jb->m);
+	struct jobs dynamic *jd = SCAST(struct jobs dynamic *, jb);
+	int w1 = spawn(worker, jd);
+	int w2 = spawn(worker, jd);
+	for (int t = 0; t < %[1]d; t++) {
+		int *re = malloc(%[2]d * sizeof(int));
+		int *im = malloc(%[2]d * sizeof(int));
+		srand(t);
+		for (int i = 0; i < %[2]d; i++) {
+			re[i] = rand() %% 2048 - 1024;
+			im[i] = rand() %% 2048 - 1024;
+		}
+		mutexLock(jd->m);
+		while (jd->slotRe != NULL) condWait(jd->cv, jd->m);
+		jd->slotRe = SCAST(int locked(jd->m) *, re);
+		jd->slotIm = SCAST(int locked(jd->m) *, im);
+		jd->next = t + 1;
+		condBroadcast(jd->cv);
+		mutexUnlock(jd->m);
+	}
+	mutexLock(jd->m);
+	while (jd->doneCount < %[1]d) {
+		condBroadcast(jd->cv);
+		mutexUnlock(jd->m);
+		yield();
+		mutexLock(jd->m);
+	}
+	int acc = jd->acc;
+	mutexUnlock(jd->m);
+	join(w1);
+	join(w2);
+	return acc %% 256;
+}
+`, tasks, n)
+}
+
+// StunnelSource is the stunnel model: a thread per client encrypting and
+// relaying messages, with global flags and counters protected by locks,
+// the per-client state initialized by the main thread before spawning.
+func StunnelSource(s Scale) string {
+	clients, msgs, msgLen := 3, 60, 64
+	if s == Full {
+		clients, msgs, msgLen = 3, 500, 256
+	}
+	return fmt.Sprintf(`
+// stunnel: TLS-wrapping relay (thread per client, locked global counters).
+struct gstate {
+	mutex *m;
+	int locked(m) totalMsgs;
+	int locked(m) totalBytes;
+	int locked(m) errors;
+};
+
+struct client {
+	int id;
+	char readonly *key;
+	int keyLen;
+	struct gstate dynamic *g;
+};
+
+void xorCrypt(char private *buf, int n, char *key, int kn) {
+	for (int i = 0; i < n; i++) {
+		buf[i] = buf[i] ^ key[i %% kn];
+	}
+}
+
+void *clientThread(void *d) {
+	struct client *c = d;
+	char *msg = malloc(%[3]d);
+	char *echo = malloc(%[3]d);
+	// Session state is read once per connection, not per message.
+	int id = c->id;
+	char readonly *key = c->key;
+	int keyLen = c->keyLen;
+	struct gstate dynamic *g = c->g;
+	int myErrors = 0;
+	for (int round = 0; round < %[2]d; round++) {
+		for (int i = 0; i < %[3]d; i++)
+			msg[i] = 32 + (id * 31 + round * 7 + i) %% 90;
+		// Encrypt, "send" (copy to the echo server), decrypt the echo.
+		xorCrypt(msg, %[3]d, key, keyLen);
+		memcpy(echo, msg, %[3]d);
+		xorCrypt(echo, %[3]d, key, keyLen);
+		xorCrypt(msg, %[3]d, key, keyLen);
+		for (int i = 0; i < %[3]d; i++) {
+			if (echo[i] != msg[i]) myErrors = myErrors + 1;
+		}
+		mutexLock(g->m);
+		g->totalMsgs = g->totalMsgs + 1;
+		g->totalBytes = g->totalBytes + %[3]d;
+		g->errors = g->errors + myErrors;
+		mutexUnlock(g->m);
+	}
+	free(msg);
+	free(echo);
+	return NULL;
+}
+
+int main(void) {
+	struct gstate *g = malloc(sizeof(struct gstate));
+	g->m = mutexNew();
+	mutexLock(g->m);
+	g->totalMsgs = 0;
+	g->totalBytes = 0;
+	g->errors = 0;
+	mutexUnlock(g->m);
+	struct gstate dynamic *gd = SCAST(struct gstate dynamic *, g);
+	int handles[%[1]d];
+	for (int i = 0; i < %[1]d; i++) {
+		struct client *c = malloc(sizeof(struct client));
+		c->id = i;
+		int kn = 16;
+		char *key = malloc(kn);
+		srand(100 + i);
+		for (int j = 0; j < kn; j++) key[j] = 1 + rand() %% 250;
+		c->key = SCAST(char readonly *, key);
+		c->keyLen = kn;
+		c->g = gd;
+		handles[i] = spawn(clientThread, SCAST(struct client dynamic *, c));
+	}
+	for (int i = 0; i < %[1]d; i++) join(handles[i]);
+	mutexLock(gd->m);
+	int msgsN = gd->totalMsgs;
+	int errs = gd->errors;
+	mutexUnlock(gd->m);
+	if (errs != 0) return 255;
+	return msgsN %% 256;
+}
+`, clients, msgs, msgLen)
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+)
+
+// TestPbzip2ExitStability pins the free/malloc publish order: the exit
+// value must be identical across many runs of both builds (a regression
+// test for the allocator race where a freed block became reusable before
+// its cells were cleared).
+func TestPbzip2ExitStability(t *testing.T) {
+	src := Pbzip2Source(Quick)
+	progO, err := build(src, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progS, err := build(src, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64 = -1
+	for i := 0; i < 15; i++ {
+		_, ret, _, err := runOnce(progO, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == -1 {
+			want = ret
+		}
+		if ret != want {
+			t.Fatalf("orig run %d: exit %d != %d", i, ret, want)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		_, ret, _, err := runOnce(progS, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret != want {
+			t.Fatalf("sharc run %d: exit %d != %d", i, ret, want)
+		}
+	}
+}

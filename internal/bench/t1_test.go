@@ -1,0 +1,14 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShowTable1(t *testing.T) {
+	rows, err := Table1(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(FormatTable(rows))
+}

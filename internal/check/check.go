@@ -1,0 +1,928 @@
+// Package check implements SharC's static checker: the typing judgments of
+// Figure 4 extended to all five sharing modes. It verifies that every
+// assignment, call, and cast preserves referent types (sharing modes
+// included), that readonly data is only written while still private, that
+// sharing casts change exactly the top referent mode of same-shape types,
+// that lock expressions are verifiably constant, and that declared types are
+// well-formed (a non-private reference may not point at private data).
+//
+// When an assignment fails only because the top referent modes differ, the
+// checker emits a sharing-cast suggestion ("SharC suggests where casts
+// should be added; it is up to the programmer to add them"), and it warns
+// when a cast's source is definitely live afterwards (the cast nulls it).
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/qualinfer"
+	"repro/internal/token"
+	"repro/internal/typer"
+	"repro/internal/types"
+)
+
+// Suggestion proposes inserting a sharing cast at a source position.
+type Suggestion struct {
+	Pos    token.Pos
+	Target string // the type to cast to, rendered
+	Expr   string // the expression to wrap
+}
+
+func (s Suggestion) String() string {
+	return fmt.Sprintf("%s: suggest SCAST(%s, %s)", s.Pos, s.Target, s.Expr)
+}
+
+// Result is the outcome of static checking.
+type Result struct {
+	Errors      []*types.Error
+	Warnings    []*types.Error
+	Suggestions []Suggestion
+}
+
+// OK reports whether checking found no errors.
+func (r *Result) OK() bool { return len(r.Errors) == 0 }
+
+// checker carries the state of one checking run.
+type checker struct {
+	w   *types.World
+	inf *qualinfer.Result
+	s   types.Subst
+	res *Result
+
+	fi  *types.FuncInfo
+	env *typer.Env
+
+	// assignedLocals, per function: local/param names that are assigned
+	// outside their declaration — such names are not verifiably constant
+	// and may not appear in lock expressions.
+	assignedLocals map[string]bool
+}
+
+// Check runs the static checker over a resolved, inferred world.
+func Check(w *types.World, inf *qualinfer.Result) *Result {
+	c := &checker{w: w, inf: inf, s: inf.Subst, res: &Result{}}
+	// Resolution errors surface here too.
+	c.res.Errors = append(c.res.Errors, w.Errors...)
+	c.res.Errors = append(c.res.Errors, inf.Errors...)
+
+	c.checkStructs()
+	c.checkGlobals()
+
+	names := make([]string, 0, len(w.Funcs))
+	for name := range w.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fi := w.Funcs[name]
+		if fi.Decl.Body == nil {
+			continue
+		}
+		c.fi = fi
+		c.env = typer.NewEnv(w, fi)
+		c.assignedLocals = collectAssignedNames(fi.Decl.Body)
+		c.stmt(fi.Decl.Body)
+	}
+	return c.res
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.res.Errors = append(c.res.Errors, &types.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) warnf(pos token.Pos, format string, args ...any) {
+	c.res.Warnings = append(c.res.Warnings, &types.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// mode resolves a type's top mode under the inference substitution.
+func (c *checker) mode(t *types.Type) types.Mode {
+	return c.s.Apply(t.Mode)
+}
+
+// ---------------------------------------------------------------------------
+// declaration-level well-formedness
+
+// checkStructs verifies field types: no explicitly private pointer targets
+// (REF-CTOR would be violated for shared instances), and lock roots are
+// readonly.
+func (c *checker) checkStructs() {
+	names := make([]string, 0, len(c.w.Structs))
+	for name := range c.w.Structs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		si := c.w.Structs[name]
+		if si.Racy {
+			continue
+		}
+		for i := range si.Fields {
+			f := &si.Fields[i]
+			c.wellFormed(f.Type, f.Decl.P, true)
+		}
+	}
+}
+
+func (c *checker) checkGlobals() {
+	names := make([]string, 0, len(c.w.Globals))
+	for name := range c.w.Globals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := c.w.Globals[name]
+		c.wellFormed(g.Type, g.Decl.P, false)
+		if g.Decl.Init != nil {
+			if !isConstExpr(g.Decl.Init) {
+				c.errorf(g.Decl.P, "global %q initializer must be a constant", name)
+			}
+		}
+	}
+}
+
+// wellFormed enforces the REF-CTOR rule at every pointer level: the storage
+// mode must be private, or the referent must not be private. Poly outer
+// modes (struct fields) may instantiate to any mode, so a private referent
+// under Poly is rejected.
+func (c *checker) wellFormed(t *types.Type, pos token.Pos, inStruct bool) {
+	if t == nil {
+		return
+	}
+	if t.Kind == types.KPtr && t.Elem != nil {
+		outer := c.mode(t)
+		inner := c.s.Apply(t.Elem.Mode)
+		outerMayBeShared := outer.Kind != types.ModePrivate // Poly counts as shared-capable
+		if outerMayBeShared && inner.Kind == types.ModePrivate && t.Elem.Kind != types.KFunc {
+			c.errorf(pos, "ill-formed type %s: a %s reference may not point at private data",
+				t, outer)
+		}
+	}
+	c.wellFormed(t.Elem, pos, inStruct)
+	if t.Kind == types.KFunc {
+		// Function signatures are contracts, not storage: private parameter
+		// referents (ownership transfer) are fine.
+		return
+	}
+	c.wellFormed(t.Ret, pos, inStruct)
+	for _, p := range t.Params {
+		c.wellFormed(p, pos, inStruct)
+	}
+}
+
+func isConstExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IntLit, *ast.NullLit, *ast.StringLit:
+		return true
+	case *ast.Unary:
+		return e.Op == token.MINUS && isConstExpr(e.X)
+	case *ast.Binary:
+		return isConstExpr(e.L) && isConstExpr(e.R)
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// statements
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.env.Push()
+		for _, st := range s.Stmts {
+			c.stmt(st)
+		}
+		c.env.Pop()
+	case *ast.DeclStmt:
+		lt := c.fi.Locals[s]
+		if lt == nil {
+			c.errorf(s.P, "internal: unresolved local %q", s.Name)
+			return
+		}
+		c.wellFormed(lt, s.P, false)
+		if s.Init != nil {
+			rt := c.expr(s.Init)
+			if rt != nil {
+				c.assignCompat(lt, rt, s.Init, s.P, "initialization of "+s.Name)
+			}
+		}
+		c.env.Define(&typer.Sym{Kind: typer.SymLocal, Name: s.Name, Type: lt, Decl: s})
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.If:
+		c.expr(s.Cond)
+		c.stmt(s.Then)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.While:
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+	case *ast.DoWhile:
+		c.stmt(s.Body)
+		c.expr(s.Cond)
+	case *ast.For:
+		c.env.Push()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		if s.Post != nil {
+			c.expr(s.Post)
+		}
+		c.stmt(s.Body)
+		c.env.Pop()
+	case *ast.Return:
+		if s.X != nil {
+			rt := c.expr(s.X)
+			if rt != nil && c.fi.Ret.Kind != types.KVoid {
+				c.assignCompat(c.fi.Ret, rt, s.X, s.P, "return value")
+			}
+		} else if c.fi.Ret.Kind != types.KVoid {
+			c.errorf(s.P, "missing return value in %q", c.fi.Name)
+		}
+	case *ast.Break, *ast.Continue:
+	case *ast.Switch:
+		t := c.expr(s.X)
+		if t != nil && !t.IsInteger() {
+			c.errorf(s.P, "switch requires an integer expression, got %s", t)
+		}
+		seen := make(map[int64]bool)
+		hasDefault := false
+		for _, cs := range s.Cases {
+			if cs.IsDefault {
+				if hasDefault {
+					c.errorf(cs.P, "duplicate default case")
+				}
+				hasDefault = true
+			} else {
+				if seen[cs.Value] {
+					c.errorf(cs.P, "duplicate case %d", cs.Value)
+				}
+				seen[cs.Value] = true
+			}
+			c.env.Push()
+			for _, st := range cs.Body {
+				c.stmt(st)
+			}
+			c.env.Pop()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// expressions
+
+// expr type-checks an expression and returns its type (nil after an error).
+func (c *checker) expr(e ast.Expr) *types.Type {
+	t, err := c.env.TypeOf(e)
+	if err != nil {
+		c.errorf(err.Pos, "%s", err.Msg)
+		return nil
+	}
+	// Accesses to locked storage need a verifiably constant lock expression.
+	if t != nil && ast.IsLValue(e) {
+		if m := c.mode(t); m.Kind == types.ModeLocked && m.Lock != nil {
+			c.checkLockConst(m.Lock.Expr, e.Pos())
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Assign:
+		c.checkAssign(e)
+	case *ast.Unary:
+		c.expr(e.X)
+		if e.Op == token.INC || e.Op == token.DEC {
+			c.checkWritable(e.X, e.P)
+		}
+	case *ast.Postfix:
+		c.expr(e.X)
+		c.checkWritable(e.X, e.P)
+	case *ast.Binary:
+		c.expr(e.L)
+		c.expr(e.R)
+	case *ast.Cond:
+		c.expr(e.C)
+		c.expr(e.T)
+		c.expr(e.F)
+	case *ast.Call:
+		c.checkCall(e)
+	case *ast.Index:
+		c.expr(e.X)
+		it := c.expr(e.I)
+		if it != nil && !typer.Decay(it).IsInteger() {
+			c.errorf(e.P, "array index must be an integer, got %s", it)
+		}
+	case *ast.Member:
+		c.expr(e.X)
+	case *ast.Cast:
+		c.checkCast(e)
+	case *ast.Scast:
+		c.checkScast(e)
+	}
+	return t
+}
+
+func (c *checker) checkAssign(e *ast.Assign) {
+	lt := c.expr(e.L)
+	rt := c.expr(e.R)
+	if lt == nil || rt == nil {
+		return
+	}
+	if !ast.IsLValue(e.L) {
+		c.errorf(e.P, "left side of assignment is not an l-value")
+		return
+	}
+	c.checkWritable(e.L, e.P)
+	if lt.Kind == types.KStruct || lt.Kind == types.KArray {
+		c.errorf(e.P, "cannot assign whole %s values; copy element-wise", lt.Kind)
+		return
+	}
+	if e.Op != token.ASSIGN {
+		// Compound assignment: integers, or pointer += / -= integer.
+		ltd, rtd := typer.Decay(lt), typer.Decay(rt)
+		switch {
+		case ltd.IsInteger() && rtd.IsInteger():
+		case ltd.Kind == types.KPtr && rtd.IsInteger() &&
+			(e.Op == token.PLUS || e.Op == token.MINUS):
+		default:
+			c.errorf(e.P, "invalid compound assignment: %s %s= %s", lt, e.Op, rt)
+		}
+		return
+	}
+	c.assignCompat(lt, rt, e.R, e.P, "assignment")
+}
+
+// checkWritable rejects writes to readonly storage, except the
+// initialization exception: a readonly field of a private structure
+// instance is writable (§2, making initialization practical).
+func (c *checker) checkWritable(l ast.Expr, pos token.Pos) {
+	lt, err := c.env.TypeOf(l)
+	if err != nil || lt == nil {
+		return
+	}
+	if c.mode(lt).Kind != types.ModeReadonly {
+		return
+	}
+	if m, ok := l.(*ast.Member); ok {
+		instT, err2 := c.env.TypeOf(m.X)
+		if err2 == nil && instT != nil {
+			inst := instT
+			if m.Arrow && inst.Kind == types.KPtr {
+				inst = inst.Elem
+			}
+			if c.mode(inst).Kind == types.ModePrivate {
+				return // readonly field of a private struct: writable
+			}
+		}
+	}
+	c.errorf(pos, "cannot write to readonly %s", ast.ExprString(l))
+}
+
+// assignCompat enforces "lt := rt": referent types must be identical,
+// including sharing modes (void acts as a shape wildcard; NULL and fresh
+// allocations are compatible with any pointer). A top-referent mode
+// mismatch over equal shapes produces an SCAST suggestion.
+func (c *checker) assignCompat(lt, rt *types.Type, rhs ast.Expr, pos token.Pos, what string) {
+	ltd, rtd := typer.Decay(lt), typer.Decay(rt)
+	if typer.IsNullType(rtd) || typer.IsMallocType(rtd) {
+		if ltd.Kind != types.KPtr && !ltd.IsInteger() {
+			c.errorf(pos, "%s: cannot assign a pointer to %s", what, lt)
+		}
+		return
+	}
+	switch {
+	case ltd.IsInteger() && rtd.IsInteger():
+		return
+	case ltd.Kind == types.KPtr && rtd.Kind == types.KPtr:
+		c.referentCompat(ltd, rtd, rhs, pos, what)
+		return
+	case ltd.Kind == types.KVoid:
+		return
+	default:
+		c.errorf(pos, "%s: type mismatch: %s := %s", what, lt, rt)
+	}
+}
+
+func (c *checker) referentCompat(lt, rt *types.Type, rhs ast.Expr, pos token.Pos, what string) {
+	le, re := lt.Elem, rt.Elem
+	// void* is a shape wildcard: only the top referent modes must agree.
+	if le.Kind == types.KVoid || re.Kind == types.KVoid {
+		if !types.ModesEqual(c.s, le.Mode, re.Mode) {
+			c.modeMismatch(lt, rt, rhs, pos, what)
+		}
+		return
+	}
+	if !types.ShapeEqual(le, re) {
+		c.errorf(pos, "%s: incompatible pointer types: %s := %s", what, lt, rt)
+		return
+	}
+	if types.EqualUnder(c.s, le, re) {
+		return
+	}
+	// Same shape, differing modes: if only the top referent mode differs, a
+	// sharing cast fixes it; suggest one.
+	if equalExceptTopMode(c.s, le, re) {
+		c.modeMismatch(lt, rt, rhs, pos, what)
+		return
+	}
+	c.errorf(pos, "%s: referent types differ below the top level: %s := %s (a sharing cast cannot fix this)",
+		what, lt, rt)
+}
+
+func (c *checker) modeMismatch(lt, rt *types.Type, rhs ast.Expr, pos token.Pos, what string) {
+	c.errorf(pos, "%s: sharing modes differ: %s := %s", what,
+		resolveRender(c.s, lt), resolveRender(c.s, rt))
+	c.res.Suggestions = append(c.res.Suggestions, Suggestion{
+		Pos:    pos,
+		Target: suggestTarget(c.s, lt),
+		Expr:   ast.ExprString(rhs),
+	})
+}
+
+// suggestTarget renders the type to cast to: the referent's modes matter,
+// the pointer's own storage mode does not ("SCAST(char private *, y)").
+func suggestTarget(s types.Subst, lt *types.Type) string {
+	rt := resolveType(s, lt)
+	if rt.Kind == types.KPtr {
+		return rt.Elem.VerboseString() + " *"
+	}
+	return rt.VerboseString()
+}
+
+// equalExceptTopMode reports whether two referent types agree everywhere
+// except possibly their own top-level mode.
+func equalExceptTopMode(s types.Subst, a, b *types.Type) bool {
+	ac, bc := a.Clone(), b.Clone()
+	ac.Mode, bc.Mode = types.Private, types.Private
+	return types.EqualUnder(s, ac, bc)
+}
+
+// resolveRender renders a type with inference variables resolved.
+func resolveRender(s types.Subst, t *types.Type) string {
+	return resolveType(s, t).String()
+}
+
+func resolveType(s types.Subst, t *types.Type) *types.Type {
+	if t == nil {
+		return nil
+	}
+	ct := t.Clone()
+	var walk func(*types.Type)
+	walk = func(x *types.Type) {
+		if x == nil {
+			return
+		}
+		x.Mode = s.Apply(x.Mode)
+		walk(x.Elem)
+		walk(x.Ret)
+		for _, p := range x.Params {
+			walk(p)
+		}
+	}
+	walk(ct)
+	return ct
+}
+
+// ---------------------------------------------------------------------------
+// casts
+
+// checkCast verifies an ordinary C cast: it may reinterpret shapes
+// (including int<->pointer, as legacy code does) but must never change
+// sharing modes — that requires a sharing cast.
+func (c *checker) checkCast(e *ast.Cast) {
+	to := c.w.ResolveCastType(e, e.To)
+	xt := c.expr(e.X)
+	if xt == nil {
+		return
+	}
+	tod, xtd := typer.Decay(to), typer.Decay(xt)
+	if typer.IsNullType(xtd) || typer.IsMallocType(xtd) {
+		return
+	}
+	if tod.Kind == types.KPtr && xtd.Kind == types.KPtr {
+		le, re := tod.Elem, xtd.Elem
+		if !types.ModesEqual(c.s, le.Mode, re.Mode) {
+			c.errorf(e.P, "C cast may not change sharing modes (%s vs %s); use SCAST",
+				resolveRender(c.s, xt), resolveRender(c.s, to))
+		}
+	}
+}
+
+// checkScast verifies a sharing cast per §2/§4: same shape, source is a
+// nullable l-value of concrete (non-void) pointer type, and only the top
+// referent mode changes.
+func (c *checker) checkScast(e *ast.Scast) {
+	to := c.w.ResolveCastType(e, e.To)
+	xt := c.expr(e.X)
+	if xt == nil {
+		return
+	}
+	if !ast.IsLValue(e.X) {
+		c.errorf(e.P, "SCAST source must be an l-value (it is nulled out)")
+		return
+	}
+	xtd := typer.Decay(xt)
+	if to.Kind != types.KPtr || xtd.Kind != types.KPtr {
+		c.errorf(e.P, "SCAST requires pointer types, got %s and %s", to, xt)
+		return
+	}
+	if to.Elem.Kind == types.KVoid || xtd.Elem.Kind == types.KVoid {
+		// §4: sharing casts that change qualifiers of (void*) are forbidden;
+		// cast to a concrete type first.
+		c.errorf(e.P, "SCAST through void* is forbidden; cast to a concrete type first")
+		return
+	}
+	if !types.ShapeEqual(to.Elem, xtd.Elem) {
+		c.errorf(e.P, "SCAST may not change the underlying type: %s vs %s", xt, to)
+		return
+	}
+	// Deeper modes must be preserved: a single reference-count check only
+	// justifies changing the top referent mode.
+	if !equalExceptTopMode(c.s, to.Elem, xtd.Elem) {
+		c.errorf(e.P, "SCAST may only change the top referent mode: %s vs %s",
+			resolveRender(c.s, xt), resolveRender(c.s, to))
+		return
+	}
+	c.checkScastLiveness(e)
+}
+
+// checkScastLiveness warns when the cast's source variable is read at a
+// later source position in the same function: the cast nulls it.
+func (c *checker) checkScastLiveness(e *ast.Scast) {
+	id, ok := e.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	sym := c.env.Lookup(id.Name)
+	if sym == nil || (sym.Kind != typer.SymLocal && sym.Kind != typer.SymParam) {
+		return
+	}
+	live := false
+	walkReads(c.fi.Decl.Body, func(r *ast.Ident, isWrite bool) {
+		if r.Name != id.Name || r == id {
+			return
+		}
+		if r.P.Line > e.P.Line || (r.P.Line == e.P.Line && r.P.Col > e.P.Col) {
+			if !isWrite {
+				live = true
+			}
+		}
+	})
+	if live {
+		c.warnf(e.P, "%s is live after SCAST and will be NULL", id.Name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// calls
+
+func (c *checker) checkCall(e *ast.Call) {
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		if c.env.Lookup(id.Name) == nil {
+			if b, isb := types.Builtins[id.Name]; isb {
+				c.checkBuiltinCall(b, e)
+				return
+			}
+			c.errorf(e.P, "undefined function %q", id.Name)
+			return
+		}
+		if fi, isFunc := c.w.Funcs[id.Name]; isFunc && c.env.Lookup(id.Name).Kind == typer.SymFunc {
+			c.checkDirectCall(fi, e)
+			return
+		}
+	}
+	// Indirect call through a function pointer.
+	ft, err := c.env.TypeOf(e.Fun)
+	if err != nil {
+		c.errorf(err.Pos, "%s", err.Msg)
+		return
+	}
+	if ft.Kind == types.KPtr && ft.Elem.Kind == types.KFunc {
+		ft = ft.Elem
+	}
+	if ft.Kind != types.KFunc {
+		c.errorf(e.P, "cannot call non-function of type %s", ft)
+		return
+	}
+	if len(e.Args) != len(ft.Params) {
+		c.errorf(e.P, "call has %d arguments, function type wants %d", len(e.Args), len(ft.Params))
+		return
+	}
+	for i, a := range e.Args {
+		at := c.expr(a)
+		if at != nil {
+			c.assignCompat(ft.Params[i], at, a, a.Pos(), fmt.Sprintf("argument %d", i+1))
+		}
+	}
+}
+
+func (c *checker) checkDirectCall(fi *types.FuncInfo, e *ast.Call) {
+	if len(e.Args) != len(fi.Params) {
+		c.errorf(e.P, "call to %q has %d arguments, want %d", fi.Name, len(e.Args), len(fi.Params))
+		return
+	}
+	for i, a := range e.Args {
+		at := c.expr(a)
+		if at == nil {
+			continue
+		}
+		pt := fi.Params[i].Type
+		if c.dynamicInOK(fi.Name, i, pt, at) {
+			continue
+		}
+		c.assignCompat(pt, at, a, a.Pos(), fmt.Sprintf("argument %d of %q", i+1, fi.Name))
+	}
+}
+
+// dynamicInOK implements the dynamic-in relaxation: a non-escaping formal
+// whose referent is dynamic accepts a private-referent actual of the same
+// shape — the callee's checked accesses are harmless on private data.
+func (c *checker) dynamicInOK(fname string, i int, pt, at *types.Type) bool {
+	atd := typer.Decay(at)
+	if pt.Kind != types.KPtr || atd.Kind != types.KPtr {
+		return false
+	}
+	if c.inf.EscapesAt(fname, i) {
+		return false
+	}
+	pm := c.s.Apply(pt.Elem.Mode)
+	am := c.s.Apply(atd.Elem.Mode)
+	if pm.Kind != types.ModeDynamic || am.Kind != types.ModePrivate {
+		return false
+	}
+	if pt.Elem.Kind == types.KVoid || atd.Elem.Kind == types.KVoid {
+		return true
+	}
+	return types.ShapeEqual(pt.Elem, atd.Elem) && equalExceptTopMode(c.s, pt.Elem, atd.Elem)
+}
+
+func (c *checker) checkBuiltinCall(b *types.Builtin, e *ast.Call) {
+	if b.Variadic {
+		if len(e.Args) < len(b.Args) {
+			c.errorf(e.P, "%s needs at least %d arguments", b.Name, len(b.Args))
+			return
+		}
+	} else if len(e.Args) != len(b.Args) {
+		c.errorf(e.P, "%s needs %d arguments, got %d", b.Name, len(b.Args), len(e.Args))
+		return
+	}
+	for i, a := range e.Args {
+		at := c.expr(a)
+		if at == nil {
+			continue
+		}
+		if i >= len(b.Args) {
+			// Variadic extras: integers only (§4.4 requires pointer
+			// arguments of variadic functions to be private; we sidestep by
+			// allowing only integers).
+			if !typer.Decay(at).IsInteger() {
+				c.errorf(a.Pos(), "%s: variadic arguments must be integers", b.Name)
+			}
+			continue
+		}
+		c.checkBuiltinArg(b, i, b.Args[i], at, a)
+	}
+	if b.Kind == types.BKSpawn {
+		c.checkSpawn(e)
+	}
+}
+
+func (c *checker) checkBuiltinArg(b *types.Builtin, i int, spec types.ArgSpec, at *types.Type, a ast.Expr) {
+	atd := typer.Decay(at)
+	pos := a.Pos()
+	switch spec.Shape {
+	case types.ArgInt:
+		if !atd.IsInteger() && atd.Kind != types.KVoid {
+			c.errorf(pos, "%s: argument %d must be an integer, got %s", b.Name, i+1, at)
+		}
+		return
+	case types.ArgAnyPtr, types.ArgCharPtr, types.ArgMutex, types.ArgCond, types.ArgFunc:
+		if typer.IsNullType(atd) || typer.IsMallocType(atd) {
+			return
+		}
+		if atd.Kind != types.KPtr {
+			c.errorf(pos, "%s: argument %d must be a pointer, got %s", b.Name, i+1, at)
+			return
+		}
+	}
+	el := atd.Elem
+	em := c.s.Apply(el.Mode)
+	switch spec.Shape {
+	case types.ArgCharPtr:
+		if el.Kind != types.KChar && el.Kind != types.KVoid {
+			c.errorf(pos, "%s: argument %d must be a char*, got %s", b.Name, i+1, at)
+		}
+	case types.ArgMutex:
+		if el.Kind != types.KStruct || el.StructName != "mutex" {
+			c.errorf(pos, "%s: argument %d must be a mutex*, got %s", b.Name, i+1, at)
+		}
+		return
+	case types.ArgCond:
+		if el.Kind != types.KStruct || el.StructName != "cond" {
+			c.errorf(pos, "%s: argument %d must be a cond*, got %s", b.Name, i+1, at)
+		}
+		return
+	case types.ArgFunc:
+		if el.Kind != types.KFunc {
+			c.errorf(pos, "%s: argument %d must be a function, got %s", b.Name, i+1, at)
+		}
+		return
+	}
+	// Library-call mode rules (§4.4): locked actuals are never accepted;
+	// readonly actuals only where the summary is read-only.
+	switch em.Kind {
+	case types.ModeLocked:
+		c.errorf(pos, "%s: argument %d may not be locked data (library calls cannot verify locks)", b.Name, i+1)
+	case types.ModeReadonly:
+		if spec.Access == types.AccessWrite || spec.Access == types.AccessReadWrite {
+			c.errorf(pos, "%s: argument %d is readonly but the call writes through it", b.Name, i+1)
+		}
+	}
+}
+
+// checkSpawn verifies a spawn call: the target must be a unary function over
+// a pointer, and the argument's referent must not be private — handing
+// private data to another thread needs a sharing cast first.
+func (c *checker) checkSpawn(e *ast.Call) {
+	if len(e.Args) != 2 {
+		return
+	}
+	if id, ok := e.Args[0].(*ast.Ident); ok {
+		if fi, isf := c.w.Funcs[id.Name]; isf {
+			if len(fi.Params) != 1 || fi.Params[0].Type.Kind != types.KPtr {
+				c.errorf(e.P, "spawn target %q must take exactly one pointer argument", id.Name)
+			}
+		} else if c.env.Lookup(id.Name) == nil {
+			c.errorf(e.P, "spawn target %q is not a function", id.Name)
+		}
+	}
+	at, err := c.env.TypeOf(e.Args[1])
+	if err != nil || at == nil {
+		return
+	}
+	atd := typer.Decay(at)
+	if typer.IsNullType(atd) || typer.IsMallocType(atd) {
+		return
+	}
+	if atd.Kind == types.KPtr {
+		if m := c.s.Apply(atd.Elem.Mode); m.Kind == types.ModePrivate {
+			c.errorf(e.Args[1].Pos(), "spawn argument %s points at private data; cast it to a shared mode first",
+				ast.ExprString(e.Args[1]))
+			c.res.Suggestions = append(c.res.Suggestions, Suggestion{
+				Pos: e.Args[1].Pos(),
+				Target: resolveRender(c.s, &types.Type{Kind: types.KPtr, Mode: types.Private,
+					Elem: &types.Type{Kind: atd.Elem.Kind, Mode: types.Dynamic,
+						StructName: atd.Elem.StructName, Elem: atd.Elem.Elem, Len: atd.Elem.Len}}),
+				Expr: ast.ExprString(e.Args[1]),
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// lock constancy
+
+// checkLockConst verifies a lock expression is "verifiably constant": built
+// from never-reassigned locals/params, readonly globals and fields, and
+// member hops only.
+func (c *checker) checkLockConst(l ast.Expr, pos token.Pos) {
+	switch l := l.(type) {
+	case *ast.Ident:
+		sym := c.env.Lookup(l.Name)
+		if sym == nil {
+			c.errorf(pos, "lock %q is undefined", l.Name)
+			return
+		}
+		switch sym.Kind {
+		case typer.SymLocal, typer.SymParam:
+			if c.assignedLocals[l.Name] {
+				c.errorf(pos, "lock %q must be verifiably constant but is reassigned", l.Name)
+			}
+		case typer.SymGlobal:
+			if c.mode(sym.Type).Kind != types.ModeReadonly {
+				c.errorf(pos, "global lock %q must be readonly", l.Name)
+			}
+		}
+	case *ast.Member:
+		c.checkLockConst(l.X, pos)
+		// The hop field must be readonly: verified at resolution time by
+		// the lock-root fixup; here we only need the root constant.
+	default:
+		c.errorf(pos, "lock expression %s is not verifiably constant", ast.ExprString(l))
+	}
+}
+
+// collectAssignedNames returns local names assigned anywhere in the body
+// (other than their declaration initializer).
+func collectAssignedNames(b *ast.Block) map[string]bool {
+	names := make(map[string]bool)
+	walkReads(b, func(id *ast.Ident, isWrite bool) {
+		if isWrite {
+			names[id.Name] = true
+		}
+	})
+	return names
+}
+
+// walkReads visits every identifier occurrence, flagging write occurrences
+// (assignment targets, ++/--).
+func walkReads(s ast.Stmt, fn func(*ast.Ident, bool)) {
+	var stmt func(ast.Stmt)
+	var expr func(ast.Expr, bool)
+	expr = func(e ast.Expr, isWrite bool) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			fn(e, isWrite)
+		case *ast.Unary:
+			if e.Op == token.INC || e.Op == token.DEC {
+				expr(e.X, true)
+				return
+			}
+			expr(e.X, false)
+		case *ast.Postfix:
+			expr(e.X, true)
+		case *ast.Binary:
+			expr(e.L, false)
+			expr(e.R, false)
+		case *ast.Assign:
+			if id, ok := e.L.(*ast.Ident); ok {
+				fn(id, true)
+			} else {
+				expr(e.L, false)
+			}
+			expr(e.R, false)
+		case *ast.Cond:
+			expr(e.C, false)
+			expr(e.T, false)
+			expr(e.F, false)
+		case *ast.Call:
+			expr(e.Fun, false)
+			for _, a := range e.Args {
+				expr(a, false)
+			}
+		case *ast.Index:
+			expr(e.X, false)
+			expr(e.I, false)
+		case *ast.Member:
+			expr(e.X, false)
+		case *ast.Cast:
+			expr(e.X, false)
+		case *ast.Scast:
+			// The source is nulled: counts as a write for liveness, but the
+			// value is read first. Report the read.
+			expr(e.X, false)
+		}
+	}
+	stmt = func(st ast.Stmt) {
+		switch st := st.(type) {
+		case *ast.Block:
+			for _, s2 := range st.Stmts {
+				stmt(s2)
+			}
+		case *ast.DeclStmt:
+			if st.Init != nil {
+				expr(st.Init, false)
+			}
+		case *ast.ExprStmt:
+			expr(st.X, false)
+		case *ast.If:
+			expr(st.Cond, false)
+			stmt(st.Then)
+			if st.Else != nil {
+				stmt(st.Else)
+			}
+		case *ast.While:
+			expr(st.Cond, false)
+			stmt(st.Body)
+		case *ast.DoWhile:
+			stmt(st.Body)
+			expr(st.Cond, false)
+		case *ast.For:
+			if st.Init != nil {
+				stmt(st.Init)
+			}
+			if st.Cond != nil {
+				expr(st.Cond, false)
+			}
+			if st.Post != nil {
+				expr(st.Post, false)
+			}
+			stmt(st.Body)
+		case *ast.Return:
+			if st.X != nil {
+				expr(st.X, false)
+			}
+		case *ast.Switch:
+			expr(st.X, false)
+			for _, cs := range st.Cases {
+				for _, s2 := range cs.Body {
+					stmt(s2)
+				}
+			}
+		}
+	}
+	stmt(s)
+}

@@ -1,0 +1,350 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/qualinfer"
+	"repro/internal/types"
+)
+
+func compileSrc(t *testing.T, src string, opts Options) *ir.Program {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := types.BuildWorld(prog)
+	if len(w.Errors) > 0 {
+		t.Fatalf("resolve: %v", w.Errors[0])
+	}
+	inf := qualinfer.Infer(w)
+	p, err := Compile(w, inf, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// countChecks walks a function body counting checks of each kind.
+func countChecks(fn *ir.Func) map[ir.CheckKind]int {
+	counts := make(map[ir.CheckKind]int)
+	var expr func(e ir.Expr)
+	var stmts func(ss []ir.Stmt)
+	chk := func(c ir.Check) {
+		if c.Kind != ir.CheckNone {
+			counts[c.Kind]++
+		}
+		if c.Lock != nil {
+			expr(c.Lock)
+		}
+	}
+	expr = func(e ir.Expr) {
+		switch e := e.(type) {
+		case *ir.Load:
+			chk(e.Chk)
+			expr(e.Addr)
+		case *ir.Store:
+			chk(e.Chk)
+			expr(e.Addr)
+			expr(e.Val)
+		case *ir.Bin:
+			expr(e.L)
+			expr(e.R)
+		case *ir.Logic:
+			expr(e.L)
+			expr(e.R)
+		case *ir.Un:
+			expr(e.X)
+		case *ir.CondE:
+			expr(e.C)
+			expr(e.T)
+			expr(e.F)
+		case *ir.IncDec:
+			chk(e.ChkR)
+			chk(e.ChkW)
+			expr(e.Addr)
+		case *ir.Compound:
+			chk(e.ChkR)
+			chk(e.ChkW)
+			expr(e.Addr)
+			expr(e.RHS)
+		case *ir.Call:
+			if e.Fn != nil {
+				expr(e.Fn)
+			}
+			for _, a := range e.Args {
+				expr(a)
+			}
+		case *ir.BuiltinCall:
+			for _, c := range e.ArgChecks {
+				chk(c)
+			}
+			for _, a := range e.Args {
+				expr(a)
+			}
+		case *ir.Scast:
+			chk(e.ChkR)
+			chk(e.ChkW)
+			expr(e.Addr)
+		}
+	}
+	stmts = func(ss []ir.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ir.SExpr:
+				expr(s.E)
+			case *ir.SIf:
+				expr(s.C)
+				stmts(s.Then)
+				stmts(s.Else)
+			case *ir.SLoop:
+				if s.Cond != nil {
+					expr(s.Cond)
+				}
+				if s.Post != nil {
+					expr(s.Post)
+				}
+				stmts(s.Body)
+			case *ir.SReturn:
+				if s.E != nil {
+					expr(s.E)
+				}
+			case *ir.SSwitch:
+				expr(s.X)
+				for _, arm := range s.Arms {
+					stmts(arm)
+				}
+			}
+		}
+	}
+	stmts(fn.Body)
+	return counts
+}
+
+const workerSrc = `
+struct shared { mutex *m; int locked(m) v; int plain; };
+void *worker(void *d) {
+	struct shared *s = d;
+	mutexLock(s->m);
+	s->v = s->v + 1;
+	mutexUnlock(s->m);
+	s->plain = 2;
+	return NULL;
+}
+int main(void) {
+	struct shared *s = malloc(sizeof(struct shared));
+	s->m = mutexNew();
+	int t1 = spawn(worker, SCAST(struct shared dynamic *, s));
+	join(t1);
+	return 0;
+}
+`
+
+func TestChecksPlacement(t *testing.T) {
+	p := compileSrc(t, workerSrc, DefaultOptions())
+	fn := p.Funcs[p.FuncIdx["worker"]]
+	counts := countChecks(fn)
+	if counts[ir.CheckLocked] < 2 {
+		t.Errorf("locked checks on s->v access: %v", counts)
+	}
+	if counts[ir.CheckDynamic] < 1 {
+		t.Errorf("dynamic checks on s->plain / field reads: %v", counts)
+	}
+}
+
+func TestUncheckedBuildHasNoChecks(t *testing.T) {
+	p := compileSrc(t, workerSrc, Options{})
+	for _, fn := range p.Funcs {
+		if counts := countChecks(fn); len(counts) != 0 {
+			t.Fatalf("%s has checks in unchecked build: %v", fn.Name, counts)
+		}
+		if len(fn.RCPtrSlots) != 0 {
+			t.Fatalf("%s has RC slots with RC off", fn.Name)
+		}
+	}
+}
+
+func TestRCSiteAnalysisRestrictsBarriers(t *testing.T) {
+	// Only the scast-reachable shape (struct shared) and void* need
+	// barriers; an unrelated int* local does not.
+	src := `
+struct shared { int v; };
+int main(void) {
+	int *unrelated = malloc(4);
+	struct shared *s = malloc(sizeof(struct shared));
+	struct shared dynamic *d = SCAST(struct shared dynamic *, s);
+	unrelated[0] = 1;
+	return 0;
+}
+`
+	withAnalysis := compileSrc(t, src, DefaultOptions())
+	without := compileSrc(t, src, Options{Checks: true, RC: true, RCSiteAnalysis: false})
+	fa := withAnalysis.Funcs[withAnalysis.FuncIdx["main"]]
+	fb := without.Funcs[without.FuncIdx["main"]]
+	if len(fa.RCPtrSlots) >= len(fb.RCPtrSlots) {
+		t.Fatalf("site analysis should track fewer slots: %d vs %d",
+			len(fa.RCPtrSlots), len(fb.RCPtrSlots))
+	}
+}
+
+func TestNoScastMeansNoBarriers(t *testing.T) {
+	src := `
+int main(void) {
+	int *p = malloc(4);
+	p[0] = 1;
+	free(p);
+	return 0;
+}
+`
+	p := compileSrc(t, src, DefaultOptions())
+	if p.RCTracked {
+		t.Fatal("no sharing casts: RC should be off entirely")
+	}
+	for _, fn := range p.Funcs {
+		if len(fn.RCPtrSlots) != 0 {
+			t.Fatalf("%s has RC slots", fn.Name)
+		}
+	}
+}
+
+func TestGlobalLayoutAndInit(t *testing.T) {
+	p := compileSrc(t, `
+int a = 5;
+int b = -3;
+int c = 2 * 8 + 1;
+char *s = "hi";
+int main(void) { return a; }
+`, DefaultOptions())
+	if p.GlobalSize < 4 {
+		t.Fatalf("global size %d", p.GlobalSize)
+	}
+	if len(p.Inits) != 4 {
+		t.Fatalf("inits: %d", len(p.Inits))
+	}
+	vals := map[int64]bool{}
+	for _, init := range p.Inits {
+		if k, ok := init.Val.(*ir.Const); ok {
+			vals[k.V] = true
+		}
+	}
+	if !vals[5] || !vals[-3] || !vals[17] {
+		t.Fatalf("folded init values missing: %v", vals)
+	}
+	// Strings are interned and laid out after globals.
+	if len(p.Strings) != 1 || p.Strings[0] != "hi" {
+		t.Fatalf("strings: %v", p.Strings)
+	}
+	if p.StringAddr[0] < p.GlobalSize {
+		t.Fatal("strings must follow globals")
+	}
+	if p.StaticSize != p.StringAddr[0]+3 {
+		t.Fatalf("static size %d", p.StaticSize)
+	}
+}
+
+func TestStringInterning(t *testing.T) {
+	p := compileSrc(t, `
+int main(void) {
+	char readonly *a = "same";
+	char readonly *b = "same";
+	char readonly *c = "different";
+	return strcmp(a, b) + strlen(c);
+}
+`, DefaultOptions())
+	if len(p.Strings) != 2 {
+		t.Fatalf("interning failed: %v", p.Strings)
+	}
+}
+
+func TestFrameLayout(t *testing.T) {
+	p := compileSrc(t, `
+struct pair { int a; int b; };
+int f(int x, int y) {
+	int local;
+	struct pair pr;
+	int arr[4];
+	return x;
+}
+int main(void) { return f(1, 2); }
+`, DefaultOptions())
+	fn := p.Funcs[p.FuncIdx["f"]]
+	if fn.NumParams != 2 {
+		t.Fatalf("params: %d", fn.NumParams)
+	}
+	// 2 params + 1 local + 2-cell struct + 4-cell array = 9 cells.
+	if fn.FrameSize != 9 {
+		t.Fatalf("frame size: %d", fn.FrameSize)
+	}
+}
+
+func TestMissingMainFails(t *testing.T) {
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: "int helper(void) { return 1; }"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := types.BuildWorld(prog)
+	inf := qualinfer.Infer(w)
+	if _, err := Compile(w, inf, DefaultOptions()); err == nil {
+		t.Fatal("expected missing-main error")
+	}
+}
+
+func TestPointerArithmeticScaling(t *testing.T) {
+	// Pointer arithmetic over a 2-cell struct must scale by 2.
+	p := compileSrc(t, `
+struct pair { int a; int b; };
+int main(void) {
+	struct pair *p = malloc(4 * sizeof(struct pair));
+	struct pair *q = p + 3;
+	return q - p;
+}
+`, DefaultOptions())
+	fn := p.Funcs[p.FuncIdx["main"]]
+	// "p + 3" folds its scaled constant to 6; "q - p" divides by 2.
+	foundAdd, foundDiv := false, false
+	var expr func(e ir.Expr)
+	expr = func(e ir.Expr) {
+		switch e := e.(type) {
+		case *ir.Bin:
+			if e.Op == ir.OpAdd {
+				if k, ok := e.R.(*ir.Const); ok && k.V == 6 {
+					foundAdd = true
+				}
+			}
+			if e.Op == ir.OpDiv {
+				if k, ok := e.R.(*ir.Const); ok && k.V == 2 {
+					foundDiv = true
+				}
+			}
+			expr(e.L)
+			expr(e.R)
+		case *ir.Store:
+			expr(e.Addr)
+			expr(e.Val)
+		case *ir.Load:
+			expr(e.Addr)
+		}
+	}
+	var stmts func(ss []ir.Stmt)
+	stmts = func(ss []ir.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ir.SExpr:
+				expr(s.E)
+			case *ir.SReturn:
+				if s.E != nil {
+					expr(s.E)
+				}
+			}
+		}
+	}
+	stmts(fn.Body)
+	if !foundAdd {
+		t.Fatal("scaled pointer addition (3*2=6) not found")
+	}
+	if !foundDiv {
+		t.Fatal("scaled pointer difference (divide by 2) not found")
+	}
+}

@@ -1,0 +1,77 @@
+// Package core is the SharC driver: it chains the front end (parse,
+// resolve), the analyses (qualifier inference, static checking), and the
+// back end (instrumented compilation) into single-call pipelines used by
+// the public API, the CLI, and the benchmark harness.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/check"
+	"repro/internal/compile"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/qualinfer"
+	"repro/internal/types"
+)
+
+// Analysis bundles everything the front half of the pipeline produces.
+type Analysis struct {
+	Prog  *ast.Program
+	World *types.World
+	Inf   *qualinfer.Result
+	Check *check.Result
+}
+
+// Analyze parses, resolves, infers, and checks the given sources. A parse
+// failure aborts; analysis errors are reported inside the result so callers
+// can show all of them.
+func Analyze(sources ...parser.Source) (*Analysis, error) {
+	prog, err := parser.ParseProgram(sources...)
+	if err != nil {
+		return nil, err
+	}
+	w := types.BuildWorld(prog)
+	inf := qualinfer.Infer(w)
+	res := check.Check(w, inf)
+	return &Analysis{Prog: prog, World: w, Inf: inf, Check: res}, nil
+}
+
+// Err returns a combined error when the analysis found problems.
+func (a *Analysis) Err() error {
+	if a.Check.OK() {
+		return nil
+	}
+	if len(a.Check.Errors) == 1 {
+		return a.Check.Errors[0]
+	}
+	return fmt.Errorf("%s (and %d more errors)", a.Check.Errors[0], len(a.Check.Errors)-1)
+}
+
+// Build compiles an analyzed program with the given instrumentation
+// options. Checking must have passed.
+func (a *Analysis) Build(opts compile.Options) (*ir.Program, error) {
+	if err := a.Err(); err != nil {
+		return nil, err
+	}
+	return compile.Compile(a.World, a.Inf, opts)
+}
+
+// BuildAndRun is the one-call pipeline: analyze, compile, execute. It
+// returns the runtime (for reports and stats), main's exit value, and any
+// fatal error.
+func BuildAndRun(src string, copts compile.Options, rcfg interp.Config) (*interp.Runtime, int64, error) {
+	a, err := Analyze(parser.Source{Name: "program.shc", Text: src})
+	if err != nil {
+		return nil, 0, err
+	}
+	prog, err := a.Build(copts)
+	if err != nil {
+		return nil, 0, err
+	}
+	rt := interp.New(prog, rcfg)
+	ret, err := rt.Run()
+	return rt, ret, err
+}

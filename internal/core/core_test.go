@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/interp"
+	"repro/internal/parser"
+)
+
+func TestAnalyzeMultipleFiles(t *testing.T) {
+	a, err := Analyze(
+		parser.Source{Name: "lib.shc", Text: `
+int twice(int x) { return 2 * x; }
+`},
+		parser.Source{Name: "main.shc", Text: `
+int main(void) { return twice(21); }
+`},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Build(compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := interp.New(prog, interp.DefaultConfig())
+	ret, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 42 {
+		t.Fatalf("ret = %d", ret)
+	}
+}
+
+func TestAnalyzeParseError(t *testing.T) {
+	_, err := Analyze(parser.Source{Name: "bad.shc", Text: "int main( {"})
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestErrSummarizesMultipleErrors(t *testing.T) {
+	a, err := Analyze(parser.Source{Name: "t.shc", Text: `
+int main(void) {
+	undefined1();
+	undefined2();
+	return nope;
+}
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := a.Err()
+	if e == nil {
+		t.Fatal("expected check errors")
+	}
+	if !strings.Contains(e.Error(), "more errors") {
+		t.Fatalf("combined error: %v", e)
+	}
+}
+
+func TestBuildRefusesBrokenProgram(t *testing.T) {
+	a, err := Analyze(parser.Source{Name: "t.shc", Text: "int main(void) { return nope; }"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Build(compile.DefaultOptions()); err == nil {
+		t.Fatal("Build must refuse a program that failed checking")
+	}
+}
+
+func TestBuildAndRunPipeline(t *testing.T) {
+	rt, ret, err := BuildAndRun(`
+int main(void) {
+	int s = 0;
+	for (int i = 1; i <= 4; i++) s += i;
+	return s;
+}
+`, compile.DefaultOptions(), interp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 10 {
+		t.Fatalf("ret = %d", ret)
+	}
+	if len(rt.Reports()) != 0 {
+		t.Fatalf("reports: %v", rt.Reports())
+	}
+}

@@ -1,0 +1,347 @@
+package interp
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/token"
+)
+
+// builtin dispatches a runtime builtin call.
+func (t *thread) builtin(e *ir.BuiltinCall) int64 {
+	rt := t.rt
+	switch e.Name {
+	case "malloc":
+		n := t.eval(e.Args[0])
+		base, ok := rt.malloc(n)
+		if !ok {
+			t.fail(e.Pos, "out of memory: malloc(%d)", n)
+		}
+		if obs := rt.cfg.Observer; obs != nil {
+			obs.Malloc(t.tid, base, rt.blockSize(base))
+		}
+		return base
+
+	case "free":
+		p := t.eval(e.Args[0])
+		if p == 0 {
+			return 0
+		}
+		// Unpublish first: the block must not be reusable while its cells
+		// and shadow state are being cleared.
+		size := rt.beginFree(p)
+		if size == 0 {
+			t.fail(e.Pos, "free of invalid pointer 0x%x", p)
+		}
+		// Pointer slots inside the block die: null them through barriers so
+		// their referents' counts drop, then clear the shadow state — freed
+		// memory is no longer considered accessed by any thread (§4.2.1).
+		for i := int64(0); i < size; i++ {
+			addr := p + i
+			if old := t.loadRaw(addr); old != 0 {
+				t.dynStore(addr, 0)
+			} else {
+				t.storeRaw(addr, 0)
+			}
+		}
+		rt.shadow.ClearRange(p, size)
+		rt.finishFree(p, size)
+		if obs := rt.cfg.Observer; obs != nil {
+			obs.Free(t.tid, p, size)
+		}
+		return 0
+
+	case "spawn":
+		return t.spawn(e)
+
+	case "join":
+		h := t.eval(e.Args[0])
+		v, ok := rt.handles.Load(h)
+		if !ok {
+			t.fail(e.Pos, "join of unknown thread handle %d", h)
+		}
+		th := v.(*threadHandle)
+		<-th.done
+		if obs := rt.cfg.Observer; obs != nil {
+			obs.Join(t.tid, th.tid)
+		}
+		return 0
+
+	case "mutexNew":
+		base, ok := rt.malloc(1)
+		if !ok {
+			t.fail(e.Pos, "out of memory: mutexNew")
+		}
+		rt.mutexes.Store(base, &sync.Mutex{})
+		return base
+
+	case "condNew":
+		base, ok := rt.malloc(1)
+		if !ok {
+			t.fail(e.Pos, "out of memory: condNew")
+		}
+		rt.conds.Store(base, &condState{})
+		return base
+
+	case "mutexLock":
+		addr := t.eval(e.Args[0])
+		mu := t.mutexAt(addr, e.Pos)
+		mu.Lock()
+		t.locks.Acquire(addr)
+		if obs := rt.cfg.Observer; obs != nil {
+			obs.Acquire(t.tid, addr)
+		}
+		return 0
+
+	case "mutexUnlock":
+		addr := t.eval(e.Args[0])
+		mu := t.mutexAt(addr, e.Pos)
+		if !t.locks.Release(addr) {
+			rt.report(ReportLock, e.Pos,
+				fmt.Sprintf("%s: thread %d unlocked a mutex it does not hold", e.Pos, t.tid))
+			return 0
+		}
+		if obs := rt.cfg.Observer; obs != nil {
+			obs.Release(t.tid, addr)
+		}
+		mu.Unlock()
+		return 0
+
+	case "condWait":
+		cvAddr := t.eval(e.Args[0])
+		mAddr := t.eval(e.Args[1])
+		cs := t.condAt(cvAddr, e.Pos)
+		mu := t.mutexAt(mAddr, e.Pos)
+		cs.mu.Lock()
+		if cs.cond == nil {
+			cs.cond = sync.NewCond(mu)
+			cs.lock = mAddr
+		} else if cs.lock != mAddr {
+			cs.mu.Unlock()
+			t.fail(e.Pos, "condition variable used with two different mutexes")
+		}
+		cs.mu.Unlock()
+		if !t.locks.Held(mAddr) {
+			rt.report(ReportLock, e.Pos,
+				fmt.Sprintf("%s: thread %d waits on a condition without holding the mutex", e.Pos, t.tid))
+		}
+		t.locks.Release(mAddr)
+		if obs := rt.cfg.Observer; obs != nil {
+			obs.Release(t.tid, mAddr)
+		}
+		cs.cond.Wait()
+		t.locks.Acquire(mAddr)
+		if obs := rt.cfg.Observer; obs != nil {
+			obs.Acquire(t.tid, mAddr)
+			obs.CondWake(t.tid, cvAddr)
+		}
+		return 0
+
+	case "condSignal", "condBroadcast":
+		cvAddr := t.eval(e.Args[0])
+		cs := t.condAt(cvAddr, e.Pos)
+		cs.mu.Lock()
+		cond := cs.cond
+		cs.mu.Unlock()
+		if obs := rt.cfg.Observer; obs != nil {
+			obs.CondSignal(t.tid, cvAddr)
+		}
+		if cond != nil {
+			if e.Name == "condSignal" {
+				cond.Signal()
+			} else {
+				cond.Broadcast()
+			}
+		}
+		return 0
+
+	case "print":
+		s := t.readCString(t.eval(e.Args[0]), e.ArgChecks[0], e.Pos)
+		var sb strings.Builder
+		sb.WriteString(s)
+		for _, a := range e.Args[1:] {
+			fmt.Fprintf(&sb, " %d", t.eval(a))
+		}
+		rt.output(sb.String())
+		return 0
+
+	case "printInt":
+		rt.output(fmt.Sprintf("%d\n", t.eval(e.Args[0])))
+		return 0
+
+	case "assert":
+		if t.eval(e.Args[0]) == 0 {
+			t.fail(e.Pos, "assertion failed")
+		}
+		return 0
+
+	case "rand":
+		return t.rand()
+
+	case "srand":
+		t.rng = uint64(t.eval(e.Args[0]))*2654435761 + 1
+		return 0
+
+	case "sleepMs":
+		ms := t.eval(e.Args[0])
+		if ms > 0 {
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+		}
+		return 0
+
+	case "yield":
+		runtime.Gosched()
+		return 0
+
+	case "memset":
+		p := t.eval(e.Args[0])
+		v := t.eval(e.Args[1])
+		n := t.eval(e.Args[2])
+		for i := int64(0); i < n; i++ {
+			t.builtinWrite(p+i, v, e.ArgChecks[0], e.Pos)
+		}
+		return 0
+
+	case "memcpy":
+		d := t.eval(e.Args[0])
+		s := t.eval(e.Args[1])
+		n := t.eval(e.Args[2])
+		for i := int64(0); i < n; i++ {
+			v := t.builtinRead(s+i, e.ArgChecks[1], e.Pos)
+			t.builtinWrite(d+i, v, e.ArgChecks[0], e.Pos)
+		}
+		return 0
+
+	case "strlen":
+		p := t.eval(e.Args[0])
+		return int64(len(t.readCString(p, e.ArgChecks[0], e.Pos)))
+
+	case "strcmp":
+		a := t.readCString(t.eval(e.Args[0]), e.ArgChecks[0], e.Pos)
+		b := t.readCString(t.eval(e.Args[1]), e.ArgChecks[1], e.Pos)
+		return int64(strings.Compare(a, b))
+
+	case "strcpy":
+		d := t.eval(e.Args[0])
+		s := t.eval(e.Args[1])
+		for i := int64(0); ; i++ {
+			v := t.builtinRead(s+i, e.ArgChecks[1], e.Pos)
+			t.builtinWrite(d+i, v, e.ArgChecks[0], e.Pos)
+			if v == 0 {
+				return 0
+			}
+		}
+
+	case "shcRecycle":
+		p := t.eval(e.Args[0])
+		n := t.eval(e.Args[1])
+		if p <= 0 || n <= 0 {
+			return 0
+		}
+		// The custom allocator owns the memory layout; SharC only forgets
+		// past accesses (and drops tracked references held inside).
+		for i := int64(0); i < n && p+i < int64(len(rt.mem)); i++ {
+			if old := t.loadRaw(p + i); old != 0 {
+				t.dynStore(p+i, 0)
+			} else {
+				t.storeRaw(p+i, 0)
+			}
+		}
+		rt.shadow.ClearRange(p, n)
+		return 0
+
+	case "strstr":
+		hay := t.readCString(t.eval(e.Args[0]), e.ArgChecks[0], e.Pos)
+		needle := t.readCString(t.eval(e.Args[1]), e.ArgChecks[1], e.Pos)
+		return int64(strings.Index(hay, needle))
+	}
+	t.fail(e.Pos, "internal: unknown builtin %q", e.Name)
+	return 0
+}
+
+// builtinRead is a checked read on behalf of a library summary (§4.4).
+func (t *thread) builtinRead(addr int64, chk ir.Check, pos token.Pos) int64 {
+	t.checkAddr(addr, pos)
+	t.countAccess(addr)
+	t.applyCheck(addr, chk, false)
+	t.observe(addr, false, chk.Site)
+	return t.loadRaw(addr)
+}
+
+// builtinWrite is a checked write on behalf of a library summary; it uses
+// the dynamic barrier test because the library has no static slot types.
+func (t *thread) builtinWrite(addr, val int64, chk ir.Check, pos token.Pos) {
+	t.checkAddr(addr, pos)
+	t.countAccess(addr)
+	t.applyCheck(addr, chk, true)
+	t.observe(addr, true, chk.Site)
+	t.dynStore(addr, val)
+}
+
+// readCString reads a NUL-terminated string with per-cell checks.
+func (t *thread) readCString(p int64, chk ir.Check, pos token.Pos) string {
+	var sb strings.Builder
+	for i := int64(0); ; i++ {
+		v := t.builtinRead(p+i, chk, pos)
+		if v == 0 {
+			return sb.String()
+		}
+		sb.WriteByte(byte(v))
+		if i > 1<<20 {
+			t.fail(pos, "unterminated string at 0x%x", p)
+		}
+	}
+}
+
+func (t *thread) mutexAt(addr int64, pos token.Pos) *sync.Mutex {
+	v, ok := t.rt.mutexes.Load(addr)
+	if !ok {
+		t.fail(pos, "not a mutex: 0x%x", addr)
+	}
+	return v.(*sync.Mutex)
+}
+
+func (t *thread) condAt(addr int64, pos token.Pos) *condState {
+	v, ok := t.rt.conds.Load(addr)
+	if !ok {
+		t.fail(pos, "not a condition variable: 0x%x", addr)
+	}
+	return v.(*condState)
+}
+
+// spawn starts a new ShC thread running the target function with one
+// argument, returning a join handle.
+func (t *thread) spawn(e *ir.BuiltinCall) int64 {
+	rt := t.rt
+	fnVal := t.eval(e.Args[0])
+	arg := t.eval(e.Args[1])
+	idx := ir.DecodeFunc(fnVal)
+	if idx < 0 || idx >= len(rt.prog.Funcs) {
+		t.fail(e.Pos, "spawn of invalid function pointer 0x%x", fnVal)
+	}
+	fn := rt.prog.Funcs[idx]
+	if fn.NumParams != 1 {
+		t.fail(e.Pos, "spawn target %s must take one argument", fn.Name)
+	}
+	tid := <-rt.tidPool
+	handle := rt.nextHandle.Add(1)
+	th := &threadHandle{tid: tid, done: make(chan struct{})}
+	rt.handles.Store(handle, th)
+	if obs := rt.cfg.Observer; obs != nil {
+		obs.Spawn(t.tid, tid)
+	}
+	rt.trackLive(1)
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		defer close(th.done)
+		nt := rt.newThread(tid)
+		defer rt.threadEpilogue(nt)
+		nt.runFunc(fn, []int64{arg})
+	}()
+	return handle
+}

@@ -1,0 +1,527 @@
+// Package interp executes instrumented ShC programs. Every ShC thread is a
+// real goroutine, every ShC mutex a real sync.Mutex, and memory is one flat
+// array of int64 cells, so the dynamic checks interleave with genuine
+// concurrency exactly as SharC's instrumented native code does.
+//
+// The runtime wires together the three SharC substrates: shadow memory for
+// the dynamic sharing mode (internal/shadow), per-thread lock logs for the
+// locked mode (internal/locklog), and concurrent reference counting for
+// sharing casts (internal/refcount). Violations are collected as reports in
+// the paper's format rather than aborting, mirroring SharC's error logs.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ir"
+	"repro/internal/locklog"
+	"repro/internal/refcount"
+	"repro/internal/shadow"
+	"repro/internal/token"
+)
+
+// RCScheme selects the reference-counting implementation.
+type RCScheme int
+
+const (
+	RCOff RCScheme = iota
+	RCLevanoniPetrank
+	RCNaive
+)
+
+// Observer receives access and synchronization events, letting baseline
+// race detectors (Eraser-style lockset, vector-clock happens-before) run
+// over the same executions.
+type Observer interface {
+	Access(tid int, addr int64, write bool, locks *locklog.Log, site int)
+	Acquire(tid int, lock int64)
+	Release(tid int, lock int64)
+	Spawn(parent, child int)
+	Join(parent, child int)
+	CondSignal(tid int, cv int64)
+	CondWake(tid int, cv int64)
+	ThreadEnd(tid int)
+	// Malloc and Free report heap block lifetimes: real detectors reset
+	// per-location state on allocation (Eraser returns locations to
+	// Virgin) and order free-before-malloc through the allocator's
+	// internal lock (a happens-before edge).
+	Malloc(tid int, base, size int64)
+	Free(tid int, base, size int64)
+}
+
+// Config tunes the runtime.
+type Config struct {
+	StackCells int // per-thread stack size (cells)
+	HeapCells  int // heap size (cells)
+	Stdout     io.Writer
+	RC         RCScheme
+	MaxReports int
+	Observer   Observer
+	// SeedRand seeds the deterministic per-thread generators.
+	SeedRand int64
+	// ShadowEncoding selects the reader/writer-set representation: the
+	// paper's bit sets or the compact state machine (§4.2.1/§7 future
+	// work).
+	ShadowEncoding shadow.Encoding
+}
+
+// DefaultConfig returns a configuration adequate for the test programs and
+// benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		StackCells: 1 << 14,
+		HeapCells:  1 << 21,
+		RC:         RCLevanoniPetrank,
+		MaxReports: 64,
+		SeedRand:   1,
+	}
+}
+
+// ReportKind classifies runtime violation reports.
+type ReportKind int
+
+const (
+	ReportRace ReportKind = iota
+	ReportLock
+	ReportOneRef
+	ReportThreadFail
+)
+
+func (k ReportKind) String() string {
+	switch k {
+	case ReportRace:
+		return "race"
+	case ReportLock:
+		return "lock"
+	case ReportOneRef:
+		return "oneref"
+	case ReportThreadFail:
+		return "fail"
+	}
+	return "?"
+}
+
+// Report is one runtime violation.
+type Report struct {
+	Kind ReportKind
+	Msg  string
+	Pos  token.Pos
+}
+
+func (r Report) String() string { return r.Msg }
+
+// Stats aggregates execution counters for the evaluation harness.
+type Stats struct {
+	TotalAccesses   int64 // program loads+stores of cells
+	DynamicAccesses int64 // accesses guarded by reader/writer-set checks
+	LockChecks      int64
+	Barriers        int64
+	Collections     int64
+	ShadowPages     int // distinct logical shadow pages touched
+	HeapPages       int // distinct heap pages touched
+	MaxThreads      int // peak concurrently live threads
+}
+
+// Runtime executes one program.
+type Runtime struct {
+	prog *ir.Program
+	cfg  Config
+
+	mem       []int64
+	stackBase int64
+	heapBase  int64
+
+	shadow    *shadow.Shadow
+	siteIDs   []uint32 // program site -> shadow site
+	rc        refcount.Manager
+	barriered []atomic.Uint32 // bitmap: cells ever stored through a barrier
+
+	heapMu    sync.Mutex
+	heapNext  int64
+	freeLists map[int64][]int64 // size -> bases
+	// limbo holds freed blocks whose reference counts have not yet drained
+	// to zero: reuse is deferred (Heapsafe-style deallocation safety) so a
+	// stale not-yet-nulled pointer in the freeing thread cannot alias a
+	// recycled block and break the oneref check.
+	limbo  []int64
+	blocks map[int64]int64 // live blocks: base -> size
+	// extents records every block ever carved from the heap (base -> size),
+	// surviving free: reference counting is keyed by block base, and
+	// deferred decrements of stale pointers must still resolve after the
+	// block is freed and recycled (size-class reuse keeps extents stable).
+	extents   map[int64]int64
+	extentIdx []int64 // sorted bases; bump allocation appends in order
+	heapPages map[int64]struct{}
+
+	mutexes sync.Map // addr -> *sync.Mutex
+	conds   sync.Map // addr -> *condState
+
+	outMu sync.Mutex
+	out   io.Writer
+
+	tidPool    chan int
+	handles    sync.Map // handle -> *threadHandle
+	nextHandle atomic.Int64
+	wg         sync.WaitGroup
+
+	reportMu  sync.Mutex
+	reports   []Report
+	reportSet map[string]bool
+
+	statMu      sync.Mutex
+	stats       Stats
+	liveThreads atomic.Int32
+}
+
+type condState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	lock int64 // the ShC mutex this cond is paired with (0 until first wait)
+}
+
+type threadHandle struct {
+	tid  int
+	done chan struct{}
+}
+
+// New prepares a runtime for prog.
+func New(prog *ir.Program, cfg Config) *Runtime {
+	if cfg.StackCells == 0 {
+		cfg.StackCells = DefaultConfig().StackCells
+	}
+	if cfg.HeapCells == 0 {
+		cfg.HeapCells = DefaultConfig().HeapCells
+	}
+	if cfg.MaxReports == 0 {
+		cfg.MaxReports = 64
+	}
+	stackBase := prog.StaticSize
+	heapBase := stackBase + int64(shadow.MaxThreads)*int64(cfg.StackCells)
+	memCells := heapBase + int64(cfg.HeapCells)
+
+	rt := &Runtime{
+		prog:      prog,
+		cfg:       cfg,
+		mem:       make([]int64, memCells),
+		stackBase: stackBase,
+		heapBase:  heapBase,
+		shadow:    shadow.NewWithEncoding(int(memCells), cfg.ShadowEncoding),
+		heapNext:  alignGranule(heapBase),
+		freeLists: make(map[int64][]int64),
+		blocks:    make(map[int64]int64),
+		extents:   make(map[int64]int64),
+		heapPages: make(map[int64]struct{}),
+		tidPool:   make(chan int, shadow.MaxThreads),
+		reportSet: make(map[string]bool),
+		out:       cfg.Stdout,
+	}
+	if rt.out == nil {
+		rt.out = io.Discard
+	}
+	for t := 1; t <= shadow.MaxThreads; t++ {
+		rt.tidPool <- t
+	}
+	// Intern report sites into the shadow.
+	rt.siteIDs = make([]uint32, len(prog.Sites))
+	for i, s := range prog.Sites {
+		rt.siteIDs[i] = rt.shadow.InternSite(shadow.Site{LValue: s.LValue, Pos: s.Pos})
+	}
+	switch cfg.RC {
+	case RCLevanoniPetrank:
+		lp := refcount.NewLP(int(memCells), rt.resolveObj)
+		lp.SetMemory(rt)
+		rt.rc = lp
+	case RCNaive:
+		rt.rc = refcount.NewNaive(rt.resolveObj)
+	}
+	if rt.rc != nil {
+		rt.barriered = make([]atomic.Uint32, (memCells+31)/32)
+	}
+	// Globals and strings.
+	for _, init := range prog.Inits {
+		rt.mem[init.Addr] = rt.constValue(init.Val)
+	}
+	for i, s := range prog.Strings {
+		base := prog.StringAddr[i]
+		for j := 0; j < len(s); j++ {
+			rt.mem[base+int64(j)] = int64(s[j])
+		}
+	}
+	return rt
+}
+
+func (rt *Runtime) constValue(e ir.Expr) int64 {
+	switch e := e.(type) {
+	case *ir.Const:
+		return e.V
+	case *ir.StrAddr:
+		return rt.prog.StringAddr[e.Idx]
+	}
+	return 0
+}
+
+func alignGranule(a int64) int64 {
+	g := int64(shadow.GranuleCells)
+	return (a + g - 1) / g * g
+}
+
+// LoadCell implements refcount.Memory.
+func (rt *Runtime) LoadCell(addr int64) int64 {
+	if addr < 0 || addr >= int64(len(rt.mem)) {
+		return 0
+	}
+	return atomic.LoadInt64(&rt.mem[addr])
+}
+
+// resolveObj maps a pointer value to the base of the heap block carved at
+// that address (0 if not heap). Extents persist across free so deferred
+// reference-count updates for stale pointers still resolve.
+func (rt *Runtime) resolveObj(ptr int64) int64 {
+	if ptr < rt.heapBase || ptr >= int64(len(rt.mem)) {
+		return 0
+	}
+	rt.heapMu.Lock()
+	defer rt.heapMu.Unlock()
+	i := sort.Search(len(rt.extentIdx), func(i int) bool { return rt.extentIdx[i] > ptr })
+	if i == 0 {
+		return 0
+	}
+	base := rt.extentIdx[i-1]
+	if size, ok := rt.extents[base]; ok && ptr < base+size {
+		return base
+	}
+	return 0
+}
+
+// malloc allocates a zeroed block of n cells aligned to the shadow granule
+// (SharC aligns malloc to 16 bytes to limit false sharing, §4.5).
+func (rt *Runtime) malloc(n int64) (int64, bool) {
+	if n < 1 {
+		n = 1
+	}
+	n = alignGranule(n)
+	rt.heapMu.Lock()
+	defer rt.heapMu.Unlock()
+	if len(rt.freeLists[n]) == 0 && len(rt.limbo) > 0 {
+		rt.sweepLimboLocked()
+	}
+	if lst := rt.freeLists[n]; len(lst) > 0 {
+		base := lst[len(lst)-1]
+		rt.freeLists[n] = lst[:len(lst)-1]
+		rt.blocks[base] = n
+		rt.touchHeapPagesLocked(base, n)
+		for i := int64(0); i < n; i++ {
+			atomic.StoreInt64(&rt.mem[base+i], 0)
+		}
+		return base, true
+	}
+	if rt.heapNext+n > int64(len(rt.mem)) {
+		return 0, false
+	}
+	base := rt.heapNext
+	rt.heapNext += n
+	rt.blocks[base] = n
+	rt.extents[base] = n
+	rt.extentIdx = append(rt.extentIdx, base) // heapNext grows: stays sorted
+	rt.touchHeapPagesLocked(base, n)
+	return base, true
+}
+
+// touchHeapPagesLocked records heap pages for the pagefault metric (512
+// cells = 4096 bytes per page).
+func (rt *Runtime) touchHeapPagesLocked(base, n int64) {
+	for p := base / 512; p <= (base+n-1)/512; p++ {
+		rt.heapPages[p] = struct{}{}
+	}
+}
+
+// blockSize returns the size of the block at base, or 0.
+func (rt *Runtime) blockSize(base int64) int64 {
+	rt.heapMu.Lock()
+	defer rt.heapMu.Unlock()
+	return rt.blocks[base]
+}
+
+// beginFree unpublishes the block at base, returning its size (0 if it is
+// not a live block). The block is neither live nor reusable until
+// finishFree, so the freeing thread can clear its cells without racing a
+// concurrent malloc.
+func (rt *Runtime) beginFree(base int64) int64 {
+	rt.heapMu.Lock()
+	defer rt.heapMu.Unlock()
+	size, ok := rt.blocks[base]
+	if !ok {
+		return 0
+	}
+	delete(rt.blocks, base)
+	return size
+}
+
+// finishFree makes a block freed by beginFree reusable. With reference
+// counting active the block goes to limbo until its count drains to zero;
+// without it the block is immediately reusable.
+func (rt *Runtime) finishFree(base, size int64) {
+	rt.heapMu.Lock()
+	defer rt.heapMu.Unlock()
+	if rt.rc != nil {
+		rt.limbo = append(rt.limbo, base)
+	} else {
+		rt.freeLists[size] = append(rt.freeLists[size], base)
+	}
+}
+
+// sweepLimboLocked moves freed blocks whose reference counts (as of the
+// last collection) have drained to zero onto the free lists.
+func (rt *Runtime) sweepLimboLocked() {
+	kept := rt.limbo[:0]
+	for _, base := range rt.limbo {
+		if rt.rc.CurrentCount(base) <= 0 {
+			size := rt.extents[base]
+			rt.freeLists[size] = append(rt.freeLists[size], base)
+		} else {
+			kept = append(kept, base)
+		}
+	}
+	rt.limbo = kept
+}
+
+// report records a violation, deduplicating by message.
+func (rt *Runtime) report(kind ReportKind, pos token.Pos, msg string) {
+	rt.reportMu.Lock()
+	defer rt.reportMu.Unlock()
+	if len(rt.reports) >= rt.cfg.MaxReports {
+		return
+	}
+	key := msg
+	if rt.reportSet[key] {
+		return
+	}
+	rt.reportSet[key] = true
+	rt.reports = append(rt.reports, Report{Kind: kind, Msg: msg, Pos: pos})
+}
+
+// Reports returns the violations collected during the run.
+func (rt *Runtime) Reports() []Report {
+	rt.reportMu.Lock()
+	defer rt.reportMu.Unlock()
+	out := make([]Report, len(rt.reports))
+	copy(out, rt.reports)
+	return out
+}
+
+// ReportsOfKind filters reports by kind.
+func (rt *Runtime) ReportsOfKind(k ReportKind) []Report {
+	var out []Report
+	for _, r := range rt.Reports() {
+		if r.Kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Stats returns aggregated counters; valid after Run.
+func (rt *Runtime) Stats() Stats {
+	rt.statMu.Lock()
+	defer rt.statMu.Unlock()
+	s := rt.stats
+	s.ShadowPages = rt.shadow.PagesTouched()
+	rt.heapMu.Lock()
+	s.HeapPages = len(rt.heapPages)
+	rt.heapMu.Unlock()
+	if rt.rc != nil {
+		s.Collections = rt.rc.Collections()
+	}
+	return s
+}
+
+func (rt *Runtime) addThreadStats(t *thread) {
+	rt.statMu.Lock()
+	rt.stats.TotalAccesses += t.nAccess
+	rt.stats.DynamicAccesses += t.nDynamic
+	rt.stats.LockChecks += t.nLockChk
+	rt.stats.Barriers += t.nBarrier
+	rt.statMu.Unlock()
+}
+
+// Run executes the program's main function and waits for every spawned
+// thread to finish (the benchmark programs join their workers; waiting
+// keeps stray goroutines out of the host process). It returns main's exit
+// value.
+func (rt *Runtime) Run() (int64, error) {
+	mainIdx := rt.prog.Main
+	tid := <-rt.tidPool
+	t := rt.newThread(tid)
+	rt.trackLive(1)
+	ret := int64(0)
+	func() {
+		defer rt.threadEpilogue(t)
+		ret = t.runFunc(rt.prog.Funcs[mainIdx], nil)
+	}()
+	rt.wg.Wait()
+	if fails := rt.ReportsOfKind(ReportThreadFail); len(fails) > 0 {
+		return ret, fmt.Errorf("%s", fails[0].Msg)
+	}
+	return ret, nil
+}
+
+func (rt *Runtime) trackLive(d int32) {
+	n := rt.liveThreads.Add(d)
+	if d > 0 {
+		rt.statMu.Lock()
+		if int(n) > rt.stats.MaxThreads {
+			rt.stats.MaxThreads = int(n)
+		}
+		rt.statMu.Unlock()
+	}
+}
+
+// threadEpilogue runs when a thread finishes: recover failures, clear its
+// shadow bits, recycle its id.
+func (rt *Runtime) threadEpilogue(t *thread) {
+	if r := recover(); r != nil {
+		if f, ok := r.(threadFailure); ok {
+			rt.report(ReportThreadFail, f.pos, fmt.Sprintf("%s: thread %d failed: %s", f.pos, t.tid, f.msg))
+		} else {
+			panic(r)
+		}
+	}
+	if t.locks.Count() > 0 {
+		rt.report(ReportLock, token.Pos{}, fmt.Sprintf("thread %d exited holding %d lock(s)", t.tid, t.locks.Count()))
+	}
+	if rt.cfg.Observer != nil {
+		rt.cfg.Observer.ThreadEnd(t.tid)
+	}
+	rt.addThreadStats(t)
+	rt.shadow.ClearThread(t.tid)
+	rt.trackLive(-1)
+	rt.tidPool <- t.tid
+}
+
+// threadFailure aborts a thread (the formal semantics' "fail" state).
+type threadFailure struct {
+	msg string
+	pos token.Pos
+}
+
+// output writes program output.
+func (rt *Runtime) output(s string) {
+	rt.outMu.Lock()
+	defer rt.outMu.Unlock()
+	io.WriteString(rt.out, s)
+}
+
+// FormatReports renders all reports, one per line block.
+func (rt *Runtime) FormatReports() string {
+	var sb strings.Builder
+	for _, r := range rt.Reports() {
+		sb.WriteString(r.Msg)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,165 @@
+package interp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// TestStressManyThreadsLockedQueue hammers a locked work queue with ten
+// worker threads over many items: the counter must be exact and SharC must
+// stay silent. Skipped under -short.
+func TestStressManyThreadsLockedQueue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const workers = 10
+	const items = 2000
+	src := fmt.Sprintf(`
+struct q {
+	mutex *m;
+	cond *cv;
+	int locked(m) next;
+	int locked(m) done;
+	int locked(m) checksum;
+};
+void *worker(void *d) {
+	struct q *q = d;
+	while (1) {
+		mutexLock(q->m);
+		int i = q->next;
+		if (i >= %d) {
+			mutexUnlock(q->m);
+			return NULL;
+		}
+		q->next = i + 1;
+		mutexUnlock(q->m);
+		// Simulate work privately.
+		int acc = 0;
+		for (int k = 0; k < 20; k++) acc = (acc + i * k) %% 9973;
+		mutexLock(q->m);
+		q->checksum = (q->checksum + acc) %% 9973;
+		q->done = q->done + 1;
+		mutexUnlock(q->m);
+	}
+	return NULL;
+}
+int main(void) {
+	struct q *q = malloc(sizeof(struct q));
+	q->m = mutexNew();
+	q->cv = condNew();
+	mutexLock(q->m);
+	q->next = 0;
+	q->done = 0;
+	q->checksum = 0;
+	mutexUnlock(q->m);
+	struct q dynamic *qd = SCAST(struct q dynamic *, q);
+	int handles[%d];
+	for (int i = 0; i < %d; i++) handles[i] = spawn(worker, qd);
+	for (int i = 0; i < %d; i++) join(handles[i]);
+	mutexLock(qd->m);
+	int done = qd->done;
+	mutexUnlock(qd->m);
+	return done %% 251;
+}
+`, items, workers, workers, workers)
+
+	cfg := interp.DefaultConfig()
+	rt, ret, err := core.BuildAndRun(src, compile.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(items % 251); ret != want {
+		t.Fatalf("done = %d, want %d", ret, want)
+	}
+	for _, r := range rt.Reports() {
+		t.Errorf("report: %s", r)
+	}
+	st := rt.Stats()
+	if st.MaxThreads < workers {
+		t.Errorf("max threads %d", st.MaxThreads)
+	}
+	if st.LockChecks == 0 {
+		t.Error("expected lock checks")
+	}
+}
+
+// TestStressOwnershipChurn pushes thousands of buffers through a handoff
+// mailbox with casts and frees, stressing the reference counter and the
+// deferred-reuse allocator. Skipped under -short.
+func TestStressOwnershipChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	src := `
+struct mb {
+	mutex *m;
+	cond *cv;
+	int locked(m) *locked(m) slot;
+	int locked(m) sent;
+};
+void *consumer(void *d) {
+	struct mb *b = d;
+	int got = 0;
+	while (got < 1500) {
+		mutexLock(b->m);
+		while (b->slot == NULL) condWait(b->cv, b->m);
+		int private *it = SCAST(int private *, b->slot);
+		b->slot = NULL;
+		condSignal(b->cv);
+		mutexUnlock(b->m);
+		if (it[0] != got) {
+			free(it);
+			return NULL;
+		}
+		free(it);
+		it = NULL;
+		got++;
+	}
+	return NULL;
+}
+int main(void) {
+	struct mb *b = malloc(sizeof(struct mb));
+	b->m = mutexNew();
+	b->cv = condNew();
+	mutexLock(b->m);
+	b->slot = NULL;
+	b->sent = 0;
+	mutexUnlock(b->m);
+	struct mb dynamic *bd = SCAST(struct mb dynamic *, b);
+	int h = spawn(consumer, bd);
+	for (int i = 0; i < 1500; i++) {
+		int *it = malloc(2 * sizeof(int));
+		it[0] = i;
+		mutexLock(bd->m);
+		while (bd->slot != NULL) condWait(bd->cv, bd->m);
+		bd->slot = SCAST(int locked(bd->m) *, it);
+		bd->sent = bd->sent + 1;
+		condSignal(bd->cv);
+		mutexUnlock(bd->m);
+	}
+	join(h);
+	mutexLock(bd->m);
+	int sent = bd->sent;
+	mutexUnlock(bd->m);
+	return sent % 251;
+}
+`
+	cfg := interp.DefaultConfig()
+	rt, ret, err := core.BuildAndRun(src, compile.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(1500 % 251); ret != want {
+		t.Fatalf("sent = %d, want %d", ret, want)
+	}
+	for _, r := range rt.Reports() {
+		t.Errorf("report: %s", r)
+	}
+	if rt.Stats().Collections == 0 {
+		t.Error("the reference counter should have collected")
+	}
+}

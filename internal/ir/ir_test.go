@@ -1,0 +1,31 @@
+package ir
+
+import "testing"
+
+func TestEncodeDecodeFunc(t *testing.T) {
+	for _, idx := range []int{0, 1, 7, 1000} {
+		v := EncodeFunc(idx)
+		if v >= 0 {
+			t.Errorf("encoded function %d must be negative, got %d", idx, v)
+		}
+		if got := DecodeFunc(v); got != idx {
+			t.Errorf("round trip %d -> %d -> %d", idx, v, got)
+		}
+	}
+}
+
+func TestDecodeFuncRejectsAddresses(t *testing.T) {
+	// Data addresses are non-negative; they must not decode as functions.
+	for _, v := range []int64{0, 1, 42, 1 << 30} {
+		if DecodeFunc(v) != -1 {
+			t.Errorf("address %d decoded as a function", v)
+		}
+	}
+}
+
+func TestCheckZeroValueIsNone(t *testing.T) {
+	var c Check
+	if c.Kind != CheckNone {
+		t.Error("zero check must be CheckNone")
+	}
+}

@@ -1,0 +1,424 @@
+// Package lexer tokenizes ShC source, the C subset with sharing-mode
+// qualifiers checked by this SharC reproduction. It handles C-style line and
+// block comments, character/string escapes, decimal/hex/octal integers, and
+// all multi-character operators.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Error is a lexical error at a specific source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans one source file.
+type Lexer struct {
+	src  string
+	file string
+	off  int // byte offset of next unread byte
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a lexer over src; file names positions in errors and tokens.
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpace consumes whitespace and comments. It reports unterminated block
+// comments as errors.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		case c == '#':
+			// Preprocessor-style lines (e.g. #include in fixtures) are
+			// skipped whole; ShC has no preprocessor.
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(pos)
+	case isDigit(c):
+		return l.lexNumber(pos)
+	case c == '\'':
+		return l.lexChar(pos)
+	case c == '"':
+		return l.lexString(pos)
+	}
+	return l.lexOperator(pos)
+}
+
+// All tokenizes the remaining input, ending with an EOF token.
+func (l *Lexer) All() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}
+
+func (l *Lexer) lexIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isIdent(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	kind := token.Lookup(text)
+	if kind == token.IDENT {
+		return token.Token{Kind: token.IDENT, Lit: text, Pos: pos}
+	}
+	return token.Token{Kind: kind, Lit: text, Pos: pos}
+}
+
+func (l *Lexer) lexNumber(pos token.Pos) token.Token {
+	start := l.off
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		if !isHex(l.peek()) {
+			l.errorf(pos, "malformed hex literal")
+		}
+		for l.off < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	// Consume C integer suffixes (u, l, ul, ll, ...); values are all int64.
+	for l.off < len(l.src) {
+		switch l.peek() {
+		case 'u', 'U', 'l', 'L':
+			l.advance()
+		default:
+			goto done
+		}
+	}
+done:
+	return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+}
+
+// lexEscape consumes one escape sequence after the backslash has been
+// consumed, returning the denoted byte.
+func (l *Lexer) lexEscape(pos token.Pos) byte {
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated escape sequence")
+		return 0
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	case 'x':
+		var v byte
+		n := 0
+		for n < 2 && l.off < len(l.src) && isHex(l.peek()) {
+			d := l.advance()
+			v = v<<4 | hexVal(d)
+			n++
+		}
+		if n == 0 {
+			l.errorf(pos, "malformed \\x escape")
+		}
+		return v
+	default:
+		l.errorf(pos, "unknown escape sequence \\%c", c)
+		return c
+	}
+}
+
+func hexVal(c byte) byte {
+	switch {
+	case isDigit(c):
+		return c - '0'
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}
+
+func (l *Lexer) lexChar(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var val byte
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	}
+	c := l.advance()
+	if c == '\\' {
+		val = l.lexEscape(pos)
+	} else if c == '\'' {
+		l.errorf(pos, "empty character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	} else {
+		val = c
+	}
+	if l.off >= len(l.src) || l.peek() != '\'' {
+		l.errorf(pos, "unterminated character literal")
+	} else {
+		l.advance()
+	}
+	return token.Token{Kind: token.CHAR, Lit: string(val), Pos: pos}
+}
+
+func (l *Lexer) lexString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			break
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			sb.WriteByte(l.lexEscape(pos))
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return token.Token{Kind: token.STRING, Lit: sb.String(), Pos: pos}
+}
+
+// lexOperator scans operators and punctuation, longest match first.
+func (l *Lexer) lexOperator(pos token.Pos) token.Token {
+	c := l.advance()
+	two := func(next byte, yes, no token.Kind) token.Kind {
+		if l.off < len(l.src) && l.peek() == next {
+			l.advance()
+			return yes
+		}
+		return no
+	}
+	var k token.Kind
+	switch c {
+	case '+':
+		switch l.peek() {
+		case '+':
+			l.advance()
+			k = token.INC
+		case '=':
+			l.advance()
+			k = token.ADDASSIGN
+		default:
+			k = token.PLUS
+		}
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			k = token.DEC
+		case '=':
+			l.advance()
+			k = token.SUBASSIGN
+		case '>':
+			l.advance()
+			k = token.ARROW
+		default:
+			k = token.MINUS
+		}
+	case '*':
+		k = two('=', token.MULASSIGN, token.STAR)
+	case '/':
+		k = two('=', token.DIVASSIGN, token.SLASH)
+	case '%':
+		k = two('=', token.MODASSIGN, token.PERCENT)
+	case '&':
+		switch l.peek() {
+		case '&':
+			l.advance()
+			k = token.LAND
+		case '=':
+			l.advance()
+			k = token.ANDASSIGN
+		default:
+			k = token.AMP
+		}
+	case '|':
+		switch l.peek() {
+		case '|':
+			l.advance()
+			k = token.LOR
+		case '=':
+			l.advance()
+			k = token.ORASSIGN
+		default:
+			k = token.PIPE
+		}
+	case '^':
+		k = two('=', token.XORASSIGN, token.CARET)
+	case '~':
+		k = token.TILDE
+	case '!':
+		k = two('=', token.NEQ, token.NOT)
+	case '=':
+		k = two('=', token.EQ, token.ASSIGN)
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			k = token.LEQ
+		case '<':
+			l.advance()
+			k = two('=', token.SHLASSIGN, token.SHL)
+		default:
+			k = token.LT
+		}
+	case '>':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			k = token.GEQ
+		case '>':
+			l.advance()
+			k = two('=', token.SHRASSIGN, token.SHR)
+		default:
+			k = token.GT
+		}
+	case '.':
+		if l.peek() == '.' && l.peek2() == '.' {
+			l.advance()
+			l.advance()
+			k = token.ELLIPSIS
+		} else {
+			k = token.DOT
+		}
+	case ',':
+		k = token.COMMA
+	case ';':
+		k = token.SEMI
+	case ':':
+		k = token.COLON
+	case '?':
+		k = token.QUESTION
+	case '(':
+		k = token.LPAREN
+	case ')':
+		k = token.RPAREN
+	case '{':
+		k = token.LBRACE
+	case '}':
+		k = token.RBRACE
+	case '[':
+		k = token.LBRACKET
+	case ']':
+		k = token.RBRACKET
+	default:
+		l.errorf(pos, "illegal character %q", c)
+		return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+	}
+	return token.Token{Kind: k, Pos: pos}
+}

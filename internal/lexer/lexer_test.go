@@ -1,0 +1,149 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	l := New("test.shc", src)
+	var out []token.Kind
+	for _, tok := range l.All() {
+		out = append(out, tok.Kind)
+	}
+	if len(l.Errors()) > 0 {
+		t.Fatalf("unexpected lex errors: %v", l.Errors()[0])
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(t, src)
+	want = append(want, token.EOF)
+	if len(got) != len(want) {
+		t.Fatalf("token count: got %d want %d (%v)", len(got), len(want), got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "int x", token.KwInt, token.IDENT)
+	expectKinds(t, "private dynamic racy readonly locked",
+		token.KwPrivate, token.KwDynamic, token.KwRacy, token.KwReadonly, token.KwLocked)
+	expectKinds(t, "SCAST NULL", token.KwScast, token.KwNull)
+	expectKinds(t, "privateX", token.IDENT) // keyword prefix is not a keyword
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "a->b", token.IDENT, token.ARROW, token.IDENT)
+	expectKinds(t, "a-->b", token.IDENT, token.DEC, token.GT, token.IDENT)
+	expectKinds(t, "a<<=b", token.IDENT, token.SHLASSIGN, token.IDENT)
+	expectKinds(t, "a<<b", token.IDENT, token.SHL, token.IDENT)
+	expectKinds(t, "a<=b", token.IDENT, token.LEQ, token.IDENT)
+	expectKinds(t, "a&&b", token.IDENT, token.LAND, token.IDENT)
+	expectKinds(t, "a&b", token.IDENT, token.AMP, token.IDENT)
+	expectKinds(t, "a!=b", token.IDENT, token.NEQ, token.IDENT)
+	expectKinds(t, "x++ + ++y", token.IDENT, token.INC, token.PLUS, token.INC, token.IDENT)
+	expectKinds(t, "...", token.ELLIPSIS)
+	expectKinds(t, "a.b", token.IDENT, token.DOT, token.IDENT)
+}
+
+func TestNumbers(t *testing.T) {
+	l := New("t", "123 0x1F 0 42u 7L")
+	toks := l.All()
+	wantLits := []string{"123", "0x1F", "0", "42u", "7L"}
+	for i, w := range wantLits {
+		if toks[i].Kind != token.INT || toks[i].Lit != w {
+			t.Errorf("tok %d: got %v want INT(%q)", i, toks[i], w)
+		}
+	}
+}
+
+func TestCharAndString(t *testing.T) {
+	l := New("t", `'a' '\n' '\0' "hello\tworld" "esc\"q"`)
+	toks := l.All()
+	if toks[0].Lit != "a" || toks[1].Lit != "\n" || toks[2].Lit != "\x00" {
+		t.Errorf("char literals wrong: %q %q %q", toks[0].Lit, toks[1].Lit, toks[2].Lit)
+	}
+	if toks[3].Kind != token.STRING || toks[3].Lit != "hello\tworld" {
+		t.Errorf("string literal: got %v", toks[3])
+	}
+	if toks[4].Lit != `esc"q` {
+		t.Errorf("escaped quote: got %q", toks[4].Lit)
+	}
+	if len(l.Errors()) != 0 {
+		t.Errorf("unexpected errors: %v", l.Errors())
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\nb", token.IDENT, token.IDENT)
+	expectKinds(t, "a /* block\n comment */ b", token.IDENT, token.IDENT)
+	expectKinds(t, "#include <stdio.h>\nint", token.KwInt)
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	l := New("t", "a /* never closed")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected error for unterminated block comment")
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	l := New("t", "\"no close\n")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	l := New("t", "a @ b")
+	toks := l.All()
+	if toks[1].Kind != token.ILLEGAL {
+		t.Fatalf("got %v, want ILLEGAL", toks[1])
+	}
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected error for illegal character")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("f.shc", "int\n  x = 1;")
+	toks := l.All()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+	if toks[1].Pos.File != "f.shc" {
+		t.Errorf("file = %q", toks[1].Pos.File)
+	}
+}
+
+func TestHexEscapes(t *testing.T) {
+	l := New("t", `"\x41\x42"`)
+	toks := l.All()
+	if toks[0].Lit != "AB" {
+		t.Errorf("hex escape: got %q want AB", toks[0].Lit)
+	}
+}
+
+func TestEOFStable(t *testing.T) {
+	l := New("t", "x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d after end: got %v want EOF", i, tok)
+		}
+	}
+}

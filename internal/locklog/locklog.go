@@ -1,0 +1,55 @@
+// Package locklog implements SharC's held-lock tracking (§4.2.2): when a
+// thread acquires a lock the lock's address is appended to a thread-private
+// log; accesses to locked-mode objects check the required lock is in the
+// log; releasing removes it. Logs are strictly thread-private, so no
+// synchronization is needed beyond the thread structure itself.
+package locklog
+
+// Log is one thread's held-lock log. Locks nest (the same lock may be
+// acquired recursively under different l-values in legacy code), so the log
+// is a multiset kept as a small slice — real programs hold very few locks
+// at once.
+type Log struct {
+	held []int64
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Acquire records that the thread now holds the lock at addr.
+func (l *Log) Acquire(addr int64) {
+	l.held = append(l.held, addr)
+}
+
+// Release removes one occurrence of addr from the log, reporting whether
+// the lock was held at all.
+func (l *Log) Release(addr int64) bool {
+	for i := len(l.held) - 1; i >= 0; i-- {
+		if l.held[i] == addr {
+			l.held = append(l.held[:i], l.held[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Held reports whether the thread holds the lock at addr.
+func (l *Log) Held(addr int64) bool {
+	for _, a := range l.held {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of locks currently held (with multiplicity).
+func (l *Log) Count() int { return len(l.held) }
+
+// Snapshot returns a copy of the held multiset, for the Eraser-style
+// baseline detector's lockset intersection.
+func (l *Log) Snapshot() []int64 {
+	out := make([]int64, len(l.held))
+	copy(out, l.held)
+	return out
+}

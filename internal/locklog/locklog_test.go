@@ -1,0 +1,99 @@
+package locklog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAcquireHeldRelease(t *testing.T) {
+	l := New()
+	if l.Held(100) {
+		t.Fatal("nothing held yet")
+	}
+	l.Acquire(100)
+	if !l.Held(100) {
+		t.Fatal("100 should be held")
+	}
+	if !l.Release(100) {
+		t.Fatal("release should succeed")
+	}
+	if l.Held(100) {
+		t.Fatal("100 released")
+	}
+	if l.Release(100) {
+		t.Fatal("double release should fail")
+	}
+}
+
+func TestNestedAcquire(t *testing.T) {
+	l := New()
+	l.Acquire(7)
+	l.Acquire(7)
+	if l.Count() != 2 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	l.Release(7)
+	if !l.Held(7) {
+		t.Fatal("still held once")
+	}
+	l.Release(7)
+	if l.Held(7) {
+		t.Fatal("fully released")
+	}
+}
+
+func TestMultipleLocks(t *testing.T) {
+	l := New()
+	l.Acquire(1)
+	l.Acquire(2)
+	l.Acquire(3)
+	if !l.Held(2) {
+		t.Fatal("2 held")
+	}
+	l.Release(2)
+	if l.Held(2) || !l.Held(1) || !l.Held(3) {
+		t.Fatal("only 2 released")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	l := New()
+	l.Acquire(5)
+	snap := l.Snapshot()
+	l.Release(5)
+	if len(snap) != 1 || snap[0] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+// Property: acquire/release sequences behave like a multiset.
+func TestPropertyMultiset(t *testing.T) {
+	f := func(ops []int8) bool {
+		l := New()
+		ref := make(map[int64]int)
+		for _, op := range ops {
+			addr := int64(op&7) + 1
+			if op >= 0 {
+				l.Acquire(addr)
+				ref[addr]++
+			} else {
+				ok := l.Release(addr)
+				if (ref[addr] > 0) != ok {
+					return false
+				}
+				if ref[addr] > 0 {
+					ref[addr]--
+				}
+			}
+			for a, n := range ref {
+				if l.Held(a) != (n > 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

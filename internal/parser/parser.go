@@ -1,0 +1,1003 @@
+// Package parser implements a recursive-descent parser for ShC, the C subset
+// with SharC sharing-mode qualifiers. It produces the AST consumed by the
+// qualifier-inference, checking, and compilation passes.
+//
+// The grammar is C-like: top-level typedefs, struct definitions, globals and
+// functions; standard C statement and expression forms with full operator
+// precedence; types written base-first with qualifiers attached per level
+// ("char locked(mut) *locked(mut) sdata" qualifies both the pointee and the
+// pointer). The parser tracks typedef names so casts can be distinguished
+// from parenthesized expressions.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/token"
+)
+
+// Error is a syntax error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects parse errors; it implements error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	var sb strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(e.Error())
+		if i >= 9 && len(l) > 10 {
+			fmt.Fprintf(&sb, "\n... and %d more errors", len(l)-10)
+			break
+		}
+	}
+	return sb.String()
+}
+
+// Prelude is the built-in declarations every ShC program sees: the
+// inherently racy pthread-like mutex and condition-variable types (§4.1:
+// "type definitions can specify that they are inherently racy") and the
+// thread-id alias.
+const Prelude = `
+// <prelude>
+racy struct mutex { int __m; };
+racy struct cond { int __c; };
+typedef struct mutex mutex;
+typedef struct cond cond;
+typedef int tid_t;
+`
+
+// parser holds the token stream and parse state for one file.
+type parser struct {
+	toks []token.Token
+	pos  int
+	errs ErrorList
+
+	// typedefs and structTags let the parser decide whether an identifier
+	// begins a type (for casts and declaration statements).
+	typedefs   map[string]bool
+	structTags map[string]bool
+}
+
+// maxErrors bounds error cascades from badly broken input.
+const maxErrors = 50
+
+type bailout struct{}
+
+// ParseFile parses one ShC source file. The typedef/struct name sets are
+// shared across files of a program so later files see earlier types.
+func ParseFile(file, src string, typedefs, structTags map[string]bool) (*ast.File, ErrorList) {
+	lx := lexer.New(file, src)
+	toks := lx.All()
+	p := &parser{toks: toks, typedefs: typedefs, structTags: structTags}
+	for _, le := range lx.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	f := &ast.File{Name: file}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(bailout); !ok {
+					panic(r)
+				}
+			}
+		}()
+		for !p.at(token.EOF) {
+			f.Decls = append(f.Decls, p.parseDecl()...)
+		}
+	}()
+	return f, p.errs
+}
+
+// Source is a named ShC source text.
+type Source struct {
+	Name string
+	Text string
+}
+
+// ParseProgram parses the prelude followed by the given sources into one
+// program. It returns the program even when errors are present so callers
+// can report as much as possible.
+func ParseProgram(sources ...Source) (*ast.Program, error) {
+	typedefs := make(map[string]bool)
+	structTags := make(map[string]bool)
+	prog := &ast.Program{}
+	var all ErrorList
+	pre, errs := ParseFile("<prelude>", Prelude, typedefs, structTags)
+	all = append(all, errs...)
+	prog.Files = append(prog.Files, pre)
+	for _, s := range sources {
+		f, errs := ParseFile(s.Name, s.Text, typedefs, structTags)
+		all = append(all, errs...)
+		prog.Files = append(prog.Files, f)
+	}
+	if len(all) > 0 {
+		return prog, all
+	}
+	return prog, nil
+}
+
+// ---------------------------------------------------------------------------
+// token stream helpers
+
+func (p *parser) cur() token.Token     { return p.toks[p.pos] }
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) peekKind(n int) token.Kind {
+	i := p.pos + n
+	if i >= len(p.toks) {
+		return token.EOF
+	}
+	return p.toks[i].Kind
+}
+
+func (p *parser) next() token.Token {
+	t := p.cur()
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	if len(p.errs) >= maxErrors {
+		panic(bailout{})
+	}
+}
+
+// sync skips tokens until a likely statement/declaration boundary, to limit
+// cascading errors.
+func (p *parser) sync() {
+	depth := 0
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.SEMI:
+			if depth == 0 {
+				p.next()
+				return
+			}
+		case token.LBRACE:
+			depth++
+		case token.RBRACE:
+			if depth == 0 {
+				return
+			}
+			depth--
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// types
+
+// startsType reports whether the current token can begin a type.
+func (p *parser) startsType() bool {
+	switch p.cur().Kind {
+	case token.KwInt, token.KwChar, token.KwVoid, token.KwLong, token.KwUnsigned,
+		token.KwStruct, token.KwConst:
+		return true
+	case token.IDENT:
+		return p.typedefs[p.cur().Lit]
+	}
+	return p.cur().Kind.IsQualifier()
+}
+
+// parseQuals parses zero or more sharing-mode qualifiers for one type level.
+// Writing two qualifiers on the same level is an error.
+func (p *parser) parseQuals() ast.Qual {
+	q := ast.Qual{}
+	for p.cur().Kind.IsQualifier() {
+		t := p.next()
+		var k ast.QualKind
+		var lock ast.Expr
+		switch t.Kind {
+		case token.KwPrivate:
+			k = ast.QualPrivate
+		case token.KwReadonly:
+			k = ast.QualReadonly
+		case token.KwRacy:
+			k = ast.QualRacy
+		case token.KwDynamic:
+			k = ast.QualDynamic
+		case token.KwLocked:
+			k = ast.QualLocked
+			p.expect(token.LPAREN)
+			lock = p.parseExpr()
+			p.expect(token.RPAREN)
+		}
+		if q.IsSet() {
+			p.errorf(t.Pos, "duplicate sharing-mode qualifier %q on one type level", t.Kind)
+			continue
+		}
+		q = ast.Qual{Kind: k, Lock: lock, Pos: t.Pos}
+	}
+	return q
+}
+
+// parseBaseType parses the leading (non-pointer) part of a type: an optional
+// qualifier prefix, a base/struct/typedef name, and optional qualifier
+// suffix. Both "dynamic int" and "int dynamic" are accepted, matching the
+// paper's flexible annotation placement.
+func (p *parser) parseBaseType() *ast.Type {
+	pos := p.cur().Pos
+	pre := p.parseQuals()
+	p.accept(token.KwConst) // const is accepted and ignored; readonly subsumes it
+	var t *ast.Type
+	switch p.cur().Kind {
+	case token.KwInt:
+		p.next()
+		t = &ast.Type{Kind: ast.TBase, Base: ast.BaseInt, Pos: pos}
+	case token.KwChar:
+		p.next()
+		t = &ast.Type{Kind: ast.TBase, Base: ast.BaseChar, Pos: pos}
+	case token.KwVoid:
+		p.next()
+		t = &ast.Type{Kind: ast.TBase, Base: ast.BaseVoid, Pos: pos}
+	case token.KwLong:
+		p.next()
+		p.accept(token.KwLong)
+		p.accept(token.KwInt)
+		t = &ast.Type{Kind: ast.TBase, Base: ast.BaseLong, Pos: pos}
+	case token.KwUnsigned:
+		p.next()
+		p.accept(token.KwInt)
+		p.accept(token.KwChar)
+		p.accept(token.KwLong)
+		t = &ast.Type{Kind: ast.TBase, Base: ast.BaseInt, Pos: pos}
+	case token.KwStruct:
+		p.next()
+		name := p.expect(token.IDENT)
+		p.structTags[name.Lit] = true
+		t = &ast.Type{Kind: ast.TStruct, Name: name.Lit, Pos: pos}
+	case token.IDENT:
+		name := p.next()
+		t = &ast.Type{Kind: ast.TNamed, Name: name.Lit, Pos: pos}
+	default:
+		p.errorf(p.cur().Pos, "expected type, found %s", p.cur())
+		t = &ast.Type{Kind: ast.TBase, Base: ast.BaseInt, Pos: pos}
+	}
+	post := p.parseQuals()
+	t.Qual = mergeQual(p, pre, post)
+	return t
+}
+
+func mergeQual(p *parser, a, b ast.Qual) ast.Qual {
+	if a.IsSet() && b.IsSet() {
+		p.errorf(b.Pos, "conflicting sharing-mode qualifiers on one type level")
+		return a
+	}
+	if a.IsSet() {
+		return a
+	}
+	return b
+}
+
+// parsePtrSuffix wraps t in pointer types for each '*', each star optionally
+// followed by qualifiers for the pointer level.
+func (p *parser) parsePtrSuffix(t *ast.Type) *ast.Type {
+	for p.at(token.STAR) {
+		pos := p.next().Pos
+		q := p.parseQuals()
+		t = &ast.Type{Kind: ast.TPtr, Elem: t, Qual: q, Pos: pos}
+	}
+	return t
+}
+
+// parseType parses a full abstract type (as in casts and sizeof): base,
+// stars, and optional array suffix.
+func (p *parser) parseType() *ast.Type {
+	t := p.parsePtrSuffix(p.parseBaseType())
+	for p.at(token.LBRACKET) {
+		pos := p.next().Pos
+		n := 0
+		if p.at(token.INT) {
+			v, _ := strconv.ParseInt(strings.TrimRight(p.next().Lit, "uUlL"), 0, 64)
+			n = int(v)
+		}
+		p.expect(token.RBRACKET)
+		t = &ast.Type{Kind: ast.TArray, Elem: t, Len: n, Pos: pos}
+	}
+	return t
+}
+
+// declarator is one declared name with its complete type.
+type declarator struct {
+	name string
+	typ  *ast.Type
+	pos  token.Pos
+}
+
+// parseDeclarator parses one declarator given the base (pre-star) type:
+// stars, a name or function-pointer form, and array suffixes.
+//
+//	int *x            -> x: int*
+//	char buf[64]      -> buf: char[64]
+//	void (*fun)(int)  -> fun: ptr to func(int) void
+func (p *parser) parseDeclarator(base *ast.Type) declarator {
+	t := p.parsePtrSuffix(base.Clone())
+	if p.at(token.LPAREN) && (p.peekKind(1) == token.STAR) {
+		// Function-pointer declarator: ( * quals name ) ( params )
+		p.next()            // (
+		pos := p.next().Pos // *
+		q := p.parseQuals()
+		name := p.expect(token.IDENT)
+		p.expect(token.RPAREN)
+		p.expect(token.LPAREN)
+		var params []*ast.Type
+		if !p.at(token.RPAREN) {
+			for {
+				if p.at(token.KwVoid) && p.peekKind(1) == token.RPAREN {
+					p.next()
+					break
+				}
+				pt := p.parseType()
+				// Parameter name inside a function-pointer type is optional
+				// and ignored.
+				if p.at(token.IDENT) {
+					p.next()
+				}
+				params = append(params, pt)
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+		}
+		p.expect(token.RPAREN)
+		ft := &ast.Type{Kind: ast.TFunc, Ret: t, Params: params, Pos: pos}
+		pt := &ast.Type{Kind: ast.TPtr, Elem: ft, Qual: q, Pos: pos}
+		return declarator{name: name.Lit, typ: pt, pos: name.Pos}
+	}
+	name := p.expect(token.IDENT)
+	for p.at(token.LBRACKET) {
+		pos := p.next().Pos
+		n := 0
+		if p.at(token.INT) {
+			v, _ := strconv.ParseInt(strings.TrimRight(p.next().Lit, "uUlL"), 0, 64)
+			n = int(v)
+		}
+		p.expect(token.RBRACKET)
+		t = &ast.Type{Kind: ast.TArray, Elem: t, Len: n, Pos: pos}
+	}
+	return declarator{name: name.Lit, typ: t, pos: name.Pos}
+}
+
+// ---------------------------------------------------------------------------
+// declarations
+
+func (p *parser) parseDecl() []ast.Decl {
+	switch {
+	case p.at(token.KwTypedef):
+		return p.parseTypedef()
+	case p.at(token.KwRacy) && p.peekKind(1) == token.KwStruct:
+		return p.parseStructDecl(true)
+	case p.at(token.KwStruct) && p.peekKind(1) == token.IDENT && p.peekKind(2) == token.LBRACE:
+		return p.parseStructDecl(false)
+	case p.accept(token.KwStatic), p.accept(token.KwExtern):
+		return p.parseDecl()
+	case p.startsType():
+		return p.parseVarOrFunc()
+	default:
+		p.errorf(p.cur().Pos, "expected declaration, found %s", p.cur())
+		p.sync()
+		return nil
+	}
+}
+
+// parseStructDecl parses "racy? struct Name { fields };".
+func (p *parser) parseStructDecl(racy bool) []ast.Decl {
+	if racy {
+		p.next() // racy
+	}
+	pos := p.expect(token.KwStruct).Pos
+	name := p.expect(token.IDENT)
+	p.structTags[name.Lit] = true
+	p.expect(token.LBRACE)
+	fields := p.parseFields()
+	p.expect(token.RBRACE)
+	p.expect(token.SEMI)
+	return []ast.Decl{&ast.StructDecl{Name: name.Lit, Fields: fields, Racy: racy, P: pos}}
+}
+
+func (p *parser) parseFields() []ast.Field {
+	var fields []ast.Field
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		base := p.parseBaseType()
+		for {
+			d := p.parseDeclarator(base)
+			fields = append(fields, ast.Field{Name: d.name, Type: d.typ, P: d.pos})
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.SEMI)
+	}
+	return fields
+}
+
+// parseTypedef parses "typedef racy? <type-or-struct-def> name;".
+func (p *parser) parseTypedef() []ast.Decl {
+	pos := p.expect(token.KwTypedef).Pos
+	racy := p.accept(token.KwRacy)
+	// typedef struct Name { ... } alias;  defines the struct and the alias.
+	if p.at(token.KwStruct) && (p.peekKind(1) == token.LBRACE || p.peekKind(2) == token.LBRACE) {
+		p.next() // struct
+		tag := ""
+		if p.at(token.IDENT) {
+			tag = p.next().Lit
+		}
+		p.expect(token.LBRACE)
+		fields := p.parseFields()
+		p.expect(token.RBRACE)
+		alias := p.expect(token.IDENT)
+		p.expect(token.SEMI)
+		if tag == "" {
+			tag = "__anon_" + alias.Lit
+		}
+		p.structTags[tag] = true
+		p.typedefs[alias.Lit] = true
+		// Emit the struct then the alias: callers see both declarations.
+		sd := &ast.StructDecl{Name: tag, Fields: fields, Racy: racy, P: pos}
+		td := &ast.TypedefDecl{
+			Name: alias.Lit,
+			Type: &ast.Type{Kind: ast.TStruct, Name: tag, Pos: pos},
+			P:    pos,
+		}
+		return []ast.Decl{sd, td}
+	}
+	t := p.parseType()
+	name := p.expect(token.IDENT)
+	p.expect(token.SEMI)
+	p.typedefs[name.Lit] = true
+	_ = racy // racy on a non-struct typedef is meaningless; qualifier handles it
+	return []ast.Decl{&ast.TypedefDecl{Name: name.Lit, Type: t, P: pos}}
+}
+
+// parseVarOrFunc parses a global variable (one or more declarators) or a
+// function definition/prototype.
+func (p *parser) parseVarOrFunc() []ast.Decl {
+	base := p.parseBaseType()
+	first := p.parseDeclarator(base)
+	// Function definition or prototype: name followed by '('.
+	if p.at(token.LPAREN) && first.typ.Kind != ast.TArray {
+		return p.parseFuncRest(first)
+	}
+	// Global variable(s).
+	var vars []*ast.VarDecl
+	d := first
+	for {
+		var init ast.Expr
+		if p.accept(token.ASSIGN) {
+			init = p.parseAssignExpr()
+		}
+		vars = append(vars, &ast.VarDecl{Name: d.name, Type: d.typ, Init: init, P: d.pos})
+		if !p.accept(token.COMMA) {
+			break
+		}
+		d = p.parseDeclarator(base)
+	}
+	p.expect(token.SEMI)
+	out := make([]ast.Decl, len(vars))
+	for i, v := range vars {
+		out[i] = v
+	}
+	return out
+}
+
+func (p *parser) parseFuncRest(d declarator) []ast.Decl {
+	p.expect(token.LPAREN)
+	var params []ast.Param
+	if !p.at(token.RPAREN) {
+		for {
+			if p.at(token.KwVoid) && p.peekKind(1) == token.RPAREN {
+				p.next()
+				break
+			}
+			pb := p.parseBaseType()
+			pd := p.parseDeclarator(pb)
+			// Arrays decay to pointers in parameters.
+			if pd.typ.Kind == ast.TArray {
+				pd.typ = &ast.Type{Kind: ast.TPtr, Elem: pd.typ.Elem, Pos: pd.typ.Pos}
+			}
+			params = append(params, ast.Param{Name: pd.name, Type: pd.typ, P: pd.pos})
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	fd := &ast.FuncDecl{Name: d.name, Params: params, Ret: d.typ, P: d.pos}
+	if p.accept(token.SEMI) {
+		return []ast.Decl{fd} // prototype
+	}
+	fd.Body = p.parseBlock()
+	return []ast.Decl{fd}
+}
+
+// ---------------------------------------------------------------------------
+// statements
+
+func (p *parser) parseBlock() *ast.Block {
+	pos := p.expect(token.LBRACE).Pos
+	b := &ast.Block{P: pos}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		b.Stmts = append(b.Stmts, p.parseStmts()...)
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+// parseStmts parses one statement; local declarations with several
+// declarators expand to several DeclStmts, hence the slice.
+func (p *parser) parseStmts() []ast.Stmt {
+	switch p.cur().Kind {
+	case token.LBRACE:
+		return []ast.Stmt{p.parseBlock()}
+	case token.KwIf:
+		return []ast.Stmt{p.parseIf()}
+	case token.KwWhile:
+		return []ast.Stmt{p.parseWhile()}
+	case token.KwDo:
+		return []ast.Stmt{p.parseDoWhile()}
+	case token.KwFor:
+		return []ast.Stmt{p.parseFor()}
+	case token.KwSwitch:
+		return []ast.Stmt{p.parseSwitch()}
+	case token.KwReturn:
+		pos := p.next().Pos
+		var x ast.Expr
+		if !p.at(token.SEMI) {
+			x = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return []ast.Stmt{&ast.Return{X: x, P: pos}}
+	case token.KwBreak:
+		pos := p.next().Pos
+		p.expect(token.SEMI)
+		return []ast.Stmt{&ast.Break{P: pos}}
+	case token.KwContinue:
+		pos := p.next().Pos
+		p.expect(token.SEMI)
+		return []ast.Stmt{&ast.Continue{P: pos}}
+	case token.SEMI:
+		p.next()
+		return nil
+	}
+	if p.startsDeclStmt() {
+		return p.parseDeclStmt()
+	}
+	pos := p.cur().Pos
+	x := p.parseExpr()
+	p.expect(token.SEMI)
+	return []ast.Stmt{&ast.ExprStmt{X: x, P: pos}}
+}
+
+// startsDeclStmt distinguishes "stage_t *S = d;" (declaration) from
+// "a * b;" (expression): a type-starting token that is a typedef name only
+// counts when followed by a declarator-looking continuation.
+func (p *parser) startsDeclStmt() bool {
+	if !p.startsType() {
+		return false
+	}
+	if p.cur().Kind != token.IDENT {
+		return true // int/char/struct/qualifier keyword: always a declaration
+	}
+	// IDENT that is a typedef name: declaration if followed by IDENT, '*'
+	// then IDENT or further '*' or qualifier, or a qualifier keyword.
+	switch p.peekKind(1) {
+	case token.IDENT:
+		return true
+	case token.STAR:
+		k := p.peekKind(2)
+		return k == token.IDENT || k == token.STAR || kindIsQual(k) || k == token.LPAREN
+	default:
+		return kindIsQual(p.peekKind(1))
+	}
+}
+
+func kindIsQual(k token.Kind) bool { return k.IsQualifier() }
+
+func (p *parser) parseDeclStmt() []ast.Stmt {
+	base := p.parseBaseType()
+	var out []ast.Stmt
+	for {
+		d := p.parseDeclarator(base)
+		var init ast.Expr
+		if p.accept(token.ASSIGN) {
+			init = p.parseAssignExpr()
+		}
+		out = append(out, &ast.DeclStmt{Name: d.name, Type: d.typ, Init: init, P: d.pos})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.SEMI)
+	return out
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.expect(token.KwIf).Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.stmtOrBlock()
+	var els ast.Stmt
+	if p.accept(token.KwElse) {
+		els = p.stmtOrBlock()
+	}
+	return &ast.If{Cond: cond, Then: then, Else: els, P: pos}
+}
+
+// stmtOrBlock parses a single statement as a loop/branch body, wrapping
+// multi-declarator declarations in a block.
+func (p *parser) stmtOrBlock() ast.Stmt {
+	ss := p.parseStmts()
+	switch len(ss) {
+	case 0:
+		return &ast.Block{P: p.cur().Pos}
+	case 1:
+		return ss[0]
+	default:
+		return &ast.Block{Stmts: ss, P: ss[0].Pos()}
+	}
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	pos := p.expect(token.KwWhile).Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	body := p.stmtOrBlock()
+	return &ast.While{Cond: cond, Body: body, P: pos}
+}
+
+func (p *parser) parseDoWhile() ast.Stmt {
+	pos := p.expect(token.KwDo).Pos
+	body := p.stmtOrBlock()
+	p.expect(token.KwWhile)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.SEMI)
+	return &ast.DoWhile{Body: body, Cond: cond, P: pos}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.expect(token.KwFor).Pos
+	p.expect(token.LPAREN)
+	var init ast.Stmt
+	if !p.at(token.SEMI) {
+		if p.startsDeclStmt() {
+			ds := p.parseDeclStmt() // consumes ';'
+			if len(ds) == 1 {
+				init = ds[0]
+			} else {
+				init = &ast.Block{Stmts: ds, P: pos}
+			}
+		} else {
+			x := p.parseExpr()
+			init = &ast.ExprStmt{X: x, P: x.Pos()}
+			p.expect(token.SEMI)
+		}
+	} else {
+		p.expect(token.SEMI)
+	}
+	var cond ast.Expr
+	if !p.at(token.SEMI) {
+		cond = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	var post ast.Expr
+	if !p.at(token.RPAREN) {
+		post = p.parseExpr()
+	}
+	p.expect(token.RPAREN)
+	body := p.stmtOrBlock()
+	return &ast.For{Init: init, Cond: cond, Post: post, Body: body, P: pos}
+}
+
+func (p *parser) parseSwitch() ast.Stmt {
+	pos := p.expect(token.KwSwitch).Pos
+	p.expect(token.LPAREN)
+	x := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.LBRACE)
+	var cases []ast.SwitchCase
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		var c ast.SwitchCase
+		c.P = p.cur().Pos
+		if p.accept(token.KwDefault) {
+			c.IsDefault = true
+		} else {
+			p.expect(token.KwCase)
+			neg := p.accept(token.MINUS)
+			t := p.expect(token.INT)
+			v, _ := strconv.ParseInt(strings.TrimRight(t.Lit, "uUlL"), 0, 64)
+			if neg {
+				v = -v
+			}
+			c.Value = v
+		}
+		p.expect(token.COLON)
+		for !p.at(token.KwCase) && !p.at(token.KwDefault) && !p.at(token.RBRACE) && !p.at(token.EOF) {
+			c.Body = append(c.Body, p.parseStmts()...)
+		}
+		cases = append(cases, c)
+	}
+	p.expect(token.RBRACE)
+	return &ast.Switch{X: x, Cases: cases, P: pos}
+}
+
+// ---------------------------------------------------------------------------
+// expressions (standard C precedence, no comma operator)
+
+func (p *parser) parseExpr() ast.Expr { return p.parseAssignExpr() }
+
+func (p *parser) parseAssignExpr() ast.Expr {
+	l := p.parseCondExpr()
+	if p.cur().Kind.IsAssignOp() {
+		op := p.next()
+		r := p.parseAssignExpr()
+		binOp := assignBaseOp(op.Kind)
+		return &ast.Assign{Op: binOp, L: l, R: r, P: op.Pos}
+	}
+	return l
+}
+
+func assignBaseOp(k token.Kind) token.Kind {
+	switch k {
+	case token.ADDASSIGN:
+		return token.PLUS
+	case token.SUBASSIGN:
+		return token.MINUS
+	case token.MULASSIGN:
+		return token.STAR
+	case token.DIVASSIGN:
+		return token.SLASH
+	case token.MODASSIGN:
+		return token.PERCENT
+	case token.ANDASSIGN:
+		return token.AMP
+	case token.ORASSIGN:
+		return token.PIPE
+	case token.XORASSIGN:
+		return token.CARET
+	case token.SHLASSIGN:
+		return token.SHL
+	case token.SHRASSIGN:
+		return token.SHR
+	default:
+		return token.ASSIGN
+	}
+}
+
+func (p *parser) parseCondExpr() ast.Expr {
+	c := p.parseBinaryExpr(1)
+	if p.at(token.QUESTION) {
+		pos := p.next().Pos
+		t := p.parseExpr()
+		p.expect(token.COLON)
+		f := p.parseCondExpr()
+		return &ast.Cond{C: c, T: t, F: f, P: pos}
+	}
+	return c
+}
+
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.LOR:
+		return 1
+	case token.LAND:
+		return 2
+	case token.PIPE:
+		return 3
+	case token.CARET:
+		return 4
+	case token.AMP:
+		return 5
+	case token.EQ, token.NEQ:
+		return 6
+	case token.LT, token.GT, token.LEQ, token.GEQ:
+		return 7
+	case token.SHL, token.SHR:
+		return 8
+	case token.PLUS, token.MINUS:
+		return 9
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseBinaryExpr(minPrec int) ast.Expr {
+	l := p.parseUnaryExpr()
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec < minPrec || prec == 0 {
+			return l
+		}
+		op := p.next()
+		r := p.parseBinaryExpr(prec + 1)
+		l = &ast.Binary{Op: op.Kind, L: l, R: r, P: op.Pos}
+	}
+}
+
+func (p *parser) parseUnaryExpr() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.MINUS, token.NOT, token.TILDE, token.STAR, token.AMP:
+		p.next()
+		x := p.parseUnaryExpr()
+		return &ast.Unary{Op: t.Kind, X: x, P: t.Pos}
+	case token.PLUS:
+		p.next()
+		return p.parseUnaryExpr()
+	case token.INC, token.DEC:
+		p.next()
+		x := p.parseUnaryExpr()
+		return &ast.Unary{Op: t.Kind, X: x, P: t.Pos}
+	case token.KwSizeof:
+		p.next()
+		p.expect(token.LPAREN)
+		var e ast.Expr
+		if p.startsType() {
+			ty := p.parseType()
+			e = &ast.Sizeof{T: ty, P: t.Pos}
+		} else {
+			// sizeof(expr): size of the expression's type; represented by
+			// wrapping in Sizeof with a nil type resolved at check time.
+			x := p.parseExpr()
+			e = &ast.Sizeof{T: nil, P: t.Pos}
+			_ = x // expression sizeof degenerates to cell size 1
+		}
+		p.expect(token.RPAREN)
+		return e
+	case token.LPAREN:
+		// Cast or parenthesized expression.
+		if p.castAhead() {
+			p.next() // (
+			ty := p.parseType()
+			p.expect(token.RPAREN)
+			x := p.parseUnaryExpr()
+			return &ast.Cast{To: ty, X: x, P: t.Pos}
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+// castAhead reports whether '(' begins a cast: the next token begins a type
+// and the parenthesized text is followed by a unary-expression starter.
+func (p *parser) castAhead() bool {
+	if !p.at(token.LPAREN) {
+		return false
+	}
+	k := p.peekKind(1)
+	switch k {
+	case token.KwInt, token.KwChar, token.KwVoid, token.KwLong, token.KwUnsigned,
+		token.KwStruct, token.KwConst:
+		return true
+	case token.IDENT:
+		// Typedef name: a cast only if the identifier is a known typedef.
+		i := p.pos + 1
+		return p.typedefs[p.toks[i].Lit]
+	}
+	return k.IsQualifier()
+}
+
+func (p *parser) parsePostfixExpr() ast.Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case token.LPAREN:
+			p.next()
+			var args []ast.Expr
+			if !p.at(token.RPAREN) {
+				for {
+					args = append(args, p.parseAssignExpr())
+					if !p.accept(token.COMMA) {
+						break
+					}
+				}
+			}
+			p.expect(token.RPAREN)
+			x = &ast.Call{Fun: x, Args: args, P: t.Pos}
+		case token.LBRACKET:
+			p.next()
+			i := p.parseExpr()
+			p.expect(token.RBRACKET)
+			x = &ast.Index{X: x, I: i, P: t.Pos}
+		case token.DOT:
+			p.next()
+			name := p.expect(token.IDENT)
+			x = &ast.Member{X: x, Name: name.Lit, P: t.Pos}
+		case token.ARROW:
+			p.next()
+			name := p.expect(token.IDENT)
+			x = &ast.Member{X: x, Name: name.Lit, Arrow: true, P: t.Pos}
+		case token.INC, token.DEC:
+			p.next()
+			x = &ast.Postfix{Op: t.Kind, X: x, P: t.Pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimaryExpr() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		return &ast.Ident{Name: t.Lit, P: t.Pos}
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(strings.TrimRight(t.Lit, "uUlL"), 0, 64)
+		if err != nil {
+			p.errorf(t.Pos, "malformed integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{Value: v, P: t.Pos}
+	case token.CHAR:
+		p.next()
+		var v int64
+		if len(t.Lit) > 0 {
+			v = int64(t.Lit[0])
+		}
+		return &ast.IntLit{Value: v, P: t.Pos}
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{Value: t.Lit, P: t.Pos}
+	case token.KwNull:
+		p.next()
+		return &ast.NullLit{P: t.Pos}
+	case token.KwScast:
+		p.next()
+		p.expect(token.LPAREN)
+		ty := p.parseType()
+		p.expect(token.COMMA)
+		x := p.parseAssignExpr()
+		p.expect(token.RPAREN)
+		return &ast.Scast{To: ty, X: x, P: t.Pos}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	default:
+		p.errorf(t.Pos, "expected expression, found %s", t)
+		p.next()
+		return &ast.IntLit{Value: 0, P: t.Pos}
+	}
+}

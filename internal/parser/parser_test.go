@@ -1,0 +1,378 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+// parse parses src as a single file (plus prelude) and fails the test on
+// errors.
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := ParseProgram(Source{Name: "test.shc", Text: src})
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return prog
+}
+
+// userDecls returns the declarations of the user file (skipping the prelude).
+func userDecls(p *ast.Program) []ast.Decl {
+	return p.Files[len(p.Files)-1].Decls
+}
+
+func TestParseGlobalVar(t *testing.T) {
+	p := parse(t, "int dynamic x;")
+	ds := userDecls(p)
+	if len(ds) != 1 {
+		t.Fatalf("got %d decls", len(ds))
+	}
+	vd, ok := ds[0].(*ast.VarDecl)
+	if !ok {
+		t.Fatalf("got %T", ds[0])
+	}
+	if vd.Name != "x" || vd.Type.Qual.Kind != ast.QualDynamic {
+		t.Errorf("got %s %s", vd.Name, ast.TypeString(vd.Type))
+	}
+}
+
+func TestParseMultiDeclarator(t *testing.T) {
+	p := parse(t, "int x, *y, z = 3;")
+	ds := userDecls(p)
+	if len(ds) != 3 {
+		t.Fatalf("got %d decls, want 3", len(ds))
+	}
+	y := ds[1].(*ast.VarDecl)
+	if y.Type.Kind != ast.TPtr {
+		t.Errorf("y should be pointer, got %s", ast.TypeString(y.Type))
+	}
+	z := ds[2].(*ast.VarDecl)
+	if z.Init == nil {
+		t.Error("z should have initializer")
+	}
+}
+
+func TestParsePointerQualifiers(t *testing.T) {
+	// char locked(mut) *locked(mut) sdata: both levels locked.
+	p := parse(t, `
+struct stage { int x; };
+mutex m;
+char dynamic *private p;
+`)
+	ds := userDecls(p)
+	vd := ds[2].(*ast.VarDecl)
+	if vd.Type.Kind != ast.TPtr || vd.Type.Qual.Kind != ast.QualPrivate {
+		t.Fatalf("pointer level: %s", ast.TypeString(vd.Type))
+	}
+	if vd.Type.Elem.Qual.Kind != ast.QualDynamic {
+		t.Fatalf("pointee level: %s", ast.TypeString(vd.Type))
+	}
+}
+
+func TestParseLockedQualifier(t *testing.T) {
+	p := parse(t, `
+typedef struct stage {
+	struct stage *next;
+	mutex racy *readonly mut;
+	char locked(mut) *locked(mut) sdata;
+} stage_t;
+`)
+	ds := userDecls(p)
+	sd := ds[0].(*ast.StructDecl)
+	if sd.Name != "stage" {
+		t.Fatalf("struct name %q", sd.Name)
+	}
+	if len(sd.Fields) != 3 {
+		t.Fatalf("%d fields", len(sd.Fields))
+	}
+	sdata := sd.Fields[2]
+	if sdata.Type.Qual.Kind != ast.QualLocked {
+		t.Fatalf("sdata pointer qual: %s", ast.TypeString(sdata.Type))
+	}
+	if sdata.Type.Elem.Qual.Kind != ast.QualLocked {
+		t.Fatalf("sdata pointee qual: %s", ast.TypeString(sdata.Type))
+	}
+	if lk, ok := sdata.Type.Qual.Lock.(*ast.Ident); !ok || lk.Name != "mut" {
+		t.Fatalf("lock expr: %v", ast.ExprString(sdata.Type.Qual.Lock))
+	}
+	// typedef emits the alias too
+	if _, ok := ds[1].(*ast.TypedefDecl); !ok {
+		t.Fatalf("second decl %T", ds[1])
+	}
+}
+
+func TestParseFunctionPointerField(t *testing.T) {
+	p := parse(t, `
+struct stage { void (*fun)(char private *fdata); };
+`)
+	sd := userDecls(p)[0].(*ast.StructDecl)
+	f := sd.Fields[0]
+	if f.Name != "fun" || f.Type.Kind != ast.TPtr || f.Type.Elem.Kind != ast.TFunc {
+		t.Fatalf("fun: %s", ast.TypeString(f.Type))
+	}
+	ft := f.Type.Elem
+	if len(ft.Params) != 1 || ft.Params[0].Kind != ast.TPtr {
+		t.Fatalf("params: %v", ft.Params)
+	}
+	if ft.Params[0].Elem.Qual.Kind != ast.QualPrivate {
+		t.Fatalf("param pointee qual: %s", ast.TypeString(ft.Params[0]))
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	p := parse(t, `
+int add(int a, int b) { return a + b; }
+void nothing(void);
+`)
+	ds := userDecls(p)
+	fd := ds[0].(*ast.FuncDecl)
+	if fd.Name != "add" || len(fd.Params) != 2 || fd.Body == nil {
+		t.Fatalf("add: %+v", fd)
+	}
+	proto := ds[1].(*ast.FuncDecl)
+	if proto.Body != nil || len(proto.Params) != 0 {
+		t.Fatalf("proto: %+v", proto)
+	}
+}
+
+func TestParsePipelineExample(t *testing.T) {
+	// The Figure 1 pipeline from the paper, annotated.
+	src := `
+typedef struct stage {
+	struct stage *next;
+	cond *cv;
+	mutex *mut;
+	char locked(mut) *locked(mut) sdata;
+	void (*fun)(char private *fdata);
+} stage_t;
+
+int notDone;
+
+void *thrFunc(void *d) {
+	stage_t *S = d;
+	stage_t *nextS = S->next;
+	char *ldata;
+	while (notDone) {
+		mutexLock(S->mut);
+		while (S->sdata == NULL)
+			condWait(S->cv, S->mut);
+		ldata = SCAST(char private *, S->sdata);
+		S->sdata = NULL;
+		condSignal(S->cv);
+		mutexUnlock(S->mut);
+		S->fun(ldata);
+		if (nextS) {
+			mutexLock(nextS->mut);
+			while (nextS->sdata)
+				condWait(nextS->cv, nextS->mut);
+			nextS->sdata = SCAST(char locked(nextS->mut) *, ldata);
+			condSignal(nextS->cv);
+			mutexUnlock(nextS->mut);
+		}
+	}
+	return NULL;
+}
+`
+	p := parse(t, src)
+	fd := p.Funcs()["thrFunc"]
+	if fd == nil {
+		t.Fatal("thrFunc not found")
+	}
+	if len(fd.Body.Stmts) < 4 {
+		t.Fatalf("body stmts: %d", len(fd.Body.Stmts))
+	}
+}
+
+func TestParseScast(t *testing.T) {
+	p := parse(t, `
+void f(void) {
+	char *x;
+	char *y;
+	x = SCAST(char private *, y);
+}
+`)
+	fd := p.Funcs()["f"]
+	es := fd.Body.Stmts[2].(*ast.ExprStmt)
+	asn := es.X.(*ast.Assign)
+	sc, ok := asn.R.(*ast.Scast)
+	if !ok {
+		t.Fatalf("rhs is %T", asn.R)
+	}
+	if sc.To.Kind != ast.TPtr || sc.To.Elem.Qual.Kind != ast.QualPrivate {
+		t.Fatalf("scast type: %s", ast.TypeString(sc.To))
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	p := parse(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		if (i % 2 == 0) s += i;
+		else continue;
+	}
+	do { s--; } while (s > 100);
+	while (s > 10) { s = s / 2; if (s == 11) break; }
+	switch (s) {
+	case 0: return 0;
+	case 1:
+	case 2: s = 5; break;
+	default: s = 9;
+	}
+	return s;
+}
+`)
+	fd := p.Funcs()["f"]
+	if fd == nil {
+		t.Fatal("f not found")
+	}
+	var kinds []string
+	for _, s := range fd.Body.Stmts {
+		switch s.(type) {
+		case *ast.DeclStmt:
+			kinds = append(kinds, "decl")
+		case *ast.For:
+			kinds = append(kinds, "for")
+		case *ast.DoWhile:
+			kinds = append(kinds, "do")
+		case *ast.While:
+			kinds = append(kinds, "while")
+		case *ast.Switch:
+			kinds = append(kinds, "switch")
+		case *ast.Return:
+			kinds = append(kinds, "return")
+		}
+	}
+	want := "decl for do while switch return"
+	if got := strings.Join(kinds, " "); got != want {
+		t.Fatalf("stmt kinds: %q want %q", got, want)
+	}
+	sw := fd.Body.Stmts[4].(*ast.Switch)
+	if len(sw.Cases) != 4 || !sw.Cases[3].IsDefault {
+		t.Fatalf("switch cases: %+v", sw.Cases)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := parse(t, "int g; void f(void) { g = 1 + 2 * 3 == 7 && 1; }")
+	fd := p.Funcs()["f"]
+	asn := fd.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign)
+	got := ast.ExprString(asn.R)
+	if got != "1 + 2 * 3 == 7 && 1" {
+		t.Fatalf("rendered %q", got)
+	}
+	// && at top
+	b := asn.R.(*ast.Binary)
+	if b.Op != token.LAND {
+		t.Fatalf("top op %s", b.Op)
+	}
+	eq := b.L.(*ast.Binary)
+	if eq.Op != token.EQ {
+		t.Fatalf("second op %s", eq.Op)
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	p := parse(t, `
+typedef int myint;
+int a, b;
+void f(void) {
+	a = (myint)b;
+	a = (b) + 1;
+}
+`)
+	fd := p.Funcs()["f"]
+	first := fd.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign)
+	if _, ok := first.R.(*ast.Cast); !ok {
+		t.Fatalf("first rhs should be cast, got %T", first.R)
+	}
+	second := fd.Body.Stmts[1].(*ast.ExprStmt).X.(*ast.Assign)
+	if _, ok := second.R.(*ast.Binary); !ok {
+		t.Fatalf("second rhs should be binary, got %T", second.R)
+	}
+}
+
+func TestParseArrays(t *testing.T) {
+	p := parse(t, `
+char buf[128];
+void f(char data[], int n) { buf[0] = data[n - 1]; }
+`)
+	vd := userDecls(p)[0].(*ast.VarDecl)
+	if vd.Type.Kind != ast.TArray || vd.Type.Len != 128 {
+		t.Fatalf("buf: %s", ast.TypeString(vd.Type))
+	}
+	fd := p.Funcs()["f"]
+	if fd.Params[0].Type.Kind != ast.TPtr {
+		t.Fatalf("array param should decay: %s", ast.TypeString(fd.Params[0].Type))
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	prog, err := ParseProgram(Source{Name: "bad.shc", Text: `
+int f( { }
+int ok(void) { return 1; }
+`})
+	if err == nil {
+		t.Fatal("expected parse errors")
+	}
+	// The second function should still have been parsed.
+	if prog.Funcs()["ok"] == nil {
+		t.Log("note: error recovery did not salvage ok()")
+	}
+}
+
+func TestParseDuplicateQualifierError(t *testing.T) {
+	_, err := ParseProgram(Source{Name: "t.shc", Text: "int private dynamic x;"})
+	if err == nil {
+		t.Fatal("expected duplicate-qualifier error")
+	}
+	if !strings.Contains(err.Error(), "qualifier") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestParseTernary(t *testing.T) {
+	p := parse(t, "int g; void f(int a) { g = a ? 1 : 2; }")
+	fd := p.Funcs()["f"]
+	asn := fd.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign)
+	if _, ok := asn.R.(*ast.Cond); !ok {
+		t.Fatalf("rhs %T", asn.R)
+	}
+}
+
+func TestPreludeTypes(t *testing.T) {
+	p := parse(t, "mutex m; cond c;")
+	structs := p.Structs()
+	if !structs["mutex"].Racy || !structs["cond"].Racy {
+		t.Fatal("prelude mutex/cond should be racy")
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"S->sdata",
+		"*(fdata + i)",
+		"a[i]",
+		"f(x, y + 1)",
+		"a.b.c",
+		"-x",
+		"!done",
+		"&v",
+	}
+	for _, c := range cases {
+		src := "int g; void f(void) { g = " + c + "; }"
+		prog, err := ParseProgram(Source{Name: "t.shc", Text: src})
+		if err != nil {
+			t.Errorf("%s: %v", c, err)
+			continue
+		}
+		fd := prog.Funcs()["f"]
+		asn := fd.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign)
+		if got := ast.ExprString(asn.R); got != c {
+			t.Errorf("round trip %q -> %q", c, got)
+		}
+	}
+}

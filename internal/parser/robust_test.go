@@ -1,0 +1,90 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics: arbitrary byte soup must produce errors, never
+// panics — the parser's error recovery and bailout bound the damage.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = ParseProgram(Source{Name: "fuzz.shc", Text: src})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnTokenSoup: sequences of valid-looking fragments.
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	fragments := []string{
+		"int", "char", "*", "(", ")", "{", "}", "[", "]", ";", ",",
+		"x", "if", "while", "for", "return", "SCAST", "private",
+		"dynamic", "locked", "racy", "readonly", "struct", "typedef",
+		"=", "==", "->", "1", "\"s\"", "'c'", "+", "&&", "...",
+	}
+	f := func(picks []uint8) bool {
+		src := ""
+		for _, p := range picks {
+			src += fragments[int(p)%len(fragments)] + " "
+		}
+		_, _ = ParseProgram(Source{Name: "soup.shc", Text: src})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Malformed inputs that previously looked risky: each must error, not hang
+// or panic.
+func TestParserMalformedCases(t *testing.T) {
+	cases := []string{
+		"",
+		";",
+		"int",
+		"int x",
+		"int x = ;",
+		"struct {",
+		"struct s { int",
+		"typedef",
+		"typedef struct s { } ",
+		"void f() { return",
+		"void f(void) { if (x { } }",
+		"void f(void) { for (;;;;) ; }",
+		"void f(void) { x = SCAST(, y); }",
+		"void f(void) { x = SCAST(int *, ); }",
+		"int locked x;",
+		"int locked( x;",
+		"void (*f)(;",
+		"int a[;",
+		"int f(void) { switch (x) { case: } }",
+		"\x00\x01\x02",
+		"int main(void) { return 0; } }}}}",
+	}
+	for _, src := range cases {
+		prog, err := ParseProgram(Source{Name: "bad.shc", Text: src})
+		if prog == nil {
+			t.Errorf("%q: program must be returned even on errors", src)
+		}
+		_ = err
+	}
+}
+
+// Deeply nested expressions must not blow the stack unreasonably.
+func TestParserDeepNesting(t *testing.T) {
+	src := "int g; void f(void) { g = "
+	for i := 0; i < 200; i++ {
+		src += "("
+	}
+	src += "1"
+	for i := 0; i < 200; i++ {
+		src += ")"
+	}
+	src += "; }"
+	if _, err := ParseProgram(Source{Name: "deep.shc", Text: src}); err != nil {
+		t.Fatalf("deep nesting: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package qualinfer
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+// TestInferenceDeterministic: the same source must produce the same
+// substitution on every run (map iteration order must not leak into the
+// fixpoint). This matters for reproducible builds and for the cast-type
+// cache shared across passes.
+func TestInferenceDeterministic(t *testing.T) {
+	src := `
+struct q {
+	mutex *m;
+	cond *cv;
+	int locked(m) *locked(m) slot;
+	int locked(m) n;
+	int racy done;
+};
+int sum(int *p, int k) {
+	int s = 0;
+	for (int i = 0; i < k; i++) s += p[i];
+	return s;
+}
+int dynamic *gshared;
+void *workerA(void *d) {
+	struct q *qq = d;
+	mutexLock(qq->m);
+	qq->n = qq->n + 1;
+	mutexUnlock(qq->m);
+	return NULL;
+}
+void *workerB(void *d) {
+	int *p = d;
+	gshared = p;
+	return NULL;
+}
+int main(void) {
+	struct q *qq = malloc(sizeof(struct q));
+	qq->m = mutexNew();
+	qq->cv = condNew();
+	int *buf = malloc(8);
+	spawn(workerA, SCAST(struct q dynamic *, qq));
+	spawn(workerB, SCAST(int dynamic *, buf));
+	int *mine = malloc(8);
+	return sum(mine, 8);
+}
+`
+	solve := func() (types.Subst, int) {
+		prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := types.BuildWorld(prog)
+		r := Infer(w)
+		return r.Subst, w.NumVars
+	}
+	first, n1 := solve()
+	for run := 0; run < 10; run++ {
+		again, n2 := solve()
+		if n1 != n2 {
+			t.Fatalf("variable counts differ: %d vs %d", n1, n2)
+		}
+		for v := 0; v < n1; v++ {
+			a := first.Apply(types.VarMode(v))
+			b := again.Apply(types.VarMode(v))
+			if a.Kind != b.Kind {
+				t.Fatalf("run %d: var %d resolves %s vs %s", run, v, a, b)
+			}
+		}
+	}
+}
+
+// TestEscapeAnalysisDeterministic pins the escape fixpoint the same way.
+func TestEscapeAnalysisDeterministic(t *testing.T) {
+	src := `
+int *box;
+void lv1(int *p) { lv2(p); }
+void lv2(int *p) { lv3(p); }
+void lv3(int *p) { box = p; }
+int keep(int *p) { return p[0]; }
+void *w(void *d) { int v = box[0]; return NULL; }
+int main(void) {
+	int *a = malloc(4);
+	lv1(a);
+	int *b = malloc(4);
+	keep(b);
+	spawn(w, malloc(4));
+	return 0;
+}
+`
+	run := func() (map[string]map[int]bool, bool) {
+		prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := types.BuildWorld(prog)
+		r := Infer(w)
+		return r.EscapingParams, r.EscapesAt("lv1", 0)
+	}
+	_, first := run()
+	if !first {
+		t.Fatal("lv1's p must escape transitively through lv3")
+	}
+	for i := 0; i < 10; i++ {
+		esc, e1 := run()
+		if e1 != first {
+			t.Fatalf("run %d: transitive escape flipped", i)
+		}
+		if esc["keep"][0] {
+			t.Fatalf("run %d: keep's p must not escape (read-only use)", i)
+		}
+		if !esc["lv2"][0] || !esc["lv3"][0] {
+			t.Fatalf("run %d: chain escapes lost", i)
+		}
+	}
+}

@@ -1,0 +1,1087 @@
+// Package qualinfer implements SharC's flow-insensitive qualifier inference
+// (§4.1): it decides, for every unannotated type level left as an inference
+// variable by the resolver, whether the level is private or must be checked
+// dynamically.
+//
+// The analysis has three ingredients:
+//
+//  1. Unification: assignments require referent types to match exactly, so
+//     the pointee levels of the two sides are unified (union-find).
+//  2. Sharing seeds: the formal of every spawned thread function, and every
+//     global touched by a thread-reachable function, is inherently shared
+//     and seeded dynamic. Function pointers are assumed to alias every
+//     address-taken function of the same shape.
+//  3. Directed call edges with the internal "dynamic-in" qualifier: the
+//     dynamic property flows from actuals to formals at every call, but
+//     from formals back to actuals only when the formal escapes in the
+//     callee (is stored into memory, a global, returned, or passed on to an
+//     escaping position) — the paper's rule for avoiding over-aggressive
+//     propagation.
+package qualinfer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/typer"
+	"repro/internal/types"
+)
+
+// Result is the outcome of inference.
+type Result struct {
+	// Subst resolves every inference variable to private or dynamic.
+	Subst types.Subst
+
+	// ThreadRoots is the set of functions that may run as spawned threads.
+	ThreadRoots map[string]bool
+
+	// ThreadReachable is the set of functions reachable from thread roots
+	// (including the roots).
+	ThreadReachable map[string]bool
+
+	// SharedGlobals is the set of globals touched by thread-reachable code.
+	SharedGlobals map[string]bool
+
+	// EscapingParams[fname][i] reports that parameter i of fname escapes:
+	// its referent's dynamic property must flow back to actuals. Parameters
+	// that are dynamic but do not escape behave as "dynamic-in": they accept
+	// private actuals.
+	EscapingParams map[string]map[int]bool
+
+	// AddressTaken is the set of functions whose address is taken (possible
+	// targets of function pointers).
+	AddressTaken map[string]bool
+
+	// Errors are inference-level conflicts, e.g. an inherently shared object
+	// annotated private.
+	Errors []*types.Error
+}
+
+// EscapesAt reports whether parameter i of function fname escapes.
+func (r *Result) EscapesAt(fname string, i int) bool {
+	m := r.EscapingParams[fname]
+	return m != nil && m[i]
+}
+
+// strength of the dynamic property on an equivalence class.
+const (
+	stNone   = 0
+	stWeak   = 1 // dynamic via a call edge (dynamic-in)
+	stStrong = 2 // dynamic via seed or unification: flows through everything
+)
+
+type inferencer struct {
+	w   *types.World
+	res *Result
+
+	// union-find over inference variable ids
+	parent []int
+	rank   []int
+
+	// class attributes, keyed by root id
+	constOf  map[int]types.Mode // annotated mode merged into the class
+	strength map[int]int
+
+	// members lists variable ids per class root, for edge scanning.
+	members map[int][]int
+
+	// directed dynamic-propagation edges, keyed by variable id
+	weakEdges   map[int][]types.Mode // actual -> formal
+	strongEdges map[int][]types.Mode // formal -> actual (active when strong)
+	refEdges    map[int][]types.Mode // outer storage -> pointee (REF-CTOR)
+
+	// worklist of class roots whose strength increased
+	work []int
+}
+
+// Infer runs qualifier inference over a resolved world.
+func Infer(w *types.World) *Result {
+	n := w.NumVars
+	inf := &inferencer{
+		w: w,
+		res: &Result{
+			Subst:           make(types.Subst),
+			ThreadRoots:     make(map[string]bool),
+			ThreadReachable: make(map[string]bool),
+			SharedGlobals:   make(map[string]bool),
+			EscapingParams:  make(map[string]map[int]bool),
+			AddressTaken:    make(map[string]bool),
+		},
+		parent:      make([]int, n),
+		rank:        make([]int, n),
+		constOf:     make(map[int]types.Mode),
+		strength:    make(map[int]int),
+		members:     make(map[int][]int),
+		weakEdges:   make(map[int][]types.Mode),
+		strongEdges: make(map[int][]types.Mode),
+		refEdges:    make(map[int][]types.Mode),
+	}
+	for i := 0; i < n; i++ {
+		inf.parent[i] = i
+		inf.members[i] = []int{i}
+	}
+
+	inf.findAddressTaken()
+	inf.findThreadRoots()
+	inf.computeReachable()
+	inf.computeEscapes()
+	inf.generateConstraints()
+	for _, e := range w.RefEdges {
+		inf.refEdges[e[0]] = append(inf.refEdges[e[0]], types.VarMode(e[1]))
+	}
+	inf.seed()
+	inf.propagate()
+	inf.solve()
+	return inf.res
+}
+
+func (inf *inferencer) errorf(pos token.Pos, format string, args ...any) {
+	inf.res.Errors = append(inf.res.Errors, &types.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------------------
+// union-find
+
+// ensure grows the union-find to cover variable ids allocated after Infer
+// started (cast target types are resolved lazily during constraint
+// generation).
+func (inf *inferencer) ensure(x int) {
+	for len(inf.parent) <= x {
+		v := len(inf.parent)
+		inf.parent = append(inf.parent, v)
+		inf.rank = append(inf.rank, 0)
+		inf.members[v] = []int{v}
+	}
+}
+
+func (inf *inferencer) find(x int) int {
+	inf.ensure(x)
+	for inf.parent[x] != x {
+		inf.parent[x] = inf.parent[inf.parent[x]]
+		x = inf.parent[x]
+	}
+	return x
+}
+
+// union merges two classes, combining const modes and strengths.
+func (inf *inferencer) union(a, b int) {
+	inf.ensure(a)
+	inf.ensure(b)
+	ra, rb := inf.find(a), inf.find(b)
+	if ra == rb {
+		return
+	}
+	if inf.rank[ra] < inf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	if inf.rank[ra] == inf.rank[rb] {
+		inf.rank[ra]++
+	}
+	inf.parent[rb] = ra
+	inf.members[ra] = append(inf.members[ra], inf.members[rb]...)
+	delete(inf.members, rb)
+	// Merge const modes.
+	ca, hasA := inf.constOf[ra]
+	cb, hasB := inf.constOf[rb]
+	switch {
+	case hasA && hasB:
+		if !types.ModesEqual(nil, ca, cb) {
+			// Conflicting annotations reached by unification; the checker
+			// reports the precise site, we just pick one.
+		}
+	case hasB:
+		inf.constOf[ra] = cb
+	}
+	delete(inf.constOf, rb)
+	// Merge strength.
+	sa, sb := inf.strength[ra], inf.strength[rb]
+	delete(inf.strength, rb)
+	s := sa
+	if sb > s {
+		s = sb
+	}
+	if s > sa {
+		inf.strength[ra] = s
+		inf.work = append(inf.work, ra)
+	} else {
+		inf.strength[ra] = s
+	}
+	// An annotated-dynamic class is strongly dynamic.
+	if c, ok := inf.constOf[ra]; ok && c.Kind == types.ModeDynamic {
+		inf.raise(ra, stStrong)
+	}
+}
+
+// bindConst attaches an annotated mode to a variable's class.
+func (inf *inferencer) bindConst(v int, m types.Mode) {
+	r := inf.find(v)
+	if _, ok := inf.constOf[r]; !ok {
+		inf.constOf[r] = m
+	}
+	if m.Kind == types.ModeDynamic {
+		inf.raise(r, stStrong)
+	}
+}
+
+// raise increases a class's strength, scheduling propagation.
+func (inf *inferencer) raise(root int, s int) {
+	if inf.strength[root] >= s {
+		return
+	}
+	inf.strength[root] = s
+	inf.work = append(inf.work, root)
+}
+
+// raiseMode raises the dynamic strength of a mode slot if it is a variable;
+// constants are checked for conflicts with private.
+func (inf *inferencer) raiseMode(m types.Mode, s int, pos token.Pos, what string) {
+	switch m.Kind {
+	case types.ModeVar:
+		inf.raise(inf.find(m.Var), s)
+	case types.ModePrivate:
+		inf.errorf(pos, "%s is inherently shared but annotated private", what)
+	default:
+		// locked/racy/readonly/dynamic annotations are acceptable for shared
+		// data; nothing to do.
+	}
+}
+
+// ---------------------------------------------------------------------------
+// unification of referent types
+
+// unifyTypes imposes referent-type equality between two types that must
+// match (both sides of an assignment's pointee). void acts as a shape
+// wildcard: only the modes at the void level are unified.
+func (inf *inferencer) unifyTypes(a, b *types.Type) {
+	if a == nil || b == nil {
+		return
+	}
+	inf.unifyModes(a.Mode, b.Mode)
+	if a.Kind == types.KVoid || b.Kind == types.KVoid {
+		return
+	}
+	if a.Kind != b.Kind {
+		return // shape mismatch: reported by the checker
+	}
+	switch a.Kind {
+	case types.KPtr, types.KArray:
+		inf.unifyTypes(a.Elem, b.Elem)
+	case types.KFunc:
+		inf.unifyTypes(a.Ret, b.Ret)
+		for i := range a.Params {
+			if i < len(b.Params) {
+				inf.unifyTypes(a.Params[i], b.Params[i])
+			}
+		}
+	}
+}
+
+func (inf *inferencer) unifyModes(a, b types.Mode) {
+	switch {
+	case a.Kind == types.ModeVar && b.Kind == types.ModeVar:
+		inf.union(a.Var, b.Var)
+	case a.Kind == types.ModeVar:
+		inf.bindConst(a.Var, b)
+	case b.Kind == types.ModeVar:
+		inf.bindConst(b.Var, a)
+	}
+	// const/const mismatches are the checker's to report precisely.
+}
+
+// assignLike imposes the constraints of "lt := rt": for pointers, referent
+// types unify; NULL and fresh allocations impose nothing.
+func (inf *inferencer) assignLike(lt, rt *types.Type) {
+	if lt == nil || rt == nil {
+		return
+	}
+	if typer.IsNullType(rt) || typer.IsMallocType(rt) {
+		return
+	}
+	lt, rt = typer.Decay(lt), typer.Decay(rt)
+	if lt.Kind == types.KPtr && rt.Kind == types.KPtr {
+		inf.unifyTypes(lt.Elem, rt.Elem)
+	}
+}
+
+// callArg imposes the constraints of passing actual at to formal ft of
+// function fname's parameter i: deeper levels unify, the top pointee level
+// gets directed edges implementing dynamic-in.
+func (inf *inferencer) callArg(fname string, i int, ft, at *types.Type) {
+	if ft == nil || at == nil {
+		return
+	}
+	if typer.IsNullType(at) || typer.IsMallocType(at) {
+		return
+	}
+	at = typer.Decay(at)
+	if ft.Kind != types.KPtr || at.Kind != types.KPtr {
+		return
+	}
+	fm, am := ft.Elem.Mode, at.Elem.Mode
+	if inf.res.EscapesAt(fname, i) {
+		// Escaping formal: full unification, the object genuinely flows
+		// into shared structures.
+		inf.unifyTypes(ft.Elem, at.Elem)
+		return
+	}
+	// Non-escaping: dynamic flows actual -> formal only (dynamic-in).
+	if am.Kind == types.ModeVar {
+		inf.weakEdges[am.Var] = append(inf.weakEdges[am.Var], fm)
+	} else if am.Kind == types.ModeDynamic && fm.Kind == types.ModeVar {
+		inf.raise(inf.find(fm.Var), stWeak)
+	} else if fm.Kind == types.ModeVar {
+		// A readonly/racy/locked actual binds the formal to that mode: these
+		// modes do not suffer the over-propagation dynamic-in guards against
+		// (readonly data is readonly for every caller).
+		switch am.Kind {
+		case types.ModeReadonly, types.ModeRacy, types.ModeLocked:
+			inf.bindConst(fm.Var, am)
+		}
+	}
+	// Strong edges push back if the formal later proves strongly dynamic.
+	if fm.Kind == types.ModeVar {
+		inf.strongEdges[fm.Var] = append(inf.strongEdges[fm.Var], am)
+	}
+	// Deeper levels are invariant regardless.
+	if ft.Elem.Kind == types.KPtr && at.Elem.Kind == types.KPtr {
+		inf.unifyTypes(ft.Elem.Elem, at.Elem.Elem)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// seeds and reachability
+
+// findAddressTaken records functions used as values (not directly called):
+// these may alias any function pointer of the same shape.
+func (inf *inferencer) findAddressTaken() {
+	for _, fi := range inf.w.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		walkExprs(fi.Decl.Body, func(e ast.Expr) {
+			switch e := e.(type) {
+			case *ast.Call:
+				// Direct call: the callee ident is not "address taken", but
+				// its arguments might be function names.
+				for _, a := range e.Args {
+					if id, ok := a.(*ast.Ident); ok {
+						if _, isFunc := inf.w.Funcs[id.Name]; isFunc {
+							inf.res.AddressTaken[id.Name] = true
+						}
+					}
+				}
+			case *ast.Assign:
+				if id, ok := e.R.(*ast.Ident); ok {
+					if _, isFunc := inf.w.Funcs[id.Name]; isFunc {
+						inf.res.AddressTaken[id.Name] = true
+					}
+				}
+			}
+		})
+		for _, st := range allDeclStmts(fi.Decl.Body) {
+			if id, ok := st.Init.(*ast.Ident); ok {
+				if _, isFunc := inf.w.Funcs[id.Name]; isFunc {
+					inf.res.AddressTaken[id.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// findThreadRoots records every function passed to spawn. A non-identifier
+// spawn target conservatively makes every address-taken function a root.
+func (inf *inferencer) findThreadRoots() {
+	for _, fi := range inf.w.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		walkExprs(fi.Decl.Body, func(e ast.Expr) {
+			call, ok := e.(*ast.Call)
+			if !ok {
+				return
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "spawn" || len(call.Args) < 1 {
+				return
+			}
+			if target, ok := call.Args[0].(*ast.Ident); ok {
+				if _, isFunc := inf.w.Funcs[target.Name]; isFunc {
+					inf.res.ThreadRoots[target.Name] = true
+					return
+				}
+			}
+			// spawn through a function pointer: every address-taken function
+			// with a compatible shape may run as a thread.
+			for name := range inf.res.AddressTaken {
+				f := inf.w.Funcs[name]
+				if f != nil && len(f.Params) == 1 && f.Params[0].Type.Kind == types.KPtr {
+					inf.res.ThreadRoots[name] = true
+				}
+			}
+		})
+	}
+}
+
+// computeReachable builds the call graph rooted at thread functions.
+// Indirect calls conservatively reach every address-taken function with the
+// same parameter count.
+func (inf *inferencer) computeReachable() {
+	// calls[f] = set of possible callees of f
+	calls := make(map[string]map[string]bool)
+	for name, fi := range inf.w.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		set := make(map[string]bool)
+		walkExprs(fi.Decl.Body, func(e ast.Expr) {
+			call, ok := e.(*ast.Call)
+			if !ok {
+				return
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if _, isFunc := inf.w.Funcs[id.Name]; isFunc {
+					set[id.Name] = true
+					return
+				}
+				if types.IsBuiltin(id.Name) {
+					return
+				}
+			}
+			// Indirect call: all address-taken functions with matching arity.
+			for cand := range inf.res.AddressTaken {
+				f := inf.w.Funcs[cand]
+				if f != nil && len(f.Params) == len(call.Args) {
+					set[cand] = true
+				}
+			}
+		})
+		calls[name] = set
+	}
+	var visit func(string)
+	visit = func(name string) {
+		if inf.res.ThreadReachable[name] {
+			return
+		}
+		inf.res.ThreadReachable[name] = true
+		for callee := range calls[name] {
+			visit(callee)
+		}
+	}
+	for root := range inf.res.ThreadRoots {
+		visit(root)
+	}
+}
+
+// computeEscapes decides, for each function parameter, whether the pointer
+// it carries escapes: is stored into memory or a global, returned, passed
+// to spawn, or passed on in an escaping position of another call. Escaping
+// formals propagate the dynamic property back to actuals.
+func (inf *inferencer) computeEscapes() {
+	type site struct {
+		fname string
+		idx   int
+	}
+	// pending[site] = list of sites it forwards to (param passed as actual).
+	forwards := make(map[site][]site)
+	escapes := make(map[site]bool)
+
+	for fname, fi := range inf.w.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		for idx, p := range fi.Params {
+			if p.Type.Kind != types.KPtr {
+				continue
+			}
+			s := site{fname, idx}
+			aliases := paramAliases(fi.Decl.Body, p.Name, inf.w.Globals)
+			isAlias := func(e ast.Expr) bool {
+				id, ok := e.(*ast.Ident)
+				return ok && aliases[id.Name]
+			}
+			walkStmts(fi.Decl.Body, func(st ast.Stmt) {
+				if r, ok := st.(*ast.Return); ok && r.X != nil && isAlias(r.X) {
+					escapes[s] = true
+				}
+			})
+			walkExprs(fi.Decl.Body, func(e ast.Expr) {
+				switch e := e.(type) {
+				case *ast.Assign:
+					if !isAlias(e.R) {
+						return
+					}
+					// Stored anywhere that is not a plain local variable.
+					if id, ok := e.L.(*ast.Ident); ok {
+						if _, isGlobal := inf.w.Globals[id.Name]; !isGlobal && !aliases[id.Name] {
+							return // local-to-local copy; alias set covers it
+						}
+						if !aliases[id.Name] {
+							escapes[s] = true // stored to a global
+						}
+						return
+					}
+					escapes[s] = true // stored through *p, x[i], s->f
+				case *ast.Call:
+					id, ok := e.Fun.(*ast.Ident)
+					if !ok {
+						// Indirect call: conservatively escaping.
+						for _, a := range e.Args {
+							if isAlias(a) {
+								escapes[s] = true
+							}
+						}
+						return
+					}
+					if id.Name == "spawn" && len(e.Args) == 2 && isAlias(e.Args[1]) {
+						escapes[s] = true
+						return
+					}
+					if types.IsBuiltin(id.Name) && inf.w.Funcs[id.Name] == nil {
+						return // builtins have trusted summaries; no escape
+					}
+					for j, a := range e.Args {
+						if isAlias(a) {
+							forwards[site{id.Name, j}] = append(forwards[site{id.Name, j}], s)
+						}
+					}
+				}
+			})
+		}
+	}
+	// Fixpoint: escaping callee params make forwarding caller params escape.
+	changed := true
+	for changed {
+		changed = false
+		for callee, callers := range forwards {
+			if !escapes[callee] {
+				continue
+			}
+			for _, c := range callers {
+				if !escapes[c] {
+					escapes[c] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for s, v := range escapes {
+		if !v {
+			continue
+		}
+		m := inf.res.EscapingParams[s.fname]
+		if m == nil {
+			m = make(map[int]bool)
+			inf.res.EscapingParams[s.fname] = m
+		}
+		m[s.idx] = true
+	}
+}
+
+// paramAliases returns the set of local names (including the parameter
+// itself) that may hold the parameter's value, by a small intra-function
+// fixpoint over direct copies.
+func paramAliases(body *ast.Block, param string, globals map[string]*types.VarInfo) map[string]bool {
+	aliases := map[string]bool{param: true}
+	for {
+		grew := false
+		add := func(name string, from ast.Expr) {
+			if _, isGlobal := globals[name]; isGlobal {
+				return // a global is a store, not a local alias
+			}
+			if id, ok := from.(*ast.Ident); ok && aliases[id.Name] && !aliases[name] {
+				aliases[name] = true
+				grew = true
+			}
+		}
+		walkStmts(body, func(st ast.Stmt) {
+			if d, ok := st.(*ast.DeclStmt); ok && d.Init != nil {
+				add(d.Name, d.Init)
+			}
+		})
+		walkExprs(body, func(e ast.Expr) {
+			if a, ok := e.(*ast.Assign); ok {
+				if id, ok := a.L.(*ast.Ident); ok {
+					add(id.Name, a.R)
+				}
+			}
+		})
+		if !grew {
+			return aliases
+		}
+	}
+}
+
+// seed applies the inherent-sharing seeds: thread formals' referents and
+// globals touched by thread-reachable code.
+func (inf *inferencer) seed() {
+	for root := range inf.res.ThreadRoots {
+		fi := inf.w.Funcs[root]
+		if fi == nil || len(fi.Params) == 0 {
+			continue
+		}
+		pt := fi.Params[0].Type
+		if pt.Kind == types.KPtr {
+			inf.raiseMode(pt.Elem.Mode, stStrong, fi.Decl.P,
+				fmt.Sprintf("argument of thread function %q", root))
+		}
+	}
+	for fname := range inf.res.ThreadReachable {
+		fi := inf.w.Funcs[fname]
+		if fi == nil || fi.Decl.Body == nil {
+			continue
+		}
+		locals := localNames(fi)
+		walkExprs(fi.Decl.Body, func(e ast.Expr) {
+			id, ok := e.(*ast.Ident)
+			if !ok || locals[id.Name] {
+				return
+			}
+			g, isGlobal := inf.w.Globals[id.Name]
+			if !isGlobal {
+				return
+			}
+			if !inf.res.SharedGlobals[id.Name] {
+				inf.res.SharedGlobals[id.Name] = true
+				inf.raiseMode(g.Type.Mode, stStrong, g.Decl.P,
+					fmt.Sprintf("global %q (touched by thread-reachable code)", id.Name))
+			}
+		})
+	}
+}
+
+func localNames(fi *types.FuncInfo) map[string]bool {
+	names := make(map[string]bool)
+	for _, p := range fi.Params {
+		names[p.Name] = true
+	}
+	for d := range fi.Locals {
+		names[d.Name] = true
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// constraint generation
+
+// generateConstraints walks every function body and global initializer,
+// imposing unification and call-edge constraints.
+func (inf *inferencer) generateConstraints() {
+	names := make([]string, 0, len(inf.w.Funcs))
+	for name := range inf.w.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic constraint order
+	for _, name := range names {
+		fi := inf.w.Funcs[name]
+		if fi.Decl.Body != nil {
+			cg := &congen{inf: inf, env: typer.NewEnv(inf.w, fi), fi: fi}
+			cg.stmt(fi.Decl.Body)
+		}
+	}
+}
+
+// congen generates constraints for one function body.
+type congen struct {
+	inf *inferencer
+	env *typer.Env
+	fi  *types.FuncInfo
+}
+
+func (c *congen) typeOf(e ast.Expr) *types.Type {
+	t, err := c.env.TypeOf(e)
+	if err != nil {
+		return nil // the checker reports typing errors
+	}
+	return t
+}
+
+func (c *congen) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.env.Push()
+		for _, st := range s.Stmts {
+			c.stmt(st)
+		}
+		c.env.Pop()
+	case *ast.DeclStmt:
+		lt := c.fi.Locals[s]
+		if s.Init != nil {
+			c.expr(s.Init)
+			if rt := c.typeOf(s.Init); rt != nil && lt != nil {
+				c.inf.assignLike(lt, rt)
+			}
+		}
+		c.env.Define(&typer.Sym{Kind: typer.SymLocal, Name: s.Name, Type: lt, Decl: s})
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.If:
+		c.expr(s.Cond)
+		c.stmt(s.Then)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.While:
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+	case *ast.DoWhile:
+		c.stmt(s.Body)
+		c.expr(s.Cond)
+	case *ast.For:
+		c.env.Push()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		if s.Post != nil {
+			c.expr(s.Post)
+		}
+		c.stmt(s.Body)
+		c.env.Pop()
+	case *ast.Return:
+		if s.X != nil {
+			c.expr(s.X)
+			if rt := c.typeOf(s.X); rt != nil {
+				c.inf.assignLike(c.fi.Ret, rt)
+			}
+		}
+	case *ast.Switch:
+		c.expr(s.X)
+		for _, cs := range s.Cases {
+			c.env.Push()
+			for _, st := range cs.Body {
+				c.stmt(st)
+			}
+			c.env.Pop()
+		}
+	}
+}
+
+func (c *congen) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Assign:
+		c.expr(e.L)
+		c.expr(e.R)
+		lt := c.typeOf(e.L)
+		rt := c.typeOf(e.R)
+		if lt != nil && rt != nil {
+			c.inf.assignLike(lt, rt)
+		}
+	case *ast.Unary:
+		c.expr(e.X)
+	case *ast.Postfix:
+		c.expr(e.X)
+	case *ast.Binary:
+		c.expr(e.L)
+		c.expr(e.R)
+	case *ast.Cond:
+		c.expr(e.C)
+		c.expr(e.T)
+		c.expr(e.F)
+	case *ast.Call:
+		c.call(e)
+	case *ast.Index:
+		c.expr(e.X)
+		c.expr(e.I)
+	case *ast.Member:
+		c.expr(e.X)
+	case *ast.Cast:
+		c.expr(e.X)
+		// Ordinary casts must not change sharing modes: unify referents.
+		to := c.typeOf(e)
+		xt := c.typeOf(e.X)
+		if to != nil && xt != nil {
+			c.inf.assignLike(to, xt)
+		}
+	case *ast.Scast:
+		// A sharing cast deliberately breaks the referent-equality link.
+		c.expr(e.X)
+	}
+}
+
+func (c *congen) call(e *ast.Call) {
+	for _, a := range e.Args {
+		c.expr(a)
+	}
+	id, direct := e.Fun.(*ast.Ident)
+	if !direct {
+		c.expr(e.Fun)
+		if ft := c.typeOf(e.Fun); ft != nil {
+			c.indirectCall(ft, e)
+		}
+		return
+	}
+	if callee, ok := c.inf.w.Funcs[id.Name]; ok {
+		for i, a := range e.Args {
+			if i >= len(callee.Params) {
+				break
+			}
+			at := c.typeOf(a)
+			if at != nil {
+				c.inf.callArg(id.Name, i, callee.Params[i].Type, at)
+			}
+		}
+		if id.Name == "" {
+			return
+		}
+		return
+	}
+	if c.env.Lookup(id.Name) != nil {
+		// A local function pointer called directly.
+		if ft := c.typeOf(e.Fun); ft != nil {
+			c.indirectCall(ft, e)
+		}
+		return
+	}
+	if types.IsBuiltin(id.Name) {
+		c.builtinCall(id.Name, e)
+		return
+	}
+}
+
+// indirectCall unifies actuals with the function-pointer type's parameters
+// and, conservatively, with every address-taken function of matching arity.
+func (c *congen) indirectCall(ft *types.Type, e *ast.Call) {
+	if ft.Kind == types.KPtr && ft.Elem.Kind == types.KFunc {
+		ft = ft.Elem
+	}
+	if ft.Kind != types.KFunc {
+		return
+	}
+	for i, a := range e.Args {
+		if i >= len(ft.Params) {
+			break
+		}
+		if at := c.typeOf(a); at != nil {
+			c.inf.assignLike(ft.Params[i], at)
+		}
+	}
+	for cand := range c.inf.res.AddressTaken {
+		f := c.inf.w.Funcs[cand]
+		if f == nil || !types.ShapeEqual(ft, f.Type()) {
+			continue
+		}
+		for i := range ft.Params {
+			if i < len(f.Params) {
+				c.inf.unifyTypes(deref(ft.Params[i]), deref(f.Params[i].Type))
+			}
+		}
+		c.inf.assignLike(ft.Ret, f.Ret)
+	}
+}
+
+func deref(t *types.Type) *types.Type {
+	if t != nil && t.Kind == types.KPtr {
+		return t.Elem
+	}
+	return t
+}
+
+// builtinCall handles spawn specially: the spawned argument's referent is
+// inherently shared, unifying with the thread formal.
+func (c *congen) builtinCall(name string, e *ast.Call) {
+	if name != "spawn" || len(e.Args) != 2 {
+		return
+	}
+	at := c.typeOf(e.Args[1])
+	if at == nil {
+		return
+	}
+	at = typer.Decay(at)
+	if at.Kind == types.KPtr && !typer.IsNullType(at) && !typer.IsMallocType(at) {
+		c.inf.raiseModeExprPos(at.Elem.Mode, e.Args[1])
+	}
+	// Unify the argument with the thread function's formal.
+	if target, ok := e.Args[0].(*ast.Ident); ok {
+		if fi := c.inf.w.Funcs[target.Name]; fi != nil && len(fi.Params) == 1 {
+			if at.Kind == types.KPtr && fi.Params[0].Type.Kind == types.KPtr &&
+				!typer.IsNullType(at) && !typer.IsMallocType(at) {
+				c.inf.unifyTypes(fi.Params[0].Type.Elem, at.Elem)
+			}
+		}
+	}
+}
+
+func (inf *inferencer) raiseModeExprPos(m types.Mode, e ast.Expr) {
+	inf.raiseMode(m, stStrong, e.Pos(), fmt.Sprintf("thread argument %s", ast.ExprString(e)))
+}
+
+// ---------------------------------------------------------------------------
+// propagation and solving
+
+// propagate drains the worklist, pushing the dynamic property across the
+// directed call edges.
+func (inf *inferencer) propagate() {
+	for len(inf.work) > 0 {
+		root := inf.work[len(inf.work)-1]
+		inf.work = inf.work[:len(inf.work)-1]
+		root = inf.find(root)
+		s := inf.strength[root]
+		if s == stNone {
+			continue
+		}
+		for _, v := range inf.members[root] {
+			// Weak edges fire at any dynamic strength: actual -> formal.
+			for _, tgt := range inf.weakEdges[v] {
+				if tgt.Kind == types.ModeVar {
+					inf.raise(inf.find(tgt.Var), stWeak)
+				}
+			}
+			// Strong edges fire only at strong strength: formal -> actual.
+			if s == stStrong {
+				for _, tgt := range inf.strongEdges[v] {
+					if tgt.Kind == types.ModeVar {
+						inf.raise(inf.find(tgt.Var), stStrong)
+					}
+				}
+			}
+			// REF-CTOR edges: a dynamic pointer cell must not reference
+			// private data; the pointee inherits the cell's strength.
+			for _, tgt := range inf.refEdges[v] {
+				if tgt.Kind == types.ModeVar {
+					inf.raise(inf.find(tgt.Var), s)
+				}
+			}
+		}
+	}
+}
+
+// solve produces the final substitution: annotated classes keep their
+// annotation kind; dynamic classes become dynamic; the rest private.
+func (inf *inferencer) solve() {
+	for v := 0; v < inf.w.NumVars; v++ {
+		r := inf.find(v)
+		if c, ok := inf.constOf[r]; ok {
+			// Unified with an annotated type: the variable takes that mode
+			// (readonly/racy/locked included, lock expression and all).
+			inf.res.Subst[v] = c
+			continue
+		}
+		if inf.strength[r] >= stWeak {
+			inf.res.Subst[v] = types.Dynamic
+		} else {
+			inf.res.Subst[v] = types.Private
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// AST walking helpers
+
+// walkStmts calls fn on every statement in the subtree.
+func walkStmts(s ast.Stmt, fn func(ast.Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			walkStmts(st, fn)
+		}
+	case *ast.If:
+		walkStmts(s.Then, fn)
+		if s.Else != nil {
+			walkStmts(s.Else, fn)
+		}
+	case *ast.While:
+		walkStmts(s.Body, fn)
+	case *ast.DoWhile:
+		walkStmts(s.Body, fn)
+	case *ast.For:
+		if s.Init != nil {
+			walkStmts(s.Init, fn)
+		}
+		walkStmts(s.Body, fn)
+	case *ast.Switch:
+		for _, c := range s.Cases {
+			for _, st := range c.Body {
+				walkStmts(st, fn)
+			}
+		}
+	}
+}
+
+// walkExprs calls fn on every expression in the subtree (including nested
+// expressions).
+func walkExprs(s ast.Stmt, fn func(ast.Expr)) {
+	walkStmts(s, func(st ast.Stmt) {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			walkExpr(st.X, fn)
+		case *ast.DeclStmt:
+			if st.Init != nil {
+				walkExpr(st.Init, fn)
+			}
+		case *ast.If:
+			walkExpr(st.Cond, fn)
+		case *ast.While:
+			walkExpr(st.Cond, fn)
+		case *ast.DoWhile:
+			walkExpr(st.Cond, fn)
+		case *ast.For:
+			if st.Cond != nil {
+				walkExpr(st.Cond, fn)
+			}
+			if st.Post != nil {
+				walkExpr(st.Post, fn)
+			}
+		case *ast.Return:
+			if st.X != nil {
+				walkExpr(st.X, fn)
+			}
+		case *ast.Switch:
+			walkExpr(st.X, fn)
+		}
+	})
+}
+
+func walkExpr(e ast.Expr, fn func(ast.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *ast.Unary:
+		walkExpr(e.X, fn)
+	case *ast.Postfix:
+		walkExpr(e.X, fn)
+	case *ast.Binary:
+		walkExpr(e.L, fn)
+		walkExpr(e.R, fn)
+	case *ast.Assign:
+		walkExpr(e.L, fn)
+		walkExpr(e.R, fn)
+	case *ast.Cond:
+		walkExpr(e.C, fn)
+		walkExpr(e.T, fn)
+		walkExpr(e.F, fn)
+	case *ast.Call:
+		walkExpr(e.Fun, fn)
+		for _, a := range e.Args {
+			walkExpr(a, fn)
+		}
+	case *ast.Index:
+		walkExpr(e.X, fn)
+		walkExpr(e.I, fn)
+	case *ast.Member:
+		walkExpr(e.X, fn)
+	case *ast.Cast:
+		walkExpr(e.X, fn)
+	case *ast.Scast:
+		walkExpr(e.X, fn)
+	}
+}
+
+func allDeclStmts(b *ast.Block) []*ast.DeclStmt {
+	var out []*ast.DeclStmt
+	walkStmts(b, func(s ast.Stmt) {
+		if d, ok := s.(*ast.DeclStmt); ok {
+			out = append(out, d)
+		}
+	})
+	return out
+}

@@ -1,0 +1,302 @@
+package qualinfer
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+// pipelineSrc is the Figure 1 example, annotated as in §2.1.
+const pipelineSrc = `
+typedef struct stage {
+	struct stage *next;
+	cond *cv;
+	mutex *mut;
+	char locked(mut) *locked(mut) sdata;
+	void (*fun)(char private *fdata);
+} stage_t;
+
+int notDone;
+
+void procA(char private *fdata) { fdata[0] = 1; }
+
+void *thrFunc(void *d) {
+	stage_t *S = d;
+	stage_t *nextS = S->next;
+	char *ldata;
+	while (notDone) {
+		mutexLock(S->mut);
+		while (S->sdata == NULL)
+			condWait(S->cv, S->mut);
+		ldata = SCAST(char private *, S->sdata);
+		S->sdata = NULL;
+		condSignal(S->cv);
+		mutexUnlock(S->mut);
+		S->fun(ldata);
+		if (nextS) {
+			mutexLock(nextS->mut);
+			while (nextS->sdata)
+				condWait(nextS->cv, nextS->mut);
+			nextS->sdata = SCAST(char locked(nextS->mut) *, ldata);
+			condSignal(nextS->cv);
+			mutexUnlock(nextS->mut);
+		}
+	}
+	return NULL;
+}
+
+int main(void) {
+	stage_t *st = malloc(sizeof(stage_t));
+	st->next = NULL;
+	st->cv = condNew();
+	st->mut = mutexNew();
+	st->sdata = NULL;
+	st->fun = procA;
+	notDone = 1;
+	spawn(thrFunc, st);
+	return 0;
+}
+`
+
+func buildAndInfer(t *testing.T, src string) (*types.World, *Result) {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := types.BuildWorld(prog)
+	if len(w.Errors) > 0 {
+		t.Fatalf("resolve: %v", w.Errors[0])
+	}
+	return w, Infer(w)
+}
+
+func resolved(w *types.World, r *Result, m types.Mode) types.ModeKind {
+	return r.Subst.Apply(m).Kind
+}
+
+func TestPipelineInference(t *testing.T) {
+	w, r := buildAndInfer(t, pipelineSrc)
+	if len(r.Errors) > 0 {
+		t.Fatalf("inference errors: %v", r.Errors[0])
+	}
+	if !r.ThreadRoots["thrFunc"] {
+		t.Error("thrFunc should be a thread root")
+	}
+	if !r.ThreadReachable["procA"] {
+		t.Error("procA (reachable via function pointer) should be thread-reachable")
+	}
+	if !r.SharedGlobals["notDone"] {
+		t.Error("notDone should be a shared global")
+	}
+	// notDone's storage is dynamic.
+	g := w.Globals["notDone"]
+	if k := resolved(w, r, g.Type.Mode); k != types.ModeDynamic {
+		t.Errorf("notDone mode = %s, want dynamic", k)
+	}
+	// thrFunc's formal: void dynamic * private.
+	fi := w.Funcs["thrFunc"]
+	d := fi.Params[0].Type
+	if k := resolved(w, r, d.Elem.Mode); k != types.ModeDynamic {
+		t.Errorf("*d mode = %s, want dynamic", k)
+	}
+	if k := resolved(w, r, d.Mode); k != types.ModePrivate {
+		t.Errorf("d storage mode = %s, want private", k)
+	}
+	// Local S: stage_t dynamic * private.
+	var sType, ldataType *types.Type
+	for decl, lt := range fi.Locals {
+		switch decl.Name {
+		case "S":
+			sType = lt
+		case "ldata":
+			ldataType = lt
+		}
+	}
+	if sType == nil || ldataType == nil {
+		t.Fatal("locals S/ldata not resolved")
+	}
+	if k := resolved(w, r, sType.Elem.Mode); k != types.ModeDynamic {
+		t.Errorf("*S mode = %s, want dynamic", k)
+	}
+	// ldata: char private * private (receives SCAST to private).
+	if k := resolved(w, r, ldataType.Elem.Mode); k != types.ModePrivate {
+		t.Errorf("*ldata mode = %s, want private", k)
+	}
+	// The stage struct: next field pointee is dynamic (in-struct default),
+	// mut is readonly (lock root rule), sdata stays locked.
+	si := w.Structs["stage"]
+	next := si.Field("next")
+	if next.Type.Elem.Mode.Kind != types.ModeDynamic {
+		t.Errorf("*next mode = %s, want dynamic", next.Type.Elem.Mode)
+	}
+	if next.Type.Mode.Kind != types.ModePoly {
+		t.Errorf("next outer mode = %s, want poly", next.Type.Mode)
+	}
+	mut := si.Field("mut")
+	if mut.Type.Mode.Kind != types.ModeReadonly {
+		t.Errorf("mut outer mode = %s, want readonly (lock-root rule)", mut.Type.Mode)
+	}
+	if mut.Type.Elem.Mode.Kind != types.ModeRacy {
+		t.Errorf("*mut mode = %s, want racy", mut.Type.Elem.Mode)
+	}
+	sdata := si.Field("sdata")
+	if sdata.Type.Mode.Kind != types.ModeLocked {
+		t.Errorf("sdata outer mode = %s, want locked", sdata.Type.Mode)
+	}
+	if sdata.Type.Elem.Mode.Kind != types.ModeLocked {
+		t.Errorf("*sdata mode = %s, want locked", sdata.Type.Elem.Mode)
+	}
+	// cv field: pointer to racy cond, outer poly.
+	cv := si.Field("cv")
+	if cv.Type.Elem.Mode.Kind != types.ModeRacy {
+		t.Errorf("*cv mode = %s, want racy", cv.Type.Elem.Mode)
+	}
+}
+
+func TestPrivateByDefault(t *testing.T) {
+	src := `
+int counter;
+void bump(void) { counter = counter + 1; }
+int main(void) { bump(); return counter; }
+`
+	w, r := buildAndInfer(t, src)
+	g := w.Globals["counter"]
+	if k := resolved(w, r, g.Type.Mode); k != types.ModePrivate {
+		t.Errorf("counter mode = %s, want private (no threads)", k)
+	}
+	if len(r.ThreadRoots) != 0 {
+		t.Errorf("no thread roots expected, got %v", r.ThreadRoots)
+	}
+}
+
+func TestSharedGlobalSeed(t *testing.T) {
+	src := `
+int flag;
+void *worker(void *d) { flag = 1; return NULL; }
+int main(void) { spawn(worker, malloc(4)); return flag; }
+`
+	w, r := buildAndInfer(t, src)
+	if k := resolved(w, r, w.Globals["flag"].Type.Mode); k != types.ModeDynamic {
+		t.Errorf("flag = %s, want dynamic", k)
+	}
+}
+
+func TestPrivateAnnotatedSharedGlobalIsError(t *testing.T) {
+	src := `
+int private flag;
+void *worker(void *d) { flag = 1; return NULL; }
+int main(void) { spawn(worker, malloc(4)); return 0; }
+`
+	_, r := buildAndInfer(t, src)
+	if len(r.Errors) == 0 {
+		t.Fatal("expected error: shared global annotated private")
+	}
+}
+
+func TestDynamicInDoesNotOverPropagate(t *testing.T) {
+	// helper reads through its argument but never stores it anywhere:
+	// passing a shared buffer in one place must not force private callers'
+	// buffers to become dynamic.
+	src := `
+int sum(int *p, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += p[i];
+	return s;
+}
+int g;
+void *worker(void *d) {
+	int *buf = d;
+	g = sum(buf, 4);
+	return NULL;
+}
+int main(void) {
+	int *shared = malloc(4);
+	int *mine = malloc(4);
+	spawn(worker, shared);
+	return sum(mine, 4);
+}
+`
+	w, r := buildAndInfer(t, src)
+	fi := w.Funcs["main"]
+	var mineT, sharedT *types.Type
+	for d, lt := range fi.Locals {
+		switch d.Name {
+		case "mine":
+			mineT = lt
+		case "shared":
+			sharedT = lt
+		}
+	}
+	if k := resolved(w, r, sharedT.Elem.Mode); k != types.ModeDynamic {
+		t.Errorf("*shared = %s, want dynamic", k)
+	}
+	if k := resolved(w, r, mineT.Elem.Mode); k != types.ModePrivate {
+		t.Errorf("*mine = %s, want private (dynamic-in must not over-propagate)", k)
+	}
+	// sum's formal becomes (weakly) dynamic so accesses are checked.
+	sumP := w.Funcs["sum"].Params[0].Type
+	if k := resolved(w, r, sumP.Elem.Mode); k != types.ModeDynamic {
+		t.Errorf("sum's *p = %s, want dynamic", k)
+	}
+	if r.EscapesAt("sum", 0) {
+		t.Error("sum's p must not be escaping")
+	}
+}
+
+func TestEscapingParamPropagatesBack(t *testing.T) {
+	// stash stores its argument into a shared global: the actual must
+	// become dynamic even at call sites unrelated to threads.
+	src := `
+int *box;
+void stash(int *p) { box = p; }
+void *worker(void *d) { int v = box[0]; return NULL; }
+int main(void) {
+	int *mine = malloc(4);
+	stash(mine);
+	spawn(worker, malloc(4));
+	return 0;
+}
+`
+	w, r := buildAndInfer(t, src)
+	if !r.EscapesAt("stash", 0) {
+		t.Fatal("stash's p should escape (stored to a global)")
+	}
+	var mineT *types.Type
+	for d, lt := range w.Funcs["main"].Locals {
+		if d.Name == "mine" {
+			mineT = lt
+		}
+	}
+	if k := resolved(w, r, mineT.Elem.Mode); k != types.ModeDynamic {
+		t.Errorf("*mine = %s, want dynamic (escapes via stash into shared box)", k)
+	}
+}
+
+func TestReturnEscape(t *testing.T) {
+	src := `
+int *ident(int *p) { return p; }
+int main(void) { int *x = malloc(4); ident(x); return 0; }
+`
+	_, r := buildAndInfer(t, src)
+	if !r.EscapesAt("ident", 0) {
+		t.Error("returned parameter should be escaping")
+	}
+}
+
+func TestAddressTakenFunctions(t *testing.T) {
+	src := `
+void cb(char private *p) { p[0] = 1; }
+struct holder { void (*fun)(char private *p); };
+int main(void) {
+	struct holder *h = malloc(1);
+	h->fun = cb;
+	return 0;
+}
+`
+	_, r := buildAndInfer(t, src)
+	if !r.AddressTaken["cb"] {
+		t.Error("cb should be address-taken")
+	}
+}

@@ -1,0 +1,640 @@
+package semantics
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file carries the extension the paper sketches in §3: "The formalism
+// is readily extendable to include locked, readonly, and racy." The core
+// machine gains lock cells, lock/unlock statements, a chklock guard, and
+// the static rules for the three extra modes:
+//
+//   - locked(l) cells may be read or written only while holding l
+//     (guarded by chklock, which inspects the thread's held set);
+//   - readonly cells may be read freely and never written (rejected
+//     statically — the simplified model has no private-struct exception);
+//   - racy cells are accessed without guards.
+//
+// The soundness property extends accordingly: a locked cell is never
+// accessed by a thread that does not hold its lock, and readonly cells
+// never change value after the initial write phase (here: never, since
+// writes are statically rejected).
+
+// Extended modes join Private and Dynamic from lang.go.
+const (
+	Readonly Mode = iota + 2
+	Locked
+	RacyM
+)
+
+// ExtMode returns a printable name covering the extended modes.
+func modeName(m Mode) string {
+	switch m {
+	case Private:
+		return "private"
+	case Dynamic:
+		return "dynamic"
+	case Readonly:
+		return "readonly"
+	case Locked:
+		return "locked"
+	case RacyM:
+		return "racy"
+	}
+	return "?"
+}
+
+// LockName identifies a lock in the extended model (locks are global,
+// pre-allocated cells).
+type LockName string
+
+// ExtType is a type of the extended model: a mode, an optional lock (for
+// Locked), and an optional referent.
+type ExtType struct {
+	Mode Mode
+	Lock LockName // Locked only
+	Ref  *ExtType // nil = int
+}
+
+func (t *ExtType) String() string {
+	base := "int"
+	if t.Ref != nil {
+		base = "ref (" + t.Ref.String() + ")"
+	}
+	if t.Mode == Locked {
+		return fmt.Sprintf("locked(%s) %s", t.Lock, base)
+	}
+	return modeName(t.Mode) + " " + base
+}
+
+// Equal is structural equality (locks included).
+func (t *ExtType) Equal(o *ExtType) bool {
+	if t.Mode != o.Mode || t.Lock != o.Lock || (t.Ref == nil) != (o.Ref == nil) {
+		return false
+	}
+	if t.Ref == nil {
+		return true
+	}
+	return t.Ref.Equal(o.Ref)
+}
+
+// ExtStmtKind extends statements with lock operations.
+type ExtStmtKind int
+
+const (
+	EAssign ExtStmtKind = iota
+	ESpawn
+	ELock
+	EUnlock
+)
+
+// ExtGuardKind extends guards with the lock check.
+type ExtGuardKind int
+
+const (
+	EChkRead ExtGuardKind = iota
+	EChkWrite
+	EChkLock
+	EOneRef
+)
+
+// ExtGuard is a guard of the extended model.
+type ExtGuard struct {
+	Kind ExtGuardKind
+	L    LVal
+	X    string
+	Lock LockName
+}
+
+// ExtStmt is a statement of the extended model.
+type ExtStmt struct {
+	Kind   ExtStmtKind
+	L      LVal
+	R      RHS // reuses the core RHS (ints, lvals, new, null, scast)
+	RT     *ExtType
+	Thread string
+	Lock   LockName
+	Guards []ExtGuard
+}
+
+// ExtThread and ExtProgram mirror the core shapes.
+type ExtThread struct {
+	Name   string
+	Locals []struct {
+		Name string
+		Type *ExtType
+	}
+	Body []ExtStmt
+}
+
+type ExtProgram struct {
+	Globals []struct {
+		Name string
+		Type *ExtType
+	}
+	Locks   []LockName
+	Threads []ExtThread
+	Main    string
+}
+
+func (p *ExtProgram) thread(name string) *ExtThread {
+	for i := range p.Threads {
+		if p.Threads[i].Name == name {
+			return &p.Threads[i]
+		}
+	}
+	return nil
+}
+
+// CompileExt type-checks the extended program and inserts guards:
+// W(ℓ, dynamic) = chkwrite, W(ℓ, locked l) = chklock(l), W(ℓ, readonly)
+// is rejected, W(ℓ, racy) = nothing, and symmetrically for reads (reads of
+// readonly cells are guard-free).
+func CompileExt(p *ExtProgram) (*ExtProgram, error) {
+	globals := make(map[string]*ExtType)
+	for _, g := range p.Globals {
+		if g.Type.Mode == Private {
+			return nil, fmt.Errorf("global %s must not be private", g.Name)
+		}
+		globals[g.Name] = g.Type
+	}
+	locks := make(map[LockName]bool)
+	for _, l := range p.Locks {
+		locks[l] = true
+	}
+	out := &ExtProgram{Globals: p.Globals, Locks: p.Locks, Main: p.Main}
+	for _, td := range p.Threads {
+		env := make(map[string]*ExtType)
+		for k, v := range globals {
+			env[k] = v
+		}
+		for _, l := range td.Locals {
+			env[l.Name] = l.Type
+		}
+		ntd := td
+		ntd.Body = make([]ExtStmt, len(td.Body))
+		for i, s := range td.Body {
+			cs, err := extStmt(td.Name, env, locks, s)
+			if err != nil {
+				return nil, err
+			}
+			ntd.Body[i] = cs
+		}
+		out.Threads = append(out.Threads, ntd)
+	}
+	if out.thread(out.Main) == nil {
+		return nil, fmt.Errorf("main thread %q undefined", out.Main)
+	}
+	return out, nil
+}
+
+func extLValType(env map[string]*ExtType, l LVal) (*ExtType, error) {
+	t, ok := env[l.Name]
+	if !ok {
+		return nil, fmt.Errorf("undefined %s", l.Name)
+	}
+	if !l.Deref {
+		return t, nil
+	}
+	if t.Ref == nil {
+		return nil, fmt.Errorf("*%s: not a reference", l.Name)
+	}
+	if t.Mode != Private {
+		return nil, fmt.Errorf("*%s: dereferenced variable must be private", l.Name)
+	}
+	return t.Ref, nil
+}
+
+func wGuardExt(l LVal, t *ExtType) ([]ExtGuard, error) {
+	switch t.Mode {
+	case Dynamic:
+		return []ExtGuard{{Kind: EChkWrite, L: l}}, nil
+	case Locked:
+		return []ExtGuard{{Kind: EChkLock, L: l, Lock: t.Lock}}, nil
+	case Readonly:
+		return nil, fmt.Errorf("cannot write readonly %s", l)
+	default:
+		return nil, nil
+	}
+}
+
+func rGuardExt(l LVal, t *ExtType) []ExtGuard {
+	switch t.Mode {
+	case Dynamic:
+		return []ExtGuard{{Kind: EChkRead, L: l}}
+	case Locked:
+		return []ExtGuard{{Kind: EChkLock, L: l, Lock: t.Lock}}
+	default:
+		return nil // readonly, racy, private: unguarded reads
+	}
+}
+
+func extStmt(tname string, env map[string]*ExtType, locks map[LockName]bool, s ExtStmt) (ExtStmt, error) {
+	switch s.Kind {
+	case ESpawn:
+		return s, nil
+	case ELock, EUnlock:
+		if !locks[s.Lock] {
+			return s, fmt.Errorf("%s: unknown lock %s", tname, s.Lock)
+		}
+		return s, nil
+	case EAssign:
+		lt, err := extLValType(env, s.L)
+		if err != nil {
+			return s, fmt.Errorf("%s: %v", tname, err)
+		}
+		w, err := wGuardExt(s.L, lt)
+		if err != nil {
+			return s, fmt.Errorf("%s: %v", tname, err)
+		}
+		switch s.R.Kind {
+		case RHSInt:
+			if lt.Ref != nil {
+				return s, fmt.Errorf("%s: %s := n on a ref cell", tname, s.L)
+			}
+			s.Guards = w
+		case RHSNull, RHSNew:
+			if lt.Ref == nil {
+				return s, fmt.Errorf("%s: %s := ref-op on an int cell", tname, s.L)
+			}
+			s.Guards = w
+		case RHSLVal:
+			rt, err := extLValType(env, s.R.L)
+			if err != nil {
+				return s, fmt.Errorf("%s: %v", tname, err)
+			}
+			if (lt.Ref == nil) != (rt.Ref == nil) {
+				return s, fmt.Errorf("%s: %s := %s shape mismatch", tname, s.L, s.R.L)
+			}
+			if lt.Ref != nil && !lt.Ref.Equal(rt.Ref) {
+				return s, fmt.Errorf("%s: %s := %s referent mismatch", tname, s.L, s.R.L)
+			}
+			s.Guards = append(w, rGuardExt(s.R.L, rt)...)
+		case RHSScast:
+			xt, ok := env[s.R.X]
+			if !ok || xt.Ref == nil || xt.Mode != Private {
+				return s, fmt.Errorf("%s: scast source %s must be a private ref", tname, s.R.X)
+			}
+			if lt.Ref == nil {
+				return s, fmt.Errorf("%s: scast target %s is not a ref cell", tname, s.L)
+			}
+			// Only the top referent mode/lock changes.
+			if (lt.Ref.Ref == nil) != (xt.Ref.Ref == nil) {
+				return s, fmt.Errorf("%s: scast shape mismatch", tname)
+			}
+			if lt.Ref.Ref != nil && !lt.Ref.Ref.Equal(xt.Ref.Ref) {
+				return s, fmt.Errorf("%s: scast may only change the top referent mode", tname)
+			}
+			s.Guards = append([]ExtGuard{{Kind: EOneRef, X: s.R.X}}, w...)
+		}
+		return s, nil
+	}
+	return s, fmt.Errorf("%s: malformed statement", tname)
+}
+
+// ---------------------------------------------------------------------------
+// extended machine
+
+// ExtMachine runs extended programs: the core cell memory plus lock
+// ownership and per-thread held sets.
+type ExtMachine struct {
+	Prog    *ExtProgram
+	Cells   []extCell
+	Globals map[string]int64
+	Threads []*extMThread
+
+	// lockOwner maps each lock to the thread holding it (0 = free).
+	lockOwner map[LockName]int
+
+	GuardsOff  bool
+	Violations []string
+	nextThread int
+}
+
+type extCell struct {
+	Val     int64
+	Typ     *ExtType
+	Owner   int
+	Readers map[int]bool
+	Writers map[int]bool
+	// initialValue snapshots readonly cells for the immutability oracle.
+	roInit int64
+	roSet  bool
+}
+
+type extMThread struct {
+	ID     int
+	Def    *ExtThread
+	Env    map[string]int64
+	Held   map[LockName]bool
+	PC     int
+	Guard  int
+	Failed bool
+	Done   bool
+	// blocked marks a thread waiting to acquire a taken lock.
+	blockedOn LockName
+}
+
+// NewExtMachine initializes globals and spawns main.
+func NewExtMachine(p *ExtProgram) *ExtMachine {
+	m := &ExtMachine{
+		Prog:      p,
+		Globals:   make(map[string]int64),
+		lockOwner: make(map[LockName]int),
+	}
+	m.Cells = append(m.Cells, extCell{})
+	for _, g := range p.Globals {
+		m.Globals[g.Name] = m.alloc(g.Type, 0)
+	}
+	m.spawn(p.Main)
+	return m
+}
+
+func (m *ExtMachine) alloc(t *ExtType, owner int) int64 {
+	m.Cells = append(m.Cells, extCell{
+		Typ: t, Owner: owner,
+		Readers: map[int]bool{}, Writers: map[int]bool{},
+	})
+	return int64(len(m.Cells) - 1)
+}
+
+func (m *ExtMachine) spawn(name string) {
+	td := m.Prog.thread(name)
+	m.nextThread++
+	t := &extMThread{ID: m.nextThread, Def: td,
+		Env: make(map[string]int64), Held: make(map[LockName]bool)}
+	for k, v := range m.Globals {
+		t.Env[k] = v
+	}
+	for _, l := range td.Locals {
+		t.Env[l.Name] = m.alloc(l.Type, t.ID)
+	}
+	m.Threads = append(m.Threads, t)
+}
+
+func (m *ExtMachine) violatef(format string, args ...any) {
+	m.Violations = append(m.Violations, fmt.Sprintf(format, args...))
+}
+
+// Runnable returns indexes of threads that can step (blocked threads whose
+// lock freed up become runnable again).
+func (m *ExtMachine) Runnable() []int {
+	var out []int
+	for i, t := range m.Threads {
+		if t.Failed || t.Done {
+			continue
+		}
+		if t.blockedOn != "" && m.lockOwner[t.blockedOn] != 0 {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+func (m *ExtMachine) resolve(t *extMThread, l LVal) (int64, bool) {
+	a := t.Env[l.Name]
+	if !l.Deref {
+		return a, true
+	}
+	m.oracle(t, a, false)
+	v := m.Cells[a].Val
+	if v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// oracle checks the extended theorem at every actual access: private cells
+// owner-only, dynamic cells race-free, locked cells only under their lock,
+// readonly cells immutable.
+func (m *ExtMachine) oracle(t *extMThread, addr int64, write bool) {
+	c := &m.Cells[addr]
+	if c.Typ == nil {
+		return
+	}
+	switch c.Typ.Mode {
+	case Private:
+		if c.Owner != t.ID {
+			m.violatef("thread %d touched private cell %d of %d", t.ID, addr, c.Owner)
+		}
+	case Dynamic:
+		if write {
+			for id := range c.Readers {
+				if id != t.ID {
+					m.violatef("race: write of dynamic cell %d vs reader %d", addr, id)
+				}
+			}
+			for id := range c.Writers {
+				if id != t.ID {
+					m.violatef("race: write of dynamic cell %d vs writer %d", addr, id)
+				}
+			}
+			c.Writers[t.ID] = true
+		}
+		c.Readers[t.ID] = true
+	case Locked:
+		if !t.Held[c.Typ.Lock] {
+			m.violatef("thread %d touched locked(%s) cell %d without the lock", t.ID, c.Typ.Lock, addr)
+		}
+	case Readonly:
+		if write {
+			if c.roSet {
+				m.violatef("readonly cell %d rewritten", addr)
+			}
+		}
+	case RacyM:
+		// anything goes
+	}
+}
+
+func (m *ExtMachine) evalGuard(t *extMThread, g ExtGuard) bool {
+	switch g.Kind {
+	case EChkRead:
+		addr, ok := m.resolve(t, g.L)
+		if !ok {
+			return false
+		}
+		c := &m.Cells[addr]
+		for id := range c.Writers {
+			if id != t.ID {
+				return false
+			}
+		}
+		c.Readers[t.ID] = true
+		return true
+	case EChkWrite:
+		addr, ok := m.resolve(t, g.L)
+		if !ok {
+			return false
+		}
+		c := &m.Cells[addr]
+		for id := range c.Readers {
+			if id != t.ID {
+				return false
+			}
+		}
+		for id := range c.Writers {
+			if id != t.ID {
+				return false
+			}
+		}
+		c.Writers[t.ID] = true
+		return true
+	case EChkLock:
+		return t.Held[g.Lock]
+	case EOneRef:
+		a := t.Env[g.X]
+		v := m.Cells[a].Val
+		if v == 0 {
+			return false
+		}
+		count := 0
+		for i := 1; i < len(m.Cells); i++ {
+			c := &m.Cells[i]
+			if c.Typ != nil && c.Typ.Ref != nil && c.Val == v {
+				count++
+			}
+		}
+		return count == 1
+	}
+	return false
+}
+
+// Step advances thread ti by one micro-step.
+func (m *ExtMachine) Step(ti int) {
+	t := m.Threads[ti]
+	if t.Failed || t.Done {
+		return
+	}
+	if t.PC >= len(t.Def.Body) {
+		m.exit(t)
+		return
+	}
+	s := &t.Def.Body[t.PC]
+	// Lock operations.
+	switch s.Kind {
+	case ELock:
+		owner := m.lockOwner[s.Lock]
+		if owner != 0 && owner != t.ID {
+			t.blockedOn = s.Lock
+			return // stays runnable once freed
+		}
+		t.blockedOn = ""
+		m.lockOwner[s.Lock] = t.ID
+		t.Held[s.Lock] = true
+		t.PC++
+		return
+	case EUnlock:
+		if !t.Held[s.Lock] {
+			t.Failed = true
+			return
+		}
+		delete(t.Held, s.Lock)
+		m.lockOwner[s.Lock] = 0
+		t.PC++
+		return
+	case ESpawn:
+		m.spawn(s.Thread)
+		t.PC++
+		return
+	}
+	if !m.GuardsOff && t.Guard < len(s.Guards) {
+		if !m.evalGuard(t, s.Guards[t.Guard]) {
+			t.Failed = true
+			return
+		}
+		t.Guard++
+		return
+	}
+	m.execute(t, s)
+	t.PC++
+	t.Guard = 0
+}
+
+func (m *ExtMachine) execute(t *extMThread, s *ExtStmt) {
+	a1, ok := m.resolve(t, s.L)
+	if !ok {
+		t.Failed = true
+		return
+	}
+	write := func(v int64) {
+		m.oracle(t, a1, true)
+		c := &m.Cells[a1]
+		c.Val = v
+		if c.Typ != nil && c.Typ.Mode == Readonly {
+			c.roInit, c.roSet = v, true
+		}
+	}
+	switch s.R.Kind {
+	case RHSInt:
+		write(s.R.N)
+	case RHSNull:
+		write(0)
+	case RHSNew:
+		lt := m.Cells[a1].Typ
+		var rt *ExtType
+		if lt != nil {
+			rt = lt.Ref
+		}
+		fresh := m.alloc(rt, t.ID)
+		write(fresh)
+	case RHSLVal:
+		a2, ok := m.resolve(t, s.R.L)
+		if !ok {
+			t.Failed = true
+			return
+		}
+		m.oracle(t, a2, false)
+		write(m.Cells[a2].Val)
+	case RHSScast:
+		a2 := t.Env[s.R.X]
+		m.oracle(t, a2, false)
+		v2 := m.Cells[a2].Val
+		if v2 == 0 {
+			t.Failed = true
+			return
+		}
+		m.oracle(t, a2, true)
+		m.Cells[a2].Val = 0
+		c := &m.Cells[v2]
+		if lt := m.Cells[a1].Typ; lt != nil {
+			c.Typ = lt.Ref
+		}
+		c.Owner = t.ID
+		c.Readers = map[int]bool{}
+		c.Writers = map[int]bool{}
+		c.roSet = false
+		write(v2)
+	}
+}
+
+func (m *ExtMachine) exit(t *extMThread) {
+	t.Done = true
+	if len(t.Held) > 0 {
+		m.violatef("thread %d exited holding locks", t.ID)
+		for l := range t.Held {
+			m.lockOwner[l] = 0
+		}
+	}
+	for _, l := range t.Def.Locals {
+		m.Cells[t.Env[l.Name]].Val = 0
+	}
+	for i := 1; i < len(m.Cells); i++ {
+		delete(m.Cells[i].Readers, t.ID)
+		delete(m.Cells[i].Writers, t.ID)
+	}
+}
+
+// Run drives the machine under a random scheduler.
+func (m *ExtMachine) Run(rng *rand.Rand, maxSteps int) int {
+	for i := 0; i < maxSteps; i++ {
+		r := m.Runnable()
+		if len(r) == 0 {
+			return i
+		}
+		m.Step(r[rng.Intn(len(r))])
+	}
+	return maxSteps
+}

@@ -1,0 +1,237 @@
+package semantics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// lockedCounter: two threads increment a locked global under lock L.
+func lockedCounterProg() *ExtProgram {
+	incr := ExtThread{
+		Name: "w",
+		Body: []ExtStmt{
+			{Kind: ELock, Lock: "L"},
+			{Kind: EAssign, L: LVal{Name: "g"}, R: RHS{Kind: RHSInt, N: 1}},
+			{Kind: EAssign, L: LVal{Name: "g"}, R: RHS{Kind: RHSInt, N: 2}},
+			{Kind: EUnlock, Lock: "L"},
+		},
+	}
+	p := &ExtProgram{Main: "main", Locks: []LockName{"L"}}
+	p.Globals = append(p.Globals, struct {
+		Name string
+		Type *ExtType
+	}{"g", &ExtType{Mode: Locked, Lock: "L"}})
+	p.Threads = append(p.Threads,
+		ExtThread{Name: "main", Body: []ExtStmt{
+			{Kind: ESpawn, Thread: "w"},
+			{Kind: ESpawn, Thread: "w"},
+		}},
+		incr,
+	)
+	return p
+}
+
+func TestExtLockedGuardsInserted(t *testing.T) {
+	c, err := CompileExt(lockedCounterProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.thread("w")
+	g := w.Body[1].Guards
+	if len(g) != 1 || g[0].Kind != EChkLock || g[0].Lock != "L" {
+		t.Fatalf("guards: %v", g)
+	}
+}
+
+func TestExtLockedCounterSound(t *testing.T) {
+	c, err := CompileExt(lockedCounterProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		m := NewExtMachine(c)
+		m.Run(rand.New(rand.NewSource(seed)), 3000)
+		if len(m.Violations) != 0 {
+			t.Fatalf("seed %d: %v", seed, m.Violations)
+		}
+		for _, th := range m.Threads {
+			if th.Failed {
+				t.Fatalf("seed %d: properly locked program must not fail guards", seed)
+			}
+		}
+	}
+}
+
+func TestExtUnlockedAccessFailsGuard(t *testing.T) {
+	// Access without taking the lock: the chklock guard fails the thread
+	// before the access, so the oracle never sees a violation.
+	p := lockedCounterProg()
+	p.Threads[1].Body = []ExtStmt{
+		{Kind: EAssign, L: LVal{Name: "g"}, R: RHS{Kind: RHSInt, N: 9}},
+	}
+	c, err := CompileExt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewExtMachine(c)
+	m.Run(rand.New(rand.NewSource(1)), 1000)
+	failed := false
+	for _, th := range m.Threads {
+		if th.Failed {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("expected the chklock guard to fail")
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("guard must block the access: %v", m.Violations)
+	}
+}
+
+func TestExtMutationExposesLockViolation(t *testing.T) {
+	p := lockedCounterProg()
+	p.Threads[1].Body = []ExtStmt{
+		{Kind: EAssign, L: LVal{Name: "g"}, R: RHS{Kind: RHSInt, N: 9}},
+	}
+	c, err := CompileExt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewExtMachine(c)
+	m.GuardsOff = true
+	m.Run(rand.New(rand.NewSource(1)), 1000)
+	if len(m.Violations) == 0 {
+		t.Fatal("with guards stripped the oracle must see the lock violation")
+	}
+}
+
+func TestExtReadonlyWriteRejectedStatically(t *testing.T) {
+	p := &ExtProgram{Main: "main"}
+	p.Globals = append(p.Globals, struct {
+		Name string
+		Type *ExtType
+	}{"r", &ExtType{Mode: Readonly}})
+	p.Threads = append(p.Threads, ExtThread{Name: "main", Body: []ExtStmt{
+		{Kind: EAssign, L: LVal{Name: "r"}, R: RHS{Kind: RHSInt, N: 1}},
+	}})
+	if _, err := CompileExt(p); err == nil || !strings.Contains(err.Error(), "readonly") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtReadonlyReadsUnguardedAndShared(t *testing.T) {
+	p := &ExtProgram{Main: "main"}
+	p.Globals = append(p.Globals,
+		struct {
+			Name string
+			Type *ExtType
+		}{"r", &ExtType{Mode: Readonly}},
+		struct {
+			Name string
+			Type *ExtType
+		}{"sink", &ExtType{Mode: RacyM}},
+	)
+	reader := ExtThread{Name: "rd", Body: []ExtStmt{
+		{Kind: EAssign, L: LVal{Name: "sink"}, R: RHS{Kind: RHSLVal, L: LVal{Name: "r"}}},
+	}}
+	p.Threads = append(p.Threads,
+		ExtThread{Name: "main", Body: []ExtStmt{
+			{Kind: ESpawn, Thread: "rd"},
+			{Kind: ESpawn, Thread: "rd"},
+			{Kind: ESpawn, Thread: "rd"},
+		}},
+		reader,
+	)
+	c, err := CompileExt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := c.thread("rd").Body[0].Guards; len(g) != 0 {
+		t.Fatalf("readonly reads into racy sink need no guards: %v", g)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		m := NewExtMachine(c)
+		m.Run(rand.New(rand.NewSource(seed)), 1000)
+		if len(m.Violations) != 0 {
+			t.Fatalf("seed %d: %v", seed, m.Violations)
+		}
+	}
+}
+
+func TestExtRacyUncheckedRaces(t *testing.T) {
+	// Racy cells: concurrent writers, no guards, no violations.
+	p := &ExtProgram{Main: "main"}
+	p.Globals = append(p.Globals, struct {
+		Name string
+		Type *ExtType
+	}{"f", &ExtType{Mode: RacyM}})
+	w := ExtThread{Name: "w", Body: []ExtStmt{
+		{Kind: EAssign, L: LVal{Name: "f"}, R: RHS{Kind: RHSInt, N: 1}},
+		{Kind: EAssign, L: LVal{Name: "f"}, R: RHS{Kind: RHSInt, N: 2}},
+	}}
+	p.Threads = append(p.Threads,
+		ExtThread{Name: "main", Body: []ExtStmt{
+			{Kind: ESpawn, Thread: "w"},
+			{Kind: ESpawn, Thread: "w"},
+		}},
+		w,
+	)
+	c, err := CompileExt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := c.thread("w").Body[0].Guards; len(g) != 0 {
+		t.Fatalf("racy writes are unguarded: %v", g)
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		m := NewExtMachine(c)
+		m.Run(rand.New(rand.NewSource(seed)), 1000)
+		if len(m.Violations) != 0 {
+			t.Fatalf("seed %d: %v", seed, m.Violations)
+		}
+	}
+}
+
+func TestExtLockMutualExclusion(t *testing.T) {
+	// The lock itself must serialize: with two threads looping over
+	// lock;write;write;unlock, the oracle (which checks held-ness at each
+	// access) stays silent across many schedules.
+	c, err := CompileExt(lockedCounterProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		m := NewExtMachine(c)
+		steps := m.Run(rand.New(rand.NewSource(seed)), 5000)
+		if steps >= 5000 {
+			t.Fatalf("seed %d: machine did not quiesce (deadlock?)", seed)
+		}
+	}
+}
+
+func TestExtThreadExitReleasesNothingSilently(t *testing.T) {
+	// A thread exiting while holding a lock is a violation.
+	p := lockedCounterProg()
+	p.Threads[1].Body = []ExtStmt{
+		{Kind: ELock, Lock: "L"},
+		{Kind: EAssign, L: LVal{Name: "g"}, R: RHS{Kind: RHSInt, N: 5}},
+		// no unlock
+	}
+	c, err := CompileExt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewExtMachine(c)
+	m.Run(rand.New(rand.NewSource(2)), 2000)
+	found := false
+	for _, v := range m.Violations {
+		if strings.Contains(v, "exited holding") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected exit-holding-lock violation: %v", m.Violations)
+	}
+}

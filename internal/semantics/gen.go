@@ -1,0 +1,220 @@
+package semantics
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenProgram generates a random well-typed program of the core language:
+// a handful of dynamic globals (ints and refs), several thread definitions
+// with private/dynamic locals, and bodies of assignments, allocations,
+// sharing casts, and spawns. Programs are well-typed by construction; the
+// guards are still inserted by Compile.
+func GenProgram(rng *rand.Rand) *Program {
+	g := &generator{rng: rng}
+	return g.program()
+}
+
+type generator struct {
+	rng *rand.Rand
+}
+
+func (g *generator) program() *Program {
+	p := &Program{Main: "main"}
+	// Globals: dynamic ints and dynamic refs to dynamic ints.
+	nGlobals := 2 + g.rng.Intn(3)
+	for i := 0; i < nGlobals; i++ {
+		var t *Type
+		if g.rng.Intn(2) == 0 {
+			t = Int(Dynamic)
+		} else {
+			t = RefTo(Dynamic, Int(Dynamic))
+		}
+		p.Globals = append(p.Globals, Decl{Name: fmt.Sprintf("g%d", i), Type: t})
+	}
+	nThreads := 1 + g.rng.Intn(3)
+	names := []string{"main"}
+	for i := 1; i <= nThreads; i++ {
+		names = append(names, fmt.Sprintf("f%d", i))
+	}
+	for _, name := range names {
+		p.Threads = append(p.Threads, g.thread(p, name, names))
+	}
+	return p
+}
+
+// localTypes are the shapes locals draw from.
+func (g *generator) localType() *Type {
+	switch g.rng.Intn(5) {
+	case 0:
+		return Int(Private)
+	case 1:
+		return Int(Dynamic)
+	case 2:
+		return RefTo(Private, Int(Private))
+	case 3:
+		return RefTo(Private, Int(Dynamic))
+	default:
+		return RefTo(Dynamic, Int(Dynamic))
+	}
+}
+
+func (g *generator) thread(p *Program, name string, all []string) ThreadDef {
+	td := ThreadDef{Name: name}
+	env := make(map[string]*Type)
+	for _, gl := range p.Globals {
+		env[gl.Name] = gl.Type
+	}
+	var names []string
+	for _, gl := range p.Globals {
+		names = append(names, gl.Name)
+	}
+	nLocals := 2 + g.rng.Intn(4)
+	for i := 0; i < nLocals; i++ {
+		n := fmt.Sprintf("%s_x%d", name, i)
+		t := g.localType()
+		td.Locals = append(td.Locals, Decl{Name: n, Type: t})
+		env[n] = t
+		names = append(names, n)
+	}
+	nStmts := 3 + g.rng.Intn(8)
+	for i := 0; i < nStmts; i++ {
+		if s, ok := g.stmt(env, names, all); ok {
+			td.Body = append(td.Body, s)
+		}
+	}
+	return td
+}
+
+// lvalsOfType lists l-values denoting cells of the wanted referent shape.
+func (g *generator) lvalsOfShape(env map[string]*Type, names []string, want *Type) []LVal {
+	var out []LVal
+	for _, n := range names {
+		t := env[n]
+		if shapeAndRefEqual(t, want) && sameScalar(t, want) {
+			out = append(out, LVal{Name: n})
+		}
+		// *x where x is a private ref.
+		if t.Ref != nil && t.Mode == Private &&
+			shapeAndRefEqual(t.Ref, want) && sameScalar(t.Ref, want) {
+			out = append(out, LVal{Name: n, Deref: true})
+		}
+	}
+	return out
+}
+
+// sameScalar: both int or both refs with equal referents (the outer mode is
+// free in assignments).
+func sameScalar(a, b *Type) bool {
+	if (a.Ref == nil) != (b.Ref == nil) {
+		return false
+	}
+	if a.Ref == nil {
+		return true
+	}
+	return a.Ref.Equal(b.Ref)
+}
+
+func (g *generator) stmt(env map[string]*Type, names, all []string) (Stmt, bool) {
+	for attempt := 0; attempt < 10; attempt++ {
+		switch g.rng.Intn(10) {
+		case 0: // spawn
+			return Stmt{Kind: StmtSpawn, Thread: all[g.rng.Intn(len(all))]}, true
+		case 1, 2: // ℓ := n (int cells)
+			lv := g.pickLVal(env, names, func(t *Type) bool { return t.Ref == nil })
+			if lv == nil {
+				continue
+			}
+			return Stmt{Kind: StmtAssign, L: *lv,
+				R: RHS{Kind: RHSInt, N: int64(g.rng.Intn(100))}}, true
+		case 3: // ℓ := null (ref cells)
+			lv := g.pickLVal(env, names, func(t *Type) bool { return t.Ref != nil })
+			if lv == nil {
+				continue
+			}
+			return Stmt{Kind: StmtAssign, L: *lv, R: RHS{Kind: RHSNull}}, true
+		case 4, 5: // ℓ := new t
+			lv := g.pickLVal(env, names, func(t *Type) bool { return t.Ref != nil })
+			if lv == nil {
+				continue
+			}
+			t := g.typeOfLVal(env, *lv)
+			return Stmt{Kind: StmtAssign, L: *lv, R: RHS{Kind: RHSNew, T: t.Ref}}, true
+		case 6, 7, 8: // ℓ1 := ℓ2 with matching referents
+			lv := g.pickLVal(env, names, func(t *Type) bool { return true })
+			if lv == nil {
+				continue
+			}
+			t := g.typeOfLVal(env, *lv)
+			cands := g.lvalsOfShape(env, names, t)
+			if len(cands) == 0 {
+				continue
+			}
+			src := cands[g.rng.Intn(len(cands))]
+			if src == *lv {
+				continue
+			}
+			return Stmt{Kind: StmtAssign, L: *lv, R: RHS{Kind: RHSLVal, L: src}}, true
+		case 9: // ℓ := scast t x
+			// Source: a private ref variable; target cell: a ref cell whose
+			// referent matches below the top mode.
+			var srcs []string
+			for _, n := range names {
+				t := env[n]
+				if t.Ref != nil && t.Mode == Private {
+					srcs = append(srcs, n)
+				}
+			}
+			if len(srcs) == 0 {
+				continue
+			}
+			x := srcs[g.rng.Intn(len(srcs))]
+			xt := env[x]
+			var lvs []LVal
+			for _, n := range names {
+				t := env[n]
+				if t.Ref != nil && sameShapeBelowTop(t.Ref, xt.Ref) && t.Ref.WellFormed() {
+					lvs = append(lvs, LVal{Name: n})
+				}
+				if t.Ref != nil && t.Mode == Private && t.Ref.Ref != nil &&
+					sameShapeBelowTop(t.Ref.Ref, xt.Ref) {
+					lvs = append(lvs, LVal{Name: n, Deref: true})
+				}
+			}
+			if len(lvs) == 0 {
+				continue
+			}
+			lv := lvs[g.rng.Intn(len(lvs))]
+			lt := g.typeOfLVal(env, lv)
+			return Stmt{Kind: StmtAssign, L: lv,
+				R: RHS{Kind: RHSScast, X: x, T: lt.Ref}}, true
+		}
+	}
+	return Stmt{}, false
+}
+
+func (g *generator) typeOfLVal(env map[string]*Type, l LVal) *Type {
+	t := env[l.Name]
+	if l.Deref {
+		return t.Ref
+	}
+	return t
+}
+
+func (g *generator) pickLVal(env map[string]*Type, names []string, pred func(*Type) bool) *LVal {
+	var cands []LVal
+	for _, n := range names {
+		t := env[n]
+		if pred(t) {
+			cands = append(cands, LVal{Name: n})
+		}
+		if t.Ref != nil && t.Mode == Private && pred(t.Ref) {
+			cands = append(cands, LVal{Name: n, Deref: true})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	lv := cands[g.rng.Intn(len(cands))]
+	return &lv
+}

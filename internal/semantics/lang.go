@@ -1,0 +1,220 @@
+// Package semantics is an executable rendering of the paper's formal model
+// (§3, Figures 3–6): the core concurrent language with private and dynamic
+// sharing modes, the typing judgments that insert runtime guards
+// (chkread/chkwrite/oneref), and the small-step parallel operational
+// semantics over a typed memory of cells with owners and reader/writer
+// sets.
+//
+// The package exists to make the soundness theorem testable: property tests
+// generate random well-typed programs, run them under many random
+// schedules, and assert Definition 1's consistency invariants plus the
+// theorem — a private cell is only ever accessed by its owner, and no two
+// threads race on a dynamic cell without an intervening sharing cast.
+// Stripping the guards (the mutation switch) makes the same corpus produce
+// violations, demonstrating the guards are load-bearing.
+package semantics
+
+import "fmt"
+
+// Mode is a sharing mode of the core language: private or dynamic only
+// (§3 omits readonly, locked and racy; they are orthogonal extensions).
+type Mode int
+
+const (
+	Private Mode = iota
+	Dynamic
+)
+
+func (m Mode) String() string {
+	if m == Private {
+		return "private"
+	}
+	return "dynamic"
+}
+
+// Type is t ::= m s with s ::= int | ref t.
+type Type struct {
+	Mode Mode
+	Ref  *Type // nil for int
+}
+
+// Int and RefTo are convenience constructors.
+func Int(m Mode) *Type            { return &Type{Mode: m} }
+func RefTo(m Mode, t *Type) *Type { return &Type{Mode: m, Ref: t} }
+
+func (t *Type) String() string {
+	if t.Ref == nil {
+		return fmt.Sprintf("%s int", t.Mode)
+	}
+	return fmt.Sprintf("%s ref (%s)", t.Mode, t.Ref)
+}
+
+// Equal is structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if (t.Ref == nil) != (o.Ref == nil) || t.Mode != o.Mode {
+		return false
+	}
+	if t.Ref == nil {
+		return true
+	}
+	return t.Ref.Equal(o.Ref)
+}
+
+// WellFormed enforces REF-CTOR: for m ref (m' s), m = m' or m = private —
+// a dynamic reference may not point at private data.
+func (t *Type) WellFormed() bool {
+	if t.Ref == nil {
+		return true
+	}
+	if t.Mode != Private && t.Ref.Mode != t.Mode {
+		return false
+	}
+	return t.Ref.WellFormed()
+}
+
+// ---------------------------------------------------------------------------
+// syntax
+
+// LVal is ℓ ::= x | *x.
+type LVal struct {
+	Name  string
+	Deref bool
+}
+
+func (l LVal) String() string {
+	if l.Deref {
+		return "*" + l.Name
+	}
+	return l.Name
+}
+
+// RHSKind discriminates e ::= ℓ | scast_t x | n | null | new_t.
+type RHSKind int
+
+const (
+	RHSLVal RHSKind = iota
+	RHSScast
+	RHSInt
+	RHSNull
+	RHSNew
+)
+
+// RHS is the right-hand side of an assignment.
+type RHS struct {
+	Kind RHSKind
+	L    LVal   // RHSLVal
+	X    string // RHSScast source variable
+	T    *Type  // RHSScast target / RHSNew cell type
+	N    int64  // RHSInt
+}
+
+func (r RHS) String() string {
+	switch r.Kind {
+	case RHSLVal:
+		return r.L.String()
+	case RHSScast:
+		return fmt.Sprintf("scast[%s] %s", r.T, r.X)
+	case RHSInt:
+		return fmt.Sprintf("%d", r.N)
+	case RHSNull:
+		return "null"
+	case RHSNew:
+		return fmt.Sprintf("new %s", r.T)
+	}
+	return "?"
+}
+
+// StmtKind discriminates s ::= ℓ := e | spawn f().
+type StmtKind int
+
+const (
+	StmtAssign StmtKind = iota
+	StmtSpawn
+)
+
+// GuardKind is φ ::= chkread | chkwrite | oneref.
+type GuardKind int
+
+const (
+	GuardChkRead GuardKind = iota
+	GuardChkWrite
+	GuardOneRef
+)
+
+// Guard is one runtime check inserted by the typing judgment; its argument
+// is an l-value (chkread/chkwrite guard the location it denotes; oneref
+// guards the referent of variable X).
+type Guard struct {
+	Kind GuardKind
+	L    LVal   // chkread/chkwrite target
+	X    string // oneref source variable
+}
+
+func (g Guard) String() string {
+	switch g.Kind {
+	case GuardChkRead:
+		return "chkread(" + g.L.String() + ")"
+	case GuardChkWrite:
+		return "chkwrite(" + g.L.String() + ")"
+	case GuardOneRef:
+		return "oneref(*" + g.X + ")"
+	}
+	return "?"
+}
+
+// Stmt is one statement; Guards are filled in by Compile (the "when"
+// clause of Figure 4).
+type Stmt struct {
+	Kind   StmtKind
+	L      LVal
+	R      RHS
+	Thread string // StmtSpawn target
+	Guards []Guard
+}
+
+func (s Stmt) String() string {
+	if s.Kind == StmtSpawn {
+		return "spawn " + s.Thread + "()"
+	}
+	str := fmt.Sprintf("%s := %s", s.L, s.R)
+	if len(s.Guards) > 0 {
+		str += " when"
+		for i, g := range s.Guards {
+			if i > 0 {
+				str += ","
+			}
+			str += " " + g.String()
+		}
+	}
+	return str
+}
+
+// Decl is a variable declaration.
+type Decl struct {
+	Name string
+	Type *Type
+}
+
+// ThreadDef is f(){ t1 x1 ... tn xn; s }.
+type ThreadDef struct {
+	Name   string
+	Locals []Decl
+	Body   []Stmt
+}
+
+// Program is P ::= t x | f(){...}; P.
+type Program struct {
+	Globals []Decl
+	Threads []ThreadDef
+	Main    string // the thread started first
+}
+
+// Thread returns the named thread definition, or nil.
+func (p *Program) Thread(name string) *ThreadDef {
+	for i := range p.Threads {
+		if p.Threads[i].Name == name {
+			return &p.Threads[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package semantics
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cell is one memory location of the formal model: value, type, owner, and
+// reader/writer thread sets (M : l → Z × t × l × P(l) × P(l)).
+type Cell struct {
+	Val     int64
+	Typ     *Type
+	Owner   int
+	Readers map[int]bool
+	Writers map[int]bool
+
+	// Oracle bookkeeping, independent of the guards: the sets the checks
+	// *would* maintain. With guards enabled the two always agree; with
+	// guards stripped (mutation testing) the oracle still detects races.
+	ORead  map[int]bool
+	OWrite map[int]bool
+}
+
+// MThread is one executing thread.
+type MThread struct {
+	ID     int
+	Def    *ThreadDef
+	Env    map[string]int64
+	PC     int
+	Guard  int // next guard of the current statement to evaluate
+	Failed bool
+	Done   bool
+}
+
+// Machine is the parallel small-step machine of Figure 5.
+type Machine struct {
+	Prog    *Program
+	Cells   []Cell // address = index; 0 is invalid
+	Globals map[string]int64
+	Threads []*MThread
+
+	// GuardsOff strips the runtime checks (mutation switch): statements
+	// execute without evaluating their when-clauses.
+	GuardsOff bool
+
+	// Violations collects oracle-detected soundness violations: private
+	// cells accessed by non-owners, and dynamic races.
+	Violations []string
+
+	nextThread int
+	steps      int
+}
+
+// NewMachine initializes memory with the globals (zeroed, owner 0) and
+// spawns the main thread.
+func NewMachine(p *Program) *Machine {
+	m := &Machine{Prog: p, Globals: make(map[string]int64)}
+	m.Cells = append(m.Cells, Cell{}) // address 0 is invalid
+	for _, g := range p.Globals {
+		addr := m.alloc(g.Type, 0)
+		m.Globals[g.Name] = addr
+	}
+	m.spawn(p.Main)
+	return m
+}
+
+func (m *Machine) alloc(t *Type, owner int) int64 {
+	m.Cells = append(m.Cells, Cell{
+		Typ:     t,
+		Owner:   owner,
+		Readers: make(map[int]bool),
+		Writers: make(map[int]bool),
+		ORead:   make(map[int]bool),
+		OWrite:  make(map[int]bool),
+	})
+	return int64(len(m.Cells) - 1)
+}
+
+func (m *Machine) spawn(name string) *MThread {
+	td := m.Prog.Thread(name)
+	m.nextThread++
+	t := &MThread{ID: m.nextThread, Def: td, Env: make(map[string]int64)}
+	for k, v := range m.Globals {
+		t.Env[k] = v
+	}
+	for _, l := range td.Locals {
+		t.Env[l.Name] = m.alloc(l.Type, t.ID)
+	}
+	m.Threads = append(m.Threads, t)
+	return t
+}
+
+// Runnable returns the indexes of threads that can take a step.
+func (m *Machine) Runnable() []int {
+	var out []int
+	for i, t := range m.Threads {
+		if !t.Failed && !t.Done {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *Machine) violatef(format string, args ...any) {
+	m.Violations = append(m.Violations, fmt.Sprintf(format, args...))
+}
+
+// resolve computes the address an l-value denotes for thread t; ok=false
+// means null dereference (the thread must fail).
+func (m *Machine) resolve(t *MThread, l LVal) (int64, bool) {
+	a := t.Env[l.Name]
+	if !l.Deref {
+		return a, true
+	}
+	// Reading the variable x itself to find *x is an access to a private
+	// local: record it through the oracle too.
+	m.oracleAccess(t, a, false)
+	v := m.Cells[a].Val
+	if v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// oracleAccess records an actual access in the oracle sets and flags
+// violations of the theorem: private cells accessed only by their owner; no
+// dynamic races.
+func (m *Machine) oracleAccess(t *MThread, addr int64, write bool) {
+	c := &m.Cells[addr]
+	if c.Typ == nil {
+		return
+	}
+	if c.Typ.Mode == Private {
+		if c.Owner != t.ID {
+			m.violatef("thread %d accessed private cell %d owned by %d", t.ID, addr, c.Owner)
+		}
+		return
+	}
+	// Dynamic: n readers xor 1 writer.
+	if write {
+		for id := range c.ORead {
+			if id != t.ID {
+				m.violatef("race: thread %d wrote dynamic cell %d read by %d", t.ID, addr, id)
+			}
+		}
+		for id := range c.OWrite {
+			if id != t.ID {
+				m.violatef("race: thread %d wrote dynamic cell %d written by %d", t.ID, addr, id)
+			}
+		}
+		c.OWrite[t.ID] = true
+		c.ORead[t.ID] = true
+	} else {
+		for id := range c.OWrite {
+			if id != t.ID {
+				m.violatef("race: thread %d read dynamic cell %d written by %d", t.ID, addr, id)
+			}
+		}
+		c.ORead[t.ID] = true
+	}
+}
+
+// evalGuard executes one runtime check (Figure 6) atomically. It returns
+// false when the check fails (the thread transitions to fail).
+func (m *Machine) evalGuard(t *MThread, g Guard) bool {
+	switch g.Kind {
+	case GuardChkRead:
+		addr, ok := m.resolve(t, g.L)
+		if !ok {
+			return false
+		}
+		c := &m.Cells[addr]
+		for id := range c.Writers {
+			if id != t.ID {
+				return false
+			}
+		}
+		c.Readers[t.ID] = true
+		return true
+	case GuardChkWrite:
+		addr, ok := m.resolve(t, g.L)
+		if !ok {
+			return false
+		}
+		c := &m.Cells[addr]
+		for id := range c.Readers {
+			if id != t.ID {
+				return false
+			}
+		}
+		for id := range c.Writers {
+			if id != t.ID {
+				return false
+			}
+		}
+		c.Writers[t.ID] = true
+		return true
+	case GuardOneRef:
+		a := t.Env[g.X]
+		v := m.Cells[a].Val
+		if v == 0 {
+			return false
+		}
+		// |{b | M(b).value = a ∧ M(b).type = m ref t}| = 1
+		count := 0
+		for i := 1; i < len(m.Cells); i++ {
+			c := &m.Cells[i]
+			if c.Typ != nil && c.Typ.Ref != nil && c.Val == v {
+				count++
+			}
+		}
+		return count == 1
+	}
+	return false
+}
+
+// Step advances thread ti by one micro-step: one guard evaluation or the
+// statement effect. It reports whether the machine changed.
+func (m *Machine) Step(ti int) bool {
+	t := m.Threads[ti]
+	if t.Failed || t.Done {
+		return false
+	}
+	m.steps++
+	if t.PC >= len(t.Def.Body) {
+		m.threadExit(t)
+		return true
+	}
+	s := &t.Def.Body[t.PC]
+	if !m.GuardsOff && t.Guard < len(s.Guards) {
+		ok := m.evalGuard(t, s.Guards[t.Guard])
+		if !ok {
+			t.Failed = true
+			return true
+		}
+		t.Guard++
+		return true
+	}
+	m.execute(t, s)
+	t.PC++
+	t.Guard = 0
+	return true
+}
+
+func (m *Machine) execute(t *MThread, s *Stmt) {
+	if s.Kind == StmtSpawn {
+		m.spawn(s.Thread)
+		return
+	}
+	a1, ok := m.resolve(t, s.L)
+	if !ok {
+		t.Failed = true
+		return
+	}
+	switch s.R.Kind {
+	case RHSInt:
+		m.oracleAccess(t, a1, true)
+		m.Cells[a1].Val = s.R.N
+	case RHSNull:
+		m.oracleAccess(t, a1, true)
+		m.Cells[a1].Val = 0
+	case RHSNew:
+		fresh := m.alloc(s.R.T, t.ID)
+		m.oracleAccess(t, a1, true)
+		m.Cells[a1].Val = fresh
+	case RHSLVal:
+		a2, ok := m.resolve(t, s.R.L)
+		if !ok {
+			t.Failed = true
+			return
+		}
+		m.oracleAccess(t, a2, false)
+		v := m.Cells[a2].Val
+		m.oracleAccess(t, a1, true)
+		m.Cells[a1].Val = v
+	case RHSScast:
+		// a2 = address of x; v2 = the referenced cell.
+		a2 := t.Env[s.R.X]
+		m.oracleAccess(t, a2, false)
+		v2 := m.Cells[a2].Val
+		if v2 == 0 {
+			t.Failed = true
+			return
+		}
+		m.oracleAccess(t, a2, true)
+		m.Cells[a2].Val = 0 // null out the source
+		c := &m.Cells[v2]
+		c.Typ = s.R.T
+		c.Owner = t.ID
+		// After a cast, past accesses no longer constitute unintended
+		// sharing: both the check sets and the oracle sets are cleared.
+		c.Readers = make(map[int]bool)
+		c.Writers = make(map[int]bool)
+		c.ORead = make(map[int]bool)
+		c.OWrite = make(map[int]bool)
+		m.oracleAccess(t, a1, true)
+		m.Cells[a1].Val = v2
+	}
+}
+
+// threadExit implements the threadexit function: the thread's locals are
+// zeroed and it is removed from every reader/writer set.
+func (m *Machine) threadExit(t *MThread) {
+	t.Done = true
+	for _, l := range t.Def.Locals {
+		m.Cells[t.Env[l.Name]].Val = 0
+	}
+	for i := 1; i < len(m.Cells); i++ {
+		c := &m.Cells[i]
+		delete(c.Readers, t.ID)
+		delete(c.Writers, t.ID)
+		delete(c.ORead, t.ID)
+		delete(c.OWrite, t.ID)
+	}
+}
+
+// Run executes the machine under a random scheduler until quiescence or
+// maxSteps, returning the number of steps taken.
+func (m *Machine) Run(rng *rand.Rand, maxSteps int) int {
+	for i := 0; i < maxSteps; i++ {
+		r := m.Runnable()
+		if len(r) == 0 {
+			return i
+		}
+		m.Step(r[rng.Intn(len(r))])
+	}
+	return maxSteps
+}
+
+// CheckConsistency verifies Definition 1's invariants over the current
+// memory, returning the violations found.
+func (m *Machine) CheckConsistency() []string {
+	var out []string
+	for a := 1; a < len(m.Cells); a++ {
+		c := &m.Cells[a]
+		if c.Typ == nil {
+			continue
+		}
+		if c.Typ.Ref != nil && c.Val != 0 {
+			b := &m.Cells[c.Val]
+			if b.Typ == nil || !b.Typ.Equal(c.Typ.Ref) {
+				out = append(out, fmt.Sprintf("cell %d: referent type mismatch: cell is %s, referent is %v",
+					a, c.Typ, b.Typ))
+			}
+			// private ref (private s): owners are consistent.
+			if c.Typ.Mode == Private && c.Typ.Ref.Mode == Private && b.Typ != nil && c.Owner != b.Owner {
+				out = append(out, fmt.Sprintf("cell %d: private ref private owner mismatch (%d vs %d)",
+					a, c.Owner, b.Owner))
+			}
+		}
+		if len(c.Writers) > 1 {
+			out = append(out, fmt.Sprintf("cell %d: more than one writer", a))
+		}
+		if len(c.Writers) > 0 {
+			for id := range c.Readers {
+				if !c.Writers[id] {
+					out = append(out, fmt.Sprintf("cell %d: reader %d besides the writer", a, id))
+				}
+			}
+		}
+	}
+	return out
+}

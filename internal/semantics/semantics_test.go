@@ -1,0 +1,351 @@
+package semantics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildPipeline is a hand-written producer/consumer in the core language:
+// main allocates a dynamic int, stores it into a dynamic global ref, and a
+// worker picks it up and casts it private.
+func buildHandoff() *Program {
+	return &Program{
+		Main: "main",
+		Globals: []Decl{
+			{Name: "box", Type: RefTo(Dynamic, Int(Dynamic))},
+		},
+		Threads: []ThreadDef{
+			{
+				Name: "main",
+				Locals: []Decl{
+					{Name: "p", Type: RefTo(Private, Int(Dynamic))},
+				},
+				Body: []Stmt{
+					{Kind: StmtAssign, L: LVal{Name: "p"}, R: RHS{Kind: RHSNew, T: Int(Dynamic)}},
+					{Kind: StmtAssign, L: LVal{Name: "p", Deref: true}, R: RHS{Kind: RHSInt, N: 7}},
+					{Kind: StmtAssign, L: LVal{Name: "box"}, R: RHS{Kind: RHSLVal, L: LVal{Name: "p"}}},
+					{Kind: StmtSpawn, Thread: "worker"},
+				},
+			},
+			{
+				Name: "worker",
+				Locals: []Decl{
+					{Name: "q", Type: RefTo(Private, Int(Dynamic))},
+					{Name: "mine", Type: RefTo(Private, Int(Private))},
+				},
+				Body: []Stmt{
+					{Kind: StmtAssign, L: LVal{Name: "q"}, R: RHS{Kind: RHSLVal, L: LVal{Name: "box"}}},
+					{Kind: StmtAssign, L: LVal{Name: "box"}, R: RHS{Kind: RHSNull}},
+					{Kind: StmtAssign, L: LVal{Name: "mine"}, R: RHS{Kind: RHSScast, X: "q", T: Int(Private)}},
+					{Kind: StmtAssign, L: LVal{Name: "mine", Deref: true}, R: RHS{Kind: RHSInt, N: 9}},
+				},
+			},
+		},
+	}
+}
+
+func TestTypecheckInsertsGuards(t *testing.T) {
+	p, err := Compile(buildHandoff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Thread("main")
+	// *p := 7 writes a dynamic cell: needs chkwrite.
+	g := main.Body[1].Guards
+	if len(g) != 1 || g[0].Kind != GuardChkWrite {
+		t.Fatalf("guards on '*p := 7': %v", g)
+	}
+	// box := p writes dynamic box, reads private p: chkwrite only.
+	g = main.Body[2].Guards
+	if len(g) != 1 || g[0].Kind != GuardChkWrite {
+		t.Fatalf("guards on 'box := p': %v", g)
+	}
+	worker := p.Thread("worker")
+	// q := box: chkread on box (dynamic).
+	g = worker.Body[0].Guards
+	if len(g) != 1 || g[0].Kind != GuardChkRead {
+		t.Fatalf("guards on 'q := box': %v", g)
+	}
+	// mine := scast q: oneref then (no W; mine is private).
+	g = worker.Body[2].Guards
+	if len(g) != 1 || g[0].Kind != GuardOneRef {
+		t.Fatalf("guards on scast: %v", g)
+	}
+}
+
+func TestGlobalMustBeDynamic(t *testing.T) {
+	p := &Program{
+		Main:    "main",
+		Globals: []Decl{{Name: "g", Type: Int(Private)}},
+		Threads: []ThreadDef{{Name: "main"}},
+	}
+	if _, err := Compile(p); err == nil || !strings.Contains(err.Error(), "GLOBAL") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRefCtorRejected(t *testing.T) {
+	p := &Program{
+		Main:    "main",
+		Globals: []Decl{{Name: "g", Type: RefTo(Dynamic, Int(Private))}},
+		Threads: []ThreadDef{{Name: "main"}},
+	}
+	if _, err := Compile(p); err == nil || !strings.Contains(err.Error(), "REF-CTOR") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDerefRequiresPrivateVar(t *testing.T) {
+	p := &Program{
+		Main:    "main",
+		Globals: []Decl{{Name: "g", Type: RefTo(Dynamic, Int(Dynamic))}},
+		Threads: []ThreadDef{{
+			Name: "main",
+			Body: []Stmt{
+				{Kind: StmtAssign, L: LVal{Name: "g", Deref: true}, R: RHS{Kind: RHSInt, N: 1}},
+			},
+		}},
+	}
+	if _, err := Compile(p); err == nil || !strings.Contains(err.Error(), "DEREF") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScastMayNotChangeDeepModes(t *testing.T) {
+	p := &Program{
+		Main: "main",
+		Threads: []ThreadDef{{
+			Name: "main",
+			Locals: []Decl{
+				{Name: "x", Type: RefTo(Private, RefTo(Dynamic, Int(Dynamic)))},
+				{Name: "y", Type: RefTo(Private, RefTo(Private, Int(Private)))},
+			},
+			Body: []Stmt{
+				{Kind: StmtAssign, L: LVal{Name: "y"},
+					R: RHS{Kind: RHSScast, X: "x", T: RefTo(Private, Int(Private))}},
+			},
+		}},
+	}
+	if _, err := Compile(p); err == nil || !strings.Contains(err.Error(), "top referent mode") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandoffRunsWithoutViolations(t *testing.T) {
+	compiled, err := Compile(buildHandoff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		m := NewMachine(compiled)
+		m.Run(rand.New(rand.NewSource(seed)), 2000)
+		if len(m.Violations) != 0 {
+			t.Fatalf("seed %d: violations: %v", seed, m.Violations)
+		}
+		if bad := m.CheckConsistency(); len(bad) != 0 {
+			t.Fatalf("seed %d: consistency: %v", seed, bad)
+		}
+	}
+}
+
+// racyProgram has a deliberate dynamic race: two workers write the same
+// global int. With guards, one worker fails instead of racing; without
+// guards, the oracle flags a violation under some schedule.
+func racyProgram() *Program {
+	worker := ThreadDef{
+		Name: "w",
+		Body: []Stmt{
+			{Kind: StmtAssign, L: LVal{Name: "g"}, R: RHS{Kind: RHSInt, N: 1}},
+			{Kind: StmtAssign, L: LVal{Name: "g"}, R: RHS{Kind: RHSInt, N: 2}},
+			{Kind: StmtAssign, L: LVal{Name: "g"}, R: RHS{Kind: RHSInt, N: 3}},
+		},
+	}
+	return &Program{
+		Main:    "main",
+		Globals: []Decl{{Name: "g", Type: Int(Dynamic)}},
+		Threads: []ThreadDef{
+			{Name: "main", Body: []Stmt{
+				{Kind: StmtSpawn, Thread: "w"},
+				{Kind: StmtSpawn, Thread: "w"},
+			}},
+			worker,
+		},
+	}
+}
+
+func TestGuardsBlockRacesButMutationExposesThem(t *testing.T) {
+	compiled, err := Compile(racyProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawGuardFail := false
+	for seed := int64(0); seed < 300; seed++ {
+		m := NewMachine(compiled)
+		m.Run(rand.New(rand.NewSource(seed)), 2000)
+		if len(m.Violations) != 0 {
+			t.Fatalf("guarded run must not race (seed %d): %v", seed, m.Violations)
+		}
+		for _, th := range m.Threads {
+			if th.Failed {
+				sawGuardFail = true
+			}
+		}
+	}
+	if !sawGuardFail {
+		t.Error("expected some schedule to trip a guard")
+	}
+	// Mutation: strip the guards; the oracle must observe a race somewhere.
+	sawViolation := false
+	for seed := int64(0); seed < 300 && !sawViolation; seed++ {
+		m := NewMachine(compiled)
+		m.GuardsOff = true
+		m.Run(rand.New(rand.NewSource(seed)), 2000)
+		if len(m.Violations) > 0 {
+			sawViolation = true
+		}
+	}
+	if !sawViolation {
+		t.Error("mutation (guards off) should expose a race: the guards are load-bearing")
+	}
+}
+
+// TestSoundnessProperty is the executable soundness theorem: for random
+// well-typed programs under random schedules, guarded execution never
+// violates the oracle (private cells touched only by owners, no dynamic
+// races) and memory stays consistent (Definition 1).
+func TestSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	programs := 0
+	for i := 0; i < 400; i++ {
+		p := GenProgram(rng)
+		compiled, err := Compile(p)
+		if err != nil {
+			// The generator aims for well-typed output; skip the rare miss.
+			continue
+		}
+		programs++
+		for s := 0; s < 5; s++ {
+			m := NewMachine(compiled)
+			m.Run(rng, 3000)
+			if len(m.Violations) != 0 {
+				t.Fatalf("program %d schedule %d: %v\nprogram: %+v", i, s, m.Violations[0], p)
+			}
+			if bad := m.CheckConsistency(); len(bad) != 0 {
+				t.Fatalf("program %d schedule %d: consistency: %v", i, s, bad[0])
+			}
+		}
+	}
+	if programs < 200 {
+		t.Fatalf("generator yield too low: %d/400 well-typed", programs)
+	}
+}
+
+// TestMutationProperty: across the random corpus, stripping guards exposes
+// at least some violations (the checks do real work).
+func TestMutationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	violations := 0
+	for i := 0; i < 300; i++ {
+		p := GenProgram(rng)
+		compiled, err := Compile(p)
+		if err != nil {
+			continue
+		}
+		for s := 0; s < 3; s++ {
+			m := NewMachine(compiled)
+			m.GuardsOff = true
+			m.Run(rng, 3000)
+			violations += len(m.Violations)
+		}
+	}
+	if violations == 0 {
+		t.Fatal("no violations in the unguarded corpus: generator or oracle too weak")
+	}
+}
+
+func TestThreadExitClearsSets(t *testing.T) {
+	compiled, err := Compile(racyProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic schedule: run threads to completion one at a time.
+	m := NewMachine(compiled)
+	for len(m.Runnable()) > 0 {
+		r := m.Runnable()
+		// Always step the last runnable thread (depth-first: each worker
+		// finishes before the next starts).
+		for m.Step(r[len(r)-1]) && !m.Threads[r[len(r)-1]].Done && !m.Threads[r[len(r)-1]].Failed {
+		}
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("violations: %v", m.Violations)
+	}
+	for _, th := range m.Threads {
+		if th.Failed {
+			t.Fatal("sequential schedule must not trip guards (thread exit clears the sets)")
+		}
+	}
+}
+
+func TestOnerefGuardBlocksAliasedCast(t *testing.T) {
+	// Two private refs to the same cell: the cast must fail its guard.
+	p := &Program{
+		Main: "main",
+		Threads: []ThreadDef{{
+			Name: "main",
+			Locals: []Decl{
+				{Name: "a", Type: RefTo(Private, Int(Dynamic))},
+				{Name: "b", Type: RefTo(Private, Int(Dynamic))},
+				{Name: "c", Type: RefTo(Private, Int(Private))},
+			},
+			Body: []Stmt{
+				{Kind: StmtAssign, L: LVal{Name: "a"}, R: RHS{Kind: RHSNew, T: Int(Dynamic)}},
+				{Kind: StmtAssign, L: LVal{Name: "b"}, R: RHS{Kind: RHSLVal, L: LVal{Name: "a"}}},
+				{Kind: StmtAssign, L: LVal{Name: "c"}, R: RHS{Kind: RHSScast, X: "a", T: Int(Private)}},
+			},
+		}},
+	}
+	compiled, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(compiled)
+	m.Run(rand.New(rand.NewSource(1)), 1000)
+	if !m.Threads[0].Failed {
+		t.Fatal("oneref guard should fail with two live references")
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("violations: %v", m.Violations)
+	}
+}
+
+func TestOnerefGuardPassesSoleReference(t *testing.T) {
+	p := &Program{
+		Main: "main",
+		Threads: []ThreadDef{{
+			Name: "main",
+			Locals: []Decl{
+				{Name: "a", Type: RefTo(Private, Int(Dynamic))},
+				{Name: "c", Type: RefTo(Private, Int(Private))},
+			},
+			Body: []Stmt{
+				{Kind: StmtAssign, L: LVal{Name: "a"}, R: RHS{Kind: RHSNew, T: Int(Dynamic)}},
+				{Kind: StmtAssign, L: LVal{Name: "c"}, R: RHS{Kind: RHSScast, X: "a", T: Int(Private)}},
+				{Kind: StmtAssign, L: LVal{Name: "c", Deref: true}, R: RHS{Kind: RHSInt, N: 5}},
+			},
+		}},
+	}
+	compiled, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(compiled)
+	m.Run(rand.New(rand.NewSource(1)), 1000)
+	if m.Threads[0].Failed {
+		t.Fatal("sole-reference cast must pass")
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("violations: %v", m.Violations)
+	}
+}

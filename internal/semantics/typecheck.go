@@ -1,0 +1,208 @@
+package semantics
+
+import "fmt"
+
+// Compile type-checks a program against the judgments of Figure 4 and
+// returns a copy with runtime guards inserted on every assignment. It
+// corresponds to G ⊢ P ⇝ P′.
+func Compile(p *Program) (*Program, error) {
+	tc := &typeChecker{prog: p}
+	return tc.run()
+}
+
+type typeChecker struct {
+	prog    *Program
+	globals map[string]*Type
+}
+
+func (tc *typeChecker) run() (*Program, error) {
+	tc.globals = make(map[string]*Type)
+	for _, g := range tc.prog.Globals {
+		// GLOBAL: global declarations use the dynamic sharing mode.
+		if g.Type.Mode != Dynamic {
+			return nil, fmt.Errorf("global %s must be dynamic (GLOBAL)", g.Name)
+		}
+		if !g.Type.WellFormed() {
+			return nil, fmt.Errorf("global %s: ill-formed type %s (REF-CTOR)", g.Name, g.Type)
+		}
+		if _, dup := tc.globals[g.Name]; dup {
+			return nil, fmt.Errorf("duplicate global %s", g.Name)
+		}
+		tc.globals[g.Name] = g.Type
+	}
+	out := &Program{Globals: tc.prog.Globals, Main: tc.prog.Main}
+	for _, td := range tc.prog.Threads {
+		ctd, err := tc.thread(td)
+		if err != nil {
+			return nil, err
+		}
+		out.Threads = append(out.Threads, ctd)
+	}
+	if out.Thread(out.Main) == nil {
+		return nil, fmt.Errorf("main thread %q undefined", out.Main)
+	}
+	return out, nil
+}
+
+func (tc *typeChecker) thread(td ThreadDef) (ThreadDef, error) {
+	env := make(map[string]*Type, len(tc.globals)+len(td.Locals))
+	for k, v := range tc.globals {
+		env[k] = v
+	}
+	for _, l := range td.Locals {
+		if !l.Type.WellFormed() {
+			return td, fmt.Errorf("%s: local %s: ill-formed type %s (REF-CTOR)", td.Name, l.Name, l.Type)
+		}
+		if _, dup := env[l.Name]; dup && tc.globals[l.Name] == nil {
+			return td, fmt.Errorf("%s: duplicate local %s", td.Name, l.Name)
+		}
+		env[l.Name] = l.Type
+	}
+	out := td
+	out.Body = make([]Stmt, len(td.Body))
+	for i, s := range td.Body {
+		cs, err := tc.stmt(td.Name, env, s)
+		if err != nil {
+			return td, err
+		}
+		out.Body[i] = cs
+	}
+	return out, nil
+}
+
+// lvalType implements the NAME and DEREF rules: Γ(x) = t for x, and for *x,
+// Γ(x) must be private ref t (the pointer variable itself must be private
+// so no other thread can change it between check and access).
+func (tc *typeChecker) lvalType(env map[string]*Type, l LVal) (*Type, error) {
+	t, ok := env[l.Name]
+	if !ok {
+		return nil, fmt.Errorf("undefined variable %s", l.Name)
+	}
+	if !l.Deref {
+		return t, nil
+	}
+	if t.Ref == nil {
+		return nil, fmt.Errorf("*%s: not a reference", l.Name)
+	}
+	if t.Mode != Private {
+		return nil, fmt.Errorf("*%s: dereferenced variable must be private (DEREF)", l.Name)
+	}
+	return t.Ref, nil
+}
+
+// wGuard is W(ℓ, m): dynamic targets need chkwrite.
+func wGuard(l LVal, m Mode) []Guard {
+	if m == Dynamic {
+		return []Guard{{Kind: GuardChkWrite, L: l}}
+	}
+	return nil
+}
+
+// rGuard is R(ℓ, m): dynamic sources need chkread.
+func rGuard(l LVal, m Mode) []Guard {
+	if m == Dynamic {
+		return []Guard{{Kind: GuardChkRead, L: l}}
+	}
+	return nil
+}
+
+func (tc *typeChecker) stmt(tname string, env map[string]*Type, s Stmt) (Stmt, error) {
+	switch s.Kind {
+	case StmtSpawn:
+		// SPAWN: Γ(f) = thread.
+		if tc.prog.Thread(s.Thread) == nil {
+			return s, fmt.Errorf("%s: spawn of undefined thread %s", tname, s.Thread)
+		}
+		s.Guards = nil
+		return s, nil
+	case StmtAssign:
+		lt, err := tc.lvalType(env, s.L)
+		if err != nil {
+			return s, fmt.Errorf("%s: %v", tname, err)
+		}
+		switch s.R.Kind {
+		case RHSInt:
+			// CONSTANT-ASSIGN: ℓ : m int.
+			if lt.Ref != nil {
+				return s, fmt.Errorf("%s: %s := %d: not an int cell", tname, s.L, s.R.N)
+			}
+			s.Guards = wGuard(s.L, lt.Mode)
+			return s, nil
+		case RHSNull:
+			// NULL-ASSIGN: ℓ : m ref t.
+			if lt.Ref == nil {
+				return s, fmt.Errorf("%s: %s := null: not a reference cell", tname, s.L)
+			}
+			s.Guards = wGuard(s.L, lt.Mode)
+			return s, nil
+		case RHSNew:
+			// NEW-ASSIGN: ℓ : m ref t, new t.
+			if lt.Ref == nil || !lt.Ref.Equal(s.R.T) {
+				return s, fmt.Errorf("%s: %s := new %s: type mismatch (cell is %s)", tname, s.L, s.R.T, lt)
+			}
+			s.Guards = wGuard(s.L, lt.Mode)
+			return s, nil
+		case RHSLVal:
+			// ASSIGN: ℓ1 : m1 s, ℓ2 : m2 s with identical s.
+			rt, err := tc.lvalType(env, s.R.L)
+			if err != nil {
+				return s, fmt.Errorf("%s: %v", tname, err)
+			}
+			if !shapeAndRefEqual(lt, rt) {
+				return s, fmt.Errorf("%s: %s := %s: %s vs %s", tname, s.L, s.R.L, lt, rt)
+			}
+			s.Guards = append(wGuard(s.L, lt.Mode), rGuard(s.R.L, rt.Mode)...)
+			return s, nil
+		case RHSScast:
+			// CAST-ASSIGN: ℓ : m ref (m1 s), Γ(x) = private ref (m2 s),
+			// cast target t = m1 s; guarded by oneref(*x) then W(ℓ).
+			xt, ok := env[s.R.X]
+			if !ok {
+				return s, fmt.Errorf("%s: scast of undefined %s", tname, s.R.X)
+			}
+			if xt.Ref == nil || xt.Mode != Private {
+				return s, fmt.Errorf("%s: scast source %s must be a private reference", tname, s.R.X)
+			}
+			if lt.Ref == nil {
+				return s, fmt.Errorf("%s: scast target cell %s is not a reference", tname, s.L)
+			}
+			// Only the top referent mode may change; the underlying shape
+			// (and any deeper types) must match exactly.
+			if !sameShapeBelowTop(lt.Ref, xt.Ref) {
+				return s, fmt.Errorf("%s: scast may only change the top referent mode: %s vs %s", tname, lt.Ref, xt.Ref)
+			}
+			if !lt.Ref.Equal(s.R.T) {
+				return s, fmt.Errorf("%s: scast annotation %s does not match cell %s", tname, s.R.T, lt)
+			}
+			s.Guards = append([]Guard{{Kind: GuardOneRef, X: s.R.X}}, wGuard(s.L, lt.Mode)...)
+			return s, nil
+		}
+	}
+	return s, fmt.Errorf("%s: malformed statement", tname)
+}
+
+// shapeAndRefEqual: assignment requires the underlying s to match; the
+// outer modes m1, m2 are independent (they only determine guards), but for
+// reference cells the referent types must be identical.
+func shapeAndRefEqual(a, b *Type) bool {
+	if (a.Ref == nil) != (b.Ref == nil) {
+		return false
+	}
+	if a.Ref == nil {
+		return true
+	}
+	return a.Ref.Equal(b.Ref)
+}
+
+// sameShapeBelowTop: the two referent types agree except possibly in their
+// own top-level mode ("you cannot cast from ref(dynamic ref(dynamic int))
+// to ref(private ref(private int))").
+func sameShapeBelowTop(a, b *Type) bool {
+	if (a.Ref == nil) != (b.Ref == nil) {
+		return false
+	}
+	if a.Ref == nil {
+		return true
+	}
+	return a.Ref.Equal(b.Ref)
+}

@@ -1,0 +1,170 @@
+package shadow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/token"
+)
+
+func stateShadow() *Shadow { return NewWithEncoding(256, EncodingState) }
+
+func esite(s *Shadow, lv string) uint32 {
+	return s.InternSite(Site{LValue: lv, Pos: token.Pos{File: "t", Line: 1, Col: 1}})
+}
+
+func TestStateEncodingBasics(t *testing.T) {
+	s := stateShadow()
+	id := esite(s, "x")
+	if c := s.ChkRead(1, 10, id); c != nil {
+		t.Fatal(c)
+	}
+	if st, tid := s.stateOf(10); st != stRd1 || tid != 1 {
+		t.Fatalf("state %x tid %d", st, tid)
+	}
+	if c := s.ChkWrite(1, 10, id); c != nil {
+		t.Fatal("own upgrade read->write must pass")
+	}
+	if st, _ := s.stateOf(10); st != stWr {
+		t.Fatalf("state %x", st)
+	}
+	if c := s.ChkRead(2, 10, id); c == nil {
+		t.Fatal("foreign read of written granule must conflict")
+	}
+}
+
+func TestStateEncodingManyReaders(t *testing.T) {
+	s := stateShadow()
+	id := esite(s, "x")
+	// Far more readers than the bitset's 31-thread limit.
+	for tid := 1; tid <= 500; tid++ {
+		if c := s.ChkRead(tid, 20, id); c != nil {
+			t.Fatalf("reader %d: %v", tid, c)
+		}
+	}
+	if st, _ := s.stateOf(20); st != stRdMany {
+		t.Fatalf("state %x", st)
+	}
+	if c := s.ChkWrite(501, 20, id); c == nil {
+		t.Fatal("write over shared readers must conflict")
+	}
+}
+
+func TestStateEncodingWriteWrite(t *testing.T) {
+	s := stateShadow()
+	id := esite(s, "x")
+	if c := s.ChkWrite(100000, 30, id); c != nil {
+		t.Fatal(c) // large tids are fine in this encoding
+	}
+	if c := s.ChkWrite(100001, 30, id); c == nil {
+		t.Fatal("second writer must conflict")
+	}
+}
+
+func TestStateEncodingClearThreadExact(t *testing.T) {
+	// Exclusive states clear exactly on thread exit.
+	s := stateShadow()
+	id := esite(s, "x")
+	s.ChkWrite(7, 40, id)
+	s.ClearThread(7)
+	if c := s.ChkWrite(8, 40, id); c != nil {
+		t.Fatalf("after exclusive owner exits, granule is free: %v", c)
+	}
+}
+
+func TestStateEncodingRdManyImprecision(t *testing.T) {
+	// The documented trade-off: RDMANY cannot be cleared per-thread, so a
+	// later writer still conflicts even after all readers exited...
+	s := stateShadow()
+	id := esite(s, "x")
+	s.ChkRead(1, 50, id)
+	s.ChkRead(2, 50, id)
+	s.ClearThread(1)
+	s.ClearThread(2)
+	if c := s.ChkWrite(3, 50, id); c == nil {
+		t.Fatal("expected the documented RDMANY false positive")
+	}
+	// ...until an explicit clear (free or sharing cast) resets it.
+	s.ClearRange(50, 1)
+	if c := s.ChkWrite(3, 50, id); c != nil {
+		t.Fatalf("after ClearRange the granule is free: %v", c)
+	}
+}
+
+func TestStateEncodingFreeClears(t *testing.T) {
+	s := stateShadow()
+	id := esite(s, "x")
+	s.ChkWrite(1, 60, id)
+	s.ClearRange(60, 2)
+	if c := s.ChkWrite(2, 60, id); c != nil {
+		t.Fatalf("freed granule: %v", c)
+	}
+}
+
+// Property: for single-writer-per-granule histories (each granule is only
+// ever touched by one thread), both encodings are silent.
+func TestPropertyEncodingsAgreeOnExclusive(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := New(1024)
+		st := NewWithEncoding(1024, EncodingState)
+		idB := esite(b, "x")
+		idS := esite(st, "x")
+		for _, op := range ops {
+			tid := int(op%7) + 1
+			// Partition cells by thread so accesses are exclusive.
+			cell := int64(tid*64) + int64((op>>3)%32)
+			write := op&1 == 0
+			var cb, cs *Conflict
+			if write {
+				cb = b.ChkWrite(tid, cell, idB)
+				cs = st.ChkWrite(tid, cell, idS)
+			} else {
+				cb = b.ChkRead(tid, cell, idB)
+				cs = st.ChkRead(tid, cell, idS)
+			}
+			if cb != nil || cs != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the state encoding is conservative with respect to the bitset:
+// any access the bitset flags is also flagged (or preceded by a flag) in
+// the state encoding under the same single-step history.
+func TestPropertyStateConservative(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := New(256)
+		st := NewWithEncoding(256, EncodingState)
+		idB := esite(b, "x")
+		idS := esite(st, "x")
+		stFlagged := false
+		for _, op := range ops {
+			tid := int(op%5) + 1
+			cell := int64(op>>3) % 64
+			write := op&1 == 0
+			var cb, cs *Conflict
+			if write {
+				cb = b.ChkWrite(tid, cell, idB)
+				cs = st.ChkWrite(tid, cell, idS)
+			} else {
+				cb = b.ChkRead(tid, cell, idB)
+				cs = st.ChkRead(tid, cell, idS)
+			}
+			if cs != nil {
+				stFlagged = true
+			}
+			if cb != nil && cs == nil && !stFlagged {
+				return false // bitset found a race the state encoding missed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package token defines the lexical tokens of the ShC language, the C
+// subset with sharing-mode qualifiers that this SharC reproduction checks,
+// together with source positions.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The token kinds. Literal and identifier kinds carry their text in the
+// token's Lit field; operator and keyword kinds are fully identified by Kind.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123
+	CHAR   // 'a'
+	STRING // "abc"
+
+	// Operators and delimiters.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	AMP   // &
+	PIPE  // |
+	CARET // ^
+	SHL   // <<
+	SHR   // >>
+	TILDE // ~
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	GT  // >
+	LEQ // <=
+	GEQ // >=
+
+	ASSIGN     // =
+	ADDASSIGN  // +=
+	SUBASSIGN  // -=
+	MULASSIGN  // *=
+	DIVASSIGN  // /=
+	MODASSIGN  // %=
+	ANDASSIGN  // &=
+	ORASSIGN   // |=
+	XORASSIGN  // ^=
+	SHLASSIGN  // <<=
+	SHRASSIGN  // >>=
+	INC        // ++
+	DEC        // --
+	ARROW      // ->
+	DOT        // .
+	COMMA      // ,
+	SEMI       // ;
+	COLON      // :
+	QUESTION   // ?
+	LPAREN     // (
+	RPAREN     // )
+	LBRACE     // {
+	RBRACE     // }
+	LBRACKET   // [
+	RBRACKET   // ]
+	ELLIPSIS   // ...
+	keywordBeg // marker: keywords follow
+
+	// Keywords: C subset.
+	KwInt
+	KwChar
+	KwVoid
+	KwLong
+	KwUnsigned
+	KwStruct
+	KwUnion
+	KwEnum
+	KwTypedef
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSizeof
+	KwStatic
+	KwExtern
+	KwConst
+	KwSwitch
+	KwCase
+	KwDefault
+	KwGoto
+	KwNull
+
+	// Keywords: SharC sharing-mode qualifiers and the sharing cast.
+	KwPrivate
+	KwReadonly
+	KwLocked
+	KwRacy
+	KwDynamic
+	KwScast
+
+	keywordEnd // marker: keywords end
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	IDENT:   "IDENT",
+	INT:     "INT",
+	CHAR:    "CHAR",
+	STRING:  "STRING",
+
+	PLUS:    "+",
+	MINUS:   "-",
+	STAR:    "*",
+	SLASH:   "/",
+	PERCENT: "%",
+
+	AMP:   "&",
+	PIPE:  "|",
+	CARET: "^",
+	SHL:   "<<",
+	SHR:   ">>",
+	TILDE: "~",
+
+	LAND: "&&",
+	LOR:  "||",
+	NOT:  "!",
+
+	EQ:  "==",
+	NEQ: "!=",
+	LT:  "<",
+	GT:  ">",
+	LEQ: "<=",
+	GEQ: ">=",
+
+	ASSIGN:    "=",
+	ADDASSIGN: "+=",
+	SUBASSIGN: "-=",
+	MULASSIGN: "*=",
+	DIVASSIGN: "/=",
+	MODASSIGN: "%=",
+	ANDASSIGN: "&=",
+	ORASSIGN:  "|=",
+	XORASSIGN: "^=",
+	SHLASSIGN: "<<=",
+	SHRASSIGN: ">>=",
+	INC:       "++",
+	DEC:       "--",
+	ARROW:     "->",
+	DOT:       ".",
+	COMMA:     ",",
+	SEMI:      ";",
+	COLON:     ":",
+	QUESTION:  "?",
+	LPAREN:    "(",
+	RPAREN:    ")",
+	LBRACE:    "{",
+	RBRACE:    "}",
+	LBRACKET:  "[",
+	RBRACKET:  "]",
+	ELLIPSIS:  "...",
+
+	KwInt:      "int",
+	KwChar:     "char",
+	KwVoid:     "void",
+	KwLong:     "long",
+	KwUnsigned: "unsigned",
+	KwStruct:   "struct",
+	KwUnion:    "union",
+	KwEnum:     "enum",
+	KwTypedef:  "typedef",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwDo:       "do",
+	KwReturn:   "return",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwSizeof:   "sizeof",
+	KwStatic:   "static",
+	KwExtern:   "extern",
+	KwConst:    "const",
+	KwSwitch:   "switch",
+	KwCase:     "case",
+	KwDefault:  "default",
+	KwGoto:     "goto",
+	KwNull:     "NULL",
+
+	KwPrivate:  "private",
+	KwReadonly: "readonly",
+	KwLocked:   "locked",
+	KwRacy:     "racy",
+	KwDynamic:  "dynamic",
+	KwScast:    "SCAST",
+}
+
+// keywords maps source text to keyword kinds.
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier's text to its keyword kind, or IDENT if the text
+// is not a keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether the kind is any keyword.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+// IsQualifier reports whether the kind is a sharing-mode qualifier keyword.
+func (k Kind) IsQualifier() bool {
+	switch k {
+	case KwPrivate, KwReadonly, KwLocked, KwRacy, KwDynamic:
+		return true
+	}
+	return false
+}
+
+// IsAssignOp reports whether the kind is an assignment operator, simple or
+// compound.
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, ADDASSIGN, SUBASSIGN, MULASSIGN, DIVASSIGN, MODASSIGN,
+		ANDASSIGN, ORASSIGN, XORASSIGN, SHLASSIGN, SHRASSIGN:
+		return true
+	}
+	return false
+}
+
+// Pos is a source position: file, 1-based line, 1-based column.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token with its position and, for literal kinds,
+// its source text.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, CHAR, STRING
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, CHAR, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

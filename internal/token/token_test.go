@@ -1,0 +1,92 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"int":      KwInt,
+		"private":  KwPrivate,
+		"readonly": KwReadonly,
+		"locked":   KwLocked,
+		"racy":     KwRacy,
+		"dynamic":  KwDynamic,
+		"SCAST":    KwScast,
+		"NULL":     KwNull,
+		"while":    KwWhile,
+		"foo":      IDENT,
+		"Private":  IDENT, // case-sensitive
+	}
+	for text, want := range cases {
+		if got := Lookup(text); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestIsQualifier(t *testing.T) {
+	for _, k := range []Kind{KwPrivate, KwReadonly, KwLocked, KwRacy, KwDynamic} {
+		if !k.IsQualifier() {
+			t.Errorf("%v should be a qualifier", k)
+		}
+	}
+	for _, k := range []Kind{KwInt, KwScast, IDENT, STAR} {
+		if k.IsQualifier() {
+			t.Errorf("%v should not be a qualifier", k)
+		}
+	}
+}
+
+func TestIsAssignOp(t *testing.T) {
+	for _, k := range []Kind{ASSIGN, ADDASSIGN, SHLASSIGN, XORASSIGN} {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assign op", k)
+		}
+	}
+	if EQ.IsAssignOp() || PLUS.IsAssignOp() {
+		t.Error("== and + are not assign ops")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KwLocked.String() != "locked" || ARROW.String() != "->" || SHL.String() != "<<" {
+		t.Error("canonical spellings")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kinds still render")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{File: "a.shc", Line: 3, Col: 7}
+	if p.String() != "a.shc:3:7" {
+		t.Errorf("pos: %s", p)
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos is invalid")
+	}
+	if (Pos{}).String() != "-" {
+		t.Errorf("invalid pos renders as -: %q", Pos{}.String())
+	}
+	if (Pos{Line: 2, Col: 1}).String() != "2:1" {
+		t.Error("file-less pos")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "xs"}
+	if tok.String() != `IDENT("xs")` {
+		t.Errorf("token render: %s", tok)
+	}
+	if (Token{Kind: ARROW}).String() != "->" {
+		t.Error("operator token render")
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !KwInt.IsKeyword() || !KwScast.IsKeyword() {
+		t.Error("keywords")
+	}
+	if IDENT.IsKeyword() || PLUS.IsKeyword() || EOF.IsKeyword() {
+		t.Error("non-keywords")
+	}
+}

@@ -1,0 +1,425 @@
+// Package typer computes the semantic (sharing-qualified) type of every ShC
+// expression. It is the shared front half of qualifier inference
+// (internal/qualinfer), static checking (internal/check), and lowering
+// (internal/compile): all three walk function bodies with a typer.Env and
+// ask for expression types, so they agree on every mode and inference
+// variable.
+package typer
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// SymKind says what an identifier resolved to.
+type SymKind int
+
+const (
+	SymLocal SymKind = iota
+	SymParam
+	SymGlobal
+	SymFunc
+)
+
+// Sym is one resolved identifier.
+type Sym struct {
+	Kind SymKind
+	Name string
+	Type *types.Type
+	Decl *ast.DeclStmt // for SymLocal
+}
+
+// Env is a lexical environment over a function body: parameters and locals
+// in scopes, backed by the world's globals and functions.
+type Env struct {
+	W      *types.World
+	F      *types.FuncInfo // nil outside function bodies
+	scopes []map[string]*Sym
+}
+
+// NewEnv returns an environment for checking fi's body, with parameters
+// pre-defined. fi may be nil for expression-only contexts.
+func NewEnv(w *types.World, fi *types.FuncInfo) *Env {
+	e := &Env{W: w, F: fi}
+	e.Push()
+	if fi != nil {
+		for i := range fi.Params {
+			p := &fi.Params[i]
+			e.Define(&Sym{Kind: SymParam, Name: p.Name, Type: p.Type})
+		}
+	}
+	return e
+}
+
+// Push enters a new scope.
+func (e *Env) Push() { e.scopes = append(e.scopes, make(map[string]*Sym)) }
+
+// Pop leaves the innermost scope.
+func (e *Env) Pop() { e.scopes = e.scopes[:len(e.scopes)-1] }
+
+// Define binds a symbol in the innermost scope.
+func (e *Env) Define(s *Sym) { e.scopes[len(e.scopes)-1][s.Name] = s }
+
+// Lookup resolves a name: innermost scope outward, then globals, then
+// functions. It returns nil if the name is unbound (builtins are not
+// symbols; they are recognized at call sites).
+func (e *Env) Lookup(name string) *Sym {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		if s, ok := e.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if g, ok := e.W.Globals[name]; ok {
+		return &Sym{Kind: SymGlobal, Name: name, Type: g.Type}
+	}
+	if f, ok := e.W.Funcs[name]; ok {
+		return &Sym{Kind: SymFunc, Name: name, Type: types.PtrTo(f.Type())}
+	}
+	return nil
+}
+
+// Error is a typing error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos token.Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// NullPtr is the distinguished type of the NULL literal; it is assignable
+// to every pointer type.
+var NullPtr = &types.Type{Kind: types.KPtr, Mode: types.Private,
+	Elem: &types.Type{Kind: types.KVoid, Mode: types.Private}, StructName: "<null>"}
+
+// IsNullType reports whether t is the type of the NULL literal.
+func IsNullType(t *types.Type) bool { return t != nil && t.StructName == "<null>" }
+
+// IntRV is the type of integer r-values.
+var IntRV = &types.Type{Kind: types.KInt, Mode: types.Private}
+
+// StringRV is the type of string literals: pointer to readonly chars.
+var StringRV = &types.Type{Kind: types.KPtr, Mode: types.Private,
+	Elem: &types.Type{Kind: types.KChar, Mode: types.Readonly}}
+
+// TypeOf computes the semantic type of an expression. For l-values the
+// returned type's Mode is the sharing mode of the accessed storage.
+func (e *Env) TypeOf(x ast.Expr) (*types.Type, *Error) {
+	switch x := x.(type) {
+	case *ast.Ident:
+		s := e.Lookup(x.Name)
+		if s == nil {
+			if types.IsBuiltin(x.Name) {
+				return nil, errf(x.P, "builtin %q may only be called", x.Name)
+			}
+			return nil, errf(x.P, "undefined: %s", x.Name)
+		}
+		return s.Type, nil
+
+	case *ast.IntLit:
+		return IntRV, nil
+
+	case *ast.StringLit:
+		return StringRV, nil
+
+	case *ast.NullLit:
+		return NullPtr, nil
+
+	case *ast.Unary:
+		return e.typeOfUnary(x)
+
+	case *ast.Postfix:
+		return e.TypeOf(x.X)
+
+	case *ast.Binary:
+		return e.typeOfBinary(x)
+
+	case *ast.Assign:
+		return e.TypeOf(x.L)
+
+	case *ast.Cond:
+		t, err := e.TypeOf(x.T)
+		if err != nil {
+			return nil, err
+		}
+		if IsNullType(t) {
+			return e.TypeOf(x.F)
+		}
+		return t, nil
+
+	case *ast.Call:
+		return e.typeOfCall(x)
+
+	case *ast.Index:
+		bt, err := e.TypeOf(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch bt.Kind {
+		case types.KPtr, types.KArray:
+			return bt.Elem, nil
+		}
+		return nil, errf(x.P, "cannot index %s", bt)
+
+	case *ast.Member:
+		return e.typeOfMember(x)
+
+	case *ast.Cast:
+		return e.W.ResolveCastType(x, x.To), nil
+
+	case *ast.Scast:
+		return e.W.ResolveCastType(x, x.To), nil
+
+	case *ast.Sizeof:
+		return IntRV, nil
+	}
+	return nil, errf(x.Pos(), "cannot type expression %T", x)
+}
+
+func (e *Env) typeOfUnary(x *ast.Unary) (*types.Type, *Error) {
+	switch x.Op {
+	case token.STAR:
+		t, err := e.TypeOf(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != types.KPtr {
+			return nil, errf(x.P, "cannot dereference non-pointer %s", t)
+		}
+		if t.Elem.Kind == types.KVoid {
+			return nil, errf(x.P, "cannot dereference void pointer")
+		}
+		return t.Elem, nil
+	case token.AMP:
+		t, err := e.TypeOf(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.IsLValue(x.X) {
+			return nil, errf(x.P, "cannot take address of non-l-value")
+		}
+		if id, ok := x.X.(*ast.Ident); ok {
+			s := e.Lookup(id.Name)
+			if s != nil && (s.Kind == SymLocal || s.Kind == SymParam) && s.Type.Kind != types.KArray {
+				// Locals are not addressable, preserving the formal model's
+				// "variables are not addressable" invariant for private
+				// enforcement; arrays decay instead.
+				return nil, errf(x.P, "cannot take address of local %q (allocate on the heap instead)", id.Name)
+			}
+		}
+		if t.Kind == types.KArray {
+			return &types.Type{Kind: types.KPtr, Mode: types.Private, Elem: t.Elem}, nil
+		}
+		return &types.Type{Kind: types.KPtr, Mode: types.Private, Elem: t}, nil
+	case token.MINUS, token.NOT, token.TILDE:
+		if _, err := e.TypeOf(x.X); err != nil {
+			return nil, err
+		}
+		return IntRV, nil
+	case token.INC, token.DEC:
+		return e.TypeOf(x.X)
+	}
+	return nil, errf(x.P, "unknown unary operator %s", x.Op)
+}
+
+func (e *Env) typeOfBinary(x *ast.Binary) (*types.Type, *Error) {
+	lt, err := e.TypeOf(x.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := e.TypeOf(x.R)
+	if err != nil {
+		return nil, err
+	}
+	lt = decay(lt)
+	rt = decay(rt)
+	switch x.Op {
+	case token.PLUS, token.MINUS:
+		if lt.Kind == types.KPtr && rt.IsInteger() {
+			return lt, nil
+		}
+		if x.Op == token.PLUS && lt.IsInteger() && rt.Kind == types.KPtr {
+			return rt, nil
+		}
+		if x.Op == token.MINUS && lt.Kind == types.KPtr && rt.Kind == types.KPtr {
+			return IntRV, nil
+		}
+		return IntRV, nil
+	default:
+		return IntRV, nil
+	}
+}
+
+// decay converts array types to pointers to their element type, preserving
+// the element's mode.
+func decay(t *types.Type) *types.Type {
+	if t != nil && t.Kind == types.KArray {
+		return &types.Type{Kind: types.KPtr, Mode: types.Private, Elem: t.Elem}
+	}
+	return t
+}
+
+// Decay is the exported form of array-to-pointer decay.
+func Decay(t *types.Type) *types.Type { return decay(t) }
+
+func (e *Env) typeOfCall(x *ast.Call) (*types.Type, *Error) {
+	if id, ok := x.Fun.(*ast.Ident); ok {
+		if b, isb := types.Builtins[id.Name]; isb && e.Lookup(id.Name) == nil {
+			return e.builtinRet(b, x)
+		}
+	}
+	ft, err := e.TypeOf(x.Fun)
+	if err != nil {
+		return nil, err
+	}
+	if ft.Kind == types.KPtr && ft.Elem.Kind == types.KFunc {
+		ft = ft.Elem
+	}
+	if ft.Kind != types.KFunc {
+		return nil, errf(x.P, "cannot call non-function %s", ft)
+	}
+	return ft.Ret, nil
+}
+
+// builtinRet gives the result type of a builtin call. Malloc-like results
+// are typed by context: TypeOf returns a fresh any-pointer the consuming
+// pass special-cases (see MallocResult).
+func (e *Env) builtinRet(b *types.Builtin, x *ast.Call) (*types.Type, *Error) {
+	switch b.Ret {
+	case types.RetVoid:
+		return &types.Type{Kind: types.KVoid, Mode: types.Private}, nil
+	case types.RetInt:
+		return IntRV, nil
+	case types.RetAnyPtr:
+		// Fresh memory: adopts the l-value's type; marked with a sentinel.
+		return MallocPtr, nil
+	case types.RetMutex:
+		return &types.Type{Kind: types.KPtr, Mode: types.Private,
+			Elem: &types.Type{Kind: types.KStruct, Mode: types.Racy, StructName: "mutex"}}, nil
+	case types.RetCond:
+		return &types.Type{Kind: types.KPtr, Mode: types.Private,
+			Elem: &types.Type{Kind: types.KStruct, Mode: types.Racy, StructName: "cond"}}, nil
+	case types.RetCharPtr:
+		return StringRV, nil
+	}
+	return nil, errf(x.P, "builtin %s: unknown result shape", b.Name)
+}
+
+// MallocPtr is the sentinel type of a malloc-like call result; like NULL it
+// is assignable to any pointer type (the object is fresh, NEW-ASSIGN).
+var MallocPtr = &types.Type{Kind: types.KPtr, Mode: types.Private,
+	Elem: &types.Type{Kind: types.KVoid, Mode: types.Private}, StructName: "<malloc>"}
+
+// IsMallocType reports whether t is the sentinel type of fresh allocations.
+func IsMallocType(t *types.Type) bool { return t != nil && t.StructName == "<malloc>" }
+
+func (e *Env) typeOfMember(x *ast.Member) (*types.Type, *Error) {
+	bt, err := e.TypeOf(x.X)
+	if err != nil {
+		return nil, err
+	}
+	var instMode types.Mode
+	var st *types.Type
+	if x.Arrow {
+		if bt.Kind != types.KPtr {
+			return nil, errf(x.P, "-> on non-pointer %s", bt)
+		}
+		st = bt.Elem
+	} else {
+		st = bt
+	}
+	if st.Kind != types.KStruct {
+		return nil, errf(x.P, "member access on non-struct %s", st)
+	}
+	instMode = st.Mode
+	si := e.W.Structs[st.StructName]
+	if si == nil {
+		return nil, errf(x.P, "unknown struct %q", st.StructName)
+	}
+	fi := si.Field(x.Name)
+	if fi == nil {
+		return nil, errf(x.P, "struct %s has no field %q", si.Name, x.Name)
+	}
+	return InstantiateField(si, fi, instMode, x.X, x.Arrow), nil
+}
+
+// InstantiateField specializes a field's type for a concrete access
+// instance: Poly outer modes become the instance's mode (the struct
+// qualifier polymorphism of §4.1), and lock expressions naming sibling
+// fields are rebased onto the instance expression, so "locked(mut)" becomes
+// "locked(S->mut)" at access site S->sdata.
+func InstantiateField(si *types.StructInfo, fi *types.FieldInfo, instMode types.Mode, base ast.Expr, arrow bool) *types.Type {
+	t := fi.Type.Clone()
+	substModes(si, t, instMode, base, arrow)
+	return t
+}
+
+func substModes(si *types.StructInfo, t *types.Type, instMode types.Mode, base ast.Expr, arrow bool) {
+	if t == nil {
+		return
+	}
+	if t.Mode.Kind == types.ModePoly {
+		t.Mode = instMode
+	}
+	if t.Mode.Kind == types.ModeLocked && t.Mode.Lock != nil {
+		t.Mode = types.Mode{Kind: types.ModeLocked, Lock: rebaseLock(si, t.Mode.Lock, base, arrow)}
+	}
+	substModes(si, t.Elem, instMode, base, arrow)
+	substModes(si, t.Ret, instMode, base, arrow)
+	for _, p := range t.Params {
+		substModes(si, p, instMode, base, arrow)
+	}
+}
+
+// rebaseLock rewrites identifiers naming sibling fields in a lock expression
+// as member accesses on the instance expression, so a field type
+// "locked(mut)" instantiates to "locked(S->mut)" at access site S->sdata.
+// Identifiers that are not sibling fields (e.g. a global lock) are left as
+// written.
+func rebaseLock(si *types.StructInfo, l *types.Lock, base ast.Expr, arrow bool) *types.Lock {
+	e := rebaseExpr(si, l.Expr, base, arrow)
+	return types.NewLock(e)
+}
+
+func rebaseExpr(si *types.StructInfo, e ast.Expr, base ast.Expr, arrow bool) ast.Expr {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if si.Field(e.Name) != nil {
+			return &ast.Member{X: base, Name: e.Name, Arrow: arrow, P: e.P}
+		}
+		return e
+	case *ast.Member:
+		// locked(a.b): rebase the root only.
+		return &ast.Member{X: rebaseExpr(si, e.X, base, arrow), Name: e.Name, Arrow: e.Arrow, P: e.P}
+	default:
+		return e
+	}
+}
+
+// LValueRoot reports the root identifier of an l-value expression, or "".
+func LValueRoot(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.Member:
+			e = x.X
+		case *ast.Index:
+			e = x.X
+		case *ast.Unary:
+			if x.Op == token.STAR {
+				e = x.X
+				continue
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

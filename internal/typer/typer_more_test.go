@@ -1,0 +1,232 @@
+package typer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+func TestTypeOfMiscExpressions(t *testing.T) {
+	src := `
+int g;
+int addone(int v) { return v + 1; }
+int use(int x, int *p, char *s) {
+	x++;
+	--x;
+	x = x + 1;
+	x > 0 ? x : -x;
+	addone(x);
+	p - p;
+	sizeof(int);
+	g;
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	wantKinds := []types.Kind{
+		types.KInt, // x++
+		types.KInt, // --x
+		types.KInt, // assignment has the l-value's type
+		types.KInt, // ternary
+		types.KInt, // call
+		types.KInt, // pointer difference
+		types.KInt, // sizeof
+		types.KInt, // global read
+	}
+	for i, want := range wantKinds {
+		e := nthExpr(t, env, fi, i)
+		ty, err := env.TypeOf(e)
+		if err != nil {
+			t.Fatalf("stmt %d: %v", i, err)
+		}
+		if ty.Kind != want {
+			t.Errorf("stmt %d: kind %v want %v", i, ty.Kind, want)
+		}
+	}
+}
+
+func TestTypeOfBuiltinResults(t *testing.T) {
+	src := `
+int use(void) {
+	mutexNew();
+	condNew();
+	rand();
+	strlen("x");
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	mu, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err != nil || mu.Kind != types.KPtr || mu.Elem.StructName != "mutex" {
+		t.Fatalf("mutexNew: %v %v", mu, err)
+	}
+	if mu.Elem.Mode.Kind != types.ModeRacy {
+		t.Fatalf("mutex internals racy: %s", mu)
+	}
+	cv, err := env.TypeOf(nthExpr(t, env, fi, 1))
+	if err != nil || cv.Elem.StructName != "cond" {
+		t.Fatalf("condNew: %v %v", cv, err)
+	}
+	r, err := env.TypeOf(nthExpr(t, env, fi, 2))
+	if err != nil || !r.IsInteger() {
+		t.Fatalf("rand: %v %v", r, err)
+	}
+}
+
+func TestTypeOfCallErrors(t *testing.T) {
+	src := `
+int use(int x) {
+	x();
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	_, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err == nil || !strings.Contains(err.Msg, "call") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTypeOfIndexError(t *testing.T) {
+	src := `int use(int x) { x[0]; return 0; }`
+	_, env, fi := setup(t, src, "use")
+	if _, err := env.TypeOf(nthExpr(t, env, fi, 0)); err == nil {
+		t.Fatal("indexing an int must fail")
+	}
+}
+
+func TestTypeOfArrowOnNonPointer(t *testing.T) {
+	src := `
+struct s { int a; };
+int use(void) {
+	struct s v;
+	v->a;
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	_, err := env.TypeOf(nthExpr(t, env, fi, 1))
+	if err == nil || !strings.Contains(err.Msg, "->") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTypeOfMemberOnNonStruct(t *testing.T) {
+	src := `int use(int x) { x.a; return 0; }`
+	_, env, fi := setup(t, src, "use")
+	_, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err == nil || !strings.Contains(err.Msg, "struct") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTypeOfBuiltinAsValueError(t *testing.T) {
+	src := `int use(void) { malloc; return 0; }`
+	_, env, fi := setup(t, src, "use")
+	_, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err == nil || !strings.Contains(err.Msg, "called") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecayExported(t *testing.T) {
+	arr := &types.Type{Kind: types.KArray, Len: 4,
+		Elem: &types.Type{Kind: types.KChar, Mode: types.Dynamic}}
+	d := Decay(arr)
+	if d.Kind != types.KPtr || d.Elem.Mode.Kind != types.ModeDynamic {
+		t.Fatalf("decay: %s", d)
+	}
+	i := &types.Type{Kind: types.KInt, Mode: types.Private}
+	if Decay(i) != i {
+		t.Fatal("non-arrays pass through")
+	}
+}
+
+func TestAddressOfArrayDecays(t *testing.T) {
+	src := `
+int use(void) {
+	int a[4];
+	&a;
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	ty, err := env.TypeOf(nthExpr(t, env, fi, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Kind != types.KPtr || ty.Elem.Kind != types.KInt {
+		t.Fatalf("&array: %s", ty)
+	}
+}
+
+func TestAddressOfHeapLValueAllowed(t *testing.T) {
+	src := `
+struct s { int a; int b; };
+int use(void) {
+	struct s *p = malloc(2);
+	&p->b;
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	ty, err := env.TypeOf(nthExpr(t, env, fi, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Kind != types.KPtr || ty.Elem.Kind != types.KInt {
+		t.Fatalf("&p->b: %s", ty)
+	}
+}
+
+func TestLockRebaseDotAccess(t *testing.T) {
+	// Dot access rebases lock expressions without the arrow.
+	src := `
+struct box { mutex *m; int locked(m) v; };
+int use(void) {
+	struct box b;
+	b.v;
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	ty, err := env.TypeOf(nthExpr(t, env, fi, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Mode.Kind != types.ModeLocked || ty.Mode.Lock.Canon != "b.m" {
+		t.Fatalf("lock canon: %s", ty.Mode)
+	}
+}
+
+func TestGlobalLockNotRebased(t *testing.T) {
+	// A lock expression naming a global is left as written.
+	src := `
+mutex * glock;
+struct box { int locked(glock) v; };
+int use(struct box dynamic *b) {
+	b->v;
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	ty, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Mode.Lock.Canon != "glock" {
+		t.Fatalf("global lock must stay global: %s", ty.Mode)
+	}
+}
+
+func TestNullAndStringTypes(t *testing.T) {
+	if !IsNullType(NullPtr) || IsNullType(StringRV) {
+		t.Fatal("null sentinel identity")
+	}
+	if StringRV.Elem.Mode.Kind != types.ModeReadonly {
+		t.Fatal("string literals point at readonly chars")
+	}
+	_ = ast.ExprString(&ast.NullLit{})
+}

@@ -1,0 +1,254 @@
+package typer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+// setup builds a world and returns an env for the named function.
+func setup(t *testing.T, src, fn string) (*types.World, *Env, *types.FuncInfo) {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := types.BuildWorld(prog)
+	if len(w.Errors) > 0 {
+		t.Fatalf("resolve: %v", w.Errors[0])
+	}
+	fi := w.Funcs[fn]
+	if fi == nil {
+		t.Fatalf("no function %q", fn)
+	}
+	return w, NewEnv(w, fi), fi
+}
+
+// exprIn extracts the expression of the i-th statement of fn's body,
+// defining preceding locals into env so lookups resolve.
+func nthExpr(t *testing.T, env *Env, fi *types.FuncInfo, i int) ast.Expr {
+	t.Helper()
+	for j, s := range fi.Decl.Body.Stmts {
+		if d, ok := s.(*ast.DeclStmt); ok && j < i {
+			env.Define(&Sym{Kind: SymLocal, Name: d.Name, Type: fi.Locals[d], Decl: d})
+		}
+		if j == i {
+			switch s := s.(type) {
+			case *ast.ExprStmt:
+				return s.X
+			case *ast.Return:
+				return s.X
+			case *ast.DeclStmt:
+				return s.Init
+			}
+		}
+	}
+	t.Fatalf("no expression at statement %d", i)
+	return nil
+}
+
+func TestTypeOfMemberInstantiation(t *testing.T) {
+	src := `
+struct box { mutex *m; int locked(m) v; int plain; };
+int use(struct box dynamic *b) {
+	b->v;
+	b->plain;
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	vT, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lock expression is rebased onto the instance: locked(b->m).
+	if vT.Mode.Kind != types.ModeLocked || vT.Mode.Lock.Canon != "b->m" {
+		t.Fatalf("v mode: %s", vT.Mode)
+	}
+	pT, err := env.TypeOf(nthExpr(t, env, fi, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poly field inherits the instance mode (dynamic).
+	if pT.Mode.Kind != types.ModeDynamic {
+		t.Fatalf("plain mode: %s", pT.Mode)
+	}
+}
+
+func TestTypeOfDotMemberUsesStorageMode(t *testing.T) {
+	src := `
+struct pair { int a; int b; };
+int use(void) {
+	struct pair p;
+	p.a;
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	aT, err := env.TypeOf(nthExpr(t, env, fi, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local struct storage is an inference variable (private after solve).
+	if aT.Mode.Kind != types.ModeVar {
+		t.Fatalf("p.a mode: %s", aT.Mode)
+	}
+}
+
+func TestTypeOfDerefAndIndex(t *testing.T) {
+	src := `
+int use(int dynamic *p) {
+	*p;
+	p[3];
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	for i := 0; i < 2; i++ {
+		ty, err := env.TypeOf(nthExpr(t, env, fi, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ty.Kind != types.KInt || ty.Mode.Kind != types.ModeDynamic {
+			t.Fatalf("stmt %d: %s", i, ty)
+		}
+	}
+}
+
+func TestTypeOfPointerArithmetic(t *testing.T) {
+	src := `
+int use(char *p, int n) {
+	p + n;
+	p - n;
+	return 0;
+}
+`
+	_, env, fi := setup(t, src, "use")
+	for i := 0; i < 2; i++ {
+		ty, err := env.TypeOf(nthExpr(t, env, fi, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ty.Kind != types.KPtr {
+			t.Fatalf("stmt %d: %s", i, ty)
+		}
+	}
+}
+
+func TestDerefNonPointerError(t *testing.T) {
+	src := `int use(int x) { *x; return 0; }`
+	_, env, fi := setup(t, src, "use")
+	_, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err == nil || !strings.Contains(err.Msg, "dereference") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVoidDerefError(t *testing.T) {
+	src := `int use(void *p) { *p; return 0; }`
+	_, env, fi := setup(t, src, "use")
+	_, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err == nil || !strings.Contains(err.Msg, "void") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownFieldError(t *testing.T) {
+	src := `
+struct s { int a; };
+int use(struct s *p) { p->nope; return 0; }
+`
+	_, env, fi := setup(t, src, "use")
+	_, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err == nil || !strings.Contains(err.Msg, "nope") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddressOfLocalError(t *testing.T) {
+	src := `int use(void) { int x; &x; return 0; }`
+	_, env, fi := setup(t, src, "use")
+	_, err := env.TypeOf(nthExpr(t, env, fi, 1))
+	if err == nil || !strings.Contains(err.Msg, "address of local") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFunctionNameDecays(t *testing.T) {
+	src := `
+int helper(int x) { return x; }
+int use(void) { helper; return 0; }
+`
+	_, env, fi := setup(t, src, "use")
+	ty, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Kind != types.KPtr || ty.Elem.Kind != types.KFunc {
+		t.Fatalf("function value: %s", ty)
+	}
+}
+
+func TestNullAndMallocSentinels(t *testing.T) {
+	src := `int use(void) { malloc(4); return 0; }`
+	_, env, fi := setup(t, src, "use")
+	ty, err := env.TypeOf(nthExpr(t, env, fi, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMallocType(ty) {
+		t.Fatalf("malloc sentinel: %s", ty)
+	}
+	nt, err := env.TypeOf(&ast.NullLit{})
+	if err != nil || !IsNullType(nt) {
+		t.Fatalf("null sentinel: %s, %v", nt, err)
+	}
+	if IsNullType(ty) || IsMallocType(nt) {
+		t.Fatal("sentinels must be distinct")
+	}
+}
+
+func TestLValueRoot(t *testing.T) {
+	cases := map[string]string{
+		"x":      "x",
+		"*p":     "p",
+		"a[i]":   "a",
+		"s->f":   "s",
+		"s.f.g":  "s",
+		"(*p).f": "p",
+	}
+	for src, want := range cases {
+		prog, err := parser.ParseProgram(parser.Source{Name: "t.shc",
+			Text: "int g; void f(void) { g = " + src + "; }"})
+		if err != nil {
+			continue // some are not parseable standalone; skip
+		}
+		fd := prog.Funcs()["f"]
+		asn := fd.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.Assign)
+		if got := LValueRoot(asn.R); got != want {
+			t.Errorf("%s: root %q want %q", src, got, want)
+		}
+	}
+}
+
+func TestScopeShadowing(t *testing.T) {
+	src := `int g; int use(void) { return 0; }`
+	w, env, _ := setup(t, src, "use")
+	if env.Lookup("g") == nil || env.Lookup("g").Kind != SymGlobal {
+		t.Fatal("global visible")
+	}
+	env.Push()
+	local := &types.Type{Kind: types.KInt, Mode: types.Private}
+	env.Define(&Sym{Kind: SymLocal, Name: "g", Type: local})
+	if env.Lookup("g").Kind != SymLocal {
+		t.Fatal("local shadows global")
+	}
+	env.Pop()
+	if env.Lookup("g").Kind != SymGlobal {
+		t.Fatal("scope pop restores global")
+	}
+	_ = w
+}

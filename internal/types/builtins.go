@@ -1,0 +1,117 @@
+package types
+
+// ArgShape constrains the C shape of a builtin argument.
+type ArgShape int
+
+const (
+	ArgInt     ArgShape = iota // any integer
+	ArgAnyPtr                  // pointer of any referent type
+	ArgCharPtr                 // char*
+	ArgMutex                   // struct mutex*
+	ArgCond                    // struct cond*
+	ArgFunc                    // pointer to function taking one pointer
+)
+
+// Access is a trusted read/write summary for a builtin's pointer argument
+// (§4.4): it tells the runtime how to update reader/writer sets for dynamic
+// actuals, and lets readonly actuals pass where only reads occur.
+type Access int
+
+const (
+	AccessNone Access = iota
+	AccessRead
+	AccessWrite
+	AccessReadWrite
+)
+
+// ArgSpec is one builtin parameter: its shape constraint and access summary.
+type ArgSpec struct {
+	Shape  ArgShape
+	Access Access
+}
+
+// BuiltinKind marks builtins the checker and interpreter treat specially.
+type BuiltinKind int
+
+const (
+	BKPlain  BuiltinKind = iota
+	BKMalloc             // returns fresh memory; result adopts context type
+	BKFree               // releases memory, clears shadow state
+	BKSpawn              // spawns a thread; seeds the sharing analysis
+	BKJoin               // joins a thread
+	BKMutexNew
+	BKCondNew
+	BKMutexLock
+	BKMutexUnlock
+	BKCondWait
+	BKCondSignal
+	BKCondBroadcast
+)
+
+// RetShape describes a builtin's result.
+type RetShape int
+
+const (
+	RetVoid RetShape = iota
+	RetInt
+	RetAnyPtr  // fresh pointer; adopts the type required by context
+	RetMutex   // struct mutex racy *
+	RetCond    // struct cond racy *
+	RetCharPtr // char readonly *
+)
+
+// Builtin describes one built-in function of the ShC runtime.
+type Builtin struct {
+	Name     string
+	Kind     BuiltinKind
+	Args     []ArgSpec
+	Variadic bool // extra integer args allowed (printf-style ints only)
+	Ret      RetShape
+}
+
+// Builtins is the table of ShC built-in functions. Pointer arguments carry
+// read/write summaries so that dynamic objects can be passed to the
+// "library" with correct reader/writer-set updates, per §4.4.
+var Builtins = map[string]*Builtin{
+	"malloc": {Name: "malloc", Kind: BKMalloc, Args: []ArgSpec{{ArgInt, AccessNone}}, Ret: RetAnyPtr},
+	"free":   {Name: "free", Kind: BKFree, Args: []ArgSpec{{ArgAnyPtr, AccessNone}}, Ret: RetVoid},
+
+	"spawn": {Name: "spawn", Kind: BKSpawn, Args: []ArgSpec{{ArgFunc, AccessNone}, {ArgAnyPtr, AccessNone}}, Ret: RetInt},
+	"join":  {Name: "join", Kind: BKJoin, Args: []ArgSpec{{ArgInt, AccessNone}}, Ret: RetVoid},
+
+	"mutexNew":      {Name: "mutexNew", Kind: BKMutexNew, Ret: RetMutex},
+	"condNew":       {Name: "condNew", Kind: BKCondNew, Ret: RetCond},
+	"mutexLock":     {Name: "mutexLock", Kind: BKMutexLock, Args: []ArgSpec{{ArgMutex, AccessNone}}, Ret: RetVoid},
+	"mutexUnlock":   {Name: "mutexUnlock", Kind: BKMutexUnlock, Args: []ArgSpec{{ArgMutex, AccessNone}}, Ret: RetVoid},
+	"condWait":      {Name: "condWait", Kind: BKCondWait, Args: []ArgSpec{{ArgCond, AccessNone}, {ArgMutex, AccessNone}}, Ret: RetVoid},
+	"condSignal":    {Name: "condSignal", Kind: BKCondSignal, Args: []ArgSpec{{ArgCond, AccessNone}}, Ret: RetVoid},
+	"condBroadcast": {Name: "condBroadcast", Kind: BKCondBroadcast, Args: []ArgSpec{{ArgCond, AccessNone}}, Ret: RetVoid},
+
+	"print":    {Name: "print", Args: []ArgSpec{{ArgCharPtr, AccessRead}}, Variadic: true, Ret: RetVoid},
+	"printInt": {Name: "printInt", Args: []ArgSpec{{ArgInt, AccessNone}}, Ret: RetVoid},
+	"assert":   {Name: "assert", Args: []ArgSpec{{ArgInt, AccessNone}}, Ret: RetVoid},
+
+	"rand":    {Name: "rand", Ret: RetInt},
+	"srand":   {Name: "srand", Args: []ArgSpec{{ArgInt, AccessNone}}, Ret: RetVoid},
+	"sleepMs": {Name: "sleepMs", Args: []ArgSpec{{ArgInt, AccessNone}}, Ret: RetVoid},
+	"yield":   {Name: "yield", Ret: RetVoid},
+
+	"memset": {Name: "memset", Args: []ArgSpec{{ArgAnyPtr, AccessWrite}, {ArgInt, AccessNone}, {ArgInt, AccessNone}}, Ret: RetVoid},
+	"memcpy": {Name: "memcpy", Args: []ArgSpec{{ArgAnyPtr, AccessWrite}, {ArgAnyPtr, AccessRead}, {ArgInt, AccessNone}}, Ret: RetVoid},
+	"strlen": {Name: "strlen", Args: []ArgSpec{{ArgCharPtr, AccessRead}}, Ret: RetInt},
+	"strcmp": {Name: "strcmp", Args: []ArgSpec{{ArgCharPtr, AccessRead}, {ArgCharPtr, AccessRead}}, Ret: RetInt},
+	"strcpy": {Name: "strcpy", Args: []ArgSpec{{ArgCharPtr, AccessWrite}, {ArgCharPtr, AccessRead}}, Ret: RetVoid},
+	"strstr": {Name: "strstr", Args: []ArgSpec{{ArgCharPtr, AccessRead}, {ArgCharPtr, AccessRead}}, Ret: RetInt},
+
+	// shcRecycle is the §4.5 custom-allocator hook: a trusted annotation
+	// telling SharC that the n cells at p are being recycled by a custom
+	// allocator (transferred between threads as unused memory), so their
+	// reader/writer sets are cleared like free()'s.
+	"shcRecycle": {Name: "shcRecycle", Args: []ArgSpec{{ArgAnyPtr, AccessNone}, {ArgInt, AccessNone}}, Ret: RetVoid},
+}
+
+// IsBuiltin reports whether name is a built-in function.
+func IsBuiltin(name string) bool {
+	_, ok := Builtins[name]
+	return ok
+}

@@ -1,0 +1,378 @@
+// Package types defines the semantic types of ShC programs: C types where
+// every level carries a SharC sharing mode. It implements the paper's
+// defaulting rules (§4.1) when resolving syntactic types — struct qualifier
+// polymorphism, pointee-inherits-pointer outside structs, dynamic pointees
+// inside structs — leaving unannotated modes as inference variables for
+// internal/qualinfer to decide between private and dynamic.
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// ModeKind enumerates the sharing modes of the semantic domain. ModeVar is
+// an inference variable (resolved to private or dynamic by qualinfer);
+// ModePoly is a struct field's "q" — it inherits the mode of the struct
+// instance at each access site.
+type ModeKind int
+
+const (
+	ModeVar ModeKind = iota
+	ModePoly
+	ModePrivate
+	ModeReadonly
+	ModeLocked
+	ModeRacy
+	ModeDynamic
+)
+
+func (k ModeKind) String() string {
+	switch k {
+	case ModeVar:
+		return "?"
+	case ModePoly:
+		return "q"
+	case ModePrivate:
+		return "private"
+	case ModeReadonly:
+		return "readonly"
+	case ModeLocked:
+		return "locked"
+	case ModeRacy:
+		return "racy"
+	case ModeDynamic:
+		return "dynamic"
+	}
+	return "mode?"
+}
+
+// Lock identifies the lock guarding a locked-mode type. Canon is the
+// canonical rendering of the lock expression, used for lock-equality between
+// types ("locked(S->mut)" vs "locked(nextS->mut)").
+type Lock struct {
+	Expr  ast.Expr
+	Canon string
+}
+
+// NewLock builds a Lock from a lock expression.
+func NewLock(e ast.Expr) *Lock {
+	return &Lock{Expr: e, Canon: ast.ExprString(e)}
+}
+
+// Mode is one sharing-mode annotation. For ModeVar, Var is the inference
+// variable id; for ModeLocked, Lock names the guarding lock.
+type Mode struct {
+	Kind ModeKind
+	Var  int
+	Lock *Lock
+}
+
+func (m Mode) String() string {
+	switch m.Kind {
+	case ModeVar:
+		return fmt.Sprintf("?%d", m.Var)
+	case ModeLocked:
+		if m.Lock != nil {
+			return "locked(" + m.Lock.Canon + ")"
+		}
+		return "locked(?)"
+	default:
+		return m.Kind.String()
+	}
+}
+
+// Private, Dynamic, etc. are convenience constructors.
+var (
+	Private  = Mode{Kind: ModePrivate}
+	Readonly = Mode{Kind: ModeReadonly}
+	Racy     = Mode{Kind: ModeRacy}
+	Dynamic  = Mode{Kind: ModeDynamic}
+	Poly     = Mode{Kind: ModePoly}
+)
+
+// VarMode returns a fresh inference-variable mode with the given id.
+func VarMode(id int) Mode { return Mode{Kind: ModeVar, Var: id} }
+
+// LockedMode returns a locked mode guarded by the given lock expression.
+func LockedMode(e ast.Expr) Mode { return Mode{Kind: ModeLocked, Lock: NewLock(e)} }
+
+// Subst maps inference-variable ids to their solved modes: usually private
+// or dynamic, but a variable unified with an annotated readonly, racy, or
+// locked type resolves to that full mode (lock expression included).
+type Subst map[int]Mode
+
+// Apply resolves a mode under the substitution. Unsolved variables default
+// to private, matching §4.1 ("all remaining unannotated types are given the
+// private qualifier").
+func (s Subst) Apply(m Mode) Mode {
+	if m.Kind != ModeVar {
+		return m
+	}
+	if r, ok := s[m.Var]; ok {
+		return r
+	}
+	return Private
+}
+
+// Kind enumerates the shapes of semantic types.
+type Kind int
+
+const (
+	KInt Kind = iota
+	KChar
+	KVoid
+	KLong
+	KPtr
+	KStruct
+	KArray
+	KFunc
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KChar:
+		return "char"
+	case KVoid:
+		return "void"
+	case KLong:
+		return "long"
+	case KPtr:
+		return "ptr"
+	case KStruct:
+		return "struct"
+	case KArray:
+		return "array"
+	case KFunc:
+		return "func"
+	}
+	return "kind?"
+}
+
+// Type is a semantic ShC type. Mode is the sharing mode of this level — for
+// a KPtr it describes the storage holding the pointer, while Elem describes
+// what it points at.
+type Type struct {
+	Kind Kind
+	Mode Mode
+
+	Elem       *Type   // KPtr, KArray
+	StructName string  // KStruct
+	Len        int     // KArray
+	Ret        *Type   // KFunc
+	Params     []*Type // KFunc
+}
+
+// String renders the type with modes, e.g. "char locked(mut) * dynamic".
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KInt, KChar, KVoid, KLong:
+		return withMode(t.Kind.String(), t.Mode)
+	case KPtr:
+		return t.Elem.String() + " *" + modeSuffix(t.Mode)
+	case KStruct:
+		return withMode("struct "+t.StructName, t.Mode)
+	case KArray:
+		if t.Len > 0 {
+			return fmt.Sprintf("%s[%d]", t.Elem.String(), t.Len)
+		}
+		return t.Elem.String() + "[]"
+	case KFunc:
+		var sb strings.Builder
+		sb.WriteString(t.Ret.String())
+		sb.WriteString(" (*)(")
+		for i, p := range t.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.String())
+		}
+		sb.WriteString(")")
+		return sb.String()
+	}
+	return "<type?>"
+}
+
+func withMode(base string, m Mode) string {
+	if m.Kind == ModePrivate {
+		return base // private is the quiet default in renderings
+	}
+	return base + " " + m.String()
+}
+
+func modeSuffix(m Mode) string {
+	if m.Kind == ModePrivate {
+		return ""
+	}
+	return m.String()
+}
+
+// VerboseString renders the type with every mode spelled out, private
+// included — used in sharing-cast suggestions where the mode is the point.
+func (t *Type) VerboseString() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KInt, KChar, KVoid, KLong:
+		return t.Kind.String() + " " + t.Mode.String()
+	case KPtr:
+		return t.Elem.VerboseString() + " *" + t.Mode.String()
+	case KStruct:
+		return "struct " + t.StructName + " " + t.Mode.String()
+	case KArray:
+		if t.Len > 0 {
+			return fmt.Sprintf("%s[%d]", t.Elem.VerboseString(), t.Len)
+		}
+		return t.Elem.VerboseString() + "[]"
+	default:
+		return t.String()
+	}
+}
+
+// Clone returns a deep copy (lock expressions shared; they are immutable).
+func (t *Type) Clone() *Type {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.Elem = t.Elem.Clone()
+	c.Ret = t.Ret.Clone()
+	if t.Params != nil {
+		c.Params = make([]*Type, len(t.Params))
+		for i, p := range t.Params {
+			c.Params[i] = p.Clone()
+		}
+	}
+	return &c
+}
+
+// IsScalar reports whether the type is a non-aggregate value type (fits one
+// memory cell).
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case KInt, KChar, KVoid, KLong, KPtr:
+		return true
+	}
+	return false
+}
+
+// IsPointer reports whether the type is a pointer.
+func (t *Type) IsPointer() bool { return t.Kind == KPtr }
+
+// IsInteger reports whether the type is an integer type.
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case KInt, KChar, KLong:
+		return true
+	}
+	return false
+}
+
+// IsVoidPtr reports whether the type is void*.
+func (t *Type) IsVoidPtr() bool {
+	return t.Kind == KPtr && t.Elem != nil && t.Elem.Kind == KVoid
+}
+
+// ModesEqual compares two modes under a substitution. Locked modes compare
+// by canonical lock expression.
+func ModesEqual(s Subst, a, b Mode) bool {
+	a, b = s.Apply(a), s.Apply(b)
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == ModeLocked {
+		return a.Lock != nil && b.Lock != nil && a.Lock.Canon == b.Lock.Canon
+	}
+	return true
+}
+
+// EqualUnder reports deep type equality under the substitution, comparing
+// modes at every level. Used for referent types in assignments: "m1 ref t1
+// := m2 ref t2" requires t1 = t2 (outer modes m1, m2 are independent).
+func EqualUnder(s Subst, a, b *Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	// Function code has no storage mode; compare signatures only.
+	if a.Kind != KFunc && !ModesEqual(s, a.Mode, b.Mode) {
+		return false
+	}
+	switch a.Kind {
+	case KPtr, KArray:
+		if a.Kind == KArray && a.Len != b.Len && a.Len != 0 && b.Len != 0 {
+			return false
+		}
+		return EqualUnder(s, a.Elem, b.Elem)
+	case KStruct:
+		return a.StructName == b.StructName
+	case KFunc:
+		if len(a.Params) != len(b.Params) {
+			return false
+		}
+		if !EqualUnder(s, a.Ret, b.Ret) {
+			return false
+		}
+		for i := range a.Params {
+			if !EqualUnder(s, a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// ShapeEqual reports type equality ignoring sharing modes (the underlying C
+// type). Sharing casts may change modes but never the shape.
+func ShapeEqual(a, b *Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KPtr, KArray:
+		if a.Kind == KArray && a.Len != b.Len && a.Len != 0 && b.Len != 0 {
+			return false
+		}
+		return ShapeEqual(a.Elem, b.Elem)
+	case KStruct:
+		return a.StructName == b.StructName
+	case KFunc:
+		if len(a.Params) != len(b.Params) {
+			return false
+		}
+		if !ShapeEqual(a.Ret, b.Ret) {
+			return false
+		}
+		for i := range a.Params {
+			if !ShapeEqual(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// Basic type singletons for convenience. Callers must not mutate them.
+var (
+	IntType  = &Type{Kind: KInt, Mode: Private}
+	CharType = &Type{Kind: KChar, Mode: Private}
+	VoidType = &Type{Kind: KVoid, Mode: Private}
+)
+
+// PtrTo returns a private pointer to t.
+func PtrTo(t *Type) *Type { return &Type{Kind: KPtr, Mode: Private, Elem: t} }

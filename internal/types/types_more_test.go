@@ -1,0 +1,195 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+func TestKindAndModeStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KInt: "int", KChar: "char", KVoid: "void", KLong: "long",
+		KPtr: "ptr", KStruct: "struct", KArray: "array", KFunc: "func",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+	modes := map[ModeKind]string{
+		ModePoly: "q", ModePrivate: "private", ModeReadonly: "readonly",
+		ModeLocked: "locked", ModeRacy: "racy", ModeDynamic: "dynamic",
+	}
+	for m, want := range modes {
+		if m.String() != want {
+			t.Errorf("%v.String() = %q", m, m.String())
+		}
+	}
+	if VarMode(7).String() != "?7" {
+		t.Error("var mode render")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	ptr := PtrTo(IntType)
+	if !ptr.IsPointer() || !ptr.IsScalar() || ptr.IsInteger() {
+		t.Error("pointer predicates")
+	}
+	if !IntType.IsInteger() || !CharType.IsInteger() {
+		t.Error("integer predicates")
+	}
+	vp := PtrTo(VoidType)
+	if !vp.IsVoidPtr() || ptr.IsVoidPtr() {
+		t.Error("void pointer predicate")
+	}
+	arr := &Type{Kind: KArray, Elem: IntType, Len: 3}
+	if arr.IsScalar() {
+		t.Error("arrays are not scalars")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	fn := &Type{Kind: KFunc, Mode: Private, Ret: PtrTo(IntType),
+		Params: []*Type{PtrTo(CharType)}}
+	c := fn.Clone()
+	c.Params[0].Elem = &Type{Kind: KLong, Mode: Racy}
+	if fn.Params[0].Elem.Kind != KChar {
+		t.Fatal("clone must not share param types")
+	}
+	c.Ret.Mode = Dynamic
+	if fn.Ret.Mode.Kind != ModePrivate {
+		t.Fatal("clone must not share ret")
+	}
+	var nilT *Type
+	if nilT.Clone() != nil {
+		t.Fatal("nil clones to nil")
+	}
+}
+
+func TestSizeOfFuncAndUnknown(t *testing.T) {
+	w := world(t, "int main(void) { return 0; }")
+	if w.SizeOf(&Type{Kind: KFunc}) != 1 {
+		t.Error("function values are one cell")
+	}
+	if w.SizeOf(&Type{Kind: KStruct, StructName: "ghost"}) != 1 {
+		t.Error("unknown structs default to one cell")
+	}
+	if w.SizeOf(&Type{Kind: KArray, Elem: IntType, Len: 0}) != 1 {
+		t.Error("unsized arrays occupy at least one cell")
+	}
+}
+
+func TestEqualUnderEdgeCases(t *testing.T) {
+	s := Subst{}
+	if !EqualUnder(s, nil, nil) {
+		t.Error("nil == nil")
+	}
+	if EqualUnder(s, IntType, nil) {
+		t.Error("nil mismatch")
+	}
+	a := &Type{Kind: KArray, Elem: IntType, Len: 4, Mode: Private}
+	b := &Type{Kind: KArray, Elem: IntType, Len: 8, Mode: Private}
+	if EqualUnder(s, a, b) {
+		t.Error("array lengths differ")
+	}
+	c := &Type{Kind: KArray, Elem: IntType, Len: 0, Mode: Private}
+	if !EqualUnder(s, a, c) {
+		t.Error("unsized arrays are compatible with any length")
+	}
+	f1 := &Type{Kind: KFunc, Ret: IntType, Params: []*Type{IntType}}
+	f2 := &Type{Kind: KFunc, Ret: IntType, Params: []*Type{IntType, IntType}}
+	if EqualUnder(s, f1, f2) {
+		t.Error("arity differs")
+	}
+}
+
+func TestLockedTypeRendering(t *testing.T) {
+	l := LockedMode(&ast.Member{X: &ast.Ident{Name: "S"}, Name: "mut", Arrow: true})
+	ty := &Type{Kind: KInt, Mode: l}
+	if ty.String() != "int locked(S->mut)" {
+		t.Errorf("render: %q", ty.String())
+	}
+	if l.Lock.Canon != "S->mut" {
+		t.Errorf("canon: %q", l.Lock.Canon)
+	}
+}
+
+// Property: EqualUnder is reflexive and symmetric for random simple types.
+func TestPropertyEqualUnderReflexiveSymmetric(t *testing.T) {
+	mk := func(picks []uint8) *Type {
+		t := &Type{Kind: KInt, Mode: Private}
+		for _, p := range picks {
+			switch p % 4 {
+			case 0:
+				t = &Type{Kind: KPtr, Mode: Private, Elem: t}
+			case 1:
+				t = &Type{Kind: KPtr, Mode: Dynamic, Elem: t}
+			case 2:
+				t = &Type{Kind: KPtr, Mode: Racy, Elem: t}
+			case 3:
+				t = &Type{Kind: KArray, Mode: t.Mode, Elem: t, Len: int(p%5) + 1}
+			}
+		}
+		return t
+	}
+	f := func(a, b []uint8) bool {
+		s := Subst{}
+		ta, tb := mk(a), mk(b)
+		if !EqualUnder(s, ta, ta) || !EqualUnder(s, tb, tb) {
+			return false
+		}
+		return EqualUnder(s, ta, tb) == EqualUnder(s, tb, ta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ShapeEqual is implied by EqualUnder.
+func TestPropertyEqualImpliesShape(t *testing.T) {
+	mk := func(picks []uint8) *Type {
+		t := &Type{Kind: KChar, Mode: Private}
+		for _, p := range picks {
+			if p%2 == 0 {
+				t = &Type{Kind: KPtr, Mode: Private, Elem: t}
+			} else {
+				t = &Type{Kind: KPtr, Mode: Dynamic, Elem: t}
+			}
+		}
+		return t
+	}
+	f := func(a, b []uint8) bool {
+		s := Subst{}
+		ta, tb := mk(a), mk(b)
+		if EqualUnder(s, ta, tb) && !ShapeEqual(ta, tb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldAccessor(t *testing.T) {
+	w := world(t, "struct s { int a; int b; };")
+	si := w.Structs["s"]
+	if si.Field("b") == nil || si.Field("b").Offset != 1 {
+		t.Error("field lookup")
+	}
+	if si.Field("zz") != nil {
+		t.Error("missing field is nil")
+	}
+}
+
+func TestEmptyStructHasSize(t *testing.T) {
+	// ShC has no empty structs via the parser, but layout must be robust.
+	w := world(t, "struct s { int a; };")
+	si := w.Structs["s"]
+	if si.Size != 1 {
+		t.Errorf("size %d", si.Size)
+	}
+	_ = strings.TrimSpace
+}

@@ -1,0 +1,308 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func world(t *testing.T, src string) *World {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := BuildWorld(prog)
+	return w
+}
+
+func TestResolveBaseTypes(t *testing.T) {
+	w := world(t, `
+int a;
+char b;
+long c;
+int dynamic d;
+int readonly e;
+int racy f;
+`)
+	cases := []struct {
+		name string
+		kind Kind
+		mode ModeKind
+	}{
+		{"a", KInt, ModeVar},
+		{"b", KChar, ModeVar},
+		{"c", KLong, ModeVar},
+		{"d", KInt, ModeDynamic},
+		{"e", KInt, ModeReadonly},
+		{"f", KInt, ModeRacy},
+	}
+	for _, c := range cases {
+		g := w.Globals[c.name]
+		if g.Type.Kind != c.kind || g.Type.Mode.Kind != c.mode {
+			t.Errorf("%s: got %s kind=%v mode=%v", c.name, g.Type, g.Type.Kind, g.Type.Mode.Kind)
+		}
+	}
+}
+
+func TestPointeeInheritsAnnotatedPointer(t *testing.T) {
+	// "(int * dynamic) becomes (int dynamic * dynamic)".
+	w := world(t, `int * dynamic g;`)
+	g := w.Globals["g"]
+	if g.Type.Mode.Kind != ModeDynamic {
+		t.Fatalf("outer: %s", g.Type.Mode)
+	}
+	if g.Type.Elem.Mode.Kind != ModeDynamic {
+		t.Fatalf("pointee should inherit dynamic: %s", g.Type)
+	}
+}
+
+func TestUnannotatedPointerGetsSeparateVars(t *testing.T) {
+	// "void *d" must be able to resolve to "void dynamic * private d".
+	w := world(t, `int *g;`)
+	g := w.Globals["g"]
+	if g.Type.Mode.Kind != ModeVar || g.Type.Elem.Mode.Kind != ModeVar {
+		t.Fatalf("both levels should be variables: %s", g.Type)
+	}
+	if g.Type.Mode.Var == g.Type.Elem.Mode.Var {
+		t.Fatal("outer and pointee must be distinct inference variables")
+	}
+	// And linked by a REF-CTOR edge.
+	found := false
+	for _, e := range w.RefEdges {
+		if e[0] == g.Type.Mode.Var && e[1] == g.Type.Elem.Mode.Var {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing REF-CTOR edge between the levels")
+	}
+}
+
+func TestStructFieldDefaults(t *testing.T) {
+	w := world(t, `
+struct s {
+	int a;
+	int *p;
+	char dynamic *q;
+};
+`)
+	si := w.Structs["s"]
+	if si.Field("a").Type.Mode.Kind != ModePoly {
+		t.Errorf("unannotated field outer mode should be poly, got %s", si.Field("a").Type.Mode)
+	}
+	p := si.Field("p").Type
+	if p.Mode.Kind != ModePoly {
+		t.Errorf("pointer field outer: %s", p.Mode)
+	}
+	if p.Elem.Mode.Kind != ModeDynamic {
+		t.Errorf("in-struct pointee should default dynamic: %s", p)
+	}
+	q := si.Field("q").Type
+	if q.Elem.Mode.Kind != ModeDynamic {
+		t.Errorf("annotated pointee: %s", q)
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	w := world(t, `
+struct inner { int a; int b; };
+struct outer {
+	int x;
+	struct inner in;
+	int arr[4];
+	char *p;
+};
+`)
+	si := w.Structs["outer"]
+	if si.Field("x").Offset != 0 {
+		t.Errorf("x offset %d", si.Field("x").Offset)
+	}
+	if si.Field("in").Offset != 1 {
+		t.Errorf("in offset %d", si.Field("in").Offset)
+	}
+	if si.Field("arr").Offset != 3 {
+		t.Errorf("arr offset %d", si.Field("arr").Offset)
+	}
+	if si.Field("p").Offset != 7 {
+		t.Errorf("p offset %d", si.Field("p").Offset)
+	}
+	if si.Size != 8 {
+		t.Errorf("size %d", si.Size)
+	}
+	if w.SizeOf(&Type{Kind: KStruct, StructName: "outer"}) != 8 {
+		t.Error("SizeOf disagrees with layout")
+	}
+}
+
+func TestRacyStructInternals(t *testing.T) {
+	w := world(t, `mutex m;`)
+	si := w.Structs["mutex"]
+	if !si.Racy {
+		t.Fatal("mutex must be racy")
+	}
+	if si.Fields[0].Type.Mode.Kind != ModeRacy {
+		t.Fatal("racy struct fields must be racy")
+	}
+	// Instances of racy structs default to racy.
+	g := w.Globals["m"]
+	if g.Type.Mode.Kind != ModeRacy {
+		t.Fatalf("racy instance: %s", g.Type.Mode)
+	}
+}
+
+func TestLockRootBecomesReadonly(t *testing.T) {
+	w := world(t, `
+struct box {
+	mutex *m;
+	int locked(m) v;
+};
+`)
+	si := w.Structs["box"]
+	if si.Field("m").Type.Mode.Kind != ModeReadonly {
+		t.Fatalf("lock root must be readonly, got %s", si.Field("m").Type.Mode)
+	}
+}
+
+func TestLockRootAnnotatedWrongIsError(t *testing.T) {
+	w := world(t, `
+struct box {
+	mutex * dynamic m;
+	int locked(m) v;
+};
+`)
+	if len(w.Errors) == 0 {
+		t.Fatal("expected error: lock root annotated non-readonly")
+	}
+	if !strings.Contains(w.Errors[0].Msg, "readonly") {
+		t.Fatalf("error: %v", w.Errors[0])
+	}
+}
+
+func TestModesEqualLockCanon(t *testing.T) {
+	a := LockedMode(&ast.Ident{Name: "m"})
+	b := LockedMode(&ast.Ident{Name: "m"})
+	c := LockedMode(&ast.Ident{Name: "other"})
+	if !ModesEqual(nil, a, b) {
+		t.Error("same canon must be equal")
+	}
+	if ModesEqual(nil, a, c) {
+		t.Error("different locks must differ")
+	}
+}
+
+func TestEqualUnderSubst(t *testing.T) {
+	s := Subst{0: Dynamic, 1: Private}
+	a := &Type{Kind: KPtr, Mode: Private, Elem: &Type{Kind: KInt, Mode: VarMode(0)}}
+	b := &Type{Kind: KPtr, Mode: Private, Elem: &Type{Kind: KInt, Mode: Dynamic}}
+	if !EqualUnder(s, a, b) {
+		t.Error("var resolving dynamic should equal dynamic")
+	}
+	c := &Type{Kind: KPtr, Mode: Private, Elem: &Type{Kind: KInt, Mode: VarMode(1)}}
+	if EqualUnder(s, c, b) {
+		t.Error("private pointee must not equal dynamic pointee")
+	}
+}
+
+func TestShapeEqualIgnoresModes(t *testing.T) {
+	a := &Type{Kind: KPtr, Mode: Private, Elem: &Type{Kind: KChar, Mode: Dynamic}}
+	b := &Type{Kind: KPtr, Mode: Racy, Elem: &Type{Kind: KChar, Mode: Private}}
+	if !ShapeEqual(a, b) {
+		t.Error("shapes equal regardless of modes")
+	}
+	c := &Type{Kind: KPtr, Mode: Private, Elem: &Type{Kind: KInt, Mode: Private}}
+	if ShapeEqual(a, c) {
+		t.Error("char* vs int* differ")
+	}
+}
+
+func TestSubstApplyDefaultsPrivate(t *testing.T) {
+	var s Subst = Subst{}
+	m := s.Apply(VarMode(42))
+	if m.Kind != ModePrivate {
+		t.Fatalf("unsolved variables default private, got %s", m)
+	}
+	if s.Apply(Racy).Kind != ModeRacy {
+		t.Fatal("constants pass through")
+	}
+}
+
+func TestTypeStringRendering(t *testing.T) {
+	ty := &Type{Kind: KPtr, Mode: Dynamic,
+		Elem: &Type{Kind: KChar, Mode: LockedMode(&ast.Ident{Name: "mut"})}}
+	got := ty.String()
+	if got != "char locked(mut) *dynamic" {
+		t.Errorf("render: %q", got)
+	}
+	if !strings.Contains(ty.VerboseString(), "char locked(mut) *dynamic") {
+		t.Errorf("verbose: %q", ty.VerboseString())
+	}
+	priv := &Type{Kind: KPtr, Mode: Private, Elem: &Type{Kind: KInt, Mode: Private}}
+	if priv.String() != "int *" {
+		t.Errorf("quiet private render: %q", priv.String())
+	}
+	if priv.VerboseString() != "int private *private" {
+		t.Errorf("verbose private render: %q", priv.VerboseString())
+	}
+}
+
+func TestTypedefReresolution(t *testing.T) {
+	// Each use of a typedef gets fresh inference variables.
+	w := world(t, `
+typedef int *intp;
+intp a;
+intp b;
+`)
+	a := w.Globals["a"].Type
+	b := w.Globals["b"].Type
+	if a.Mode.Var == b.Mode.Var {
+		t.Fatal("typedef uses must not share inference variables")
+	}
+}
+
+func TestDuplicateGlobalError(t *testing.T) {
+	w := world(t, "int x; int x;")
+	if len(w.Errors) == 0 {
+		t.Fatal("expected duplicate-global error")
+	}
+}
+
+func TestUnknownStructError(t *testing.T) {
+	w := world(t, "struct nosuch *x;")
+	if len(w.Errors) == 0 {
+		t.Fatal("unknown struct must be reported")
+	}
+	if !strings.Contains(w.Errors[0].Msg, "nosuch") {
+		t.Fatalf("error: %v", w.Errors[0])
+	}
+}
+
+func TestFuncInfoType(t *testing.T) {
+	w := world(t, `int add(int a, int b) { return a + b; }`)
+	fi := w.Funcs["add"]
+	ft := fi.Type()
+	if ft.Kind != KFunc || len(ft.Params) != 2 || ft.Ret.Kind != KInt {
+		t.Fatalf("func type: %s", ft)
+	}
+	if ft.Mode.Kind != ModePrivate {
+		t.Fatal("function code has no storage mode (private)")
+	}
+}
+
+func TestArraySingleObjectRule(t *testing.T) {
+	// "An array is treated like a single object of the array's base type":
+	// the element carries the qualifier and the array node mirrors it.
+	w := world(t, `int dynamic arr[8];`)
+	g := w.Globals["arr"].Type
+	if g.Kind != KArray || g.Len != 8 {
+		t.Fatalf("arr: %s", g)
+	}
+	if g.Elem.Mode.Kind != ModeDynamic || g.Mode.Kind != ModeDynamic {
+		t.Fatalf("array/elem modes: %s / %s", g.Mode, g.Elem.Mode)
+	}
+	if w.SizeOf(g) != 8 {
+		t.Fatalf("size: %d", w.SizeOf(g))
+	}
+}

@@ -1,0 +1,522 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+// FieldInfo is one resolved structure field: its semantic type and cell
+// offset within the struct.
+type FieldInfo struct {
+	Name   string
+	Type   *Type
+	Offset int
+	Decl   ast.Field
+}
+
+// StructInfo is a resolved structure definition. Racy structs (mutex, cond)
+// have inherently racy internals (§4.1).
+type StructInfo struct {
+	Name   string
+	Racy   bool
+	Fields []FieldInfo
+	Size   int
+	Decl   *ast.StructDecl
+}
+
+// Field returns the named field, or nil.
+func (s *StructInfo) Field(name string) *FieldInfo {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// VarInfo is a resolved global variable.
+type VarInfo struct {
+	Name string
+	Type *Type
+	Decl *ast.VarDecl
+}
+
+// ParamInfo is a resolved function parameter.
+type ParamInfo struct {
+	Name string
+	Type *Type
+}
+
+// FuncInfo is a resolved function. Locals maps each local declaration
+// statement in the body to its resolved type (names may shadow across
+// blocks, so the key is the declaration node).
+type FuncInfo struct {
+	Name   string
+	Params []ParamInfo
+	Ret    *Type
+	Decl   *ast.FuncDecl
+	Locals map[*ast.DeclStmt]*Type
+}
+
+// Type returns the KFunc semantic type of the function.
+func (f *FuncInfo) Type() *Type {
+	params := make([]*Type, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = p.Type
+	}
+	return &Type{Kind: KFunc, Mode: Private, Ret: f.Ret, Params: params}
+}
+
+// Error is a semantic (resolution or checking) error.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// World is the resolved program: every struct, global, and function with
+// semantic types whose unannotated levels are inference variables.
+type World struct {
+	Prog     *ast.Program
+	Structs  map[string]*StructInfo
+	Globals  map[string]*VarInfo
+	Funcs    map[string]*FuncInfo
+	Typedefs map[string]*ast.TypedefDecl
+
+	// NumVars is the number of inference variables allocated; variable ids
+	// are 0..NumVars-1.
+	NumVars int
+
+	// VarPos records the source position that created each inference
+	// variable, for diagnostics.
+	VarPos map[int]token.Pos
+
+	// castTypes caches the resolved target types of Cast/Scast/Sizeof
+	// expressions so that repeated passes (inference, checking, compilation)
+	// see the same inference variables.
+	castTypes map[ast.Expr]*Type
+
+	// RefEdges are REF-CTOR propagation pairs (outer, pointee): when the
+	// outer storage variable is inferred dynamic, the pointee variable must
+	// be dynamic too (a non-private reference may not point at private
+	// data). Recorded when both levels of a pointer are unannotated.
+	RefEdges [][2]int
+
+	Errors []*Error
+}
+
+// ResolveCastType resolves the target type written in a cast-like expression
+// once, caching the result keyed by the expression node so every pass sees
+// identical inference variables.
+func (w *World) ResolveCastType(key ast.Expr, t *ast.Type) *Type {
+	if w.castTypes == nil {
+		w.castTypes = make(map[ast.Expr]*Type)
+	}
+	if rt, ok := w.castTypes[key]; ok {
+		return rt
+	}
+	rt := w.ResolveType(t, resolveCtx{})
+	w.castTypes[key] = rt
+	return rt
+}
+
+func (w *World) errorf(pos token.Pos, format string, args ...any) {
+	w.Errors = append(w.Errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (w *World) freshVar(pos token.Pos) Mode {
+	id := w.NumVars
+	w.NumVars++
+	w.VarPos[id] = pos
+	return VarMode(id)
+}
+
+// BuildWorld resolves an AST program into a World. Resolution errors are
+// collected in World.Errors rather than aborting, so callers can report as
+// many problems as possible.
+func BuildWorld(prog *ast.Program) *World {
+	w := &World{
+		Prog:     prog,
+		Structs:  make(map[string]*StructInfo),
+		Globals:  make(map[string]*VarInfo),
+		Funcs:    make(map[string]*FuncInfo),
+		Typedefs: prog.Typedefs(),
+		VarPos:   make(map[int]token.Pos),
+	}
+	// Pass 1: struct shells so recursive references resolve.
+	for name, sd := range prog.Structs() {
+		w.Structs[name] = &StructInfo{Name: name, Racy: sd.Racy, Decl: sd}
+	}
+	// Pass 2: struct fields and layout.
+	for _, sd := range prog.AllDecls() {
+		if s, ok := sd.(*ast.StructDecl); ok {
+			w.resolveStruct(w.Structs[s.Name])
+		}
+	}
+	// Pass 3: globals and function signatures.
+	for _, d := range prog.AllDecls() {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			if _, dup := w.Globals[d.Name]; dup {
+				w.errorf(d.P, "duplicate global %q", d.Name)
+				continue
+			}
+			w.Globals[d.Name] = &VarInfo{
+				Name: d.Name,
+				Type: w.ResolveType(d.Type, resolveCtx{}),
+				Decl: d,
+			}
+		case *ast.FuncDecl:
+			w.resolveFunc(d)
+		}
+	}
+	// Pass 4: local declarations in function bodies, in name order so
+	// inference-variable ids are deterministic across runs.
+	fnames := make([]string, 0, len(w.Funcs))
+	for name := range w.Funcs {
+		fnames = append(fnames, name)
+	}
+	sort.Strings(fnames)
+	for _, name := range fnames {
+		if fi := w.Funcs[name]; fi.Decl.Body != nil {
+			w.resolveLocals(fi, fi.Decl.Body)
+		}
+	}
+	// Pass 5: §4.1 — "a field or variable used in a locked qualifier must be
+	// readonly". Infer readonly for unannotated lock roots.
+	w.fixupLockRoots()
+	return w
+}
+
+// fixupLockRoots walks every locked(...) mode and marks the root field or
+// global that names the lock as readonly when it is unannotated; an
+// annotation other than readonly is an error (the lock expression would not
+// be verifiably constant).
+func (w *World) fixupLockRoots() {
+	snames := make([]string, 0, len(w.Structs))
+	for name := range w.Structs {
+		snames = append(snames, name)
+	}
+	sort.Strings(snames)
+	for _, name := range snames {
+		si := w.Structs[name]
+		for i := range si.Fields {
+			w.fixupLocksIn(si.Fields[i].Type, si)
+		}
+	}
+	gnames := make([]string, 0, len(w.Globals))
+	for name := range w.Globals {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		w.fixupLocksIn(w.Globals[name].Type, nil)
+	}
+	fnames := make([]string, 0, len(w.Funcs))
+	for name := range w.Funcs {
+		fnames = append(fnames, name)
+	}
+	sort.Strings(fnames)
+	for _, name := range fnames {
+		f := w.Funcs[name]
+		for i := range f.Params {
+			w.fixupLocksIn(f.Params[i].Type, nil)
+		}
+		for _, lt := range f.Locals {
+			w.fixupLocksIn(lt, nil)
+		}
+	}
+}
+
+func (w *World) fixupLocksIn(t *Type, si *StructInfo) {
+	if t == nil {
+		return
+	}
+	if t.Mode.Kind == ModeLocked && t.Mode.Lock != nil {
+		w.makeLockRootReadonly(t.Mode.Lock.Expr, si)
+	}
+	w.fixupLocksIn(t.Elem, si)
+	w.fixupLocksIn(t.Ret, si)
+	for _, p := range t.Params {
+		w.fixupLocksIn(p, si)
+	}
+}
+
+func (w *World) makeLockRootReadonly(e ast.Expr, si *StructInfo) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		// Compound lock expressions (S->mut) are validated for constancy by
+		// the checker; their roots are locals.
+		return
+	}
+	var target *Type
+	if si != nil {
+		if fi := si.Field(id.Name); fi != nil {
+			target = fi.Type
+		}
+	}
+	if target == nil {
+		if g, okg := w.Globals[id.Name]; okg {
+			target = g.Type
+		}
+	}
+	if target == nil {
+		return // a local; constancy checked by internal/check
+	}
+	switch target.Mode.Kind {
+	case ModeReadonly:
+	case ModePoly, ModeVar:
+		target.Mode = Readonly
+	default:
+		w.errorf(id.P, "lock %q must be readonly, not %s", id.Name, target.Mode)
+	}
+}
+
+func (w *World) resolveStruct(si *StructInfo) {
+	if si.Fields != nil {
+		return
+	}
+	off := 0
+	for _, f := range si.Decl.Fields {
+		t := w.ResolveType(f.Type, resolveCtx{inStruct: true, racy: si.Racy})
+		if t.Mode.Kind == ModePrivate && !si.Racy {
+			// §4.1: the outermost annotation of a field may not be private.
+			w.errorf(f.P, "field %q of struct %s: outermost field annotation may not be private", f.Name, si.Name)
+			t.Mode = Poly
+		}
+		si.Fields = append(si.Fields, FieldInfo{Name: f.Name, Type: t, Offset: off, Decl: f})
+		off += w.SizeOf(t)
+	}
+	si.Size = off
+	if si.Size == 0 {
+		si.Size = 1 // empty structs occupy one cell so pointers stay distinct
+	}
+}
+
+func (w *World) resolveFunc(d *ast.FuncDecl) {
+	if existing, ok := w.Funcs[d.Name]; ok {
+		// A prototype may precede the definition; the definition wins.
+		if existing.Decl.Body != nil && d.Body != nil {
+			w.errorf(d.P, "duplicate function %q", d.Name)
+			return
+		}
+		if d.Body == nil {
+			return
+		}
+	}
+	fi := &FuncInfo{Name: d.Name, Decl: d, Locals: make(map[*ast.DeclStmt]*Type)}
+	for _, p := range d.Params {
+		fi.Params = append(fi.Params, ParamInfo{Name: p.Name, Type: w.ResolveType(p.Type, resolveCtx{})})
+	}
+	fi.Ret = w.ResolveType(d.Ret, resolveCtx{})
+	w.Funcs[d.Name] = fi
+}
+
+func (w *World) resolveLocals(fi *FuncInfo, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			w.resolveLocals(fi, st)
+		}
+	case *ast.DeclStmt:
+		fi.Locals[s] = w.ResolveType(s.Type, resolveCtx{})
+	case *ast.If:
+		w.resolveLocals(fi, s.Then)
+		if s.Else != nil {
+			w.resolveLocals(fi, s.Else)
+		}
+	case *ast.While:
+		w.resolveLocals(fi, s.Body)
+	case *ast.DoWhile:
+		w.resolveLocals(fi, s.Body)
+	case *ast.For:
+		if s.Init != nil {
+			w.resolveLocals(fi, s.Init)
+		}
+		w.resolveLocals(fi, s.Body)
+	case *ast.Switch:
+		for _, c := range s.Cases {
+			for _, st := range c.Body {
+				w.resolveLocals(fi, st)
+			}
+		}
+	}
+}
+
+// resolveCtx carries the §4.1 defaulting context: whether we are inside a
+// structure definition, and the mode to inherit for unannotated pointer
+// targets outside structs.
+type resolveCtx struct {
+	inStruct bool
+	racy     bool // inside an inherently racy struct definition
+	// inherit, when set, is the mode unannotated levels inherit (the
+	// "pointee is assumed to be the type of the pointer" rule).
+	inherit *Mode
+}
+
+// ResolveType converts a syntactic type into a semantic one, applying the
+// defaulting rules of §4.1:
+//
+//   - Inside a racy struct definition (mutex/cond), everything is racy.
+//   - Inside a struct: an unannotated field outer mode is Poly (inherits the
+//     instance qualifier); unannotated pointer targets are dynamic.
+//   - Outside structs: an unannotated pointer target inherits the pointer's
+//     own mode (sharing the same inference variable when the pointer is
+//     itself unannotated); unannotated roots get fresh inference variables.
+//   - Arrays are a single object of the element type: the element carries
+//     the qualifier and the array node mirrors it.
+func (w *World) ResolveType(t *ast.Type, ctx resolveCtx) *Type {
+	if t == nil {
+		return &Type{Kind: KVoid, Mode: Private}
+	}
+	mode, hasMode := w.resolveQual(t.Qual)
+	if !hasMode {
+		switch {
+		case ctx.racy:
+			mode = Racy
+		case ctx.inherit != nil:
+			mode = *ctx.inherit
+		case ctx.inStruct:
+			mode = Poly
+		default:
+			mode = w.freshVar(t.Pos)
+		}
+	}
+	switch t.Kind {
+	case ast.TBase:
+		var k Kind
+		switch t.Base {
+		case ast.BaseInt:
+			k = KInt
+		case ast.BaseChar:
+			k = KChar
+		case ast.BaseVoid:
+			k = KVoid
+		case ast.BaseLong:
+			k = KLong
+		}
+		return &Type{Kind: k, Mode: mode}
+	case ast.TNamed:
+		td, ok := w.Typedefs[t.Name]
+		if !ok {
+			w.errorf(t.Pos, "unknown type name %q", t.Name)
+			return &Type{Kind: KInt, Mode: mode}
+		}
+		// Re-resolve the typedef's syntactic type at this use site so each
+		// use gets fresh inference variables; an explicit annotation on the
+		// use overrides the typedef's root annotation.
+		rt := w.ResolveType(td.Type, ctx)
+		if hasMode {
+			rt = rt.Clone()
+			rt.Mode = mode
+		}
+		return rt
+	case ast.TStruct:
+		si, ok := w.Structs[t.Name]
+		if !ok {
+			w.errorf(t.Pos, "unknown struct %q", t.Name)
+			return &Type{Kind: KInt, Mode: mode}
+		}
+		if si.Racy && !hasMode {
+			// Instances of inherently racy types are racy unless annotated.
+			mode = Racy
+		}
+		return &Type{Kind: KStruct, Mode: mode, StructName: t.Name}
+	case ast.TPtr:
+		// The pointee's defaulting depends on where we are: inside a struct
+		// definition unannotated targets are dynamic; outside, an
+		// unannotated target of an *annotated* pointer inherits the
+		// pointer's mode ("(int * dynamic) becomes (int dynamic * dynamic)").
+		// When the pointer level is itself unannotated, the target gets its
+		// own inference variable linked by a REF-CTOR edge, so "void *d" can
+		// resolve to "void dynamic * private d".
+		ectx := ctx
+		if ctx.inStruct && !ctx.racy {
+			d := Dynamic
+			ectx.inherit = &d
+			ectx.inStruct = true
+		} else if !ctx.racy {
+			if mode.Kind == ModeVar {
+				ectx.inherit = nil
+				ectx.inStruct = false
+			} else {
+				m := mode
+				ectx.inherit = &m
+			}
+		}
+		elem := w.ResolveType(t.Elem, ectx)
+		if mode.Kind == ModeVar && elem.Mode.Kind == ModeVar {
+			w.RefEdges = append(w.RefEdges, [2]int{mode.Var, elem.Mode.Var})
+		}
+		return &Type{Kind: KPtr, Mode: mode, Elem: elem}
+	case ast.TArray:
+		// The array is one object of the element type; the element carries
+		// the mode.
+		ectx := ctx
+		m := mode
+		ectx.inherit = &m
+		elem := w.ResolveType(t.Elem, ectx)
+		return &Type{Kind: KArray, Mode: elem.Mode, Elem: elem, Len: t.Len}
+	case ast.TFunc:
+		// Function types: parameter and return modes default like
+		// non-struct contexts (fresh variables / explicit annotations).
+		// Function code itself has no storage mode; it is always private.
+		fctx := resolveCtx{}
+		ret := w.ResolveType(t.Ret, fctx)
+		params := make([]*Type, len(t.Params))
+		for i, p := range t.Params {
+			params[i] = w.ResolveType(p, fctx)
+		}
+		return &Type{Kind: KFunc, Mode: Private, Ret: ret, Params: params}
+	}
+	w.errorf(t.Pos, "unresolvable type")
+	return &Type{Kind: KInt, Mode: mode}
+}
+
+func (w *World) resolveQual(q ast.Qual) (Mode, bool) {
+	switch q.Kind {
+	case ast.QualNone:
+		return Mode{}, false
+	case ast.QualPrivate:
+		return Private, true
+	case ast.QualReadonly:
+		return Readonly, true
+	case ast.QualRacy:
+		return Racy, true
+	case ast.QualDynamic:
+		return Dynamic, true
+	case ast.QualLocked:
+		return LockedMode(q.Lock), true
+	}
+	return Mode{}, false
+}
+
+// SizeOf returns the size of a type in memory cells. Scalars and pointers
+// occupy one cell; structs are laid out field by field; arrays are Len
+// elements.
+func (w *World) SizeOf(t *Type) int {
+	switch t.Kind {
+	case KInt, KChar, KVoid, KLong, KPtr, KFunc:
+		return 1
+	case KStruct:
+		si := w.Structs[t.StructName]
+		if si == nil {
+			return 1
+		}
+		if si.Fields == nil {
+			w.resolveStruct(si)
+		}
+		return si.Size
+	case KArray:
+		n := t.Len
+		if n <= 0 {
+			n = 1
+		}
+		return n * w.SizeOf(t.Elem)
+	}
+	return 1
+}

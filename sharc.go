@@ -1,0 +1,305 @@
+// Package sharc is a Go reproduction of SharC, the data-sharing checker
+// for multithreaded C of Anderson, Gay, Ennals and Brewer (PLDI 2008).
+//
+// SharC lets a programmer annotate the types of a C-like program (the ShC
+// dialect implemented here) with five sharing modes — private, readonly,
+// locked(l), racy, and dynamic — and verifies, with a mix of static
+// analysis and runtime instrumentation, that every access conforms:
+//
+//   - a whole-program qualifier inference (§4.1 of the paper) decides
+//     private-vs-dynamic for every unannotated type, seeded by thread
+//     arguments and thread-touched globals;
+//   - a static checker enforces the typing judgments (assignments and calls
+//     preserve referent modes, readonly is written only while private,
+//     sharing casts change exactly one mode level) and suggests SCAST
+//     insertions where only a top referent mode mismatches;
+//   - the runtime tracks reader/writer sets in shadow memory for dynamic
+//     data, held locks for locked data, and reference counts (an adapted
+//     Levanoni–Petrank concurrent scheme) so sharing casts can verify
+//     their source is the sole reference.
+//
+// The package is a facade over the internal pipeline: Check analyzes
+// sources, Build compiles them with selectable instrumentation, and Run
+// executes them on the concurrent interpreter, returning the violation
+// reports in the paper's format.
+package sharc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+// Source is one named ShC source text.
+type Source = parser.Source
+
+// Options selects analysis and instrumentation behavior.
+type Options struct {
+	// Checks enables the dynamic/locked runtime checks (default true via
+	// DefaultOptions).
+	Checks bool
+	// RefCounting enables write barriers and the oneref check on sharing
+	// casts.
+	RefCounting bool
+	// RCSiteAnalysis restricts barriers to pointers that may reach a
+	// sharing cast (§4.3's optimization).
+	RCSiteAnalysis bool
+	// NaiveRC replaces the Levanoni–Petrank scheme with per-write atomic
+	// counting (the scheme the paper measured at >60% overhead).
+	NaiveRC bool
+	// Stdout receives program output (io.Discard if nil).
+	Stdout io.Writer
+	// Observer taps accesses and synchronization for external detectors.
+	Observer interp.Observer
+}
+
+// DefaultOptions enables full instrumentation.
+func DefaultOptions() Options {
+	return Options{Checks: true, RefCounting: true, RCSiteAnalysis: true}
+}
+
+// Analysis is the result of static analysis: errors, warnings, and sharing
+// cast suggestions, plus access to the resolved world for inspection.
+type Analysis struct {
+	inner *core.Analysis
+}
+
+// Check parses and analyzes the sources.
+func Check(sources ...Source) (*Analysis, error) {
+	a, err := core.Analyze(sources...)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{inner: a}, nil
+}
+
+// OK reports whether the program passed all static checks.
+func (a *Analysis) OK() bool { return a.inner.Check.OK() }
+
+// Errors returns the static errors, formatted with positions.
+func (a *Analysis) Errors() []string {
+	var out []string
+	for _, e := range a.inner.Check.Errors {
+		out = append(out, e.Error())
+	}
+	return out
+}
+
+// Warnings returns the warnings (e.g. SCAST sources live after the cast).
+func (a *Analysis) Warnings() []string {
+	var out []string
+	for _, w := range a.inner.Check.Warnings {
+		out = append(out, w.Error())
+	}
+	return out
+}
+
+// Suggestions returns the sharing-cast suggestions in source form.
+func (a *Analysis) Suggestions() []string {
+	var out []string
+	for _, s := range a.inner.Check.Suggestions {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// RawSuggestions exposes the structured suggestions.
+func (a *Analysis) RawSuggestions() []check.Suggestion {
+	return a.inner.Check.Suggestions
+}
+
+// InferredAnnotations renders the sharing modes inference selected for
+// every struct field, global, function signature, and local — the view
+// Figure 2 of the paper shows for the pipeline example.
+func (a *Analysis) InferredAnnotations() string {
+	w := a.inner.World
+	s := a.inner.Inf.Subst
+	var sb strings.Builder
+
+	resolve := func(t *types.Type) string {
+		return renderResolved(s, t)
+	}
+
+	var structNames []string
+	for name := range w.Structs {
+		structNames = append(structNames, name)
+	}
+	sort.Strings(structNames)
+	for _, name := range structNames {
+		si := w.Structs[name]
+		if si.Decl != nil && si.Decl.P.File == "<prelude>" {
+			continue
+		}
+		fmt.Fprintf(&sb, "struct %s(q) {\n", name)
+		for _, f := range si.Fields {
+			fmt.Fprintf(&sb, "\t%s %s;\n", resolve(f.Type), f.Name)
+		}
+		sb.WriteString("};\n")
+	}
+
+	var globalNames []string
+	for name := range w.Globals {
+		globalNames = append(globalNames, name)
+	}
+	sort.Strings(globalNames)
+	for _, name := range globalNames {
+		fmt.Fprintf(&sb, "%s %s;\n", resolve(w.Globals[name].Type), name)
+	}
+
+	var funcNames []string
+	for name := range w.Funcs {
+		funcNames = append(funcNames, name)
+	}
+	sort.Strings(funcNames)
+	for _, name := range funcNames {
+		fi := w.Funcs[name]
+		if fi.Decl.Body == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s %s(", resolve(fi.Ret), name)
+		for i, p := range fi.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %s", resolve(p.Type), p.Name)
+		}
+		sb.WriteString(")\n")
+		// Locals in declaration order (by position).
+		type loc struct {
+			line, col int
+			text      string
+		}
+		var locs []loc
+		for d, lt := range fi.Locals {
+			locs = append(locs, loc{d.P.Line, d.P.Col, fmt.Sprintf("\t%s %s;", resolve(lt), d.Name)})
+		}
+		sort.Slice(locs, func(i, j int) bool {
+			if locs[i].line != locs[j].line {
+				return locs[i].line < locs[j].line
+			}
+			return locs[i].col < locs[j].col
+		})
+		for _, l := range locs {
+			sb.WriteString(l.text)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// renderResolved renders a type with inference variables substituted.
+func renderResolved(s types.Subst, t *types.Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	c := t.Clone()
+	var walk func(*types.Type)
+	walk = func(x *types.Type) {
+		if x == nil {
+			return
+		}
+		x.Mode = s.Apply(x.Mode)
+		walk(x.Elem)
+		walk(x.Ret)
+		for _, p := range x.Params {
+			walk(p)
+		}
+	}
+	walk(c)
+	return c.String()
+}
+
+// Program is a compiled, instrumented ShC program ready to run.
+type Program struct {
+	ir   *ir.Program
+	opts Options
+}
+
+// Build compiles the analyzed program with the given instrumentation.
+func (a *Analysis) Build(opts Options) (*Program, error) {
+	p, err := a.inner.Build(compile.Options{
+		Checks:         opts.Checks,
+		RC:             opts.RefCounting,
+		RCSiteAnalysis: opts.RCSiteAnalysis,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ir: p, opts: opts}, nil
+}
+
+// Result is the outcome of executing a program.
+type Result struct {
+	Exit    int64
+	Reports []interp.Report
+	Stats   interp.Stats
+}
+
+// Races returns the conflict reports (the paper's read/write conflict
+// format).
+func (r *Result) Races() []interp.Report {
+	return filterReports(r.Reports, interp.ReportRace)
+}
+
+// LockViolations returns reports of locked-mode accesses without the lock.
+func (r *Result) LockViolations() []interp.Report {
+	return filterReports(r.Reports, interp.ReportLock)
+}
+
+// OneRefFailures returns sharing casts whose source was not the sole
+// reference.
+func (r *Result) OneRefFailures() []interp.Report {
+	return filterReports(r.Reports, interp.ReportOneRef)
+}
+
+func filterReports(rs []interp.Report, k interp.ReportKind) []interp.Report {
+	var out []interp.Report
+	for _, r := range rs {
+		if r.Kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Run executes the compiled program.
+func (p *Program) Run() (*Result, error) {
+	cfg := interp.DefaultConfig()
+	cfg.Stdout = p.opts.Stdout
+	cfg.Observer = p.opts.Observer
+	if !p.opts.RefCounting {
+		cfg.RC = interp.RCOff
+	} else if p.opts.NaiveRC {
+		cfg.RC = interp.RCNaive
+	}
+	rt := interp.New(p.ir, cfg)
+	exit, err := rt.Run()
+	res := &Result{Exit: exit, Reports: rt.Reports(), Stats: rt.Stats()}
+	return res, err
+}
+
+// Run is the one-call pipeline: check, build, execute. Static errors abort
+// with a combined error.
+func Run(src string, opts Options) (*Result, error) {
+	a, err := Check(Source{Name: "program.shc", Text: src})
+	if err != nil {
+		return nil, err
+	}
+	if !a.OK() {
+		return nil, fmt.Errorf("static checking failed: %s", a.Errors()[0])
+	}
+	p, err := a.Build(opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}

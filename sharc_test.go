@@ -1,0 +1,226 @@
+package sharc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const pipeline = `
+typedef struct stage {
+	struct stage *next;
+	cond *cv;
+	mutex *mut;
+	char locked(mut) *locked(mut) sdata;
+	void (*fun)(char private *fdata);
+} stage_t;
+
+int racy notDone;
+
+void procA(char private *fdata) { fdata[0] = fdata[0] + 1; }
+
+void *thrFunc(void *d) {
+	stage_t *S = d;
+	stage_t *nextS = S->next;
+	char *ldata;
+	while (notDone) {
+		mutexLock(S->mut);
+		while (S->sdata == NULL)
+			condWait(S->cv, S->mut);
+		ldata = SCAST(char private *, S->sdata);
+		S->sdata = NULL;
+		notDone = notDone - 1;
+		condSignal(S->cv);
+		mutexUnlock(S->mut);
+		S->fun(ldata);
+		if (nextS) {
+			mutexLock(nextS->mut);
+			while (nextS->sdata)
+				condWait(nextS->cv, nextS->mut);
+			nextS->sdata = SCAST(char locked(nextS->mut) *, ldata);
+			condSignal(nextS->cv);
+			mutexUnlock(nextS->mut);
+		} else {
+			free(ldata);
+			ldata = NULL;
+		}
+	}
+	return NULL;
+}
+
+int main(void) {
+	stage_t *st = malloc(sizeof(stage_t));
+	st->next = NULL;
+	st->cv = condNew();
+	st->mut = mutexNew();
+	mutexLock(st->mut);
+	st->sdata = NULL;
+	mutexUnlock(st->mut);
+	st->fun = procA;
+	notDone = 1;
+	stage_t dynamic *std = SCAST(stage_t dynamic *, st);
+	int t1 = spawn(thrFunc, std);
+	char *buf = malloc(64);
+	for (int i = 0; i < 64; i++) buf[i] = i;
+	mutexLock(std->mut);
+	std->sdata = SCAST(char locked(std->mut) *, buf);
+	condSignal(std->cv);
+	mutexUnlock(std->mut);
+	join(t1);
+	return 0;
+}
+`
+
+func TestPipelineEndToEnd(t *testing.T) {
+	res, err := Run(pipeline, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 0 {
+		t.Fatalf("annotated pipeline must run clean: %v", res.Reports)
+	}
+	if res.Exit != 0 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestCheckReportsAndSuggestions(t *testing.T) {
+	// Strip the casts: the checker must reject and suggest SCASTs.
+	src := strings.Replace(pipeline, "ldata = SCAST(char private *, S->sdata);", "ldata = S->sdata;", 1)
+	a, err := Check(Source{Name: "p.shc", Text: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OK() {
+		t.Fatal("expected static errors")
+	}
+	if len(a.Suggestions()) == 0 {
+		t.Fatal("expected SCAST suggestions")
+	}
+	if !strings.Contains(a.Suggestions()[0], "SCAST") {
+		t.Errorf("suggestion: %s", a.Suggestions()[0])
+	}
+}
+
+func TestInferredAnnotations(t *testing.T) {
+	a, err := Check(Source{Name: "p.shc", Text: pipeline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK() {
+		t.Fatalf("errors: %v", a.Errors())
+	}
+	out := a.InferredAnnotations()
+	// The Figure-2 facts: mut is readonly, sdata stays locked, the thread
+	// formal's referent is dynamic, cv points at racy internals.
+	if !strings.Contains(out, "struct mutex racy *readonly mut") {
+		t.Errorf("mut line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "locked(mut)") {
+		t.Errorf("sdata locked annotation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "void dynamic * d") {
+		t.Errorf("thread formal should have dynamic referent:\n%s", out)
+	}
+	if !strings.Contains(out, "struct stage dynamic * S") {
+		t.Errorf("local S should point at dynamic stage:\n%s", out)
+	}
+	if !strings.Contains(out, "char * ldata") && !strings.Contains(out, "char  ldata") {
+		// ldata: char private * private renders with quiet privates.
+		if !strings.Contains(out, "ldata") {
+			t.Errorf("ldata missing:\n%s", out)
+		}
+	}
+}
+
+func TestRunCollectsRaceReports(t *testing.T) {
+	src := `
+int racy phase;
+void *writerA(void *d) {
+	int *p = d;
+	p[0] = 1;
+	phase = 1;
+	while (phase < 2) yield();
+	return NULL;
+}
+void *writerB(void *d) {
+	int *p = d;
+	while (phase < 1) yield();
+	p[0] = 2;
+	phase = 2;
+	return NULL;
+}
+int main(void) {
+	int *buf = malloc(sizeof(int));
+	int dynamic *shared = SCAST(int dynamic *, buf);
+	int t1 = spawn(writerA, shared);
+	int t2 = spawn(writerB, shared);
+	join(t1);
+	join(t2);
+	return 0;
+}
+`
+	res, err := Run(src, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races()) == 0 {
+		t.Fatal("expected race reports")
+	}
+	if !strings.Contains(res.Races()[0].Msg, "conflict(0x") {
+		t.Errorf("report format: %s", res.Races()[0].Msg)
+	}
+}
+
+func TestStaticErrorAborts(t *testing.T) {
+	_, err := Run(`int main(void) { return nope; }`, DefaultOptions())
+	if err == nil || !strings.Contains(err.Error(), "static checking failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutputCapture(t *testing.T) {
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Stdout = &buf
+	res, err := Run(`int main(void) { print("hi\n"); printInt(3); return 0; }`, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != 0 || !strings.Contains(buf.String(), "hi") || !strings.Contains(buf.String(), "3") {
+		t.Fatalf("output = %q", buf.String())
+	}
+}
+
+func TestUncheckedBuild(t *testing.T) {
+	a, err := Check(Source{Name: "p.shc", Text: pipeline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Build(Options{}) // no checks, no RC
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DynamicAccesses != 0 {
+		t.Fatal("unchecked build should have no dynamic accesses")
+	}
+	if len(res.Reports) != 0 {
+		t.Fatalf("unchecked build reports: %v", res.Reports)
+	}
+}
+
+func TestNaiveRCBuildRuns(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NaiveRC = true
+	res, err := Run(pipeline, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OneRefFailures()) != 0 {
+		t.Fatalf("naive RC oneref failures: %v", res.OneRefFailures())
+	}
+}
