@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench elision
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount
+
+# verify is the gate for every change: build, vet, the full test suite, and
+# the race detector over the concurrency-bearing packages.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# elision regenerates BENCH_elision.json (the check-elision ladder).
+elision:
+	$(GO) run ./cmd/sharc-bench -elision

@@ -134,6 +134,32 @@ func BenchmarkDetectors(b *testing.B) {
 	})
 }
 
+// BenchmarkCheckElision measures the redundant-check-elimination ladder on
+// every Table-1 row: full checks (Off), the static elision pass (Static),
+// and the static pass plus the per-thread granule check cache (StaticCache).
+func BenchmarkCheckElision(b *testing.B) {
+	run := func(b *testing.B, prog *ir.Program, cache bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			cfg := interp.DefaultConfig()
+			cfg.CheckCache = cache
+			rt := interp.New(prog, cfg)
+			if _, err := rt.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	elide := compile.DefaultOptions()
+	elide.Elide = true
+	for _, name := range []string{"pfscan", "aget", "pbzip2", "dillo", "fftw", "stunnel"} {
+		plain := buildBench(b, name, compile.DefaultOptions())
+		elided := buildBench(b, name, elide)
+		b.Run(name+"/Off", func(b *testing.B) { run(b, plain, false) })
+		b.Run(name+"/Static", func(b *testing.B) { run(b, elided, false) })
+		b.Run(name+"/StaticCache", func(b *testing.B) { run(b, elided, true) })
+	}
+}
+
 // BenchmarkShadowEncoding ablates the reader/writer-set representation:
 // the paper's per-thread bit sets vs the compact state-machine encoding it
 // names as future work (unbounded thread ids, approximate clearing).

@@ -10,6 +10,9 @@
 //	sharc-bench -scale full -reps 5     the full-size workloads
 //	sharc-bench -run dillo              one row only
 //	sharc-bench -detectors              the detector comparison
+//	sharc-bench -elision                the check-elision ladder (off /
+//	                                    static / static+cache), also written
+//	                                    to BENCH_elision.json
 package main
 
 import (
@@ -26,6 +29,8 @@ func main() {
 	runOne := flag.String("run", "", "run a single benchmark by name")
 	detectors := flag.Bool("detectors", false, "compare against Eraser and happens-before detectors")
 	ladder := flag.Bool("ladder", false, "measure the incremental-annotation claim: unannotated vs annotated")
+	elision := flag.Bool("elision", false, "measure the check-elision ladder and write BENCH_elision.json")
+	elisionOut := flag.String("elision-out", "BENCH_elision.json", "output path for the elision JSON")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -33,6 +38,10 @@ func main() {
 		scale = bench.Full
 	} else if *scaleFlag != "quick" {
 		fmt.Fprintln(os.Stderr, "sharc-bench: -scale must be quick or full")
+		os.Exit(2)
+	}
+	if *runOne != "" && bench.ByName(*runOne) == nil {
+		fmt.Fprintf(os.Stderr, "sharc-bench: unknown benchmark %q (have %v)\n", *runOne, bench.Names())
 		os.Exit(2)
 	}
 
@@ -51,6 +60,37 @@ func main() {
 		}
 		fmt.Println("Annotation ladder (false warnings and overhead, unannotated vs annotated):")
 		fmt.Print(bench.FormatLadder(rows))
+		return
+	}
+
+	if *elision {
+		var rows []bench.ElisionRow
+		for i := range bench.Benchmarks {
+			b := &bench.Benchmarks[i]
+			if *runOne != "" && b.Name != *runOne {
+				continue
+			}
+			r, err := bench.RunElision(b, scale, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println("Check-elision ladder (overhead vs orig; elided checks and cache hits):")
+		fmt.Print(bench.FormatElision(rows))
+		for _, r := range rows {
+			fmt.Printf("%s: elided %d/%d checks statically, %d/%d cache hits, %d page memo hits\n",
+				r.Name, r.ElidedDynamic+r.ElidedLocked, r.TotalDynamic+r.TotalLocked,
+				r.CacheHits, r.CacheLookups, r.PageMemoHits)
+		}
+		data, err := bench.ElisionJSON(rows)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*elisionOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *elisionOut)
 		return
 	}
 

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestElisionTableSound is the acceptance check for the elision ladder: on
+// every Table-1 benchmark the static+cache configuration reproduces the
+// unelided run's exit and reports, and on the rows the issue calls out
+// (pfscan and fftw) both the static pass and the runtime cache actually
+// fire.
+func TestElisionTableSound(t *testing.T) {
+	rows, err := ElisionTable(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Benchmarks) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Benchmarks))
+	}
+	mustFire := map[string]bool{"pfscan": true, "fftw": true}
+	for _, r := range rows {
+		if !r.ReportsMatch {
+			t.Errorf("%s: elided run diverged from the unelided run", r.Name)
+		}
+		if r.TotalDynamic+r.TotalLocked == 0 {
+			t.Errorf("%s: no checks counted; instrumentation missing", r.Name)
+		}
+		if elided := r.ElidedDynamic + r.ElidedLocked; elided > r.TotalDynamic+r.TotalLocked {
+			t.Errorf("%s: elided %d of %d checks", r.Name, elided, r.TotalDynamic+r.TotalLocked)
+		}
+		if r.CacheHits > r.CacheLookups {
+			t.Errorf("%s: hits %d exceed lookups %d", r.Name, r.CacheHits, r.CacheLookups)
+		}
+		if mustFire[r.Name] {
+			if r.ElidedDynamic+r.ElidedLocked == 0 {
+				t.Errorf("%s: static pass elided nothing", r.Name)
+			}
+			if r.CacheHits == 0 {
+				t.Errorf("%s: check cache never hit", r.Name)
+			}
+		}
+	}
+}

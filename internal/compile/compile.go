@@ -32,6 +32,12 @@ type Options struct {
 	// RC enables reference-counting write barriers (required for sound
 	// sharing casts).
 	RC bool
+	// Elide runs the static redundant-check-elision pass after lowering:
+	// a check is removed when the same l-value was already checked
+	// at-least-as-strongly earlier in the same region with no intervening
+	// invalidation point (see elide.go). Off by default; the elided-check
+	// counts land in ir.Program.Elision.
+	Elide bool
 	// RCSiteAnalysis restricts barriers to pointers whose referent shape
 	// may reach a sharing cast (§4.3's optimization); when false every
 	// pointer store is barriered.
@@ -66,6 +72,9 @@ func Compile(w *types.World, inf *qualinfer.Result, opts Options) (*ir.Program, 
 	c.layoutStrings()
 	if c.prog.Main < 0 {
 		return nil, fmt.Errorf("program has no main function")
+	}
+	if opts.Elide && opts.Checks {
+		ElideChecks(c.prog)
 	}
 	return c.prog, nil
 }

@@ -1,0 +1,362 @@
+package compile
+
+// Unit tests for the static check-elision pass: exact elided counts on
+// hand-written IR sequences, and mutation tests proving the kill set is
+// load-bearing (weakening one member makes elision unsound in a way the
+// runtime observes as a missing violation report).
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/qualinfer"
+	"repro/internal/types"
+)
+
+// ---------------------------------------------------------------------------
+// hand-written IR
+
+// irProg wraps body into a one-function program with a dummy site table.
+func irProg(body ...ir.Stmt) *ir.Program {
+	return &ir.Program{
+		Funcs:   []*ir.Func{{Name: "main", FrameSize: 16, Body: body}},
+		FuncIdx: map[string]int{"main": 0},
+		Sites:   []ir.Site{{LValue: "x"}},
+	}
+}
+
+func dyn() ir.Check { return ir.Check{Kind: ir.CheckDynamic} }
+
+func dload(addr ir.Expr) ir.Stmt {
+	return &ir.SExpr{E: &ir.Load{Addr: addr, Chk: dyn()}}
+}
+
+func dstore(addr ir.Expr, v int64) ir.Stmt {
+	return &ir.SExpr{E: &ir.Store{Addr: addr, Val: &ir.Const{V: v}, Chk: dyn()}}
+}
+
+func g(addr int64) ir.Expr { return &ir.Const{V: addr} }
+
+// field computes slot-0's pointer value plus a constant field offset.
+func field(off int64) ir.Expr {
+	return &ir.Bin{Op: ir.OpAdd, L: &ir.Load{Addr: &ir.FrameAddr{Slot: 0}}, R: &ir.Const{V: off}}
+}
+
+func elideStats(t *testing.T, p *ir.Program) ir.ElisionStats {
+	t.Helper()
+	return ElideChecks(p)
+}
+
+func TestElideLoopOverOneCell(t *testing.T) {
+	// while (x < 10) { x; x; }  followed by one more read of x: the first
+	// body read and the trailing read are dominated by the condition's
+	// read (the loop's only exit path evaluates the condition), and the
+	// second body read by the first.
+	p := irProg(
+		&ir.SLoop{
+			Cond: &ir.Bin{Op: ir.OpLt, L: &ir.Load{Addr: g(100), Chk: dyn()}, R: &ir.Const{V: 10}},
+			Body: []ir.Stmt{dload(g(100)), dload(g(100))},
+		},
+		dload(g(100)),
+	)
+	st := elideStats(t, p)
+	if st.TotalDynamic != 4 || st.ElidedDynamic != 3 {
+		t.Fatalf("stats = %+v, want 3 of 4 dynamic elided", st)
+	}
+}
+
+func TestElideStructFieldRun(t *testing.T) {
+	// p->f0; p->f1; p->f0; p->f1 = 1; p->f1 — repeats elide; the write
+	// after a read does not (write checks are stronger), but the read
+	// after the write does.
+	p := irProg(
+		dload(field(0)),
+		dload(field(1)),
+		dload(field(0)),
+		dstore(field(1), 1),
+		dload(field(1)),
+	)
+	st := elideStats(t, p)
+	if st.TotalDynamic != 5 || st.ElidedDynamic != 2 {
+		t.Fatalf("stats = %+v, want 2 of 5 dynamic elided", st)
+	}
+}
+
+func TestElideWriteDominates(t *testing.T) {
+	// x = 1; x; x = 2 — the write check dominates both.
+	p := irProg(
+		dstore(g(100), 1),
+		dload(g(100)),
+		dstore(g(100), 2),
+	)
+	st := elideStats(t, p)
+	if st.ElidedDynamic != 2 {
+		t.Fatalf("stats = %+v, want 2 elided", st)
+	}
+}
+
+func TestElideReadDoesNotDominateWrite(t *testing.T) {
+	p := irProg(
+		dload(g(100)),
+		dstore(g(100), 1),
+	)
+	st := elideStats(t, p)
+	if st.ElidedDynamic != 0 {
+		t.Fatalf("stats = %+v, want 0 elided", st)
+	}
+}
+
+func TestElideIncDecAfterWrite(t *testing.T) {
+	// x = 1; x++ — both halves of the ++ are dominated by the write.
+	p := irProg(
+		dstore(g(100), 1),
+		&ir.SExpr{E: &ir.IncDec{Addr: g(100), Delta: 1, ChkR: dyn(), ChkW: dyn()}},
+	)
+	st := elideStats(t, p)
+	if st.TotalDynamic != 3 || st.ElidedDynamic != 2 {
+		t.Fatalf("stats = %+v, want 2 of 3 elided", st)
+	}
+}
+
+func TestElideCheckThenCastThenCheck(t *testing.T) {
+	// x; SCAST(p); x — the sharing cast clears reader/writer sets, so the
+	// second read of x must be re-checked. The cast's own write check
+	// lands after the kill and is not elidable either.
+	p := irProg(
+		dload(g(100)),
+		&ir.SExpr{E: &ir.Scast{Addr: &ir.FrameAddr{Slot: 1}, ChkR: dyn(), ChkW: dyn()}},
+		dload(g(100)),
+	)
+	st := elideStats(t, p)
+	if st.TotalDynamic != 4 || st.ElidedDynamic != 0 {
+		t.Fatalf("stats = %+v, want 0 of 4 elided", st)
+	}
+}
+
+func TestElideKillAcrossLockOps(t *testing.T) {
+	for _, name := range []string{"mutexLock", "mutexUnlock", "condWait", "spawn", "free"} {
+		p := irProg(
+			dload(g(100)),
+			&ir.SExpr{E: &ir.BuiltinCall{Name: name}},
+			dload(g(100)),
+		)
+		if st := elideStats(t, p); st.ElidedDynamic != 0 {
+			t.Errorf("%s: stats = %+v, want 0 elided", name, st)
+		}
+	}
+	// Builtins without shadow or lock effects do not kill.
+	for _, name := range []string{"condSignal", "yield", "printInt", "strlen"} {
+		p := irProg(
+			dload(g(100)),
+			&ir.SExpr{E: &ir.BuiltinCall{Name: name}},
+			dload(g(100)),
+		)
+		if st := elideStats(t, p); st.ElidedDynamic != 1 {
+			t.Errorf("%s: stats = %+v, want 1 elided", name, st)
+		}
+	}
+}
+
+func TestElideKillOnUserCall(t *testing.T) {
+	p := irProg(
+		dload(g(100)),
+		&ir.SExpr{E: &ir.Call{Target: 0}},
+		dload(g(100)),
+	)
+	if st := elideStats(t, p); st.ElidedDynamic != 0 {
+		t.Fatalf("stats = %+v, want 0 elided", st)
+	}
+}
+
+func TestElideValueKillOnPointerReassign(t *testing.T) {
+	// *p; p = q; *p — the address computation reads slot 0, so the store
+	// to slot 0 kills the availability; a store to an unrelated slot does
+	// not.
+	deref := func() ir.Stmt {
+		return &ir.SExpr{E: &ir.Load{Addr: &ir.Load{Addr: &ir.FrameAddr{Slot: 0}}, Chk: dyn()}}
+	}
+	p := irProg(
+		deref(),
+		&ir.SExpr{E: &ir.Store{Addr: &ir.FrameAddr{Slot: 0}, Val: &ir.Const{V: 200}}},
+		deref(),
+	)
+	if st := elideStats(t, p); st.ElidedDynamic != 0 {
+		t.Fatalf("reassigned pointer: stats = %+v, want 0 elided", st)
+	}
+	p = irProg(
+		deref(),
+		&ir.SExpr{E: &ir.Store{Addr: &ir.FrameAddr{Slot: 5}, Val: &ir.Const{V: 200}}},
+		deref(),
+	)
+	if st := elideStats(t, p); st.ElidedDynamic != 1 {
+		t.Fatalf("unrelated slot: stats = %+v, want 1 elided", st)
+	}
+}
+
+func TestElideBranchesIntersect(t *testing.T) {
+	// A check only on one branch is not available after the join; a check
+	// on both branches is.
+	p := irProg(
+		&ir.SIf{C: &ir.Const{V: 1}, Then: []ir.Stmt{dload(g(100))}},
+		dload(g(100)),
+	)
+	if st := elideStats(t, p); st.ElidedDynamic != 0 {
+		t.Fatalf("one-armed if: stats = %+v, want 0 elided", st)
+	}
+	p = irProg(
+		&ir.SIf{C: &ir.Const{V: 1}, Then: []ir.Stmt{dload(g(100))}, Else: []ir.Stmt{dload(g(100))}},
+		dload(g(100)),
+	)
+	if st := elideStats(t, p); st.ElidedDynamic != 1 {
+		t.Fatalf("two-armed if: stats = %+v, want 1 elided", st)
+	}
+}
+
+func TestElideBreakBypassesLoopCond(t *testing.T) {
+	// A break in the body means the exit may not have evaluated the
+	// condition: its checks must not survive the loop.
+	p := irProg(
+		&ir.SLoop{
+			Cond: &ir.Bin{Op: ir.OpLt, L: &ir.Load{Addr: g(100), Chk: dyn()}, R: &ir.Const{V: 10}},
+			Body: []ir.Stmt{&ir.SIf{C: &ir.Const{V: 1}, Then: []ir.Stmt{&ir.SBreak{}}}},
+		},
+		dload(g(100)),
+	)
+	if st := elideStats(t, p); st.ElidedDynamic != 0 {
+		t.Fatalf("stats = %+v, want 0 elided", st)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// mutation tests: each kill-set member is load-bearing
+
+// compileRaw lowers src without elision.
+func compileRaw(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := types.BuildWorld(prog)
+	if len(w.Errors) > 0 {
+		t.Fatalf("resolve: %v", w.Errors[0])
+	}
+	inf := qualinfer.Infer(w)
+	p, err := Compile(w, inf, DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func runReports(t *testing.T, p *ir.Program) []string {
+	t.Helper()
+	rt := interp.New(p, interp.DefaultConfig())
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var msgs []string
+	for _, r := range rt.Reports() {
+		msgs = append(msgs, r.Msg)
+	}
+	sort.Strings(msgs)
+	return msgs
+}
+
+// mutationCase builds src three ways — unelided, elided with the full kill
+// set, elided with a weakened kill set — and demands that full-kill elision
+// reproduces the baseline reports while the weakened kill set loses at
+// least one.
+func mutationCase(t *testing.T, src string, weak killSet) {
+	t.Helper()
+	base := runReports(t, compileRaw(t, src))
+	if len(base) == 0 {
+		t.Fatalf("mutation case reports nothing at baseline; it cannot detect unsoundness")
+	}
+
+	sound := compileRaw(t, src)
+	st := elideChecksWith(sound, fullKills)
+	if st.Elided() == 0 {
+		t.Fatalf("full-kill elision removed nothing; the mutation would be vacuous")
+	}
+	if got := runReports(t, sound); !equalStrings(got, base) {
+		t.Fatalf("full-kill elision changed reports:\n got  %q\n want %q", got, base)
+	}
+
+	broken := compileRaw(t, src)
+	elideChecksWith(broken, weak)
+	if got := runReports(t, broken); len(got) >= len(base) {
+		t.Fatalf("weakened kill set %+v still reports %q (baseline %q); kill is not load-bearing",
+			weak, got, base)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMutationUnlockKillIsLoadBearing(t *testing.T) {
+	// The access after the unlock must keep its check: with the lock kill
+	// disabled, the in-region write's check "dominates" it and the lock
+	// violation goes unreported.
+	src := `
+mutex *m;
+int locked(m) x;
+
+int main(void) {
+	m = mutexNew();
+	mutexLock(m);
+	x = 1;
+	x = 2;
+	mutexUnlock(m);
+	x = 3;
+	return 0;
+}
+`
+	weak := fullKills
+	weak.Lock = false
+	mutationCase(t, src, weak)
+}
+
+func TestMutationScastKillIsLoadBearing(t *testing.T) {
+	// Two aliases of one dynamic object: the second read through e must be
+	// re-checked after the cast cleared the object's reader/writer sets,
+	// or the spawned writer's conflicting write goes unreported. (The cast
+	// itself reports a oneref failure in every configuration — e is a
+	// second live reference — which keeps the baseline non-empty.)
+	src := `
+void *writer(void *arg) {
+	int dynamic *q = (int dynamic *)arg;
+	*q = 5;
+	return NULL;
+}
+
+int main(void) {
+	int *a = malloc(2);
+	*a = 7;
+	int dynamic *d = SCAST(int dynamic *, a);
+	int dynamic *e = d;
+	int r = *e;
+	r = r + *e;
+	int private *b = SCAST(int private *, d);
+	r = r + *e;
+	int h = spawn(writer, e);
+	join(h);
+	return r;
+}
+`
+	weak := fullKills
+	weak.Scast = false
+	mutationCase(t, src, weak)
+}

@@ -328,6 +328,9 @@ func (t *thread) spawn(e *ir.BuiltinCall) int64 {
 		t.fail(e.Pos, "spawn target %s must take one argument", fn.Name)
 	}
 	tid := <-rt.tidPool
+	// New concurrency: drop every thread's cached check validations so the
+	// fresh thread's accesses are re-validated against current bits.
+	rt.shadow.Invalidate()
 	handle := rt.nextHandle.Add(1)
 	th := &threadHandle{tid: tid, done: make(chan struct{})}
 	rt.handles.Store(handle, th)

@@ -68,6 +68,10 @@ type Config struct {
 	// paper's bit sets or the compact state machine (§4.2.1/§7 future
 	// work).
 	ShadowEncoding shadow.Encoding
+	// CheckCache enables the per-thread granule check cache and last-page
+	// memo in the shadow (the runtime half of check elision). Off by
+	// default.
+	CheckCache bool
 }
 
 // DefaultConfig returns a configuration adequate for the test programs and
@@ -125,6 +129,11 @@ type Stats struct {
 	ShadowPages     int // distinct logical shadow pages touched
 	HeapPages       int // distinct heap pages touched
 	MaxThreads      int // peak concurrently live threads
+
+	// Check-cache fast-path counters (zero unless Config.CheckCache).
+	CheckCacheLookups int64
+	CheckCacheHits    int64
+	PageMemoHits      int64
 }
 
 // Runtime executes one program.
@@ -210,7 +219,10 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 		mem:       make([]int64, memCells),
 		stackBase: stackBase,
 		heapBase:  heapBase,
-		shadow:    shadow.NewWithEncoding(int(memCells), cfg.ShadowEncoding),
+		shadow: shadow.NewWithOptions(int(memCells), shadow.Options{
+			Encoding:   cfg.ShadowEncoding,
+			CheckCache: cfg.CheckCache,
+		}),
 		heapNext:  alignGranule(heapBase),
 		freeLists: make(map[int64][]int64),
 		blocks:    make(map[int64]int64),
@@ -431,6 +443,10 @@ func (rt *Runtime) Stats() Stats {
 	defer rt.statMu.Unlock()
 	s := rt.stats
 	s.ShadowPages = rt.shadow.PagesTouched()
+	cs := rt.shadow.CacheStats()
+	s.CheckCacheLookups = cs.Lookups
+	s.CheckCacheHits = cs.Hits
+	s.PageMemoHits = cs.PageMemoHits
 	rt.heapMu.Lock()
 	s.HeapPages = len(rt.heapPages)
 	rt.heapMu.Unlock()

@@ -286,6 +286,20 @@ type GlobalInit struct {
 	Val  Expr // Const or StrAddr
 }
 
+// ElisionStats summarizes the static redundant-check-elision pass: how
+// many dynamic and locked check sites the program carried before the pass
+// and how many the pass proved redundant and removed. Zero-valued when the
+// pass did not run.
+type ElisionStats struct {
+	TotalDynamic  int // dynamic check sites before elision
+	TotalLocked   int // locked check sites before elision
+	ElidedDynamic int // dynamic checks removed as dominated
+	ElidedLocked  int // locked checks removed as dominated
+}
+
+// Elided returns the total number of checks the pass removed.
+func (s ElisionStats) Elided() int { return s.ElidedDynamic + s.ElidedLocked }
+
 // Program is a complete lowered ShC program.
 type Program struct {
 	Funcs      []*Func
@@ -302,6 +316,9 @@ type Program struct {
 	// RCTracked reports whether any sharing cast exists: if not, no write
 	// barriers are needed at all.
 	RCTracked bool
+
+	// Elision is filled by the static check-elision pass when it runs.
+	Elision ElisionStats
 }
 
 // EncodeFunc converts a function index into a pointer-distinguishable value.

@@ -1,0 +1,107 @@
+package shadow
+
+// The per-thread check cache: the runtime half of redundant-check
+// elimination. Each thread keeps a small direct-mapped table of granules it
+// has recently validated; a repeat check of the same granule at the same or
+// weaker strength is answered from the table without touching the shared
+// shadow words (no CAS, no page bookkeeping, no last-access update).
+//
+// Soundness rests on the epoch. A cached entry means "this thread's bits
+// were set on that granule at the tagged epoch, and every clearing event
+// since would have bumped the epoch": ClearThread (thread exit), ClearRange
+// (free, recycle, sharing cast), and Invalidate (spawn, via the
+// interpreter) all advance it, so a hit implies the thread's reader/writer
+// bits are still in place — exactly the state in which the slow check would
+// also succeed. Conflicting accesses by *other* threads never clear bits
+// silently: they fail their own checks and are reported there, just as they
+// would be without the cache.
+//
+// One observable difference: a hit skips the best-effort last-access
+// metadata update, so another thread's conflict report may name an earlier
+// site of the caching thread in its "last" line.
+//
+// Entries are plain (non-atomic) fields. Each threadCache is touched only
+// by the goroutine currently running that thread id; thread-id reuse is
+// ordered through the interpreter's tid free-list channel, which gives the
+// necessary happens-before edge, and stale entries left by a previous
+// incarnation are dead because every thread exit bumps the epoch.
+
+// cacheSlots is the number of direct-mapped entries per thread.
+const cacheSlots = 256
+
+const (
+	strengthRead  uint8 = 1
+	strengthWrite uint8 = 2
+)
+
+// cacheEntry records one validated granule. granule is stored as g+1 so
+// the zero value is empty; strength is the strongest access validated
+// (a write entry also satisfies read checks).
+type cacheEntry struct {
+	granule  int32
+	strength uint8
+	epoch    uint64
+}
+
+// threadCache is one thread's fast-path state: the granule table, the
+// last-page memo for touchPage, and hit counters (read only after the
+// program quiesces).
+type threadCache struct {
+	entries  [cacheSlots]cacheEntry
+	lastPage int64 // page+1; 0 = none
+	lookups  int64
+	hits     int64
+	pageHits int64
+}
+
+func (c *threadCache) get(g int, strength uint8, epoch uint64) bool {
+	e := &c.entries[g&(cacheSlots-1)]
+	return e.granule == int32(g)+1 && e.epoch == epoch && e.strength >= strength
+}
+
+func (c *threadCache) put(g int, strength uint8, epoch uint64) {
+	e := &c.entries[g&(cacheSlots-1)]
+	if e.granule == int32(g)+1 && e.epoch == epoch && e.strength > strength {
+		return // keep the stronger write entry
+	}
+	*e = cacheEntry{granule: int32(g) + 1, strength: strength, epoch: epoch}
+}
+
+// cacheFor returns tid's cache, or nil when the cache is disabled or tid
+// is outside the preallocated range (state-encoding ids past MaxThreads
+// always take the slow path).
+func (s *Shadow) cacheFor(tid int) *threadCache {
+	if s.caches == nil || tid < 0 || tid > MaxThreads {
+		return nil
+	}
+	return &s.caches[tid]
+}
+
+// Invalidate advances the global epoch, emptying every thread's check
+// cache at once. The interpreter calls it on spawn; ClearThread and
+// ClearRange call it internally. A no-op when the cache is disabled.
+func (s *Shadow) Invalidate() {
+	if s.caches != nil {
+		s.epoch.Add(1)
+	}
+}
+
+// CacheStats aggregates the per-thread fast-path counters.
+type CacheStats struct {
+	Lookups      int64 // checks that consulted a thread cache
+	Hits         int64 // checks answered without the slow path
+	PageMemoHits int64 // touchPage calls skipped by the last-page memo
+}
+
+// CacheStats sums the per-thread counters. Call it only when no checks are
+// in flight (after the program has quiesced).
+func (s *Shadow) CacheStats() CacheStats {
+	var st CacheStats
+	for i := range s.caches {
+		c := &s.caches[i]
+		st.Lookups += c.lookups
+		st.Hits += c.hits
+		st.PageMemoHits += c.pageHits
+	}
+	return st
+}

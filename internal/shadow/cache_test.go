@@ -1,0 +1,239 @@
+package shadow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func newCached(cells int) *Shadow {
+	return NewWithOptions(cells, Options{CheckCache: true})
+}
+
+// TestCacheExactHitCounts pins the fast path's arithmetic: repeat checks of
+// a granule hit, the neighboring cell of the same granule hits, and a write
+// entry satisfies later reads but not vice versa.
+func TestCacheExactHitCounts(t *testing.T) {
+	s := newCached(1024)
+	id := site(s, "x", 1)
+
+	// First read misses and fills; four repeats hit.
+	for i := 0; i < 5; i++ {
+		if c := s.ChkRead(1, 10, id); c != nil {
+			t.Fatalf("read %d: %v", i, c)
+		}
+	}
+	// Cell 11 shares granule 5 with cell 10: a hit, not a refill.
+	if c := s.ChkRead(1, 11, id); c != nil {
+		t.Fatal(c)
+	}
+	st := s.CacheStats()
+	if st.Lookups != 6 || st.Hits != 5 {
+		t.Fatalf("after reads: lookups=%d hits=%d, want 6 and 5", st.Lookups, st.Hits)
+	}
+
+	// A read entry must not satisfy a write check.
+	if c := s.ChkWrite(1, 10, id); c != nil {
+		t.Fatal(c)
+	}
+	st = s.CacheStats()
+	if st.Lookups != 7 || st.Hits != 5 {
+		t.Fatalf("first write: lookups=%d hits=%d, want 7 and 5", st.Lookups, st.Hits)
+	}
+	// The write entry satisfies both a repeat write and a read.
+	if c := s.ChkWrite(1, 10, id); c != nil {
+		t.Fatal(c)
+	}
+	if c := s.ChkRead(1, 10, id); c != nil {
+		t.Fatal(c)
+	}
+	st = s.CacheStats()
+	if st.Lookups != 9 || st.Hits != 7 {
+		t.Fatalf("after write entry: lookups=%d hits=%d, want 9 and 7", st.Lookups, st.Hits)
+	}
+}
+
+// TestCacheDirectMappedEviction: granules g and g+cacheSlots share a slot,
+// so alternating between them never hits.
+func TestCacheDirectMappedEviction(t *testing.T) {
+	s := newCached(4 * cacheSlots * GranuleCells)
+	id := site(s, "y", 2)
+	a := int64(3 * GranuleCells)
+	b := a + cacheSlots*GranuleCells
+	for i := 0; i < 3; i++ {
+		if c := s.ChkRead(1, a, id); c != nil {
+			t.Fatal(c)
+		}
+		if c := s.ChkRead(1, b, id); c != nil {
+			t.Fatal(c)
+		}
+	}
+	if st := s.CacheStats(); st.Hits != 0 {
+		t.Fatalf("colliding granules hit %d times; direct mapping broken", st.Hits)
+	}
+}
+
+// TestCacheEpochInvalidation: every clearing event empties the cache.
+func TestCacheEpochInvalidation(t *testing.T) {
+	s := newCached(1024)
+	id := site(s, "z", 3)
+	prime := func() {
+		if c := s.ChkRead(1, 40, id); c != nil {
+			t.Fatal(c)
+		}
+	}
+	hits := func() int64 { return s.CacheStats().Hits }
+
+	prime()
+	prime()
+	if h := hits(); h != 1 {
+		t.Fatalf("prime: hits=%d, want 1", h)
+	}
+	s.ClearRange(40, 2)
+	prime() // miss: epoch advanced
+	if h := hits(); h != 1 {
+		t.Fatalf("after ClearRange: hits=%d, want 1", h)
+	}
+	s.Invalidate()
+	prime() // miss again
+	if h := hits(); h != 1 {
+		t.Fatalf("after Invalidate: hits=%d, want 1", h)
+	}
+	s.ClearThread(2) // any thread exit invalidates every cache
+	prime()
+	if h := hits(); h != 1 {
+		t.Fatalf("after ClearThread: hits=%d, want 1", h)
+	}
+	prime()
+	if h := hits(); h != 2 {
+		t.Fatalf("steady state: hits=%d, want 2", h)
+	}
+}
+
+// TestCacheSoundAcrossClearRange is the scenario the epoch exists for: a
+// thread caches a validated read, the object is freed and handed to another
+// thread (ClearRange), the other thread writes it, and the first thread's
+// re-read must conflict — a stale cache hit would silently return nil.
+func TestCacheSoundAcrossClearRange(t *testing.T) {
+	s := newCached(1024)
+	r1 := site(s, "p->d", 4)
+	w2 := site(s, "q->d", 5)
+
+	if c := s.ChkRead(1, 20, r1); c != nil {
+		t.Fatal(c)
+	}
+	if c := s.ChkRead(1, 20, r1); c != nil {
+		t.Fatal(c)
+	}
+	if h := s.CacheStats().Hits; h != 1 {
+		t.Fatalf("prime: hits=%d, want 1", h)
+	}
+
+	s.ClearRange(20, GranuleCells)
+	if c := s.ChkWrite(2, 20, w2); c != nil {
+		t.Fatalf("writer after clear must succeed: %v", c)
+	}
+	c := s.ChkRead(1, 20, r1)
+	if c == nil {
+		t.Fatal("stale cache answered a read that now conflicts with thread 2's write")
+	}
+	if c.Who.Tid != 1 || c.Who.Kind != Read {
+		t.Fatalf("conflict attribution: %v", c)
+	}
+}
+
+// TestCachePageMemo: distinct granules on one shadow page miss the check
+// cache but hit the last-page memo; the page set still records every page.
+func TestCachePageMemo(t *testing.T) {
+	s := newCached(64 * 1024)
+	id := site(s, "a[i]", 6)
+	const n = 10
+	for g := 0; g < n; g++ {
+		if c := s.ChkRead(1, int64(g*GranuleCells), id); c != nil {
+			t.Fatal(c)
+		}
+	}
+	st := s.CacheStats()
+	if st.Hits != 0 {
+		t.Fatalf("distinct granules should miss the check cache: hits=%d", st.Hits)
+	}
+	if st.PageMemoHits != n-1 {
+		t.Fatalf("page memo hits=%d, want %d", st.PageMemoHits, n-1)
+	}
+	if got := s.PagesTouched(); got != 1 {
+		t.Fatalf("PagesTouched=%d, want 1", got)
+	}
+	// Granule 4096 starts the second page.
+	if c := s.ChkRead(1, int64(4096*GranuleCells), id); c != nil {
+		t.Fatal(c)
+	}
+	if got := s.PagesTouched(); got != 2 {
+		t.Fatalf("PagesTouched=%d, want 2", got)
+	}
+}
+
+// TestCacheLogsBeyondMaxThreads: the state encoding admits thread ids past
+// the bitset limit; their first-access logs take the locked fallback and
+// ClearThread still clears their marks.
+func TestCacheLogsBeyondMaxThreads(t *testing.T) {
+	s := NewWithOptions(1024, Options{Encoding: EncodingState, CheckCache: true})
+	id := site(s, "w", 7)
+	const tid = MaxThreads + 9
+	if c := s.ChkWrite(tid, 30, id); c != nil {
+		t.Fatal(c)
+	}
+	// Another thread conflicts while the writer lives...
+	if c := s.ChkWrite(2, 30, id); c == nil {
+		t.Fatal("concurrent write must conflict")
+	}
+	s.ClearThread(tid)
+	// ...and succeeds once its lifetime has ended.
+	if c := s.ChkWrite(2, 30, id); c != nil {
+		t.Fatalf("write after ClearThread: %v", c)
+	}
+}
+
+// TestCacheHammer exercises the fast path under -race: threads check their
+// own disjoint regions while clears and invalidations fire concurrently.
+func TestCacheHammer(t *testing.T) {
+	const (
+		threads = 8
+		region  = 64
+		iters   = 400
+	)
+	s := newCached(threads * region * GranuleCells)
+	var conflicts atomic.Int64
+	var wg sync.WaitGroup
+	for tid := 1; tid <= threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			id := site(s, "r", tid)
+			base := int64((tid - 1) * region * GranuleCells)
+			for i := 0; i < iters; i++ {
+				cell := base + int64(i%region)*GranuleCells
+				if c := s.ChkRead(tid, cell, id); c != nil {
+					conflicts.Add(1)
+				}
+				if c := s.ChkWrite(tid, cell, id); c != nil {
+					conflicts.Add(1)
+				}
+				switch i % 97 {
+				case 13:
+					s.Invalidate()
+				case 51:
+					s.ClearRange(base, region*GranuleCells)
+				}
+			}
+			s.ClearThread(tid)
+		}(tid)
+	}
+	wg.Wait()
+	if n := conflicts.Load(); n != 0 {
+		t.Fatalf("%d conflicts on disjoint regions", n)
+	}
+	st := s.CacheStats()
+	if st.Lookups != 2*threads*iters {
+		t.Fatalf("lookups=%d, want %d", st.Lookups, 2*threads*iters)
+	}
+}

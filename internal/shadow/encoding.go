@@ -45,7 +45,7 @@ func (s *Shadow) chkReadState(tid int, cell int64, siteID uint32) *Conflict {
 	if g >= s.granules {
 		return nil
 	}
-	s.touchPage(g)
+	s.touchPage(tid, g)
 	wp := s.word(g)
 	me := uint32(tid) & tidMask
 	for {
@@ -86,7 +86,7 @@ func (s *Shadow) chkWriteState(tid int, cell int64, siteID uint32) *Conflict {
 	if g >= s.granules {
 		return nil
 	}
-	s.touchPage(g)
+	s.touchPage(tid, g)
 	wp := s.word(g)
 	me := uint32(tid) & tidMask
 	for {

@@ -14,6 +14,10 @@
 // first access so its bits can be cleared cheaply when it exits; free()
 // clears a granule range outright (two threads whose lifetimes do not
 // overlap do not race).
+//
+// An optional per-thread fast path (Options.CheckCache) remembers recently
+// validated granules and answers repeat checks without touching the shared
+// shadow words; see cache.go.
 package shadow
 
 import (
@@ -88,6 +92,24 @@ const chunkShift = 14
 type wordChunk [1 << chunkShift]atomic.Uint32
 type lastChunk [1 << chunkShift]atomic.Uint64
 
+// threadLog collects the granules one thread has set bits on (first access
+// only), so ClearThread is proportional to the thread's footprint. Each
+// thread appends to its own log under its own lock: first accesses by
+// different threads never serialize on a shared mutex.
+type threadLog struct {
+	mu sync.Mutex
+	gs []int32
+}
+
+// Options configures a Shadow beyond its size.
+type Options struct {
+	// Encoding selects the reader/writer-set representation.
+	Encoding Encoding
+	// CheckCache enables the per-thread direct-mapped granule cache and the
+	// per-thread last-page memo (the runtime half of check elision).
+	CheckCache bool
+}
+
 // Shadow tracks reader/writer sets for a fixed-size cell memory. The
 // per-granule state is chunked and allocated on first touch: programs use
 // a small fraction of the address space, and eager full-size arrays would
@@ -105,10 +127,17 @@ type Shadow struct {
 	sites   []Site
 	siteIDs map[Site]uint32
 
-	// logs[tid] lists granules the thread has set bits on (first access
-	// only), so ClearThread is proportional to the thread's footprint.
-	logsMu sync.Mutex
-	logs   [][]int32
+	// logs[tid] is the preallocated first-access log for the thread ids the
+	// bitset encoding admits; extraLogs is the locked slow path for
+	// state-encoding thread ids beyond MaxThreads.
+	logs      [MaxThreads + 1]threadLog
+	extraMu   sync.Mutex
+	extraLogs map[int][]int32
+
+	// caches holds the per-thread check caches when Options.CheckCache is
+	// set (nil otherwise); epoch invalidates all of them at once.
+	caches []threadCache
+	epoch  atomic.Uint64
 
 	// pages tracks which 4096-byte pages of the logical 1-byte-per-granule
 	// shadow area have been touched, for the paper's minor-pagefault metric.
@@ -117,20 +146,29 @@ type Shadow struct {
 
 // New returns a shadow for a memory of the given number of cells, using
 // the paper's bit-set encoding.
-func New(cells int) *Shadow { return NewWithEncoding(cells, EncodingBitset) }
+func New(cells int) *Shadow { return NewWithOptions(cells, Options{}) }
 
 // NewWithEncoding selects the reader/writer-set representation.
 func NewWithEncoding(cells int, enc Encoding) *Shadow {
+	return NewWithOptions(cells, Options{Encoding: enc})
+}
+
+// NewWithOptions returns a shadow configured by o.
+func NewWithOptions(cells int, o Options) *Shadow {
 	n := (cells+GranuleCells-1)/GranuleCells + 1
 	chunks := (n >> chunkShift) + 1
-	return &Shadow{
+	s := &Shadow{
 		granules: n,
-		enc:      enc,
+		enc:      o.Encoding,
 		words:    make([]atomic.Pointer[wordChunk], chunks),
 		last:     make([]atomic.Pointer[lastChunk], chunks),
 		siteIDs:  make(map[Site]uint32),
-		logs:     make([][]int32, MaxThreads+1),
 	}
+	if o.CheckCache {
+		s.caches = make([]threadCache, MaxThreads+1)
+		s.epoch.Store(1)
+	}
+	return s
 }
 
 // NumGranules returns the number of granules covered.
@@ -195,9 +233,20 @@ func (s *Shadow) site(id uint32) Site {
 func granuleOf(cell int64) int { return int(cell) / GranuleCells }
 
 // touchPage records the shadow page backing granule g as mapped (1 logical
-// shadow byte per granule, 4096-byte pages).
-func (s *Shadow) touchPage(g int) {
-	s.pages.LoadOrStore(g/4096, struct{}{})
+// shadow byte per granule, 4096-byte pages). With the check cache enabled,
+// a per-thread memo of the last page recorded skips the sync.Map round
+// trip for runs of accesses on the same page; the page set is append-only,
+// so the memo never suppresses a first touch.
+func (s *Shadow) touchPage(tid, g int) {
+	p := g / 4096
+	if c := s.cacheFor(tid); c != nil {
+		if c.lastPage == int64(p)+1 {
+			c.pageHits++
+			return
+		}
+		c.lastPage = int64(p) + 1
+	}
+	s.pages.LoadOrStore(p, struct{}{})
 }
 
 // PagesTouched returns the number of distinct logical shadow pages touched,
@@ -209,13 +258,37 @@ func (s *Shadow) PagesTouched() int {
 }
 
 func (s *Shadow) logFirstAccess(tid, g int) {
-	s.logsMu.Lock()
-	for len(s.logs) <= tid {
-		// The state encoding admits thread ids beyond MaxThreads.
-		s.logs = append(s.logs, nil)
+	if tid >= 0 && tid <= MaxThreads {
+		l := &s.logs[tid]
+		l.mu.Lock()
+		l.gs = append(l.gs, int32(g))
+		l.mu.Unlock()
+		return
 	}
-	s.logs[tid] = append(s.logs[tid], int32(g))
-	s.logsMu.Unlock()
+	// The state encoding admits thread ids beyond MaxThreads.
+	s.extraMu.Lock()
+	if s.extraLogs == nil {
+		s.extraLogs = make(map[int][]int32)
+	}
+	s.extraLogs[tid] = append(s.extraLogs[tid], int32(g))
+	s.extraMu.Unlock()
+}
+
+// takeLog detaches and returns tid's first-access log.
+func (s *Shadow) takeLog(tid int) []int32 {
+	if tid >= 0 && tid <= MaxThreads {
+		l := &s.logs[tid]
+		l.mu.Lock()
+		log := l.gs
+		l.gs = nil
+		l.mu.Unlock()
+		return log
+	}
+	s.extraMu.Lock()
+	log := s.extraLogs[tid]
+	delete(s.extraLogs, tid)
+	s.extraMu.Unlock()
+	return log
 }
 
 func (s *Shadow) recordLast(g int, tid int, kind AccessKind, siteID uint32) {
@@ -235,6 +308,24 @@ func (s *Shadow) lastAccess(g int) Access {
 // It returns a conflict when another thread writes the granule, updating
 // the reader set otherwise.
 func (s *Shadow) ChkRead(tid int, cell int64, siteID uint32) *Conflict {
+	if c := s.cacheFor(tid); c != nil {
+		g := granuleOf(cell)
+		c.lookups++
+		epoch := s.epoch.Load()
+		if c.get(g, strengthRead, epoch) {
+			c.hits++
+			return nil
+		}
+		conf := s.chkReadSlow(tid, cell, siteID)
+		if conf == nil && g < s.granules {
+			c.put(g, strengthRead, epoch)
+		}
+		return conf
+	}
+	return s.chkReadSlow(tid, cell, siteID)
+}
+
+func (s *Shadow) chkReadSlow(tid int, cell int64, siteID uint32) *Conflict {
 	if s.enc == EncodingState {
 		return s.chkReadState(tid, cell, siteID)
 	}
@@ -242,7 +333,7 @@ func (s *Shadow) ChkRead(tid int, cell int64, siteID uint32) *Conflict {
 	if g >= s.granules {
 		return nil
 	}
-	s.touchPage(g)
+	s.touchPage(tid, g)
 	wp := s.word(g)
 	me := uint32(1) << uint(tid)
 	for {
@@ -268,6 +359,24 @@ func (s *Shadow) ChkRead(tid int, cell int64, siteID uint32) *Conflict {
 // cell. It returns a conflict when any other thread reads or writes the
 // granule, updating the writer marking otherwise.
 func (s *Shadow) ChkWrite(tid int, cell int64, siteID uint32) *Conflict {
+	if c := s.cacheFor(tid); c != nil {
+		g := granuleOf(cell)
+		c.lookups++
+		epoch := s.epoch.Load()
+		if c.get(g, strengthWrite, epoch) {
+			c.hits++
+			return nil
+		}
+		conf := s.chkWriteSlow(tid, cell, siteID)
+		if conf == nil && g < s.granules {
+			c.put(g, strengthWrite, epoch)
+		}
+		return conf
+	}
+	return s.chkWriteSlow(tid, cell, siteID)
+}
+
+func (s *Shadow) chkWriteSlow(tid int, cell int64, siteID uint32) *Conflict {
 	if s.enc == EncodingState {
 		return s.chkWriteState(tid, cell, siteID)
 	}
@@ -275,7 +384,7 @@ func (s *Shadow) ChkWrite(tid int, cell int64, siteID uint32) *Conflict {
 	if g >= s.granules {
 		return nil
 	}
-	s.touchPage(g)
+	s.touchPage(tid, g)
 	wp := s.word(g)
 	me := uint32(1) << uint(tid)
 	for {
@@ -310,13 +419,8 @@ func (s *Shadow) conflict(cell int64, g, tid int, kind AccessKind, siteID uint32
 // ClearThread removes tid's bits from every granule it touched: SharC does
 // not consider accesses by threads whose lifetimes do not overlap to race.
 func (s *Shadow) ClearThread(tid int) {
-	s.logsMu.Lock()
-	var log []int32
-	if tid < len(s.logs) {
-		log = s.logs[tid]
-		s.logs[tid] = nil
-	}
-	s.logsMu.Unlock()
+	s.Invalidate()
+	log := s.takeLog(tid)
 	if s.enc == EncodingState {
 		s.clearThreadState(tid, log)
 		return
@@ -344,6 +448,7 @@ func (s *Shadow) ClearRange(cell, n int64) {
 	if n <= 0 {
 		return
 	}
+	s.Invalidate()
 	g0 := granuleOf(cell)
 	g1 := granuleOf(cell + n - 1)
 	for g := g0; g <= g1 && g < s.granules; g++ {

@@ -56,6 +56,12 @@ type Options struct {
 	// NaiveRC replaces the Levanoni–Petrank scheme with per-write atomic
 	// counting (the scheme the paper measured at >60% overhead).
 	NaiveRC bool
+	// ElideChecks runs the static redundant-check-elision pass after
+	// lowering (compile layer of check elision).
+	ElideChecks bool
+	// CheckCache enables the per-thread granule check cache in the shadow
+	// runtime (runtime layer of check elision).
+	CheckCache bool
 	// Stdout receives program output (io.Discard if nil).
 	Stdout io.Writer
 	// Observer taps accesses and synchronization for external detectors.
@@ -228,6 +234,7 @@ type Program struct {
 func (a *Analysis) Build(opts Options) (*Program, error) {
 	p, err := a.inner.Build(compile.Options{
 		Checks:         opts.Checks,
+		Elide:          opts.ElideChecks,
 		RC:             opts.RefCounting,
 		RCSiteAnalysis: opts.RCSiteAnalysis,
 	})
@@ -236,6 +243,10 @@ func (a *Analysis) Build(opts Options) (*Program, error) {
 	}
 	return &Program{ir: p, opts: opts}, nil
 }
+
+// Elision returns the static check-elision counts (zero unless the program
+// was built with ElideChecks).
+func (p *Program) Elision() ir.ElisionStats { return p.ir.Elision }
 
 // Result is the outcome of executing a program.
 type Result struct {
@@ -276,6 +287,7 @@ func (p *Program) Run() (*Result, error) {
 	cfg := interp.DefaultConfig()
 	cfg.Stdout = p.opts.Stdout
 	cfg.Observer = p.opts.Observer
+	cfg.CheckCache = p.opts.CheckCache
 	if !p.opts.RefCounting {
 		cfg.RC = interp.RCOff
 	} else if p.opts.NaiveRC {
