@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench elision
+.PHONY: all build vet test race verify bench elision explore explore-smoke
 
 all: verify
 
@@ -14,11 +14,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount
+	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched
 
-# verify is the gate for every change: build, vet, the full test suite, and
-# the race detector over the concurrency-bearing packages.
-verify: build vet test race
+# verify is the gate for every change: build, vet, the full test suite, the
+# race detector over the concurrency-bearing packages, and the exploration
+# smoke.
+verify: build vet test race explore-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -26,3 +27,18 @@ bench:
 # elision regenerates BENCH_elision.json (the check-elision ladder).
 elision:
 	$(GO) run ./cmd/sharc-bench -elision
+
+# explore regenerates BENCH_explore.json (exploration vs free running).
+explore:
+	$(GO) run ./cmd/sharc-bench -explore
+
+# explore-smoke runs the schedule explorer over two clean corpus programs
+# at three base seeds each; any finding makes sharc exit non-zero and
+# fails the target. Kept small so the whole sweep stays well under 30s.
+explore-smoke:
+	@for prog in internal/interp/testdata/bank.shc internal/interp/testdata/barrier.shc; do \
+		for seed in 1 2 3; do \
+			echo "explore $$prog seed=$$seed"; \
+			$(GO) run ./cmd/sharc explore -schedules 10 -seed $$seed $$prog || exit 1; \
+		done; \
+	done

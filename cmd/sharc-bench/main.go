@@ -13,6 +13,10 @@
 //	sharc-bench -elision                the check-elision ladder (off /
 //	                                    static / static+cache), also written
 //	                                    to BENCH_elision.json
+//	sharc-bench -explore                systematic schedule exploration on
+//	                                    the seeded-racy programs, compared
+//	                                    against free-running detection, also
+//	                                    written to BENCH_explore.json
 package main
 
 import (
@@ -31,6 +35,9 @@ func main() {
 	ladder := flag.Bool("ladder", false, "measure the incremental-annotation claim: unannotated vs annotated")
 	elision := flag.Bool("elision", false, "measure the check-elision ladder and write BENCH_elision.json")
 	elisionOut := flag.String("elision-out", "BENCH_elision.json", "output path for the elision JSON")
+	explore := flag.Bool("explore", false, "compare schedule exploration against free-running detection and write BENCH_explore.json")
+	exploreOut := flag.String("explore-out", "BENCH_explore.json", "output path for the exploration JSON")
+	schedules := flag.Int("schedules", 100, "schedules per program in -explore mode")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -42,6 +49,10 @@ func main() {
 	}
 	if *runOne != "" && bench.ByName(*runOne) == nil {
 		fmt.Fprintf(os.Stderr, "sharc-bench: unknown benchmark %q (have %v)\n", *runOne, bench.Names())
+		os.Exit(2)
+	}
+	if *schedules <= 0 {
+		fmt.Fprintln(os.Stderr, "sharc-bench: -schedules must be positive")
 		os.Exit(2)
 	}
 
@@ -91,6 +102,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *elisionOut)
+		return
+	}
+
+	if *explore {
+		rows, err := bench.ExploreTable(1, *schedules, 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Schedule exploration (free-running detection vs systematic schedules):")
+		fmt.Print(bench.FormatExplore(rows))
+		data, err := bench.ExploreJSON(rows)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*exploreOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *exploreOut)
 		return
 	}
 

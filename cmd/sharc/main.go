@@ -11,19 +11,98 @@
 //	sharc run    file.shc...   execute with full instrumentation; prints
 //	                           program output, then any violation reports
 //	sharc run -unchecked ...   execute without instrumentation ("Orig")
+//	sharc run -seed N ...      execute under the deterministic cooperative
+//	                           scheduler: the same (program, seed) pair
+//	                           reproduces the identical run
+//	sharc run -record t.json -seed N ...
+//	                           additionally record the schedule to a trace
+//	sharc run -replay t.json ...
+//	                           re-execute a recorded schedule exactly (also
+//	                           across -elide/-cache configs: the elision
+//	                           soundness oracle)
+//	sharc explore file.shc...  run many controlled schedules (PCT, random,
+//	                           round-robin sweep) and summarize the distinct
+//	                           violations found and which schedule first
+//	                           exposed each
+//
+// Exit codes for invalid invocations are distinct: 2 for usage errors
+// (unknown subcommand, unparsable flags, no input files), 3 for valid
+// flags in conflicting combinations, 4 for a flag with a nonsensical
+// value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
+	"repro/internal/sched"
+)
+
+const (
+	exitUsage    = 2 // unknown subcommand / flag, missing files
+	exitConflict = 3 // mutually exclusive flags
+	exitBadValue = 4 // flag value out of range
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: sharc {check|infer|run} [flags] file.shc...\n")
-	os.Exit(2)
+	fmt.Fprintf(os.Stderr, "usage: sharc {check|infer|run|explore} [flags] file.shc...\n")
+	os.Exit(exitUsage)
+}
+
+type runFlags struct {
+	unchecked bool
+	stats     bool
+	seed      int64
+	record    string
+	replay    string
+	elide     bool
+	cache     bool
+}
+
+type exploreFlags struct {
+	schedules int
+	strategy  string
+	seed      int64
+	elide     bool
+	cache     bool
+	jsonOut   string
+}
+
+// validateRun checks flag combinations before any file is read. It returns
+// a non-zero exit code and message on invalid input.
+func validateRun(f *runFlags) (int, string) {
+	if f.record != "" && f.replay != "" {
+		return exitConflict, "-record and -replay are mutually exclusive"
+	}
+	if f.replay != "" && f.seed >= 0 {
+		return exitConflict, "-replay re-executes a recorded schedule; -seed conflicts with it"
+	}
+	if f.unchecked && (f.record != "" || f.replay != "") {
+		return exitConflict, "-unchecked changes the instrumentation and with it the scheduling points; it cannot record or replay traces"
+	}
+	if f.seed < -1 {
+		return exitBadValue, fmt.Sprintf("-seed must be >= 0 (or omitted for free running), got %d", f.seed)
+	}
+	return 0, ""
+}
+
+// validateExplore mirrors validateRun for the explore subcommand.
+func validateExplore(f *exploreFlags) (int, string) {
+	if f.schedules <= 0 {
+		return exitBadValue, fmt.Sprintf("-schedules must be positive, got %d", f.schedules)
+	}
+	switch f.strategy {
+	case "mix", "random", "pct", "rr":
+	default:
+		return exitBadValue, fmt.Sprintf("-strategy must be one of mix, random, pct, rr; got %q", f.strategy)
+	}
+	if f.seed < 0 {
+		return exitBadValue, fmt.Sprintf("-seed must be >= 0, got %d", f.seed)
+	}
+	return 0, ""
 }
 
 func main() {
@@ -31,15 +110,54 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	unchecked := fs.Bool("unchecked", false, "run without instrumentation (run only)")
-	stats := fs.Bool("stats", false, "print execution statistics (run only)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	switch cmd {
+	case "check", "infer", "run", "explore":
+	default:
+		fmt.Fprintf(os.Stderr, "sharc: unknown subcommand %q\n", cmd)
 		usage()
+	}
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var rf runFlags
+	var ef exploreFlags
+	switch cmd {
+	case "run":
+		fs.BoolVar(&rf.unchecked, "unchecked", false, "run without instrumentation (Orig)")
+		fs.BoolVar(&rf.stats, "stats", false, "print execution statistics")
+		fs.Int64Var(&rf.seed, "seed", -1, "deterministic scheduler seed (-1: free-running Go scheduler)")
+		fs.StringVar(&rf.record, "record", "", "record the schedule to this trace file (implies -seed 0 unless set)")
+		fs.StringVar(&rf.replay, "replay", "", "replay a recorded schedule from this trace file")
+		fs.BoolVar(&rf.elide, "elide", false, "enable static redundant-check elision")
+		fs.BoolVar(&rf.cache, "cache", false, "enable the runtime check cache")
+	case "explore":
+		fs.IntVar(&ef.schedules, "schedules", 100, "number of schedules to run")
+		fs.StringVar(&ef.strategy, "strategy", "mix", "schedule generator: mix, random, pct, rr")
+		fs.Int64Var(&ef.seed, "seed", 1, "base exploration seed")
+		fs.BoolVar(&ef.elide, "elide", false, "enable static redundant-check elision")
+		fs.BoolVar(&ef.cache, "cache", false, "enable the runtime check cache")
+		fs.StringVar(&ef.jsonOut, "json", "", "also write the summary as JSON to this path")
+	}
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(exitUsage)
 	}
 	files := fs.Args()
 	if len(files) == 0 {
 		usage()
+	}
+
+	// Validate flag combinations before touching the filesystem.
+	switch cmd {
+	case "run":
+		if code, msg := validateRun(&rf); code != 0 {
+			fmt.Fprintln(os.Stderr, "sharc:", msg)
+			os.Exit(code)
+		}
+	case "explore":
+		if code, msg := validateExplore(&ef); code != 0 {
+			fmt.Fprintln(os.Stderr, "sharc:", msg)
+			os.Exit(code)
+		}
 	}
 
 	var sources []sharc.Source
@@ -82,41 +200,120 @@ func main() {
 		fmt.Print(a.InferredAnnotations())
 
 	case "run":
-		if !a.OK() {
-			for _, e := range a.Errors() {
-				fmt.Println("error:", e)
+		p := buildOrDie(a, buildOpts(rf.unchecked, rf.elide, rf.cache, os.Stdout))
+		var res *sharc.Result
+		var runErr error
+		switch {
+		case rf.replay != "":
+			tr, err := sched.ReadTraceFile(rf.replay)
+			if err != nil {
+				fatal(err)
 			}
-			for _, s := range a.Suggestions() {
-				fmt.Println("suggestion:", s)
+			var diverged bool
+			res, diverged, runErr = p.RunReplay(tr)
+			if diverged {
+				fmt.Fprintln(os.Stderr, "sharc: replay diverged from the recorded schedule (different program or instrumentation?)")
 			}
-			os.Exit(1)
+		case rf.record != "":
+			seed := rf.seed
+			if seed < 0 {
+				seed = 0
+			}
+			var tr *sched.Trace
+			res, tr, runErr = p.RunRecorded(seed)
+			if err := sched.WriteTraceFile(rf.record, tr); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "recorded %d scheduling decisions to %s\n", tr.Decisions, rf.record)
+		case rf.seed >= 0:
+			res, runErr = p.RunSeeded(rf.seed)
+		default:
+			res, runErr = p.Run()
 		}
-		opts := sharc.DefaultOptions()
-		if *unchecked {
-			opts = sharc.Options{}
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "runtime error:", runErr)
 		}
-		opts.Stdout = os.Stdout
-		p, err := a.Build(opts)
-		if err != nil {
-			fatal(err)
-		}
-		res, err := p.Run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "runtime error:", err)
+		if res.Deadlock {
+			fmt.Fprintln(os.Stderr, "sharc: deadlock detected (all threads blocked)")
 		}
 		for _, r := range res.Reports {
 			fmt.Fprintln(os.Stderr, r.Msg)
 		}
-		if *stats {
+		if rf.stats {
 			st := res.Stats
 			fmt.Fprintf(os.Stderr, "accesses=%d dynamic=%d lockchecks=%d barriers=%d collections=%d threads=%d\n",
 				st.TotalAccesses, st.DynamicAccesses, st.LockChecks, st.Barriers, st.Collections, st.MaxThreads)
 		}
 		os.Exit(int(res.Exit) & 0xff)
 
-	default:
-		usage()
+	case "explore":
+		p := buildOrDie(a, buildOpts(false, ef.elide, ef.cache, io.Discard))
+		sum := p.Explore(sharc.ExploreOptions{
+			Schedules: ef.schedules,
+			Strategy:  ef.strategy,
+			Seed:      ef.seed,
+		})
+		fmt.Printf("explored %d schedules (%d scheduling decisions): %d distinct finding(s)\n",
+			sum.Schedules, sum.Decisions, len(sum.Findings))
+		for _, f := range sum.Findings {
+			fmt.Printf("[%s] %s — first at schedule %d (%s, seed %d)\n",
+				f.KindName, f.Site, f.Schedule, f.Strategy, f.Seed)
+			fmt.Println(indent(f.Msg))
+		}
+		if ef.jsonOut != "" {
+			data, err := sharc.ExploreSummaryJSON(sum)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(ef.jsonOut, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", ef.jsonOut)
+		}
+		if len(sum.Findings) > 0 {
+			os.Exit(1)
+		}
 	}
+}
+
+// buildOpts assembles the instrumentation options for run/explore.
+func buildOpts(unchecked, elide, cache bool, stdout io.Writer) sharc.Options {
+	opts := sharc.DefaultOptions()
+	if unchecked {
+		opts = sharc.Options{}
+	}
+	opts.ElideChecks = elide
+	opts.CheckCache = cache
+	opts.Stdout = stdout
+	return opts
+}
+
+func buildOrDie(a *sharc.Analysis, opts sharc.Options) *sharc.Program {
+	if !a.OK() {
+		for _, e := range a.Errors() {
+			fmt.Println("error:", e)
+		}
+		for _, s := range a.Suggestions() {
+			fmt.Println("suggestion:", s)
+		}
+		os.Exit(1)
+	}
+	p, err := a.Build(opts)
+	if err != nil {
+		fatal(err)
+	}
+	return p
+}
+
+func indent(s string) string {
+	out := "    "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "    "
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

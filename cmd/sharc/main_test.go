@@ -120,3 +120,149 @@ int main(void) { spawn(worker, malloc(4)); return 0; }
 		}
 	})
 }
+
+// racyProg loses its race on the free-running scheduler (the sleep separates
+// the threads' lifetimes) but any seeded schedule can interleave them.
+const racyProg = `
+int g[2];
+
+void *worker(void *d) {
+	g[0] = 41;
+	g[1] = g[1] + 1;
+	return NULL;
+}
+
+int main(void) {
+	int h = spawn(worker, NULL);
+	sleepMs(20);
+	g[0] = g[0] + 1;
+	join(h);
+	return 7;
+}
+`
+
+// TestCLIValidation is the table test over subcommand/flag combinations:
+// usage errors exit 2, conflicting flags exit 3, bad values exit 4 — all
+// before any source file is opened (the file argument below never exists).
+func TestCLIValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+
+	cases := []struct {
+		name   string
+		args   []string
+		exit   int
+		stderr string
+	}{
+		{"no args", nil, 2, "usage"},
+		{"unknown subcommand", []string{"frobnicate", "x.shc"}, 2, "unknown subcommand"},
+		{"unknown flag", []string{"run", "-bogus", "x.shc"}, 2, "flag provided but not defined"},
+		{"no files", []string{"run", "-seed", "1"}, 2, "usage"},
+		{"explore unknown flag", []string{"explore", "-unchecked", "x.shc"}, 2, "flag provided but not defined"},
+		{"record+replay", []string{"run", "-record", "a.json", "-replay", "b.json", "x.shc"}, 3, "mutually exclusive"},
+		{"replay+seed", []string{"run", "-replay", "a.json", "-seed", "4", "x.shc"}, 3, "-seed conflicts"},
+		{"unchecked+record", []string{"run", "-unchecked", "-record", "a.json", "x.shc"}, 3, "cannot record or replay"},
+		{"unchecked+replay", []string{"run", "-unchecked", "-replay", "a.json", "x.shc"}, 3, "cannot record or replay"},
+		{"seed out of range", []string{"run", "-seed", "-7", "x.shc"}, 4, "-seed must be"},
+		{"zero schedules", []string{"explore", "-schedules", "0", "x.shc"}, 4, "-schedules must be positive"},
+		{"negative schedules", []string{"explore", "-schedules", "-3", "x.shc"}, 4, "-schedules must be positive"},
+		{"bad strategy", []string{"explore", "-strategy", "dfs", "x.shc"}, 4, "-strategy must be one of"},
+		{"negative explore seed", []string{"explore", "-seed", "-1", "x.shc"}, 4, "-seed must be"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, tc.args...)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("expected exit error, got %v\n%s", err, out)
+			}
+			if ee.ExitCode() != tc.exit {
+				t.Fatalf("exit = %d, want %d\n%s", ee.ExitCode(), tc.exit, out)
+			}
+			if !strings.Contains(string(out), tc.stderr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.stderr, out)
+			}
+		})
+	}
+}
+
+// TestCLISched covers the scheduled-run surface end to end: seeded runs are
+// byte-identical, record produces a trace that replays to the same output,
+// and explore finds the seeded race and writes its JSON summary.
+func TestCLISched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, racyProg)
+
+	t.Run("seeded runs are identical", func(t *testing.T) {
+		var first string
+		for i := 0; i < 3; i++ {
+			cmd := exec.Command(bin, "run", "-seed", "12", prog)
+			out, err := cmd.CombinedOutput()
+			if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 7 {
+				t.Fatalf("exit: %v\n%s", err, out)
+			}
+			if i == 0 {
+				first = string(out)
+			} else if string(out) != first {
+				t.Fatalf("run %d differs:\n%s---\n%s", i, first, out)
+			}
+		}
+	})
+
+	t.Run("record then replay", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "trace.json")
+		rec := exec.Command(bin, "run", "-record", trace, "-seed", "5", prog)
+		recOut, err := rec.CombinedOutput()
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 7 {
+			t.Fatalf("record: %v\n%s", err, recOut)
+		}
+		if !strings.Contains(string(recOut), "recorded") {
+			t.Fatalf("no record confirmation:\n%s", recOut)
+		}
+		rep := exec.Command(bin, "run", "-replay", trace, prog)
+		repOut, err := rep.CombinedOutput()
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 7 {
+			t.Fatalf("replay: %v\n%s", err, repOut)
+		}
+		if strings.Contains(string(repOut), "diverged") {
+			t.Fatalf("replay diverged:\n%s", repOut)
+		}
+	})
+
+	t.Run("explore finds the race", func(t *testing.T) {
+		jsonOut := filepath.Join(t.TempDir(), "explore.json")
+		cmd := exec.Command(bin, "explore", "-schedules", "40", "-json", jsonOut, prog)
+		out, err := cmd.CombinedOutput()
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("explore should exit 1 on findings: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "conflict") && !strings.Contains(string(out), "finding") {
+			t.Fatalf("no findings in output:\n%s", out)
+		}
+		data, err := os.ReadFile(jsonOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "\"findings\"") {
+			t.Fatalf("summary JSON missing findings:\n%s", data)
+		}
+	})
+
+	t.Run("explore clean program exits 0", func(t *testing.T) {
+		clean := writeProg(t, cleanProg)
+		out, err := exec.Command(bin, "explore", "-schedules", "5", clean).CombinedOutput()
+		if err != nil {
+			t.Fatalf("explore: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "0 distinct finding") {
+			t.Fatalf("output: %s", out)
+		}
+	})
+}

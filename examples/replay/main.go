@@ -1,0 +1,189 @@
+// Replay walkthrough: catching a schedule-dependent race deterministically.
+//
+// The program below has a real data race — main and a worker both write the
+// unannotated (inferred-dynamic) global g — but a sleep separates the two
+// threads' wall-clock lifetimes, and SharC's shadow memory clears a thread's
+// reader/writer bits when it exits, so a free-running execution almost never
+// reports it. The walkthrough:
+//
+//  1. RECORD: run under the deterministic cooperative scheduler, sweeping
+//     seeds until one interleaves the lifetimes and the conflict is
+//     reported, and record that schedule as a decision trace
+//     (CLI: sharc run -seed N -record trace.json prog.shc).
+//  2. REPLAY: re-execute the trace — the identical reports come back, byte
+//     for byte, every time (CLI: sharc run -replay trace.json prog.shc).
+//     The race is now a regression test, not a heisenbug.
+//  3. FIX: declare the sharing strategy — move the cell into a struct whose
+//     fields are locked(m), lock around every access.
+//  4. REPLAY CLEAN: the fixed program reports nothing under the recorded
+//     schedule, nor under the whole seed sweep that exposed the bug.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+// racy: the handoff as first written — no annotations, no locks. The race
+// between "g[0] = 41" (worker) and "g[0] = g[0] + 1" (main) is hidden by
+// the sleep on a free-running scheduler.
+const racy = `
+int g[2];
+
+void *worker(void *d) {
+	g[0] = 41;
+	g[1] = g[1] + 1;
+	return NULL;
+}
+
+int main(void) {
+	int h = spawn(worker, NULL);
+	sleepMs(20);
+	g[0] = g[0] + 1;
+	join(h);
+	return 7;
+}
+`
+
+// fixed: the same program with the sharing strategy declared — the cell
+// lives behind a mutex, every access holds it, and the struct is handed to
+// the worker with a sharing cast.
+const fixed = `
+struct cell {
+	mutex *m;
+	int locked(m) v[2];
+};
+
+void *worker(void *d) {
+	struct cell *c = d;
+	mutexLock(c->m);
+	c->v[0] = 41;
+	c->v[1] = c->v[1] + 1;
+	mutexUnlock(c->m);
+	return NULL;
+}
+
+int main(void) {
+	struct cell *c = malloc(sizeof(struct cell));
+	c->m = mutexNew();
+	mutexLock(c->m);
+	c->v[0] = 0;
+	c->v[1] = 0;
+	mutexUnlock(c->m);
+	struct cell dynamic *cd = SCAST(struct cell dynamic *, c);
+	int h = spawn(worker, cd);
+	sleepMs(20);
+	mutexLock(cd->m);
+	cd->v[0] = cd->v[0] + 1;
+	mutexUnlock(cd->m);
+	join(h);
+	return 7;
+}
+`
+
+func build(src string) *sharc.Program {
+	a, err := sharc.Check(sharc.Source{Name: "handoff.shc", Text: src})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !a.OK() {
+		for _, e := range a.Errors() {
+			fmt.Fprintln(os.Stderr, "error:", e)
+		}
+		os.Exit(1)
+	}
+	p, err := a.Build(sharc.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return p
+}
+
+func reportText(res *sharc.Result) string {
+	out := ""
+	for _, r := range res.Reports {
+		out += r.Msg + "\n"
+	}
+	return out
+}
+
+func main() {
+	fmt.Println("=== 1. A free run misses the race ===")
+	p := build(racy)
+	free, err := p.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("free-running execution: %d conflict report(s) (the sleep keeps the\n"+
+		"threads' lifetimes apart, so the shadow sets never overlap)\n", len(free.Races()))
+
+	fmt.Println()
+	fmt.Println("=== 2. Record: sweep seeds under the deterministic scheduler ===")
+	const maxSeed = 100
+	for seed := int64(0); seed < maxSeed; seed++ {
+		res, tr, err := p.RunRecorded(seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(res.Races()) > 0 {
+			recorded := res
+			fmt.Printf("seed %d interleaves the lifetimes (%d decisions recorded):\n",
+				seed, tr.Decisions)
+			fmt.Print(reportText(res))
+
+			fmt.Println()
+			fmt.Println("=== 3. Replay: the trace reproduces the race every time ===")
+			rep1, div1, err := p.RunReplay(tr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep2, div2, err := p.RunReplay(tr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if div1 || div2 {
+				fmt.Fprintln(os.Stderr, "unexpected divergence replaying on the recording program")
+				os.Exit(1)
+			}
+			if reportText(rep1) != reportText(recorded) || reportText(rep2) != reportText(recorded) {
+				fmt.Fprintln(os.Stderr, "replay did not reproduce the recorded reports")
+				os.Exit(1)
+			}
+			fmt.Println("two replays, byte-identical reports — the heisenbug is now a test case")
+
+			fmt.Println()
+			fmt.Println("=== 4. Fix the annotation and re-check the schedule space ===")
+			pf := build(fixed)
+			// The recorded trace belongs to the unfixed program; the fix adds
+			// lock operations, so the decision sequences no longer align and
+			// replay falls back deterministically. The meaningful check is the
+			// sweep: no seed in the range that exposed the bug reports anything.
+			clean := true
+			for s := int64(0); s < maxSeed; s++ {
+				resF, err := pf.RunSeeded(s)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if len(resF.Reports) > 0 {
+					clean = false
+					fmt.Printf("seed %d still reports:\n%s", s, reportText(resF))
+				}
+			}
+			if clean {
+				fmt.Printf("locked(m) + mutex: all %d seeds run clean, exit value unchanged\n", maxSeed)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "no seed in 0..%d exposed the race\n", maxSeed)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExploreTable: every seeded-racy program is detected by the explorer
+// within 100 schedules, while the single free-running execution per
+// program misses at least one race overall (the explorer's advantage the
+// row exists to show).
+func TestExploreTable(t *testing.T) {
+	rows, err := ExploreTable(1, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(RacyBenchmarks) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(RacyBenchmarks))
+	}
+	freeMisses := 0
+	for _, r := range rows {
+		if r.Races == 0 {
+			t.Errorf("%s: explorer found no race in %d schedules", r.Name, r.Schedules)
+		}
+		if r.FirstSchedule < 0 || r.FirstSchedule >= 100 {
+			t.Errorf("%s: first detection at schedule %d, want within 100", r.Name, r.FirstSchedule)
+		}
+		if r.FreeRaces == 0 {
+			freeMisses++
+		}
+	}
+	if freeMisses == 0 {
+		t.Error("free-running executions caught every race; the corpus no longer shows the explorer's advantage")
+	}
+
+	out := FormatExplore(rows)
+	for _, want := range []string{"handoff", "pair", "reader", "Schedules"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+	data, err := ExploreJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"first_schedule"`, `"free_races"`, `"decisions"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/sched"
 	"repro/internal/token"
 )
 
@@ -65,6 +66,14 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 			t.fail(e.Pos, "join of unknown thread handle %d", h)
 		}
 		th := v.(*threadHandle)
+		if rt.ctl != nil {
+			if !rt.ctl.Join(t.skey, th.skey) {
+				t.fail(e.Pos, "deadlock: all threads blocked")
+			}
+		}
+		// Under the scheduler the target has already passed its Exit point;
+		// done closes momentarily after, so this wait is bounded and makes
+		// no scheduling decision.
 		<-th.done
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Join(t.tid, th.tid)
@@ -90,7 +99,16 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 	case "mutexLock":
 		addr := t.eval(e.Args[0])
 		mu := t.mutexAt(addr, e.Pos)
-		mu.Lock()
+		if rt.ctl != nil {
+			// Real mutexes would block the token holder in the Go runtime
+			// with no way to hand the token on; ownership is modeled in the
+			// controller instead, which also gives deadlock detection.
+			if !rt.ctl.Lock(t.skey, addr) {
+				t.fail(e.Pos, "deadlock: all threads blocked")
+			}
+		} else {
+			mu.Lock()
+		}
 		t.locks.Acquire(addr)
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Acquire(t.tid, addr)
@@ -108,7 +126,13 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Release(t.tid, addr)
 		}
-		mu.Unlock()
+		if rt.ctl != nil {
+			if !rt.ctl.Unlock(t.skey, addr) {
+				t.fail(e.Pos, "deadlock: all threads blocked")
+			}
+		} else {
+			mu.Unlock()
+		}
 		return 0
 
 	case "condWait":
@@ -118,11 +142,16 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 		mu := t.mutexAt(mAddr, e.Pos)
 		cs.mu.Lock()
 		if cs.cond == nil {
-			cs.cond = sync.NewCond(mu)
+			if rt.ctl == nil {
+				cs.cond = sync.NewCond(mu)
+			}
 			cs.lock = mAddr
 		} else if cs.lock != mAddr {
 			cs.mu.Unlock()
 			t.fail(e.Pos, "condition variable used with two different mutexes")
+		}
+		if rt.ctl != nil && cs.lock == 0 {
+			cs.lock = mAddr
 		}
 		cs.mu.Unlock()
 		if !t.locks.Held(mAddr) {
@@ -133,7 +162,13 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Release(t.tid, mAddr)
 		}
-		cs.cond.Wait()
+		if rt.ctl != nil {
+			if !rt.ctl.Wait(t.skey, cvAddr, mAddr) {
+				t.fail(e.Pos, "deadlock: all threads blocked")
+			}
+		} else {
+			cs.cond.Wait()
+		}
 		t.locks.Acquire(mAddr)
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Acquire(t.tid, mAddr)
@@ -150,7 +185,13 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.CondSignal(t.tid, cvAddr)
 		}
-		if cond != nil {
+		if rt.ctl != nil {
+			// The controller picks which waiter wakes: wake order is a
+			// recorded, explorable scheduling decision.
+			if !rt.ctl.Signal(t.skey, cvAddr, e.Name == "condBroadcast") {
+				t.fail(e.Pos, "deadlock: all threads blocked")
+			}
+		} else if cond != nil {
 			if e.Name == "condSignal" {
 				cond.Signal()
 			} else {
@@ -188,12 +229,23 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 
 	case "sleepMs":
 		ms := t.eval(e.Args[0])
+		if rt.ctl != nil {
+			// Virtual time: a sleep is just a scheduling point, so races a
+			// real sleep would hide behind wall-clock separation become
+			// explorable interleavings.
+			t.schedPoint(sched.PointYield)
+			return 0
+		}
 		if ms > 0 {
 			time.Sleep(time.Duration(ms) * time.Millisecond)
 		}
 		return 0
 
 	case "yield":
+		if rt.ctl != nil {
+			t.schedPoint(sched.PointYield)
+			return 0
+		}
 		runtime.Gosched()
 		return 0
 
@@ -327,12 +379,33 @@ func (t *thread) spawn(e *ir.BuiltinCall) int64 {
 	if fn.NumParams != 1 {
 		t.fail(e.Pos, "spawn target %s must take one argument", fn.Name)
 	}
-	tid := <-rt.tidPool
+	var tid int
+	if rt.ctl != nil {
+		// The token holder must not block in a channel receive: when the id
+		// pool is dry, hand the token away until some thread exits (exiting
+		// threads return their id before their Exit point).
+		for {
+			select {
+			case tid = <-rt.tidPool:
+			default:
+				if !rt.ctl.AwaitExit(t.skey) {
+					t.fail(e.Pos, "deadlock: all threads blocked")
+				}
+				continue
+			}
+			break
+		}
+	} else {
+		tid = <-rt.tidPool
+	}
 	// New concurrency: drop every thread's cached check validations so the
 	// fresh thread's accesses are re-validated against current bits.
 	rt.shadow.Invalidate()
 	handle := rt.nextHandle.Add(1)
 	th := &threadHandle{tid: tid, done: make(chan struct{})}
+	if rt.ctl != nil {
+		th.skey = rt.ctl.Register()
+	}
 	rt.handles.Store(handle, th)
 	if obs := rt.cfg.Observer; obs != nil {
 		obs.Spawn(t.tid, tid)
@@ -343,8 +416,13 @@ func (t *thread) spawn(e *ir.BuiltinCall) int64 {
 		defer rt.wg.Done()
 		defer close(th.done)
 		nt := rt.newThread(tid)
+		nt.skey = th.skey
+		if rt.ctl != nil {
+			rt.ctl.Begin(th.skey)
+		}
 		defer rt.threadEpilogue(nt)
 		nt.runFunc(fn, []int64{arg})
 	}()
+	t.schedPoint(sched.PointSpawn)
 	return handle
 }

@@ -1,0 +1,140 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sched"
+	"repro/internal/token"
+)
+
+// ExploreOptions configures systematic schedule exploration.
+type ExploreOptions struct {
+	// Schedules is the number of schedules to run (default 100).
+	Schedules int
+	// Strategy selects the schedule generator: "random", "pct", "rr", or
+	// "mix" (default), which interleaves a bounded round-robin sweep with
+	// PCT random-priority schedules and uniform random schedules.
+	Strategy string
+	// Seed perturbs the whole exploration; schedule i derives its own seed
+	// from (Seed, i).
+	Seed int64
+}
+
+// ScheduleOutcome summarizes one explored schedule.
+type ScheduleOutcome struct {
+	Index    int    `json:"index"`
+	Strategy string `json:"strategy"`
+	Seed     int64  `json:"seed"`
+	Deadlock bool   `json:"deadlock,omitempty"`
+	Reports  int    `json:"reports"`
+	New      int    `json:"new"`
+}
+
+// Finding is one distinct violation discovered during exploration,
+// deduplicated by (site, kind) across schedules.
+type Finding struct {
+	Kind     ReportKind `json:"-"`
+	KindName string     `json:"kind"`
+	Pos      token.Pos  `json:"-"`
+	Site     string     `json:"site"`
+	Msg      string     `json:"msg"`
+	Schedule int        `json:"schedule"` // first schedule that exposed it
+	Strategy string     `json:"strategy"`
+	Seed     int64      `json:"seed"`
+}
+
+// ExploreSummary is the coverage report of an exploration run.
+type ExploreSummary struct {
+	Schedules int               `json:"schedules"`
+	Decisions int64             `json:"decisions"`
+	Findings  []Finding         `json:"findings"`
+	Outcomes  []ScheduleOutcome `json:"outcomes"`
+}
+
+// findingKey dedupes reports by (site, kind): the same violation rediscovered
+// under another interleaving is not a new finding.
+func findingKey(r Report) string {
+	return fmt.Sprintf("%d|%s:%d:%d", r.Kind, r.Pos.File, r.Pos.Line, r.Pos.Col)
+}
+
+// exploreStrategy builds schedule i's strategy. The round-robin sweep uses
+// quanta 1..4; PCT uses 3 change points over the decision horizon observed
+// on earlier schedules.
+func exploreStrategy(kind string, seed int64, i int, horizon int64) sched.Strategy {
+	if horizon < 16 {
+		horizon = 4096
+	}
+	derived := seed*1_000_003 + int64(i)
+	switch kind {
+	case "random":
+		return sched.NewRandom(derived)
+	case "pct":
+		return sched.NewPCT(derived, 3, horizon)
+	case "rr":
+		return sched.NewRoundRobin(int64(1 + i%4))
+	default: // mix
+		switch i % 4 {
+		case 0:
+			return sched.NewRoundRobin(int64(1 + (i/4)%4))
+		case 1, 2:
+			return sched.NewPCT(derived, 3, horizon)
+		default:
+			return sched.NewRandom(derived)
+		}
+	}
+}
+
+// Explore runs the program under opt.Schedules controlled schedules and
+// aggregates the distinct findings. cfg is used as a template; its Sched
+// field is overwritten per schedule.
+func Explore(prog *ir.Program, cfg Config, opt ExploreOptions) *ExploreSummary {
+	if opt.Schedules <= 0 {
+		opt.Schedules = 100
+	}
+	if opt.Strategy == "" {
+		opt.Strategy = "mix"
+	}
+	sum := &ExploreSummary{Schedules: opt.Schedules}
+	seen := make(map[string]bool)
+	var horizon int64
+	for i := 0; i < opt.Schedules; i++ {
+		strat := exploreStrategy(opt.Strategy, opt.Seed, i, horizon)
+		ctl := sched.New(strat, sched.Options{})
+		c := cfg
+		c.Sched = ctl
+		rt := New(prog, c)
+		rt.Run() // thread failures surface as reports
+		if d := ctl.Decisions(); d > horizon {
+			horizon = d
+		}
+		sum.Decisions += ctl.Decisions()
+		out := ScheduleOutcome{
+			Index:    i,
+			Strategy: strat.Name(),
+			Seed:     strat.Seed(),
+			Deadlock: ctl.Deadlocked(),
+		}
+		for _, r := range rt.Reports() {
+			out.Reports++
+			key := findingKey(r)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out.New++
+			sum.Findings = append(sum.Findings, Finding{
+				Kind:     r.Kind,
+				KindName: r.Kind.String(),
+				Pos:      r.Pos,
+				Site:     fmt.Sprintf("%s:%d:%d", r.Pos.File, r.Pos.Line, r.Pos.Col),
+				Msg:      r.Msg,
+				Schedule: i,
+				Strategy: strat.Name(),
+				Seed:     strat.Seed(),
+			})
+		}
+		sum.Outcomes = append(sum.Outcomes, out)
+	}
+	return sum
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/locklog"
 	"repro/internal/refcount"
+	"repro/internal/sched"
 	"repro/internal/shadow"
 	"repro/internal/token"
 )
@@ -72,6 +73,12 @@ type Config struct {
 	// memo in the shadow (the runtime half of check elision). Off by
 	// default.
 	CheckCache bool
+	// Sched, when non-nil, replaces free-running Go scheduling with the
+	// cooperative deterministic scheduler: threads hand off an execution
+	// token at every sync/check point and the controller's strategy picks
+	// who runs next. Report content for any fixed schedule is unchanged;
+	// only the interleaving is controlled.
+	Sched *sched.Controller
 }
 
 // DefaultConfig returns a configuration adequate for the test programs and
@@ -115,6 +122,9 @@ type Report struct {
 	Kind ReportKind
 	Msg  string
 	Pos  token.Pos
+	// conflict retains the shadow conflict behind a ReportRace so emission
+	// can order reports with shadow.CompareConflicts.
+	conflict *shadow.Conflict
 }
 
 func (r Report) String() string { return r.Msg }
@@ -185,6 +195,8 @@ type Runtime struct {
 	statMu      sync.Mutex
 	stats       Stats
 	liveThreads atomic.Int32
+
+	ctl *sched.Controller // nil: free-running Go scheduler
 }
 
 type condState struct {
@@ -195,6 +207,7 @@ type condState struct {
 
 type threadHandle struct {
 	tid  int
+	skey int // scheduler task key (0 when free-running)
 	done chan struct{}
 }
 
@@ -231,6 +244,7 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 		tidPool:   make(chan int, shadow.MaxThreads),
 		reportSet: make(map[string]bool),
 		out:       cfg.Stdout,
+		ctl:       cfg.Sched,
 	}
 	if rt.out == nil {
 		rt.out = io.Discard
@@ -404,6 +418,12 @@ func (rt *Runtime) sweepLimboLocked() {
 
 // report records a violation, deduplicating by message.
 func (rt *Runtime) report(kind ReportKind, pos token.Pos, msg string) {
+	rt.reportConflict(kind, pos, msg, nil)
+}
+
+// reportConflict is report plus the originating shadow conflict, kept so
+// emission can order race reports deterministically.
+func (rt *Runtime) reportConflict(kind ReportKind, pos token.Pos, msg string, c *shadow.Conflict) {
 	rt.reportMu.Lock()
 	defer rt.reportMu.Unlock()
 	if len(rt.reports) >= rt.cfg.MaxReports {
@@ -414,15 +434,37 @@ func (rt *Runtime) report(kind ReportKind, pos token.Pos, msg string) {
 		return
 	}
 	rt.reportSet[key] = true
-	rt.reports = append(rt.reports, Report{Kind: kind, Msg: msg, Pos: pos})
+	rt.reports = append(rt.reports, Report{Kind: kind, Msg: msg, Pos: pos, conflict: c})
 }
 
-// Reports returns the violations collected during the run.
+// Reports returns the violations collected during the run, in a
+// deterministic emission order: by source site, then (for conflicts)
+// shadow.CompareConflicts — accessing thread, prior thread, address — then
+// by message. Threads hit violations in whatever order they are scheduled;
+// sorting here makes output comparable across runs and scheduling modes.
 func (rt *Runtime) Reports() []Report {
 	rt.reportMu.Lock()
-	defer rt.reportMu.Unlock()
 	out := make([]Report, len(rt.reports))
 	copy(out, rt.reports)
+	rt.reportMu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.conflict != nil && b.conflict != nil {
+			if c := shadow.CompareConflicts(a.conflict, b.conflict); c != 0 {
+				return c < 0
+			}
+		}
+		return a.Msg < b.Msg
+	})
 	return out
 }
 
@@ -473,6 +515,10 @@ func (rt *Runtime) Run() (int64, error) {
 	mainIdx := rt.prog.Main
 	tid := <-rt.tidPool
 	t := rt.newThread(tid)
+	if rt.ctl != nil {
+		t.skey = rt.ctl.Register()
+		rt.ctl.Begin(t.skey)
+	}
 	rt.trackLive(1)
 	ret := int64(0)
 	func() {
@@ -510,6 +556,7 @@ func (rt *Runtime) threadEpilogue(t *thread) {
 	if t.locks.Count() > 0 {
 		rt.report(ReportLock, token.Pos{}, fmt.Sprintf("thread %d exited holding %d lock(s)", t.tid, t.locks.Count()))
 	}
+	t.locks.Clear()
 	if rt.cfg.Observer != nil {
 		rt.cfg.Observer.ThreadEnd(t.tid)
 	}
@@ -517,6 +564,11 @@ func (rt *Runtime) threadEpilogue(t *thread) {
 	rt.shadow.ClearThread(t.tid)
 	rt.trackLive(-1)
 	rt.tidPool <- t.tid
+	if rt.ctl != nil {
+		// After the tid goes back to the pool, so a spawner woken by this
+		// exit (AwaitExit) finds a free thread id.
+		rt.ctl.Exit(t.skey)
+	}
 }
 
 // threadFailure aborts a thread (the formal semantics' "fail" state).

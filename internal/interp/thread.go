@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/locklog"
+	"repro/internal/sched"
 	"repro/internal/shadow"
 	"repro/internal/token"
 )
@@ -15,6 +16,7 @@ import (
 type thread struct {
 	rt    *Runtime
 	tid   int
+	skey  int   // scheduler task key (0 when free-running)
 	base  int64 // bottom of this thread's stack region
 	sp    int64 // next free stack cell
 	locks *locklog.Log
@@ -23,6 +25,12 @@ type thread struct {
 	frame int64 // current frame base
 
 	retVal int64
+
+	// noYield suppresses scheduling points during the nested evaluation of
+	// a locked check's lock expression: elision removes that evaluation, so
+	// yielding inside it would misalign decision sequences across elision
+	// configs and break cross-config replay.
+	noYield int
 
 	nAccess  int64
 	nDynamic int64
@@ -44,6 +52,18 @@ func (rt *Runtime) newThread(tid int) *thread {
 
 func (t *thread) fail(pos token.Pos, format string, args ...any) {
 	panic(threadFailure{msg: fmt.Sprintf(format, args...), pos: pos})
+}
+
+// schedPoint offers the execution token to the cooperative scheduler (when
+// one is installed). A false return means the controller declared deadlock
+// and this thread must unwind.
+func (t *thread) schedPoint(p sched.Point) {
+	if t.rt.ctl == nil || t.noYield > 0 {
+		return
+	}
+	if !t.rt.ctl.YieldPoint(t.skey, p) {
+		t.fail(token.Pos{}, "deadlock: all threads blocked")
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -76,11 +96,13 @@ func (t *thread) applyCheck(addr int64, chk ir.Check, write bool) {
 			c = t.rt.shadow.ChkRead(t.tid, addr, sid)
 		}
 		if c != nil {
-			t.rt.report(ReportRace, t.rt.prog.Sites[chk.Site].Pos, c.Error())
+			t.rt.reportConflict(ReportRace, t.rt.prog.Sites[chk.Site].Pos, c.Error(), c)
 		}
 	case ir.CheckLocked:
 		t.nLockChk++
+		t.noYield++
 		lockAddr := t.eval(chk.Lock)
+		t.noYield--
 		if !t.locks.Held(lockAddr) {
 			site := t.rt.prog.Sites[chk.Site]
 			t.rt.report(ReportLock, site.Pos,
@@ -99,9 +121,16 @@ func (t *thread) observe(addr int64, write bool, site int) {
 // countAccess tallies memory accesses for the %dynamic metric. Stack-frame
 // slots are excluded: locals model registers, and the paper's "proportion
 // of memory accesses to dynamic objects" is over globals and heap.
+//
+// Shared (non-stack) accesses are also the anchor for cooperative
+// scheduling points: check elision blanks a Load/Store's check but never
+// removes the access itself, so the decision sequence stays aligned across
+// elision configs — which is what lets a trace recorded unelided replay
+// exactly under -elide (the soundness oracle).
 func (t *thread) countAccess(addr int64) {
 	if addr < t.rt.stackBase || addr >= t.rt.heapBase {
 		t.nAccess++
+		t.schedPoint(sched.PointCheck)
 	}
 }
 
@@ -477,6 +506,7 @@ func (t *thread) call(e *ir.Call) int64 {
 func (t *thread) scast(e *ir.Scast) int64 {
 	addr := t.eval(e.Addr)
 	t.checkAddr(addr, e.Pos)
+	t.schedPoint(sched.PointScast)
 	v := t.load(addr, e.ChkR, e.Pos)
 	if v == 0 {
 		t.store(addr, 0, e.ChkW, e.Barrier, e.Pos)

@@ -46,6 +46,11 @@ func (l *Log) Held(addr int64) bool {
 // Count returns the number of locks currently held (with multiplicity).
 func (l *Log) Count() int { return len(l.held) }
 
+// Clear empties the log. The runtime calls it in the thread epilogue so a
+// thread id recycled to a new thread never inherits held-lock state from
+// the exited thread that carried the id before.
+func (l *Log) Clear() { l.held = l.held[:0] }
+
 // Snapshot returns a copy of the held multiset, for the Eraser-style
 // baseline detector's lockset intersection.
 func (l *Log) Snapshot() []int64 {

@@ -66,6 +66,56 @@ func TestSnapshot(t *testing.T) {
 	}
 }
 
+// TestClearOnThreadExit models the runtime epilogue: a thread exits while
+// still holding locks and the log is cleared for the next thread to carry
+// the id.
+func TestClearOnThreadExit(t *testing.T) {
+	l := New()
+	l.Acquire(100)
+	l.Acquire(200)
+	l.Acquire(200) // recursive
+	if l.Count() != 3 {
+		t.Fatalf("count = %d, want 3", l.Count())
+	}
+	l.Clear()
+	if l.Count() != 0 {
+		t.Fatalf("count after Clear = %d, want 0", l.Count())
+	}
+	if l.Held(100) || l.Held(200) {
+		t.Fatal("cleared log still holds locks")
+	}
+	if l.Release(100) {
+		t.Fatal("release succeeded on a cleared log")
+	}
+}
+
+// TestReusedThreadID: after a clear, the reused id's acquisitions behave
+// exactly as on a fresh log — prior history neither satisfies Held nor
+// inflates Count, and Snapshot sees only the new thread's locks.
+func TestReusedThreadID(t *testing.T) {
+	l := New()
+	// First thread to carry the id.
+	l.Acquire(1)
+	l.Acquire(2)
+	l.Clear() // thread exit
+
+	// Second thread, same id.
+	l.Acquire(3)
+	if l.Held(1) || l.Held(2) {
+		t.Fatal("reused id inherited held locks")
+	}
+	if !l.Held(3) {
+		t.Fatal("reused id's own lock not held")
+	}
+	snap := l.Snapshot()
+	if len(snap) != 1 || snap[0] != 3 {
+		t.Fatalf("snapshot = %v, want [3]", snap)
+	}
+	if !l.Release(3) || l.Count() != 0 {
+		t.Fatal("reused id's lifecycle broken")
+	}
+}
+
 // Property: acquire/release sequences behave like a multiset.
 func TestPropertyMultiset(t *testing.T) {
 	f := func(ops []int8) bool {

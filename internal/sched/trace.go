@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// TraceVersion is the on-disk trace format version.
+const TraceVersion = 1
+
+// Step is one run of consecutive decisions for the same task key.
+type Step struct {
+	Key int   `json:"k"`
+	N   int64 `json:"n"`
+}
+
+// Trace is a recorded schedule: the chosen-task sequence of every
+// scheduling decision, run-length encoded. Replaying a trace against the
+// same program reproduces the recorded execution exactly; replaying it
+// against a differently instrumented build of the same program (e.g. with
+// check elision enabled) holds the interleaving fixed so report content
+// can be compared, which is the elision soundness oracle.
+type Trace struct {
+	Version   int    `json:"version"`
+	Strategy  string `json:"strategy"`
+	Seed      int64  `json:"seed"`
+	Decisions int64  `json:"decisions"`
+	Steps     []Step `json:"steps"`
+}
+
+// Marshal renders the trace as compact JSON.
+func (t *Trace) Marshal() ([]byte, error) { return json.Marshal(t) }
+
+// UnmarshalTrace parses a trace, validating the version.
+func UnmarshalTrace(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if t.Version != TraceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", t.Version, TraceVersion)
+	}
+	return &t, nil
+}
+
+// WriteTraceFile saves the trace to path.
+func WriteTraceFile(path string, t *Trace) error {
+	data, err := t.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadTraceFile loads a trace from path.
+func ReadTraceFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalTrace(data)
+}

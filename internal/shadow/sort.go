@@ -1,0 +1,47 @@
+package shadow
+
+import "sort"
+
+// CompareConflicts orders two conflicts for emission: by the accessing
+// site (file, line, column, l-value), then by the accessing thread id,
+// then by the prior access's thread id, then by address. It returns a
+// negative, zero, or positive value in the manner of strings.Compare.
+func CompareConflicts(a, b *Conflict) int {
+	ap, bp := a.Who.Site.Pos, b.Who.Site.Pos
+	switch {
+	case ap.File != bp.File:
+		if ap.File < bp.File {
+			return -1
+		}
+		return 1
+	case ap.Line != bp.Line:
+		return ap.Line - bp.Line
+	case ap.Col != bp.Col:
+		return ap.Col - bp.Col
+	case a.Who.Site.LValue != b.Who.Site.LValue:
+		if a.Who.Site.LValue < b.Who.Site.LValue {
+			return -1
+		}
+		return 1
+	case a.Who.Tid != b.Who.Tid:
+		return a.Who.Tid - b.Who.Tid
+	case a.Last.Tid != b.Last.Tid:
+		return a.Last.Tid - b.Last.Tid
+	case a.Addr != b.Addr:
+		if a.Addr < b.Addr {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// SortConflicts orders conflicts deterministically for emission (see
+// CompareConflicts). Free runs collect conflicts in whatever order threads
+// hit them; sorting before emission makes report output comparable across
+// runs and across scheduling modes.
+func SortConflicts(cs []*Conflict) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		return CompareConflicts(cs[i], cs[j]) < 0
+	})
+}

@@ -1,0 +1,62 @@
+package shadow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+)
+
+func mkConflict(file string, line, col int, lv string, whoTid, lastTid int, addr int64) *Conflict {
+	return &Conflict{
+		Addr: addr,
+		Who: Access{Tid: whoTid, Kind: Write, Site: Site{
+			LValue: lv, Pos: token.Pos{File: file, Line: line, Col: col},
+		}},
+		Last: Access{Tid: lastTid, Kind: Read, Site: Site{
+			LValue: lv, Pos: token.Pos{File: file, Line: line, Col: col},
+		}},
+	}
+}
+
+// TestSortConflictsGolden pins the emission order: site (file, line, col,
+// l-value), then accessing thread, then prior thread, then address.
+func TestSortConflictsGolden(t *testing.T) {
+	cs := []*Conflict{
+		mkConflict("b.shc", 4, 1, "q->x", 1, 2, 64),
+		mkConflict("a.shc", 9, 1, "g", 3, 1, 16),
+		mkConflict("a.shc", 9, 1, "g", 2, 1, 16),
+		mkConflict("a.shc", 2, 5, "p->y", 2, 1, 32),
+		mkConflict("a.shc", 2, 5, "p->y", 2, 1, 8),
+		mkConflict("a.shc", 2, 3, "p->x", 5, 4, 40),
+	}
+	SortConflicts(cs)
+
+	var got []string
+	for _, c := range cs {
+		got = append(got, c.Error())
+	}
+	want := []string{
+		mkConflict("a.shc", 2, 3, "p->x", 5, 4, 40).Error(),
+		mkConflict("a.shc", 2, 5, "p->y", 2, 1, 8).Error(),
+		mkConflict("a.shc", 2, 5, "p->y", 2, 1, 32).Error(),
+		mkConflict("a.shc", 9, 1, "g", 2, 1, 16).Error(),
+		mkConflict("a.shc", 9, 1, "g", 3, 1, 16).Error(),
+		mkConflict("b.shc", 4, 1, "q->x", 1, 2, 64).Error(),
+	}
+	if strings.Join(got, "\n---\n") != strings.Join(want, "\n---\n") {
+		t.Fatalf("order:\n%s\nwant:\n%s", strings.Join(got, "\n---\n"), strings.Join(want, "\n---\n"))
+	}
+}
+
+// TestSortConflictsStable: conflicts that compare equal on every key keep
+// their arrival order.
+func TestSortConflictsStable(t *testing.T) {
+	a := mkConflict("a.shc", 1, 1, "g", 1, 2, 8)
+	b := mkConflict("a.shc", 1, 1, "g", 1, 2, 8)
+	cs := []*Conflict{a, b}
+	SortConflicts(cs)
+	if cs[0] != a || cs[1] != b {
+		t.Fatal("equal conflicts were reordered")
+	}
+}

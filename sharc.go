@@ -25,6 +25,7 @@
 package sharc
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/parser"
+	"repro/internal/sched"
 	"repro/internal/types"
 )
 
@@ -253,6 +255,10 @@ type Result struct {
 	Exit    int64
 	Reports []interp.Report
 	Stats   interp.Stats
+	// Deadlock is set when the cooperative scheduler found all threads
+	// blocked (only possible under seeded/replayed runs; a free run hangs
+	// instead).
+	Deadlock bool
 }
 
 // Races returns the conflict reports (the paper's read/write conflict
@@ -282,8 +288,8 @@ func filterReports(rs []interp.Report, k interp.ReportKind) []interp.Report {
 	return out
 }
 
-// Run executes the compiled program.
-func (p *Program) Run() (*Result, error) {
+// baseConfig translates the build options into a runtime configuration.
+func (p *Program) baseConfig() interp.Config {
 	cfg := interp.DefaultConfig()
 	cfg.Stdout = p.opts.Stdout
 	cfg.Observer = p.opts.Observer
@@ -293,10 +299,70 @@ func (p *Program) Run() (*Result, error) {
 	} else if p.opts.NaiveRC {
 		cfg.RC = interp.RCNaive
 	}
+	return cfg
+}
+
+func (p *Program) runWith(ctl *sched.Controller) (*Result, error) {
+	cfg := p.baseConfig()
+	cfg.Sched = ctl
 	rt := interp.New(p.ir, cfg)
 	exit, err := rt.Run()
 	res := &Result{Exit: exit, Reports: rt.Reports(), Stats: rt.Stats()}
+	if ctl != nil {
+		res.Deadlock = ctl.Deadlocked()
+	}
 	return res, err
+}
+
+// Run executes the compiled program on the free-running Go scheduler.
+func (p *Program) Run() (*Result, error) { return p.runWith(nil) }
+
+// RunSeeded executes the program under the cooperative scheduler with a
+// seeded uniform-random strategy: the same (program, seed) pair reproduces
+// the identical execution, reports, and exit value.
+func (p *Program) RunSeeded(seed int64) (*Result, error) {
+	return p.runWith(sched.New(sched.NewRandom(seed), sched.Options{}))
+}
+
+// RunRecorded is RunSeeded plus schedule recording: the returned trace
+// replays the execution exactly with RunReplay, including against a build
+// of the same program with different elision options (the elision
+// soundness oracle).
+func (p *Program) RunRecorded(seed int64) (*Result, *sched.Trace, error) {
+	ctl := sched.New(sched.NewRandom(seed), sched.Options{Record: true})
+	res, err := p.runWith(ctl)
+	return res, ctl.Trace(), err
+}
+
+// RunReplay re-executes a recorded schedule. diverged reports whether the
+// trace failed to match the execution (replaying against a different
+// program, or one whose instrumentation changed its scheduling points).
+func (p *Program) RunReplay(tr *sched.Trace) (res *Result, diverged bool, err error) {
+	ctl := sched.New(sched.NewReplay(tr), sched.Options{})
+	res, err = p.runWith(ctl)
+	return res, ctl.Diverged(), err
+}
+
+// ExploreOptions configures Explore; see interp.ExploreOptions.
+type ExploreOptions = interp.ExploreOptions
+
+// ExploreSummary is the coverage report of Explore.
+type ExploreSummary = interp.ExploreSummary
+
+// Explore runs the program under many controlled schedules and aggregates
+// the distinct (site, kind) findings with the schedule that first exposed
+// each one.
+func (p *Program) Explore(opt ExploreOptions) *ExploreSummary {
+	return interp.Explore(p.ir, p.baseConfig(), opt)
+}
+
+// ExploreSummaryJSON renders an exploration summary as indented JSON.
+func ExploreSummaryJSON(sum *ExploreSummary) ([]byte, error) {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
 }
 
 // Run is the one-call pipeline: check, build, execute. Static errors abort
