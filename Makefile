@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench elision explore explore-smoke
+.PHONY: all build vet test race verify bench elision explore explore-smoke profile-smoke obs
 
 all: verify
 
@@ -14,12 +14,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched
+	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry
 
 # verify is the gate for every change: build, vet, the full test suite, the
 # race detector over the concurrency-bearing packages, and the exploration
-# smoke.
-verify: build vet test race explore-smoke
+# and profile smokes.
+verify: build vet test race explore-smoke profile-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -32,6 +32,10 @@ elision:
 explore:
 	$(GO) run ./cmd/sharc-bench -explore
 
+# obs regenerates BENCH_obs.json (telemetry overhead tiers).
+obs:
+	$(GO) run ./cmd/sharc-bench -obs -reps 5
+
 # explore-smoke runs the schedule explorer over two clean corpus programs
 # at three base seeds each; any finding makes sharc exit non-zero and
 # fails the target. Kept small so the whole sweep stays well under 30s.
@@ -42,3 +46,12 @@ explore-smoke:
 			$(GO) run ./cmd/sharc explore -schedules 10 -seed $$seed $$prog || exit 1; \
 		done; \
 	done
+
+# profile-smoke pins the deterministic-profile claim from the shell: the
+# same seeded profile twice, byte-identical, with the trace export intact.
+profile-smoke:
+	@$(GO) run ./cmd/sharc profile -seed 7 examples/profile/hotsites.shc > /tmp/shc-prof-a.txt || exit 1
+	@$(GO) run ./cmd/sharc profile -seed 7 examples/profile/hotsites.shc > /tmp/shc-prof-b.txt || exit 1
+	@cmp /tmp/shc-prof-a.txt /tmp/shc-prof-b.txt || { echo "profile not deterministic"; exit 1; }
+	@$(GO) run ./cmd/sharc profile -seed 7 -trace-out /tmp/shc-prof.jsonl examples/profile/hotsites.shc > /dev/null || exit 1
+	@echo "profile-smoke ok"

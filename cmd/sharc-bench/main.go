@@ -17,6 +17,9 @@
 //	                                    the seeded-racy programs, compared
 //	                                    against free-running detection, also
 //	                                    written to BENCH_explore.json
+//	sharc-bench -obs                    telemetry overhead tiers (off /
+//	                                    metrics / metrics+trace), also
+//	                                    written to BENCH_obs.json
 package main
 
 import (
@@ -37,6 +40,8 @@ func main() {
 	elisionOut := flag.String("elision-out", "BENCH_elision.json", "output path for the elision JSON")
 	explore := flag.Bool("explore", false, "compare schedule exploration against free-running detection and write BENCH_explore.json")
 	exploreOut := flag.String("explore-out", "BENCH_explore.json", "output path for the exploration JSON")
+	obs := flag.Bool("obs", false, "measure telemetry overhead tiers and write BENCH_obs.json")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the telemetry-overhead JSON")
 	schedules := flag.Int("schedules", 100, "schedules per program in -explore mode")
 	flag.Parse()
 
@@ -102,6 +107,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *elisionOut)
+		return
+	}
+
+	if *obs {
+		var rows []bench.ObsRow
+		for i := range bench.Benchmarks {
+			b := &bench.Benchmarks[i]
+			if *runOne != "" && b.Name != *runOne {
+				continue
+			}
+			r, err := bench.RunObs(b, scale, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println("Telemetry overhead (vs checked baseline; off tier should sit in the noise):")
+		fmt.Print(bench.FormatObs(rows))
+		data, err := bench.ObsJSON(rows)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*obsOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *obsOut)
 		return
 	}
 

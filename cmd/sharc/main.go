@@ -24,6 +24,16 @@
 //	                           round-robin sweep) and summarize the distinct
 //	                           violations found and which schedule first
 //	                           exposed each
+//	sharc profile file.shc...  execute under a fixed seed with per-site
+//	                           telemetry and print the hot-site report: the
+//	                           checks each site executed, how many were
+//	                           avoided (elision + cache), the threads that
+//	                           touched it, and the sharing mode the §4.1
+//	                           heuristics would suggest
+//
+// run and explore also accept -metrics (print a telemetry summary) and
+// -trace-out/-trace-chrome (export the structured event stream as JSONL
+// or a Chrome trace_event file).
 //
 // Exit codes for invalid invocations are distinct: 2 for usage errors
 // (unknown subcommand, unparsable flags, no input files), 3 for valid
@@ -32,6 +42,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +50,7 @@ import (
 
 	"repro"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 const (
@@ -48,18 +60,22 @@ const (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: sharc {check|infer|run|explore} [flags] file.shc...\n")
+	fmt.Fprintf(os.Stderr, "usage: sharc {check|infer|run|explore|profile} [flags] file.shc...\n")
 	os.Exit(exitUsage)
 }
 
 type runFlags struct {
-	unchecked bool
-	stats     bool
-	seed      int64
-	record    string
-	replay    string
-	elide     bool
-	cache     bool
+	unchecked   bool
+	stats       bool
+	seed        int64
+	record      string
+	replay      string
+	elide       bool
+	cache       bool
+	metrics     bool
+	traceOut    string
+	traceChrome string
+	traceCap    int
 }
 
 type exploreFlags struct {
@@ -69,6 +85,20 @@ type exploreFlags struct {
 	elide     bool
 	cache     bool
 	jsonOut   string
+	metrics   bool
+	traceOut  string
+	traceCap  int
+}
+
+type profileFlags struct {
+	seed        int64
+	top         int
+	elide       bool
+	cache       bool
+	jsonOut     string
+	traceOut    string
+	traceChrome string
+	traceCap    int
 }
 
 // validateRun checks flag combinations before any file is read. It returns
@@ -86,6 +116,26 @@ func validateRun(f *runFlags) (int, string) {
 	if f.seed < -1 {
 		return exitBadValue, fmt.Sprintf("-seed must be >= 0 (or omitted for free running), got %d", f.seed)
 	}
+	if f.unchecked && (f.metrics || f.traceOut != "" || f.traceChrome != "") {
+		return exitConflict, "-unchecked removes the instrumentation telemetry observes; it cannot combine with -metrics or trace export"
+	}
+	if f.traceCap <= 0 {
+		return exitBadValue, fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
+	}
+	return 0, ""
+}
+
+// validateProfile mirrors validateRun for the profile subcommand.
+func validateProfile(f *profileFlags) (int, string) {
+	if f.seed < 0 {
+		return exitBadValue, fmt.Sprintf("-seed must be >= 0, got %d", f.seed)
+	}
+	if f.top <= 0 {
+		return exitBadValue, fmt.Sprintf("-top must be positive, got %d", f.top)
+	}
+	if f.traceCap <= 0 {
+		return exitBadValue, fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
+	}
 	return 0, ""
 }
 
@@ -102,6 +152,9 @@ func validateExplore(f *exploreFlags) (int, string) {
 	if f.seed < 0 {
 		return exitBadValue, fmt.Sprintf("-seed must be >= 0, got %d", f.seed)
 	}
+	if f.traceCap <= 0 {
+		return exitBadValue, fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
+	}
 	return 0, ""
 }
 
@@ -111,7 +164,7 @@ func main() {
 	}
 	cmd := os.Args[1]
 	switch cmd {
-	case "check", "infer", "run", "explore":
+	case "check", "infer", "run", "explore", "profile":
 	default:
 		fmt.Fprintf(os.Stderr, "sharc: unknown subcommand %q\n", cmd)
 		usage()
@@ -121,6 +174,7 @@ func main() {
 	fs.SetOutput(os.Stderr)
 	var rf runFlags
 	var ef exploreFlags
+	var pf profileFlags
 	switch cmd {
 	case "run":
 		fs.BoolVar(&rf.unchecked, "unchecked", false, "run without instrumentation (Orig)")
@@ -130,6 +184,10 @@ func main() {
 		fs.StringVar(&rf.replay, "replay", "", "replay a recorded schedule from this trace file")
 		fs.BoolVar(&rf.elide, "elide", false, "enable static redundant-check elision")
 		fs.BoolVar(&rf.cache, "cache", false, "enable the runtime check cache")
+		fs.BoolVar(&rf.metrics, "metrics", false, "collect per-site telemetry and print a summary")
+		fs.StringVar(&rf.traceOut, "trace-out", "", "export the structured event trace as JSONL to this path")
+		fs.StringVar(&rf.traceChrome, "trace-chrome", "", "export the event trace in Chrome trace_event format to this path")
+		fs.IntVar(&rf.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
 	case "explore":
 		fs.IntVar(&ef.schedules, "schedules", 100, "number of schedules to run")
 		fs.StringVar(&ef.strategy, "strategy", "mix", "schedule generator: mix, random, pct, rr")
@@ -137,6 +195,18 @@ func main() {
 		fs.BoolVar(&ef.elide, "elide", false, "enable static redundant-check elision")
 		fs.BoolVar(&ef.cache, "cache", false, "enable the runtime check cache")
 		fs.StringVar(&ef.jsonOut, "json", "", "also write the summary as JSON to this path")
+		fs.BoolVar(&ef.metrics, "metrics", false, "aggregate per-site telemetry across schedules and print a summary")
+		fs.StringVar(&ef.traceOut, "trace-out", "", "export the cross-schedule event trace as JSONL to this path")
+		fs.IntVar(&ef.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
+	case "profile":
+		fs.Int64Var(&pf.seed, "seed", 0, "deterministic scheduler seed for the profiled run")
+		fs.IntVar(&pf.top, "top", 10, "number of hot sites to list")
+		fs.BoolVar(&pf.elide, "elide", false, "enable static redundant-check elision")
+		fs.BoolVar(&pf.cache, "cache", false, "enable the runtime check cache")
+		fs.StringVar(&pf.jsonOut, "json", "", "also write the telemetry snapshot as JSON to this path")
+		fs.StringVar(&pf.traceOut, "trace-out", "", "export the structured event trace as JSONL to this path")
+		fs.StringVar(&pf.traceChrome, "trace-chrome", "", "export the event trace in Chrome trace_event format to this path")
+		fs.IntVar(&pf.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
 	}
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(exitUsage)
@@ -155,6 +225,11 @@ func main() {
 		}
 	case "explore":
 		if code, msg := validateExplore(&ef); code != 0 {
+			fmt.Fprintln(os.Stderr, "sharc:", msg)
+			os.Exit(code)
+		}
+	case "profile":
+		if code, msg := validateProfile(&pf); code != 0 {
 			fmt.Fprintln(os.Stderr, "sharc:", msg)
 			os.Exit(code)
 		}
@@ -200,7 +275,12 @@ func main() {
 		fmt.Print(a.InferredAnnotations())
 
 	case "run":
-		p := buildOrDie(a, buildOpts(rf.unchecked, rf.elide, rf.cache, os.Stdout))
+		opts := buildOpts(rf.unchecked, rf.elide, rf.cache, os.Stdout)
+		opts.Metrics = rf.metrics
+		if rf.traceOut != "" || rf.traceChrome != "" {
+			opts.TraceEvents = rf.traceCap
+		}
+		p := buildOrDie(a, opts)
 		var res *sharc.Result
 		var runErr error
 		switch {
@@ -244,10 +324,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "accesses=%d dynamic=%d lockchecks=%d barriers=%d collections=%d threads=%d\n",
 				st.TotalAccesses, st.DynamicAccesses, st.LockChecks, st.Barriers, st.Collections, st.MaxThreads)
 		}
+		if rf.metrics {
+			fmt.Fprint(os.Stderr, telemetry.FormatSummary(res.Telemetry))
+		}
+		writeTraces(res.Trace, rf.traceOut, rf.traceChrome)
 		os.Exit(int(res.Exit) & 0xff)
 
 	case "explore":
-		p := buildOrDie(a, buildOpts(false, ef.elide, ef.cache, io.Discard))
+		opts := buildOpts(false, ef.elide, ef.cache, io.Discard)
+		opts.Metrics = ef.metrics
+		if ef.traceOut != "" {
+			opts.TraceEvents = ef.traceCap
+		}
+		p := buildOrDie(a, opts)
 		sum := p.Explore(sharc.ExploreOptions{
 			Schedules: ef.schedules,
 			Strategy:  ef.strategy,
@@ -270,9 +359,70 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", ef.jsonOut)
 		}
+		if ef.metrics {
+			fmt.Print(telemetry.FormatSummary(sum.Telemetry))
+		}
+		writeTraces(sum.Trace, ef.traceOut, "")
 		if len(sum.Findings) > 0 {
 			os.Exit(1)
 		}
+
+	case "profile":
+		// Program output is discarded: the deliverable is the hot-site
+		// report, computed from a deterministic seeded run so the table is
+		// byte-identical across invocations.
+		opts := buildOpts(false, pf.elide, pf.cache, io.Discard)
+		opts.Metrics = true
+		if pf.traceOut != "" || pf.traceChrome != "" {
+			opts.TraceEvents = pf.traceCap
+		}
+		p := buildOrDie(a, opts)
+		res, runErr := p.RunSeeded(pf.seed)
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "runtime error:", runErr)
+		}
+		if res.Deadlock {
+			fmt.Fprintln(os.Stderr, "sharc: deadlock detected (all threads blocked)")
+		}
+		fmt.Print(telemetry.FormatProfile(res.Telemetry, pf.top))
+		if pf.jsonOut != "" {
+			data, err := json.MarshalIndent(res.Telemetry, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(pf.jsonOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", pf.jsonOut)
+		}
+		writeTraces(res.Trace, pf.traceOut, pf.traceChrome)
+	}
+}
+
+// writeTraces exports the event stream in the requested formats.
+func writeTraces(tr *telemetry.Tracer, jsonl, chrome string) {
+	if tr == nil {
+		return
+	}
+	export := func(path string, write func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace event(s) to %s (%d dropped)\n",
+			tr.Total()-tr.Dropped(), path, tr.Dropped())
+	}
+	if jsonl != "" {
+		export(jsonl, tr.WriteJSONL)
+	}
+	if chrome != "" {
+		export(chrome, tr.WriteChrome)
 	}
 }
 

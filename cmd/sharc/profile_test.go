@@ -1,0 +1,173 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// racyShared exercises every profile column: a consistently-locked field, a
+// dynamic array under lock, and one unguarded counter the suggested-mode
+// column must flag.
+const profileProg = `
+struct shared {
+	mutex *m;
+	int locked(m) count;
+	int slots[4];
+};
+
+int plain;
+
+void *worker(void *d) {
+	struct shared *s = d;
+	for (int i = 0; i < 20; i++) {
+		mutexLock(s->m);
+		s->count = s->count + 1;
+		s->slots[i % 4] = s->slots[i % 4] + 1;
+		mutexUnlock(s->m);
+		plain = plain + 1;
+	}
+	return NULL;
+}
+
+int main(void) {
+	struct shared *s = malloc(sizeof(struct shared));
+	s->m = mutexNew();
+	struct shared dynamic *sd = SCAST(struct shared dynamic *, s);
+	int t1 = spawn(worker, sd);
+	int t2 = spawn(worker, sd);
+	join(t1);
+	join(t2);
+	return 0;
+}
+`
+
+// run executes bin with args in dir and returns combined output + exit code.
+func runCLI(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	err := cmd.Run()
+	if err == nil {
+		return buf.String(), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%v: %v\n%s", args, err, buf.String())
+	}
+	return buf.String(), ee.ExitCode()
+}
+
+func TestCLIProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "prog.shc"), []byte(profileProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("deterministic hot-site table", func(t *testing.T) {
+		// Relative path from a fixed cwd keeps site strings byte-stable.
+		a, codeA := runCLI(t, bin, dir, "profile", "-seed", "7", "prog.shc")
+		b, codeB := runCLI(t, bin, dir, "profile", "-seed", "7", "prog.shc")
+		if codeA != 0 || codeB != 0 {
+			t.Fatalf("profile exits: %d/%d\n%s", codeA, codeB, a)
+		}
+		if a != b {
+			t.Fatalf("same seed differs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+		}
+		for _, want := range []string{"hot sites:", "suggested", "locked", "investigate", "plain @ prog.shc"} {
+			if !strings.Contains(a, want) {
+				t.Fatalf("profile output missing %q:\n%s", want, a)
+			}
+		}
+	})
+
+	t.Run("json and trace exports", func(t *testing.T) {
+		out, code := runCLI(t, bin, dir, "profile", "-seed", "7",
+			"-json", "prof.json", "-trace-out", "trace.jsonl", "-trace-chrome", "trace.json",
+			"prog.shc")
+		if code != 0 {
+			t.Fatalf("profile: exit %d\n%s", code, out)
+		}
+		if !strings.Contains(out, "trace event(s)") {
+			t.Fatalf("missing trace confirmation:\n%s", out)
+		}
+		var snap struct {
+			Sites []struct {
+				Suggested string `json:"suggested_mode"`
+			} `json:"sites"`
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "prof.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatalf("-json output is not JSON: %v", err)
+		}
+		if len(snap.Sites) == 0 {
+			t.Fatal("-json snapshot has no sites")
+		}
+		tr, err := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := tr[:bytes.IndexByte(tr, '\n')]
+		var ev map[string]any
+		if err := json.Unmarshal(first, &ev); err != nil {
+			t.Fatalf("trace.jsonl first line is not JSON: %v", err)
+		}
+		ch, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(ch, &doc); err != nil {
+			t.Fatalf("chrome trace is not JSON: %v", err)
+		}
+		if _, ok := doc["traceEvents"]; !ok {
+			t.Fatal("chrome trace missing traceEvents")
+		}
+	})
+
+	t.Run("run -metrics prints summary", func(t *testing.T) {
+		out, _ := runCLI(t, bin, dir, "run", "-metrics", "prog.shc")
+		if !strings.Contains(out, "telemetry:") {
+			t.Fatalf("run -metrics missing summary:\n%s", out)
+		}
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		cases := []struct {
+			args   []string
+			exit   int
+			stderr string
+		}{
+			{[]string{"profile"}, 2, "usage"},
+			{[]string{"profile", "-seed", "-1", "x.shc"}, 4, "-seed must be"},
+			{[]string{"profile", "-top", "0", "x.shc"}, 4, "-top must be"},
+			{[]string{"profile", "-trace-events", "0", "x.shc"}, 4, "-trace-events must be"},
+			{[]string{"run", "-unchecked", "-metrics", "x.shc"}, 3, "-metrics"},
+			{[]string{"run", "-unchecked", "-trace-out", "t.jsonl", "x.shc"}, 3, "-metrics or trace"},
+			{[]string{"run", "-trace-events", "-5", "-trace-out", "t.jsonl", "x.shc"}, 4, "-trace-events must be"},
+		}
+		for _, tc := range cases {
+			out, code := runCLI(t, bin, dir, tc.args...)
+			if code != tc.exit {
+				t.Errorf("%v: exit %d, want %d\n%s", tc.args, code, tc.exit, out)
+				continue
+			}
+			if !strings.Contains(out, tc.stderr) {
+				t.Errorf("%v: output missing %q:\n%s", tc.args, tc.stderr, out)
+			}
+		}
+	})
+}

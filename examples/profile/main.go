@@ -1,0 +1,72 @@
+// Profile: the runtime-telemetry faces through the public API.
+//
+// The work-queue program in hotsites.shc mixes every sharing regime:
+// lock-protected dynamic data, locked-mode fields, a readonly table, a
+// post-join private pass, and one deliberately unprotected counter. One
+// seeded run with Options.Metrics produces the hot-site table `sharc
+// profile` prints — including the suggested annotations: locked(l) for the
+// consistently-locked items, readonly for the table, investigate for the
+// unprotected counter. A second run with TraceEvents shows the structured
+// event stream the -trace-out flag exports.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/telemetry"
+)
+
+//go:embed hotsites.shc
+var hotsites string
+
+func main() {
+	a, err := sharc.Check(sharc.Source{Name: "hotsites.shc", Text: hotsites})
+	if err != nil {
+		fail(err)
+	}
+	if !a.OK() {
+		fail(fmt.Errorf("static checking failed: %s", a.Errors()[0]))
+	}
+
+	opts := sharc.DefaultOptions()
+	opts.Metrics = true
+	opts.TraceEvents = 1 << 12
+	p, err := a.Build(opts)
+	if err != nil {
+		fail(err)
+	}
+
+	res, err := p.RunSeeded(1)
+	if err != nil {
+		fmt.Println("runtime error:", err)
+	}
+
+	fmt.Println("=== hot-site profile (sharc profile view) ===")
+	fmt.Print(telemetry.FormatProfile(res.Telemetry, 5))
+
+	fmt.Println()
+	fmt.Println("=== telemetry summary (sharc run -metrics view) ===")
+	fmt.Print(telemetry.FormatSummary(res.Telemetry))
+
+	fmt.Println()
+	fmt.Println("=== first trace events (sharc run -trace-out view) ===")
+	var jsonl strings.Builder
+	if err := res.Trace.WriteJSONL(&jsonl); err != nil {
+		fail(err)
+	}
+	lines := strings.SplitN(jsonl.String(), "\n", 9)
+	for _, l := range lines[:len(lines)-1] {
+		fmt.Println(l)
+	}
+	fmt.Printf("... %d events total, %d dropped by the ring buffer\n",
+		res.Trace.Total(), res.Trace.Dropped())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "profile:", err)
+	os.Exit(1)
+}

@@ -396,7 +396,9 @@ func (e *elider) handleCheck(chk *ir.Check, addr ir.Expr, want uint8) {
 		key := sb.String()
 		if ent := e.avail[key]; ent != nil && ent.strength >= want {
 			e.stats.ElidedDynamic++
-			*chk = ir.Check{}
+			// Keep the site: the runtime does nothing for CheckElided, but
+			// telemetry can still attribute the avoided check.
+			*chk = ir.Check{Kind: ir.CheckElided, Site: chk.Site}
 			return
 		}
 		e.avail[key] = &availEntry{strength: want, d: d}
@@ -420,7 +422,9 @@ func (e *elider) handleCheck(chk *ir.Check, addr ir.Expr, want uint8) {
 		key := sb.String()
 		if e.avail[key] != nil {
 			e.stats.ElidedLocked++
-			*chk = ir.Check{}
+			// The lock expression is dropped with the check (its evaluation
+			// was part of what elision saves); only the site survives.
+			*chk = ir.Check{Kind: ir.CheckElided, Site: chk.Site}
 			return
 		}
 		// The lock expression evaluates at runtime when the check does;

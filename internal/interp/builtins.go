@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -25,6 +26,7 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Malloc(t.tid, base, rt.blockSize(base))
 		}
+		rt.tracer.Append(telemetry.KindMalloc, t.tid, -1, base, rt.blockSize(base))
 		return base
 
 	case "free":
@@ -54,6 +56,7 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Free(t.tid, p, size)
 		}
+		rt.tracer.Append(telemetry.KindFree, t.tid, -1, p, size)
 		return 0
 
 	case "spawn":
@@ -78,6 +81,7 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Join(t.tid, th.tid)
 		}
+		rt.tracer.Append(telemetry.KindJoin, t.tid, -1, 0, int64(th.tid))
 		return 0
 
 	case "mutexNew":
@@ -110,6 +114,8 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 			mu.Lock()
 		}
 		t.locks.Acquire(addr)
+		rt.counters.LockAcquires.Add(1)
+		rt.tracer.Append(telemetry.KindLockAcquire, t.tid, -1, addr, 0)
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Acquire(t.tid, addr)
 		}
@@ -123,6 +129,8 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 				fmt.Sprintf("%s: thread %d unlocked a mutex it does not hold", e.Pos, t.tid))
 			return 0
 		}
+		rt.counters.LockReleases.Add(1)
+		rt.tracer.Append(telemetry.KindLockRelease, t.tid, -1, addr, 0)
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Release(t.tid, addr)
 		}
@@ -159,6 +167,8 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 				fmt.Sprintf("%s: thread %d waits on a condition without holding the mutex", e.Pos, t.tid))
 		}
 		t.locks.Release(mAddr)
+		rt.counters.LockReleases.Add(1)
+		rt.tracer.Append(telemetry.KindLockRelease, t.tid, -1, mAddr, 0)
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Release(t.tid, mAddr)
 		}
@@ -170,6 +180,8 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 			cs.cond.Wait()
 		}
 		t.locks.Acquire(mAddr)
+		rt.counters.LockAcquires.Add(1)
+		rt.tracer.Append(telemetry.KindLockAcquire, t.tid, -1, mAddr, 0)
 		if obs := rt.cfg.Observer; obs != nil {
 			obs.Acquire(t.tid, mAddr)
 			obs.CondWake(t.tid, cvAddr)
@@ -407,6 +419,11 @@ func (t *thread) spawn(e *ir.BuiltinCall) int64 {
 		th.skey = rt.ctl.Register()
 	}
 	rt.handles.Store(handle, th)
+	if rt.ctl != nil {
+		rt.bindKey(th.skey, tid)
+	}
+	rt.counters.Spawns.Add(1)
+	rt.tracer.Append(telemetry.KindSpawn, t.tid, -1, 0, int64(tid))
 	if obs := rt.cfg.Observer; obs != nil {
 		obs.Spawn(t.tid, tid)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -50,6 +51,12 @@ type ExploreSummary struct {
 	Decisions int64             `json:"decisions"`
 	Findings  []Finding         `json:"findings"`
 	Outcomes  []ScheduleOutcome `json:"outcomes"`
+	// Telemetry aggregates per-site metrics across every schedule (nil
+	// unless the template config enabled Metrics).
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Trace is the shared event tracer spanning all schedules (nil unless
+	// tracing was enabled); events carry the schedule index they ran in.
+	Trace *telemetry.Tracer `json:"-"`
 }
 
 // findingKey dedupes reports by (site, kind): the same violation rediscovered
@@ -95,15 +102,31 @@ func Explore(prog *ir.Program, cfg Config, opt ExploreOptions) *ExploreSummary {
 	if opt.Strategy == "" {
 		opt.Strategy = "mix"
 	}
-	sum := &ExploreSummary{Schedules: opt.Schedules}
+	// Telemetry aggregates across schedules: every runtime shares one
+	// collector, tracer, and counter spine.
+	if cfg.Metrics && cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewCollector(siteInfos(prog))
+	}
+	if cfg.TraceCapacity > 0 && cfg.Tracer == nil {
+		cfg.Tracer = telemetry.NewTracer(cfg.TraceCapacity, siteInfos(prog))
+	}
+	if (cfg.Telemetry != nil || cfg.Tracer != nil) && cfg.Counters == nil {
+		cfg.Counters = new(telemetry.Counters)
+	}
+	sum := &ExploreSummary{Schedules: opt.Schedules, Trace: cfg.Tracer}
 	seen := make(map[string]bool)
 	var horizon int64
+	var lastRT *Runtime
 	for i := 0; i < opt.Schedules; i++ {
 		strat := exploreStrategy(opt.Strategy, opt.Seed, i, horizon)
 		ctl := sched.New(strat, sched.Options{})
 		c := cfg
 		c.Sched = ctl
+		if cfg.Tracer != nil {
+			cfg.Tracer.SetSchedule(i)
+		}
 		rt := New(prog, c)
+		lastRT = rt
 		rt.Run() // thread failures surface as reports
 		if d := ctl.Decisions(); d > horizon {
 			horizon = d
@@ -135,6 +158,11 @@ func Explore(prog *ir.Program, cfg Config, opt ExploreOptions) *ExploreSummary {
 			})
 		}
 		sum.Outcomes = append(sum.Outcomes, out)
+	}
+	if cfg.Telemetry != nil && lastRT != nil {
+		// The shared collector and spine hold aggregates over every
+		// schedule; the last runtime supplies the substrate gauges.
+		sum.Telemetry = lastRT.TelemetrySnapshot()
 	}
 	return sum
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/refcount"
 	"repro/internal/sched"
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -79,6 +80,21 @@ type Config struct {
 	// who runs next. Report content for any fixed schedule is unchanged;
 	// only the interleaving is controlled.
 	Sched *sched.Controller
+
+	// Metrics enables the per-site telemetry collector (read via
+	// Runtime.TelemetrySnapshot). Off by default; when off the per-check
+	// cost is a single nil comparison.
+	Metrics bool
+	// TraceCapacity, when positive, enables the structured event tracer
+	// with a ring buffer of that many events (read via Runtime.Tracer).
+	TraceCapacity int
+	// Telemetry / Tracer / Counters, when non-nil, are shared instances
+	// used instead of fresh ones — Explore passes the same collector and
+	// spine to every schedule's runtime so metrics aggregate across the
+	// whole exploration.
+	Telemetry *telemetry.Collector
+	Tracer    *telemetry.Tracer
+	Counters  *telemetry.Counters
 }
 
 // DefaultConfig returns a configuration adequate for the test programs and
@@ -192,8 +208,13 @@ type Runtime struct {
 	reports   []Report
 	reportSet map[string]bool
 
-	statMu      sync.Mutex
-	stats       Stats
+	// counters is the always-on atomic spine (never nil); tel and tracer
+	// are the opt-in per-site collector and event stream (usually nil).
+	counters    *telemetry.Counters
+	tel         *telemetry.Collector
+	tracer      *telemetry.Tracer
+	shadowRev   []int    // shadow site id -> program site (sink attribution)
+	skeyTids    sync.Map // scheduler key -> tid, for trace decision lanes
 	liveThreads atomic.Int32
 
 	ctl *sched.Controller // nil: free-running Go scheduler
@@ -232,10 +253,6 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 		mem:       make([]int64, memCells),
 		stackBase: stackBase,
 		heapBase:  heapBase,
-		shadow: shadow.NewWithOptions(int(memCells), shadow.Options{
-			Encoding:   cfg.ShadowEncoding,
-			CheckCache: cfg.CheckCache,
-		}),
 		heapNext:  alignGranule(heapBase),
 		freeLists: make(map[int64][]int64),
 		blocks:    make(map[int64]int64),
@@ -249,13 +266,58 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 	if rt.out == nil {
 		rt.out = io.Discard
 	}
+	// Telemetry: the counter spine is always live; the collector and
+	// tracer only on request (shared instances take precedence so Explore
+	// can aggregate across schedules).
+	rt.counters = cfg.Counters
+	if rt.counters == nil {
+		rt.counters = new(telemetry.Counters)
+	}
+	rt.tel = cfg.Telemetry
+	if rt.tel == nil && cfg.Metrics {
+		rt.tel = telemetry.NewCollector(siteInfos(prog))
+	}
+	rt.tracer = cfg.Tracer
+	if rt.tracer == nil && cfg.TraceCapacity > 0 {
+		rt.tracer = telemetry.NewTracer(cfg.TraceCapacity, siteInfos(prog))
+	}
+	var sink shadow.CheckSink
+	if rt.tel != nil || rt.tracer != nil {
+		sink = &cacheSink{rt: rt}
+	}
+	rt.shadow = shadow.NewWithOptions(int(memCells), shadow.Options{
+		Encoding:   cfg.ShadowEncoding,
+		CheckCache: cfg.CheckCache,
+		Sink:       sink,
+	})
 	for t := 1; t <= shadow.MaxThreads; t++ {
 		rt.tidPool <- t
 	}
 	// Intern report sites into the shadow.
 	rt.siteIDs = make([]uint32, len(prog.Sites))
+	maxSID := uint32(0)
 	for i, s := range prog.Sites {
 		rt.siteIDs[i] = rt.shadow.InternSite(shadow.Site{LValue: s.LValue, Pos: s.Pos})
+		if rt.siteIDs[i] > maxSID {
+			maxSID = rt.siteIDs[i]
+		}
+	}
+	if sink != nil && len(prog.Sites) > 0 {
+		// The shadow interns sites with its own dedupe, so several program
+		// sites can share one shadow id; attribute cache outcomes to the
+		// first program site that produced the id.
+		rt.shadowRev = make([]int, maxSID+1)
+		for i := range rt.shadowRev {
+			rt.shadowRev[i] = -1
+		}
+		for i, id := range rt.siteIDs {
+			if rt.shadowRev[id] < 0 {
+				rt.shadowRev[id] = i
+			}
+		}
+	}
+	if rt.tracer != nil && rt.ctl != nil {
+		rt.ctl.SetObserver(schedObs{rt: rt})
 	}
 	switch cfg.RC {
 	case RCLevanoniPetrank:
@@ -479,11 +541,18 @@ func (rt *Runtime) ReportsOfKind(k ReportKind) []Report {
 	return out
 }
 
-// Stats returns aggregated counters; valid after Run.
+// Stats returns aggregated counters; valid after Run. It is a view over
+// the telemetry counter spine plus the substrates' own gauges, kept for
+// the evaluation harness's existing call sites.
 func (rt *Runtime) Stats() Stats {
-	rt.statMu.Lock()
-	defer rt.statMu.Unlock()
-	s := rt.stats
+	c := rt.counters
+	s := Stats{
+		TotalAccesses:   c.TotalAccesses.Load(),
+		DynamicAccesses: c.DynamicChecks.Load(),
+		LockChecks:      c.LockChecks.Load(),
+		Barriers:        c.Barriers.Load(),
+		MaxThreads:      int(c.MaxThreads.Load()),
+	}
 	s.ShadowPages = rt.shadow.PagesTouched()
 	cs := rt.shadow.CacheStats()
 	s.CheckCacheLookups = cs.Lookups
@@ -498,13 +567,17 @@ func (rt *Runtime) Stats() Stats {
 	return s
 }
 
+// addThreadStats flushes a finished thread's private tallies into the
+// atomic spine. Per-thread tallies plus one atomic add per counter at
+// thread exit keep the hot path free of shared-cacheline traffic.
 func (rt *Runtime) addThreadStats(t *thread) {
-	rt.statMu.Lock()
-	rt.stats.TotalAccesses += t.nAccess
-	rt.stats.DynamicAccesses += t.nDynamic
-	rt.stats.LockChecks += t.nLockChk
-	rt.stats.Barriers += t.nBarrier
-	rt.statMu.Unlock()
+	c := rt.counters
+	c.TotalAccesses.Add(t.nAccess)
+	c.DynamicChecks.Add(t.nDynamic)
+	c.LockChecks.Add(t.nLockChk)
+	c.Barriers.Add(t.nBarrier)
+	c.ElidedChecks.Add(t.nElided)
+	telemetry.StoreMax(&c.MaxLocksHeld, int64(t.locks.Peak()))
 }
 
 // Run executes the program's main function and waits for every spawned
@@ -517,6 +590,7 @@ func (rt *Runtime) Run() (int64, error) {
 	t := rt.newThread(tid)
 	if rt.ctl != nil {
 		t.skey = rt.ctl.Register()
+		rt.bindKey(t.skey, t.tid)
 		rt.ctl.Begin(t.skey)
 	}
 	rt.trackLive(1)
@@ -535,11 +609,7 @@ func (rt *Runtime) Run() (int64, error) {
 func (rt *Runtime) trackLive(d int32) {
 	n := rt.liveThreads.Add(d)
 	if d > 0 {
-		rt.statMu.Lock()
-		if int(n) > rt.stats.MaxThreads {
-			rt.stats.MaxThreads = int(n)
-		}
-		rt.statMu.Unlock()
+		telemetry.StoreMax(&rt.counters.MaxThreads, int64(n))
 	}
 }
 
@@ -560,6 +630,7 @@ func (rt *Runtime) threadEpilogue(t *thread) {
 	if rt.cfg.Observer != nil {
 		rt.cfg.Observer.ThreadEnd(t.tid)
 	}
+	rt.tracer.Append(telemetry.KindThreadEnd, t.tid, -1, 0, 0)
 	rt.addThreadStats(t)
 	rt.shadow.ClearThread(t.tid)
 	rt.trackLive(-1)

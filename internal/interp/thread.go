@@ -8,6 +8,7 @@ import (
 	"repro/internal/locklog"
 	"repro/internal/sched"
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -36,6 +37,7 @@ type thread struct {
 	nDynamic int64
 	nLockChk int64
 	nBarrier int64
+	nElided  int64
 }
 
 func (rt *Runtime) newThread(tid int) *thread {
@@ -95,7 +97,21 @@ func (t *thread) applyCheck(addr int64, chk ir.Check, write bool) {
 		} else {
 			c = t.rt.shadow.ChkRead(t.tid, addr, sid)
 		}
+		if t.rt.tel != nil {
+			t.rt.tel.DynamicCheck(t.tid, chk.Site, write, t.locks.Count() > 0, c != nil)
+		}
+		if tr := t.rt.tracer; tr != nil {
+			k := telemetry.KindChkRead
+			if write {
+				k = telemetry.KindChkWrite
+			}
+			if c != nil {
+				k = telemetry.KindConflict
+			}
+			tr.Append(k, t.tid, chk.Site, addr, 0)
+		}
 		if c != nil {
+			t.rt.counters.Conflicts.Add(1)
 			t.rt.reportConflict(ReportRace, t.rt.prog.Sites[chk.Site].Pos, c.Error(), c)
 		}
 	case ir.CheckLocked:
@@ -103,12 +119,32 @@ func (t *thread) applyCheck(addr int64, chk ir.Check, write bool) {
 		t.noYield++
 		lockAddr := t.eval(chk.Lock)
 		t.noYield--
-		if !t.locks.Held(lockAddr) {
+		held := t.locks.Held(lockAddr)
+		if t.rt.tel != nil {
+			t.rt.tel.LockedCheck(t.tid, chk.Site, !held)
+		}
+		if tr := t.rt.tracer; tr != nil {
+			k := telemetry.KindLockedCheck
+			if !held {
+				k = telemetry.KindLockViolation
+			}
+			tr.Append(k, t.tid, chk.Site, addr, lockAddr)
+		}
+		if !held {
+			t.rt.counters.LockViolations.Add(1)
 			site := t.rt.prog.Sites[chk.Site]
 			t.rt.report(ReportLock, site.Pos,
 				fmt.Sprintf("lock violation: thread %d accessed %s @ %s: %d without holding its lock",
 					t.tid, site.LValue, site.Pos.File, site.Pos.Line))
 		}
+	case ir.CheckElided:
+		// The static pass removed the runtime work but left the site, so
+		// the avoided check is still attributable in the profile.
+		t.nElided++
+		if t.rt.tel != nil {
+			t.rt.tel.ElidedCheck(t.tid, chk.Site)
+		}
+		t.rt.tracer.Append(telemetry.KindElidedCheck, t.tid, chk.Site, addr, 0)
 	}
 }
 
@@ -512,10 +548,18 @@ func (t *thread) scast(e *ir.Scast) int64 {
 		t.store(addr, 0, e.ChkW, e.Barrier, e.Pos)
 		return 0 // casting NULL is trivially safe
 	}
+	// Attribute the oneref check to the cast's read site (elision keeps
+	// the site index alive even when the access check itself is blanked).
+	scSite := -1
+	if e.ChkR.Kind != ir.CheckNone {
+		scSite = e.ChkR.Site
+	}
+	failed := false
 	if t.rt.rc != nil {
 		obj := t.rt.resolveObj(v)
 		if obj != 0 {
 			if n := t.rt.rc.Count(t.tid, obj); n > 1 {
+				failed = true
 				t.rt.report(ReportOneRef, e.Pos,
 					fmt.Sprintf("%s: sharing cast to %s failed: %d references to object 0x%x exist",
 						e.Pos, e.TargetDesc, n, obj))
@@ -524,6 +568,19 @@ func (t *thread) scast(e *ir.Scast) int64 {
 				t.rt.shadow.ClearRange(obj, size)
 			}
 		}
+	}
+	if t.rt.tel != nil {
+		t.rt.tel.Scast(t.tid, scSite, failed)
+	}
+	if tr := t.rt.tracer; tr != nil {
+		k := telemetry.KindScast
+		if failed {
+			k = telemetry.KindOnerefFail
+		}
+		tr.Append(k, t.tid, scSite, addr, v)
+	}
+	if failed {
+		t.rt.counters.OnerefFailures.Add(1)
 	}
 	t.store(addr, 0, e.ChkW, e.Barrier, e.Pos)
 	return v

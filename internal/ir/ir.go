@@ -22,6 +22,8 @@ const (
 	CheckNone    CheckKind = iota
 	CheckDynamic           // reader/writer-set check in shadow memory
 	CheckLocked            // required lock must be in the thread's lock log
+	CheckElided            // check removed by the static elision pass; the
+	// site index survives so telemetry can attribute the avoided work
 )
 
 // Check is the runtime guard attached to one access site.

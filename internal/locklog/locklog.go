@@ -11,6 +11,7 @@ package locklog
 // at once.
 type Log struct {
 	held []int64
+	peak int // high-water mark of len(held), for telemetry
 }
 
 // New returns an empty log.
@@ -19,6 +20,9 @@ func New() *Log { return &Log{} }
 // Acquire records that the thread now holds the lock at addr.
 func (l *Log) Acquire(addr int64) {
 	l.held = append(l.held, addr)
+	if len(l.held) > l.peak {
+		l.peak = len(l.held)
+	}
 }
 
 // Release removes one occurrence of addr from the log, reporting whether
@@ -45,6 +49,11 @@ func (l *Log) Held(addr int64) bool {
 
 // Count returns the number of locks currently held (with multiplicity).
 func (l *Log) Count() int { return len(l.held) }
+
+// Peak returns the most locks the thread ever held at once. Clear does not
+// reset it: the runtime reads the peak in the thread epilogue, after the
+// log has been cleared for thread-id recycling.
+func (l *Log) Peak() int { return l.peak }
 
 // Clear empties the log. The runtime calls it in the thread epilogue so a
 // thread id recycled to a new thread never inherits held-lock state from

@@ -49,6 +49,10 @@ type Manager interface {
 	CurrentCount(obj int64) int64
 	// Collections reports how many collection cycles have run (LP only).
 	Collections() int64
+	// LoggedSlots reports how many slot entries collections have processed
+	// (LP) or how many barriers ran (naive) — the telemetry gauge for how
+	// much work the reference-counting substrate did.
+	LoggedSlots() int64
 }
 
 // MaxThreads mirrors the shadow limit so thread ids can index per-thread
@@ -84,6 +88,7 @@ type LP struct {
 	counts      sync.Map // obj base -> *atomic.Int64
 	collectorMu sync.Mutex
 	collections atomic.Int64
+	logged      atomic.Int64 // slot entries processed across collections
 
 	// mem gives the collector access to current slot contents; attach with
 	// SetMemory before any Collect.
@@ -215,6 +220,7 @@ func (lp *LP) Collect(tid int) {
 	for t := 0; t <= MaxThreads; t++ {
 		log := lp.logs[oldE][t]
 		lp.logs[oldE][t] = log[:0]
+		lp.logged.Add(int64(len(log)))
 		for _, slot := range log {
 			old := lp.loggedCell(oldE, slot).Load()
 			if obj := lp.resolve(old); obj != 0 {
@@ -254,13 +260,17 @@ func (lp *LP) CurrentCount(obj int64) int64 {
 // Collections returns the number of collection cycles run.
 func (lp *LP) Collections() int64 { return lp.collections.Load() }
 
+// LoggedSlots returns the slot entries processed across all collections.
+func (lp *LP) LoggedSlots() int64 { return lp.logged.Load() }
+
 // ---------------------------------------------------------------------------
 // Naive atomic scheme (ablation baseline)
 
 // Naive increments and decrements counts on every pointer write.
 type Naive struct {
-	resolve Resolver
-	counts  sync.Map // obj -> *atomic.Int64
+	resolve  Resolver
+	counts   sync.Map // obj -> *atomic.Int64
+	barriers atomic.Int64
 }
 
 // NewNaive returns a naive manager.
@@ -278,6 +288,7 @@ func (n *Naive) cell(obj int64) *atomic.Int64 {
 
 // Barrier adjusts counts immediately with atomic operations.
 func (n *Naive) Barrier(_ int, _, old, newv int64) {
+	n.barriers.Add(1)
 	if obj := n.resolve(old); obj != 0 {
 		n.cell(obj).Add(-1)
 	}
@@ -302,3 +313,7 @@ func (n *Naive) CurrentCount(obj int64) int64 {
 
 // Collections is always zero for the naive scheme.
 func (n *Naive) Collections() int64 { return 0 }
+
+// LoggedSlots counts barriers for the naive scheme: every pointer write
+// is processed eagerly, so the barrier count is the analogous work gauge.
+func (n *Naive) LoggedSlots() int64 { return n.barriers.Load() }

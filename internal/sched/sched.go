@@ -110,6 +110,17 @@ type Options struct {
 	Record bool
 }
 
+// Observer taps the controller's scheduling decisions and blocking edges
+// (for telemetry tracing). Methods are invoked with the controller's lock
+// held: implementations must be fast and must never call back into the
+// Controller.
+type Observer interface {
+	// Decision reports that decision step picked task chosen at point p.
+	Decision(step int64, chosen int, p Point)
+	// Block reports that task key just blocked at point p.
+	Block(key int, p Point)
+}
+
 // Controller serializes a set of tasks onto one execution token and makes
 // every interleaving decision through its Strategy. All methods are safe
 // for concurrent use, though by construction only the token holder calls
@@ -124,6 +135,7 @@ type Controller struct {
 	record    bool
 	decisions []int
 	nDec      int64
+	obs       Observer
 }
 
 // New returns a Controller driving its tasks with the given strategy.
@@ -198,7 +210,18 @@ func (c *Controller) decideLocked(ready []int, cur int, p Point) int {
 	if c.record {
 		c.decisions = append(c.decisions, choice)
 	}
+	if c.obs != nil {
+		c.obs.Decision(c.nDec-1, choice, p)
+	}
 	return choice
+}
+
+// SetObserver installs (or clears) the decision observer. Install before
+// the program starts; the observer sees every subsequent decision.
+func (c *Controller) SetObserver(o Observer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obs = o
 }
 
 // yieldLocked is the heart of the token machine: the running task t gives
@@ -211,6 +234,9 @@ func (c *Controller) yieldLocked(t *task, p Point, blocked bool) bool {
 	}
 	if blocked {
 		t.state = stBlocked
+		if c.obs != nil {
+			c.obs.Block(t.key, p)
+		}
 	} else {
 		t.state = stReady
 	}

@@ -101,6 +101,13 @@ type threadLog struct {
 	gs []int32
 }
 
+// CheckSink receives check-cache fast-path outcomes for telemetry
+// attribution. Implementations must be safe for concurrent use; the site
+// id is the interned shadow site of the check being answered.
+type CheckSink interface {
+	CacheLookup(tid int, siteID uint32, hit bool)
+}
+
 // Options configures a Shadow beyond its size.
 type Options struct {
 	// Encoding selects the reader/writer-set representation.
@@ -108,6 +115,8 @@ type Options struct {
 	// CheckCache enables the per-thread direct-mapped granule cache and the
 	// per-thread last-page memo (the runtime half of check elision).
 	CheckCache bool
+	// Sink, when non-nil, observes cache lookups (telemetry).
+	Sink CheckSink
 }
 
 // Shadow tracks reader/writer sets for a fixed-size cell memory. The
@@ -135,9 +144,11 @@ type Shadow struct {
 	extraLogs map[int][]int32
 
 	// caches holds the per-thread check caches when Options.CheckCache is
-	// set (nil otherwise); epoch invalidates all of them at once.
+	// set (nil otherwise); epoch invalidates all of them at once. sink,
+	// when non-nil, observes every cache lookup.
 	caches []threadCache
 	epoch  atomic.Uint64
+	sink   CheckSink
 
 	// pages tracks which 4096-byte pages of the logical 1-byte-per-granule
 	// shadow area have been touched, for the paper's minor-pagefault metric.
@@ -163,6 +174,7 @@ func NewWithOptions(cells int, o Options) *Shadow {
 		words:    make([]atomic.Pointer[wordChunk], chunks),
 		last:     make([]atomic.Pointer[lastChunk], chunks),
 		siteIDs:  make(map[Site]uint32),
+		sink:     o.Sink,
 	}
 	if o.CheckCache {
 		s.caches = make([]threadCache, MaxThreads+1)
@@ -314,11 +326,17 @@ func (s *Shadow) ChkRead(tid int, cell int64, siteID uint32) *Conflict {
 		epoch := s.epoch.Load()
 		if c.get(g, strengthRead, epoch) {
 			c.hits++
+			if s.sink != nil {
+				s.sink.CacheLookup(tid, siteID, true)
+			}
 			return nil
 		}
 		conf := s.chkReadSlow(tid, cell, siteID)
 		if conf == nil && g < s.granules {
 			c.put(g, strengthRead, epoch)
+		}
+		if s.sink != nil {
+			s.sink.CacheLookup(tid, siteID, false)
 		}
 		return conf
 	}
@@ -365,11 +383,17 @@ func (s *Shadow) ChkWrite(tid int, cell int64, siteID uint32) *Conflict {
 		epoch := s.epoch.Load()
 		if c.get(g, strengthWrite, epoch) {
 			c.hits++
+			if s.sink != nil {
+				s.sink.CacheLookup(tid, siteID, true)
+			}
 			return nil
 		}
 		conf := s.chkWriteSlow(tid, cell, siteID)
 		if conf == nil && g < s.granules {
 			c.put(g, strengthWrite, epoch)
+		}
+		if s.sink != nil {
+			s.sink.CacheLookup(tid, siteID, false)
 		}
 		return conf
 	}

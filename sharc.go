@@ -38,6 +38,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/parser"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 )
 
@@ -68,6 +69,12 @@ type Options struct {
 	Stdout io.Writer
 	// Observer taps accesses and synchronization for external detectors.
 	Observer interp.Observer
+	// Metrics enables per-site telemetry collection; the aggregated
+	// snapshot appears on Result.Telemetry.
+	Metrics bool
+	// TraceEvents, when positive, enables structured event tracing with a
+	// ring buffer of that many events (Result.Trace).
+	TraceEvents int
 }
 
 // DefaultOptions enables full instrumentation.
@@ -259,6 +266,12 @@ type Result struct {
 	// blocked (only possible under seeded/replayed runs; a free run hangs
 	// instead).
 	Deadlock bool
+	// Telemetry holds the per-site metrics snapshot (nil unless the
+	// program ran with Options.Metrics).
+	Telemetry *telemetry.Snapshot
+	// Trace is the structured event stream (nil unless Options.TraceEvents
+	// was positive).
+	Trace *telemetry.Tracer
 }
 
 // Races returns the conflict reports (the paper's read/write conflict
@@ -294,6 +307,8 @@ func (p *Program) baseConfig() interp.Config {
 	cfg.Stdout = p.opts.Stdout
 	cfg.Observer = p.opts.Observer
 	cfg.CheckCache = p.opts.CheckCache
+	cfg.Metrics = p.opts.Metrics
+	cfg.TraceCapacity = p.opts.TraceEvents
 	if !p.opts.RefCounting {
 		cfg.RC = interp.RCOff
 	} else if p.opts.NaiveRC {
@@ -307,7 +322,13 @@ func (p *Program) runWith(ctl *sched.Controller) (*Result, error) {
 	cfg.Sched = ctl
 	rt := interp.New(p.ir, cfg)
 	exit, err := rt.Run()
-	res := &Result{Exit: exit, Reports: rt.Reports(), Stats: rt.Stats()}
+	res := &Result{
+		Exit:      exit,
+		Reports:   rt.Reports(),
+		Stats:     rt.Stats(),
+		Telemetry: rt.TelemetrySnapshot(),
+		Trace:     rt.Tracer(),
+	}
 	if ctl != nil {
 		res.Deadlock = ctl.Deadlocked()
 	}
