@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench elision explore explore-smoke profile-smoke obs
+.PHONY: all build vet test race verify bench elision explore explore-smoke profile-smoke engine-smoke obs vm
 
 all: verify
 
@@ -17,9 +17,9 @@ race:
 	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry
 
 # verify is the gate for every change: build, vet, the full test suite, the
-# race detector over the concurrency-bearing packages, and the exploration
-# and profile smokes.
-verify: build vet test race explore-smoke profile-smoke
+# race detector over the concurrency-bearing packages, and the exploration,
+# profile, and cross-engine smokes.
+verify: build vet test race explore-smoke profile-smoke engine-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -55,3 +55,18 @@ profile-smoke:
 	@cmp /tmp/shc-prof-a.txt /tmp/shc-prof-b.txt || { echo "profile not deterministic"; exit 1; }
 	@$(GO) run ./cmd/sharc profile -seed 7 -trace-out /tmp/shc-prof.jsonl examples/profile/hotsites.shc > /dev/null || exit 1
 	@echo "profile-smoke ok"
+
+# engine-smoke is the cross-engine differential gate from the shell: the
+# same seeded runs through the tree walker and the register VM must print
+# byte-identical output (reports, stats, everything on stdout).
+engine-smoke:
+	@for prog in internal/interp/testdata/bank.shc examples/profile/hotsites.shc; do \
+		$(GO) run ./cmd/sharc run -seed 11 -engine tree $$prog > /tmp/shc-eng-tree.txt 2>&1; \
+		$(GO) run ./cmd/sharc run -seed 11 -engine vm   $$prog > /tmp/shc-eng-vm.txt   2>&1; \
+		cmp /tmp/shc-eng-tree.txt /tmp/shc-eng-vm.txt || { echo "engine divergence on $$prog"; exit 1; }; \
+	done
+	@echo "engine-smoke ok"
+
+# vm regenerates BENCH_vm.json (tree walker vs register VM speedups).
+vm:
+	$(GO) run ./cmd/sharc-bench -vm

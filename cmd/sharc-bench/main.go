@@ -20,6 +20,9 @@
 //	sharc-bench -obs                    telemetry overhead tiers (off /
 //	                                    metrics / metrics+trace), also
 //	                                    written to BENCH_obs.json
+//	sharc-bench -vm                     engine comparison (tree walker vs
+//	                                    register VM) on the checked Table-1
+//	                                    rows, also written to BENCH_vm.json
 package main
 
 import (
@@ -42,6 +45,8 @@ func main() {
 	exploreOut := flag.String("explore-out", "BENCH_explore.json", "output path for the exploration JSON")
 	obs := flag.Bool("obs", false, "measure telemetry overhead tiers and write BENCH_obs.json")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the telemetry-overhead JSON")
+	vm := flag.Bool("vm", false, "compare the tree walker against the register VM and write BENCH_vm.json")
+	vmOut := flag.String("vm-out", "BENCH_vm.json", "output path for the engine-comparison JSON")
 	schedules := flag.Int("schedules", 100, "schedules per program in -explore mode")
 	flag.Parse()
 
@@ -133,6 +138,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *obsOut)
+		return
+	}
+
+	if *vm {
+		var rows []bench.VMRow
+		for i := range bench.Benchmarks {
+			b := &bench.Benchmarks[i]
+			if *runOne != "" && b.Name != *runOne {
+				continue
+			}
+			r, err := bench.RunVM(b, scale, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println("Engine comparison (tree walker vs register VM, checked builds):")
+		fmt.Print(bench.FormatVM(rows))
+		data, err := bench.VMJSON(rows)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*vmOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *vmOut)
 		return
 	}
 

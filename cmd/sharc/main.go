@@ -35,6 +35,12 @@
 // -trace-out/-trace-chrome (export the structured event stream as JSONL
 // or a Chrome trace_event file).
 //
+// run, explore, and profile accept -engine {auto|vm|tree} to select the
+// execution engine: the register VM over the flat instruction form (the
+// default) or the recursive tree walker (retained for one release). The
+// two engines produce byte-identical reports, statistics, telemetry, and
+// schedule traces, so -record/-replay work across them.
+//
 // Exit codes for invalid invocations are distinct: 2 for usage errors
 // (unknown subcommand, unparsable flags, no input files), 3 for valid
 // flags in conflicting combinations, 4 for a flag with a nonsensical
@@ -76,6 +82,7 @@ type runFlags struct {
 	traceOut    string
 	traceChrome string
 	traceCap    int
+	engine      string
 }
 
 type exploreFlags struct {
@@ -88,6 +95,7 @@ type exploreFlags struct {
 	metrics   bool
 	traceOut  string
 	traceCap  int
+	engine    string
 }
 
 type profileFlags struct {
@@ -99,6 +107,16 @@ type profileFlags struct {
 	traceOut    string
 	traceChrome string
 	traceCap    int
+	engine      string
+}
+
+// validEngine reports whether s names an execution engine.
+func validEngine(s string) bool {
+	switch s {
+	case "auto", "vm", "tree":
+		return true
+	}
+	return false
 }
 
 // validateRun checks flag combinations before any file is read. It returns
@@ -122,6 +140,9 @@ func validateRun(f *runFlags) (int, string) {
 	if f.traceCap <= 0 {
 		return exitBadValue, fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
 	}
+	if !validEngine(f.engine) {
+		return exitBadValue, fmt.Sprintf("-engine must be one of auto, vm, tree; got %q", f.engine)
+	}
 	return 0, ""
 }
 
@@ -135,6 +156,9 @@ func validateProfile(f *profileFlags) (int, string) {
 	}
 	if f.traceCap <= 0 {
 		return exitBadValue, fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
+	}
+	if !validEngine(f.engine) {
+		return exitBadValue, fmt.Sprintf("-engine must be one of auto, vm, tree; got %q", f.engine)
 	}
 	return 0, ""
 }
@@ -154,6 +178,9 @@ func validateExplore(f *exploreFlags) (int, string) {
 	}
 	if f.traceCap <= 0 {
 		return exitBadValue, fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
+	}
+	if !validEngine(f.engine) {
+		return exitBadValue, fmt.Sprintf("-engine must be one of auto, vm, tree; got %q", f.engine)
 	}
 	return 0, ""
 }
@@ -188,6 +215,7 @@ func main() {
 		fs.StringVar(&rf.traceOut, "trace-out", "", "export the structured event trace as JSONL to this path")
 		fs.StringVar(&rf.traceChrome, "trace-chrome", "", "export the event trace in Chrome trace_event format to this path")
 		fs.IntVar(&rf.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
+		fs.StringVar(&rf.engine, "engine", "auto", "execution engine: auto, vm (register VM), tree (recursive walker)")
 	case "explore":
 		fs.IntVar(&ef.schedules, "schedules", 100, "number of schedules to run")
 		fs.StringVar(&ef.strategy, "strategy", "mix", "schedule generator: mix, random, pct, rr")
@@ -198,6 +226,7 @@ func main() {
 		fs.BoolVar(&ef.metrics, "metrics", false, "aggregate per-site telemetry across schedules and print a summary")
 		fs.StringVar(&ef.traceOut, "trace-out", "", "export the cross-schedule event trace as JSONL to this path")
 		fs.IntVar(&ef.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
+		fs.StringVar(&ef.engine, "engine", "auto", "execution engine: auto, vm (register VM), tree (recursive walker)")
 	case "profile":
 		fs.Int64Var(&pf.seed, "seed", 0, "deterministic scheduler seed for the profiled run")
 		fs.IntVar(&pf.top, "top", 10, "number of hot sites to list")
@@ -207,6 +236,7 @@ func main() {
 		fs.StringVar(&pf.traceOut, "trace-out", "", "export the structured event trace as JSONL to this path")
 		fs.StringVar(&pf.traceChrome, "trace-chrome", "", "export the event trace in Chrome trace_event format to this path")
 		fs.IntVar(&pf.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
+		fs.StringVar(&pf.engine, "engine", "auto", "execution engine: auto, vm (register VM), tree (recursive walker)")
 	}
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(exitUsage)
@@ -276,6 +306,7 @@ func main() {
 
 	case "run":
 		opts := buildOpts(rf.unchecked, rf.elide, rf.cache, os.Stdout)
+		opts.Engine = rf.engine
 		opts.Metrics = rf.metrics
 		if rf.traceOut != "" || rf.traceChrome != "" {
 			opts.TraceEvents = rf.traceCap
@@ -332,6 +363,7 @@ func main() {
 
 	case "explore":
 		opts := buildOpts(false, ef.elide, ef.cache, io.Discard)
+		opts.Engine = ef.engine
 		opts.Metrics = ef.metrics
 		if ef.traceOut != "" {
 			opts.TraceEvents = ef.traceCap
@@ -372,6 +404,7 @@ func main() {
 		// report, computed from a deterministic seeded run so the table is
 		// byte-identical across invocations.
 		opts := buildOpts(false, pf.elide, pf.cache, io.Discard)
+		opts.Engine = pf.engine
 		opts.Metrics = true
 		if pf.traceOut != "" || pf.traceChrome != "" {
 			opts.TraceEvents = pf.traceCap

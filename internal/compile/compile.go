@@ -73,8 +73,8 @@ func Compile(w *types.World, inf *qualinfer.Result, opts Options) (*ir.Program, 
 	if c.prog.Main < 0 {
 		return nil, fmt.Errorf("program has no main function")
 	}
-	if opts.Elide && opts.Checks {
-		ElideChecks(c.prog)
+	if err := runPasses(c.prog, pipeline(opts)); err != nil {
+		return nil, err
 	}
 	return c.prog, nil
 }

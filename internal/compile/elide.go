@@ -70,17 +70,26 @@ var fullKills = killSet{Scast: true, Free: true, Spawn: true, Lock: true, Call: 
 // is set; it is exported so tools can apply it to an already-lowered
 // program.
 func ElideChecks(p *ir.Program) ir.ElisionStats {
-	return elideChecksWith(p, fullKills)
+	st := elideChecksWith(p, fullKills)
+	fuseAccesses(p)
+	return st
 }
 
 func elideChecksWith(p *ir.Program, kills killSet) ir.ElisionStats {
+	// Always (re)generate the decomposed linear form: a compiled program's
+	// flat form is already fused into superinstructions, which hide the
+	// FChk*/kill stream this pass scans. Relowering from the tree is
+	// deterministic, so inside the pipeline (where the incoming form is
+	// still decomposed) this is a no-op rebuild.
+	Linearize(p)
+	stripBarriers(p)
 	var st ir.ElisionStats
 	for _, fn := range p.Funcs {
 		countFuncChecks(fn, &st)
 	}
-	for _, fn := range p.Funcs {
+	for i, fn := range p.Funcs {
 		e := newElider(fn, kills, &st)
-		e.stmts(fn.Body)
+		e.runFlat(p.Flat.Funcs[i])
 	}
 	p.Elision = st
 	return st
@@ -435,7 +444,88 @@ func (e *elider) handleCheck(chk *ir.Check, addr ir.Expr, want uint8) {
 }
 
 // ---------------------------------------------------------------------------
-// the walk (mirrors the interpreter's evaluation order)
+// the flat driver
+
+// runFlat replays the pass over a function's linear form: a single scan of
+// the instruction stream, with the elide-event stream supplying the
+// control-flow bookkeeping (snapshots at joins, kills at back edges) that
+// the retired tree walk derived from statement structure. Check decisions
+// are written through FlatCheck.Orig — the check node shared with the
+// tree — and an elided check's instruction is rewritten to FChkElided, so
+// both engines observe every decision identically.
+func (e *elider) runFlat(ff *ir.FlatFunc) {
+	var stack []map[string]*availEntry
+	evIdx := 0
+	for pc := 0; ; pc++ {
+		for evIdx < len(ff.Events) && int(ff.Events[evIdx].PC) == pc {
+			switch ff.Events[evIdx].Op {
+			case ir.EvKillAll:
+				e.killAll()
+			case ir.EvSnap:
+				stack = append(stack, cloneAvail(e.avail))
+			case ir.EvSwapSnap:
+				cur := e.avail
+				e.avail = stack[len(stack)-1]
+				stack[len(stack)-1] = cur
+			case ir.EvIntersect:
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				e.avail = intersectAvail(top, e.avail)
+			case ir.EvRestore:
+				e.avail = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			case ir.EvStartEmpty:
+				e.avail = make(map[string]*availEntry)
+			}
+			evIdx++
+		}
+		if pc >= len(ff.Code) {
+			break
+		}
+		in := &ff.Code[pc]
+		switch in.Op {
+		case ir.FChkRead, ir.FChkWrite, ir.FChkLock:
+			fc := &ff.Checks[in.B]
+			want := strengthR
+			if fc.Write {
+				want = strengthW
+			}
+			before := fc.Orig.Kind
+			e.handleCheck(fc.Orig, fc.Addr, want)
+			if fc.Orig.Kind == ir.CheckElided && before != ir.CheckElided {
+				in.Op = ir.FChkElided
+			}
+		case ir.FStore:
+			if in.Imm >= 0 {
+				e.killForWrite(ff.Kills[in.Imm].Addr)
+			}
+		case ir.FKill:
+			// A promoted store: no frame write happens, but availability
+			// keys reading the slot's value are invalid from here on.
+			e.killForWrite(ff.Kills[in.Imm].Addr)
+		case ir.FScast:
+			sc := ff.Scasts[in.C]
+			e.handleCheck(&sc.ChkR, sc.Addr, strengthR)
+			if e.kills.Scast {
+				e.killAll()
+			}
+			e.handleCheck(&sc.ChkW, sc.Addr, strengthW)
+			e.killForWrite(sc.Addr)
+		case ir.FCall:
+			if e.kills.Call {
+				e.killAll()
+			}
+		case ir.FBuiltin:
+			e.builtinEffect(ff.Builtins[in.B].E)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// the expression walk (lock expressions evaluate at check time, so their
+// own nested checks are processed — and elidable — through this recursive
+// walk; the statement-level tree walk it once belonged to is retired in
+// favor of runFlat)
 
 func (e *elider) expr(x ir.Expr) {
 	switch v := x.(type) {
@@ -530,73 +620,6 @@ func (e *elider) builtinEffect(v *ir.BuiltinCall) {
 		// No shadow clearing, no writes to reachable program memory.
 	default:
 		e.killAll() // future builtins: conservative until classified
-	}
-}
-
-func (e *elider) stmts(ss []ir.Stmt) {
-	for _, s := range ss {
-		e.stmt(s)
-	}
-}
-
-func (e *elider) stmt(s ir.Stmt) {
-	switch v := s.(type) {
-	case *ir.SExpr:
-		e.expr(v.E)
-	case *ir.SIf:
-		e.expr(v.C)
-		save := cloneAvail(e.avail)
-		e.stmts(v.Then)
-		t := e.avail
-		e.avail = save
-		e.stmts(v.Else)
-		e.avail = intersectAvail(t, e.avail)
-	case *ir.SLoop:
-		e.killAll() // the back edge may carry any subset; start empty
-		brk, cont := loopEscapes(v.Body)
-		if v.PostFirst {
-			e.stmts(v.Body)
-			if cont {
-				e.killAll() // continue jumps to Post past part of the body
-			}
-			if v.Post != nil {
-				e.expr(v.Post)
-			}
-			if v.Cond != nil {
-				e.expr(v.Cond)
-			}
-		} else {
-			var condAvail map[string]*availEntry
-			if v.Cond != nil {
-				e.expr(v.Cond)
-				condAvail = cloneAvail(e.avail)
-			}
-			e.stmts(v.Body)
-			if cont {
-				e.killAll()
-			}
-			if v.Post != nil {
-				e.expr(v.Post)
-			}
-			// A while-loop's normal exit just evaluated Cond.
-			e.avail = condAvail
-		}
-		if v.Cond == nil || brk {
-			// Exits via break (or only via break) bypass the condition.
-			e.killAll()
-		}
-	case *ir.SReturn:
-		if v.E != nil {
-			e.expr(v.E)
-		}
-	case *ir.SBreak, *ir.SContinue:
-	case *ir.SSwitch:
-		e.expr(v.X)
-		for _, arm := range v.Arms {
-			e.avail = make(map[string]*availEntry) // fallthrough/dispatch joins
-			e.stmts(arm)
-		}
-		e.killAll()
 	}
 }
 

@@ -13,276 +13,90 @@ import (
 	"repro/internal/token"
 )
 
-// builtin dispatches a runtime builtin call.
+// The builtins are split into engine-shared do* bodies that take evaluated
+// argument values, and a per-engine dispatch: builtin() below evaluates
+// tree arguments lazily in the walker's order; the VM's FBuiltin case in
+// vm.go reads the same values out of registers (with FCString preserving
+// the walker's argument-evaluation/string-read interleaving) and calls the
+// same bodies.
+
+// builtin dispatches a runtime builtin call for the tree engine.
 func (t *thread) builtin(e *ir.BuiltinCall) int64 {
-	rt := t.rt
 	switch e.Name {
 	case "malloc":
-		n := t.eval(e.Args[0])
-		base, ok := rt.malloc(n)
-		if !ok {
-			t.fail(e.Pos, "out of memory: malloc(%d)", n)
-		}
-		if obs := rt.cfg.Observer; obs != nil {
-			obs.Malloc(t.tid, base, rt.blockSize(base))
-		}
-		rt.tracer.Append(telemetry.KindMalloc, t.tid, -1, base, rt.blockSize(base))
-		return base
+		return t.doMalloc(t.eval(e.Args[0]), e.Pos)
 
 	case "free":
-		p := t.eval(e.Args[0])
-		if p == 0 {
-			return 0
-		}
-		// Unpublish first: the block must not be reusable while its cells
-		// and shadow state are being cleared.
-		size := rt.beginFree(p)
-		if size == 0 {
-			t.fail(e.Pos, "free of invalid pointer 0x%x", p)
-		}
-		// Pointer slots inside the block die: null them through barriers so
-		// their referents' counts drop, then clear the shadow state — freed
-		// memory is no longer considered accessed by any thread (§4.2.1).
-		for i := int64(0); i < size; i++ {
-			addr := p + i
-			if old := t.loadRaw(addr); old != 0 {
-				t.dynStore(addr, 0)
-			} else {
-				t.storeRaw(addr, 0)
-			}
-		}
-		rt.shadow.ClearRange(p, size)
-		rt.finishFree(p, size)
-		if obs := rt.cfg.Observer; obs != nil {
-			obs.Free(t.tid, p, size)
-		}
-		rt.tracer.Append(telemetry.KindFree, t.tid, -1, p, size)
-		return 0
+		return t.doFree(t.eval(e.Args[0]), e.Pos)
 
 	case "spawn":
-		return t.spawn(e)
+		fnVal := t.eval(e.Args[0])
+		arg := t.eval(e.Args[1])
+		return t.doSpawn(fnVal, arg, e.Pos)
 
 	case "join":
-		h := t.eval(e.Args[0])
-		v, ok := rt.handles.Load(h)
-		if !ok {
-			t.fail(e.Pos, "join of unknown thread handle %d", h)
-		}
-		th := v.(*threadHandle)
-		if rt.ctl != nil {
-			if !rt.ctl.Join(t.skey, th.skey) {
-				t.fail(e.Pos, "deadlock: all threads blocked")
-			}
-		}
-		// Under the scheduler the target has already passed its Exit point;
-		// done closes momentarily after, so this wait is bounded and makes
-		// no scheduling decision.
-		<-th.done
-		if obs := rt.cfg.Observer; obs != nil {
-			obs.Join(t.tid, th.tid)
-		}
-		rt.tracer.Append(telemetry.KindJoin, t.tid, -1, 0, int64(th.tid))
-		return 0
+		return t.doJoin(t.eval(e.Args[0]), e.Pos)
 
 	case "mutexNew":
-		base, ok := rt.malloc(1)
-		if !ok {
-			t.fail(e.Pos, "out of memory: mutexNew")
-		}
-		rt.mutexes.Store(base, &sync.Mutex{})
-		return base
+		return t.doMutexNew(e.Pos)
 
 	case "condNew":
-		base, ok := rt.malloc(1)
-		if !ok {
-			t.fail(e.Pos, "out of memory: condNew")
-		}
-		rt.conds.Store(base, &condState{})
-		return base
+		return t.doCondNew(e.Pos)
 
 	case "mutexLock":
-		addr := t.eval(e.Args[0])
-		mu := t.mutexAt(addr, e.Pos)
-		if rt.ctl != nil {
-			// Real mutexes would block the token holder in the Go runtime
-			// with no way to hand the token on; ownership is modeled in the
-			// controller instead, which also gives deadlock detection.
-			if !rt.ctl.Lock(t.skey, addr) {
-				t.fail(e.Pos, "deadlock: all threads blocked")
-			}
-		} else {
-			mu.Lock()
-		}
-		t.locks.Acquire(addr)
-		rt.counters.LockAcquires.Add(1)
-		rt.tracer.Append(telemetry.KindLockAcquire, t.tid, -1, addr, 0)
-		if obs := rt.cfg.Observer; obs != nil {
-			obs.Acquire(t.tid, addr)
-		}
-		return 0
+		return t.doMutexLock(t.eval(e.Args[0]), e.Pos)
 
 	case "mutexUnlock":
-		addr := t.eval(e.Args[0])
-		mu := t.mutexAt(addr, e.Pos)
-		if !t.locks.Release(addr) {
-			rt.report(ReportLock, e.Pos,
-				fmt.Sprintf("%s: thread %d unlocked a mutex it does not hold", e.Pos, t.tid))
-			return 0
-		}
-		rt.counters.LockReleases.Add(1)
-		rt.tracer.Append(telemetry.KindLockRelease, t.tid, -1, addr, 0)
-		if obs := rt.cfg.Observer; obs != nil {
-			obs.Release(t.tid, addr)
-		}
-		if rt.ctl != nil {
-			if !rt.ctl.Unlock(t.skey, addr) {
-				t.fail(e.Pos, "deadlock: all threads blocked")
-			}
-		} else {
-			mu.Unlock()
-		}
-		return 0
+		return t.doMutexUnlock(t.eval(e.Args[0]), e.Pos)
 
 	case "condWait":
 		cvAddr := t.eval(e.Args[0])
 		mAddr := t.eval(e.Args[1])
-		cs := t.condAt(cvAddr, e.Pos)
-		mu := t.mutexAt(mAddr, e.Pos)
-		cs.mu.Lock()
-		if cs.cond == nil {
-			if rt.ctl == nil {
-				cs.cond = sync.NewCond(mu)
-			}
-			cs.lock = mAddr
-		} else if cs.lock != mAddr {
-			cs.mu.Unlock()
-			t.fail(e.Pos, "condition variable used with two different mutexes")
-		}
-		if rt.ctl != nil && cs.lock == 0 {
-			cs.lock = mAddr
-		}
-		cs.mu.Unlock()
-		if !t.locks.Held(mAddr) {
-			rt.report(ReportLock, e.Pos,
-				fmt.Sprintf("%s: thread %d waits on a condition without holding the mutex", e.Pos, t.tid))
-		}
-		t.locks.Release(mAddr)
-		rt.counters.LockReleases.Add(1)
-		rt.tracer.Append(telemetry.KindLockRelease, t.tid, -1, mAddr, 0)
-		if obs := rt.cfg.Observer; obs != nil {
-			obs.Release(t.tid, mAddr)
-		}
-		if rt.ctl != nil {
-			if !rt.ctl.Wait(t.skey, cvAddr, mAddr) {
-				t.fail(e.Pos, "deadlock: all threads blocked")
-			}
-		} else {
-			cs.cond.Wait()
-		}
-		t.locks.Acquire(mAddr)
-		rt.counters.LockAcquires.Add(1)
-		rt.tracer.Append(telemetry.KindLockAcquire, t.tid, -1, mAddr, 0)
-		if obs := rt.cfg.Observer; obs != nil {
-			obs.Acquire(t.tid, mAddr)
-			obs.CondWake(t.tid, cvAddr)
-		}
-		return 0
+		return t.doCondWait(cvAddr, mAddr, e.Pos)
 
 	case "condSignal", "condBroadcast":
-		cvAddr := t.eval(e.Args[0])
-		cs := t.condAt(cvAddr, e.Pos)
-		cs.mu.Lock()
-		cond := cs.cond
-		cs.mu.Unlock()
-		if obs := rt.cfg.Observer; obs != nil {
-			obs.CondSignal(t.tid, cvAddr)
-		}
-		if rt.ctl != nil {
-			// The controller picks which waiter wakes: wake order is a
-			// recorded, explorable scheduling decision.
-			if !rt.ctl.Signal(t.skey, cvAddr, e.Name == "condBroadcast") {
-				t.fail(e.Pos, "deadlock: all threads blocked")
-			}
-		} else if cond != nil {
-			if e.Name == "condSignal" {
-				cond.Signal()
-			} else {
-				cond.Broadcast()
-			}
-		}
-		return 0
+		return t.doCondSignal(t.eval(e.Args[0]), e.Name == "condBroadcast", e.Pos)
 
 	case "print":
 		s := t.readCString(t.eval(e.Args[0]), e.ArgChecks[0], e.Pos)
-		var sb strings.Builder
-		sb.WriteString(s)
+		rest := make([]int64, 0, len(e.Args)-1)
 		for _, a := range e.Args[1:] {
-			fmt.Fprintf(&sb, " %d", t.eval(a))
+			rest = append(rest, t.eval(a))
 		}
-		rt.output(sb.String())
-		return 0
+		return t.doPrint(s, rest)
 
 	case "printInt":
-		rt.output(fmt.Sprintf("%d\n", t.eval(e.Args[0])))
-		return 0
+		return t.doPrintInt(t.eval(e.Args[0]))
 
 	case "assert":
-		if t.eval(e.Args[0]) == 0 {
-			t.fail(e.Pos, "assertion failed")
-		}
-		return 0
+		return t.doAssert(t.eval(e.Args[0]), e.Pos)
 
 	case "rand":
 		return t.rand()
 
 	case "srand":
-		t.rng = uint64(t.eval(e.Args[0]))*2654435761 + 1
-		return 0
+		return t.doSrand(t.eval(e.Args[0]))
 
 	case "sleepMs":
-		ms := t.eval(e.Args[0])
-		if rt.ctl != nil {
-			// Virtual time: a sleep is just a scheduling point, so races a
-			// real sleep would hide behind wall-clock separation become
-			// explorable interleavings.
-			t.schedPoint(sched.PointYield)
-			return 0
-		}
-		if ms > 0 {
-			time.Sleep(time.Duration(ms) * time.Millisecond)
-		}
-		return 0
+		return t.doSleepMs(t.eval(e.Args[0]))
 
 	case "yield":
-		if rt.ctl != nil {
-			t.schedPoint(sched.PointYield)
-			return 0
-		}
-		runtime.Gosched()
-		return 0
+		return t.doYield()
 
 	case "memset":
 		p := t.eval(e.Args[0])
 		v := t.eval(e.Args[1])
 		n := t.eval(e.Args[2])
-		for i := int64(0); i < n; i++ {
-			t.builtinWrite(p+i, v, e.ArgChecks[0], e.Pos)
-		}
-		return 0
+		return t.doMemset(p, v, n, e)
 
 	case "memcpy":
 		d := t.eval(e.Args[0])
 		s := t.eval(e.Args[1])
 		n := t.eval(e.Args[2])
-		for i := int64(0); i < n; i++ {
-			v := t.builtinRead(s+i, e.ArgChecks[1], e.Pos)
-			t.builtinWrite(d+i, v, e.ArgChecks[0], e.Pos)
-		}
-		return 0
+		return t.doMemcpy(d, s, n, e)
 
 	case "strlen":
-		p := t.eval(e.Args[0])
-		return int64(len(t.readCString(p, e.ArgChecks[0], e.Pos)))
+		return int64(len(t.readCString(t.eval(e.Args[0]), e.ArgChecks[0], e.Pos)))
 
 	case "strcmp":
 		a := t.readCString(t.eval(e.Args[0]), e.ArgChecks[0], e.Pos)
@@ -292,31 +106,12 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 	case "strcpy":
 		d := t.eval(e.Args[0])
 		s := t.eval(e.Args[1])
-		for i := int64(0); ; i++ {
-			v := t.builtinRead(s+i, e.ArgChecks[1], e.Pos)
-			t.builtinWrite(d+i, v, e.ArgChecks[0], e.Pos)
-			if v == 0 {
-				return 0
-			}
-		}
+		return t.doStrcpy(d, s, e)
 
 	case "shcRecycle":
 		p := t.eval(e.Args[0])
 		n := t.eval(e.Args[1])
-		if p <= 0 || n <= 0 {
-			return 0
-		}
-		// The custom allocator owns the memory layout; SharC only forgets
-		// past accesses (and drops tracked references held inside).
-		for i := int64(0); i < n && p+i < int64(len(rt.mem)); i++ {
-			if old := t.loadRaw(p + i); old != 0 {
-				t.dynStore(p+i, 0)
-			} else {
-				t.storeRaw(p+i, 0)
-			}
-		}
-		rt.shadow.ClearRange(p, n)
-		return 0
+		return t.doRecycle(p, n)
 
 	case "strstr":
 		hay := t.readCString(t.eval(e.Args[0]), e.ArgChecks[0], e.Pos)
@@ -326,6 +121,307 @@ func (t *thread) builtin(e *ir.BuiltinCall) int64 {
 	t.fail(e.Pos, "internal: unknown builtin %q", e.Name)
 	return 0
 }
+
+// ---------------------------------------------------------------------------
+// engine-shared bodies
+
+func (t *thread) doMalloc(n int64, pos token.Pos) int64 {
+	rt := t.rt
+	base, ok := rt.malloc(n)
+	if !ok {
+		t.fail(pos, "out of memory: malloc(%d)", n)
+	}
+	if obs := rt.cfg.Observer; obs != nil {
+		obs.Malloc(t.tid, base, rt.blockSize(base))
+	}
+	rt.tracer.Append(telemetry.KindMalloc, t.tid, -1, base, rt.blockSize(base))
+	return base
+}
+
+func (t *thread) doFree(p int64, pos token.Pos) int64 {
+	rt := t.rt
+	if p == 0 {
+		return 0
+	}
+	// Unpublish first: the block must not be reusable while its cells
+	// and shadow state are being cleared.
+	size := rt.beginFree(p)
+	if size == 0 {
+		t.fail(pos, "free of invalid pointer 0x%x", p)
+	}
+	// Pointer slots inside the block die: null them through barriers so
+	// their referents' counts drop, then clear the shadow state — freed
+	// memory is no longer considered accessed by any thread (§4.2.1).
+	for i := int64(0); i < size; i++ {
+		addr := p + i
+		if old := t.loadRaw(addr); old != 0 {
+			t.dynStore(addr, 0)
+		} else {
+			t.storeRaw(addr, 0)
+		}
+	}
+	rt.shadow.ClearRange(p, size)
+	rt.finishFree(p, size)
+	if obs := rt.cfg.Observer; obs != nil {
+		obs.Free(t.tid, p, size)
+	}
+	rt.tracer.Append(telemetry.KindFree, t.tid, -1, p, size)
+	return 0
+}
+
+func (t *thread) doJoin(h int64, pos token.Pos) int64 {
+	rt := t.rt
+	v, ok := rt.handles.Load(h)
+	if !ok {
+		t.fail(pos, "join of unknown thread handle %d", h)
+	}
+	th := v.(*threadHandle)
+	if rt.ctl != nil {
+		if !rt.ctl.Join(t.skey, th.skey) {
+			t.fail(pos, "deadlock: all threads blocked")
+		}
+	}
+	// Under the scheduler the target has already passed its Exit point;
+	// done closes momentarily after, so this wait is bounded and makes
+	// no scheduling decision.
+	<-th.done
+	if obs := rt.cfg.Observer; obs != nil {
+		obs.Join(t.tid, th.tid)
+	}
+	rt.tracer.Append(telemetry.KindJoin, t.tid, -1, 0, int64(th.tid))
+	return 0
+}
+
+func (t *thread) doMutexNew(pos token.Pos) int64 {
+	rt := t.rt
+	base, ok := rt.malloc(1)
+	if !ok {
+		t.fail(pos, "out of memory: mutexNew")
+	}
+	rt.mutexes.Store(base, &sync.Mutex{})
+	return base
+}
+
+func (t *thread) doCondNew(pos token.Pos) int64 {
+	rt := t.rt
+	base, ok := rt.malloc(1)
+	if !ok {
+		t.fail(pos, "out of memory: condNew")
+	}
+	rt.conds.Store(base, &condState{})
+	return base
+}
+
+func (t *thread) doMutexLock(addr int64, pos token.Pos) int64 {
+	rt := t.rt
+	mu := t.mutexAt(addr, pos)
+	if rt.ctl != nil {
+		// Real mutexes would block the token holder in the Go runtime
+		// with no way to hand the token on; ownership is modeled in the
+		// controller instead, which also gives deadlock detection.
+		if !rt.ctl.Lock(t.skey, addr) {
+			t.fail(pos, "deadlock: all threads blocked")
+		}
+	} else {
+		mu.Lock()
+	}
+	t.locks.Acquire(addr)
+	rt.counters.LockAcquires.Add(1)
+	rt.tracer.Append(telemetry.KindLockAcquire, t.tid, -1, addr, 0)
+	if obs := rt.cfg.Observer; obs != nil {
+		obs.Acquire(t.tid, addr)
+	}
+	return 0
+}
+
+func (t *thread) doMutexUnlock(addr int64, pos token.Pos) int64 {
+	rt := t.rt
+	mu := t.mutexAt(addr, pos)
+	if !t.locks.Release(addr) {
+		rt.report(ReportLock, pos,
+			fmt.Sprintf("%s: thread %d unlocked a mutex it does not hold", pos, t.tid))
+		return 0
+	}
+	rt.counters.LockReleases.Add(1)
+	rt.tracer.Append(telemetry.KindLockRelease, t.tid, -1, addr, 0)
+	if obs := rt.cfg.Observer; obs != nil {
+		obs.Release(t.tid, addr)
+	}
+	if rt.ctl != nil {
+		if !rt.ctl.Unlock(t.skey, addr) {
+			t.fail(pos, "deadlock: all threads blocked")
+		}
+	} else {
+		mu.Unlock()
+	}
+	return 0
+}
+
+func (t *thread) doCondWait(cvAddr, mAddr int64, pos token.Pos) int64 {
+	rt := t.rt
+	cs := t.condAt(cvAddr, pos)
+	mu := t.mutexAt(mAddr, pos)
+	cs.mu.Lock()
+	if cs.cond == nil {
+		if rt.ctl == nil {
+			cs.cond = sync.NewCond(mu)
+		}
+		cs.lock = mAddr
+	} else if cs.lock != mAddr {
+		cs.mu.Unlock()
+		t.fail(pos, "condition variable used with two different mutexes")
+	}
+	if rt.ctl != nil && cs.lock == 0 {
+		cs.lock = mAddr
+	}
+	cs.mu.Unlock()
+	if !t.locks.Held(mAddr) {
+		rt.report(ReportLock, pos,
+			fmt.Sprintf("%s: thread %d waits on a condition without holding the mutex", pos, t.tid))
+	}
+	t.locks.Release(mAddr)
+	rt.counters.LockReleases.Add(1)
+	rt.tracer.Append(telemetry.KindLockRelease, t.tid, -1, mAddr, 0)
+	if obs := rt.cfg.Observer; obs != nil {
+		obs.Release(t.tid, mAddr)
+	}
+	if rt.ctl != nil {
+		if !rt.ctl.Wait(t.skey, cvAddr, mAddr) {
+			t.fail(pos, "deadlock: all threads blocked")
+		}
+	} else {
+		cs.cond.Wait()
+	}
+	t.locks.Acquire(mAddr)
+	rt.counters.LockAcquires.Add(1)
+	rt.tracer.Append(telemetry.KindLockAcquire, t.tid, -1, mAddr, 0)
+	if obs := rt.cfg.Observer; obs != nil {
+		obs.Acquire(t.tid, mAddr)
+		obs.CondWake(t.tid, cvAddr)
+	}
+	return 0
+}
+
+func (t *thread) doCondSignal(cvAddr int64, broadcast bool, pos token.Pos) int64 {
+	rt := t.rt
+	cs := t.condAt(cvAddr, pos)
+	cs.mu.Lock()
+	cond := cs.cond
+	cs.mu.Unlock()
+	if obs := rt.cfg.Observer; obs != nil {
+		obs.CondSignal(t.tid, cvAddr)
+	}
+	if rt.ctl != nil {
+		// The controller picks which waiter wakes: wake order is a
+		// recorded, explorable scheduling decision.
+		if !rt.ctl.Signal(t.skey, cvAddr, broadcast) {
+			t.fail(pos, "deadlock: all threads blocked")
+		}
+	} else if cond != nil {
+		if broadcast {
+			cond.Broadcast()
+		} else {
+			cond.Signal()
+		}
+	}
+	return 0
+}
+
+func (t *thread) doPrint(s string, rest []int64) int64 {
+	var sb strings.Builder
+	sb.WriteString(s)
+	for _, v := range rest {
+		fmt.Fprintf(&sb, " %d", v)
+	}
+	t.rt.output(sb.String())
+	return 0
+}
+
+func (t *thread) doPrintInt(v int64) int64 {
+	t.rt.output(fmt.Sprintf("%d\n", v))
+	return 0
+}
+
+func (t *thread) doAssert(v int64, pos token.Pos) int64 {
+	if v == 0 {
+		t.fail(pos, "assertion failed")
+	}
+	return 0
+}
+
+func (t *thread) doSrand(seed int64) int64 {
+	t.rng = uint64(seed)*2654435761 + 1
+	return 0
+}
+
+func (t *thread) doSleepMs(ms int64) int64 {
+	if t.rt.ctl != nil {
+		// Virtual time: a sleep is just a scheduling point, so races a
+		// real sleep would hide behind wall-clock separation become
+		// explorable interleavings.
+		t.schedPoint(sched.PointYield)
+		return 0
+	}
+	if ms > 0 {
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+	}
+	return 0
+}
+
+func (t *thread) doYield() int64 {
+	if t.rt.ctl != nil {
+		t.schedPoint(sched.PointYield)
+		return 0
+	}
+	runtime.Gosched()
+	return 0
+}
+
+func (t *thread) doMemset(p, v, n int64, e *ir.BuiltinCall) int64 {
+	for i := int64(0); i < n; i++ {
+		t.builtinWrite(p+i, v, e.ArgChecks[0], e.Pos)
+	}
+	return 0
+}
+
+func (t *thread) doMemcpy(d, s, n int64, e *ir.BuiltinCall) int64 {
+	for i := int64(0); i < n; i++ {
+		v := t.builtinRead(s+i, e.ArgChecks[1], e.Pos)
+		t.builtinWrite(d+i, v, e.ArgChecks[0], e.Pos)
+	}
+	return 0
+}
+
+func (t *thread) doStrcpy(d, s int64, e *ir.BuiltinCall) int64 {
+	for i := int64(0); ; i++ {
+		v := t.builtinRead(s+i, e.ArgChecks[1], e.Pos)
+		t.builtinWrite(d+i, v, e.ArgChecks[0], e.Pos)
+		if v == 0 {
+			return 0
+		}
+	}
+}
+
+func (t *thread) doRecycle(p, n int64) int64 {
+	rt := t.rt
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	// The custom allocator owns the memory layout; SharC only forgets
+	// past accesses (and drops tracked references held inside).
+	for i := int64(0); i < n && p+i < int64(len(rt.mem)); i++ {
+		if old := t.loadRaw(p + i); old != 0 {
+			t.dynStore(p+i, 0)
+		} else {
+			t.storeRaw(p+i, 0)
+		}
+	}
+	rt.shadow.ClearRange(p, n)
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// checked library accesses
 
 // builtinRead is a checked read on behalf of a library summary (§4.4).
 func (t *thread) builtinRead(addr int64, chk ir.Check, pos token.Pos) int64 {
@@ -377,19 +473,17 @@ func (t *thread) condAt(addr int64, pos token.Pos) *condState {
 	return v.(*condState)
 }
 
-// spawn starts a new ShC thread running the target function with one
+// doSpawn starts a new ShC thread running the target function with one
 // argument, returning a join handle.
-func (t *thread) spawn(e *ir.BuiltinCall) int64 {
+func (t *thread) doSpawn(fnVal, arg int64, pos token.Pos) int64 {
 	rt := t.rt
-	fnVal := t.eval(e.Args[0])
-	arg := t.eval(e.Args[1])
 	idx := ir.DecodeFunc(fnVal)
 	if idx < 0 || idx >= len(rt.prog.Funcs) {
-		t.fail(e.Pos, "spawn of invalid function pointer 0x%x", fnVal)
+		t.fail(pos, "spawn of invalid function pointer 0x%x", fnVal)
 	}
 	fn := rt.prog.Funcs[idx]
 	if fn.NumParams != 1 {
-		t.fail(e.Pos, "spawn target %s must take one argument", fn.Name)
+		t.fail(pos, "spawn target %s must take one argument", fn.Name)
 	}
 	var tid int
 	if rt.ctl != nil {
@@ -401,7 +495,7 @@ func (t *thread) spawn(e *ir.BuiltinCall) int64 {
 			case tid = <-rt.tidPool:
 			default:
 				if !rt.ctl.AwaitExit(t.skey) {
-					t.fail(e.Pos, "deadlock: all threads blocked")
+					t.fail(pos, "deadlock: all threads blocked")
 				}
 				continue
 			}
@@ -438,7 +532,7 @@ func (t *thread) spawn(e *ir.BuiltinCall) int64 {
 			rt.ctl.Begin(th.skey)
 		}
 		defer rt.threadEpilogue(nt)
-		nt.runFunc(fn, []int64{arg})
+		nt.invoke(idx, []int64{arg})
 	}()
 	t.schedPoint(sched.PointSpawn)
 	return handle

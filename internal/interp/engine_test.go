@@ -1,0 +1,323 @@
+package interp_test
+
+// Differential tests for the two execution engines: the recursive tree
+// walker and the register VM over the flat instruction form. The linearize
+// pass promises instruction order identical to the tree walker's
+// evaluation order, so under a fixed cooperative schedule the two engines
+// must agree on everything observable: exit values, violation reports,
+// statistics, and the recorded schedule trace, across every elision
+// configuration.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/sched"
+	"repro/internal/semantics"
+)
+
+// allCorpusFiles is every testdata program, racy ones included.
+var allCorpusFiles = []string{
+	"bank.shc", "barrier.shc", "hashtable.shc", "linkedlist.shc",
+	"matmul.shc", "racy_handoff.shc", "racy_pair.shc", "racy_reader.shc",
+	"readers.shc", "ringbuffer.shc", "sort.shc",
+}
+
+// engineRunResult is everything observable from one seeded run.
+type engineRunResult struct {
+	exit    int64
+	errMsg  string
+	reports string
+	stats   interp.Stats
+	trace   string
+}
+
+// engineRun executes prog on the chosen engine under a seeded cooperative
+// schedule, recording the schedule trace.
+func engineRun(t *testing.T, prog *ir.Program, engine interp.Engine, cache bool, seed int64) engineRunResult {
+	t.Helper()
+	ctl := sched.New(sched.NewRandom(seed), sched.Options{Record: true})
+	cfg := interp.DefaultConfig()
+	cfg.Engine = engine
+	cfg.CheckCache = cache
+	cfg.Sched = ctl
+	rt := interp.New(prog, cfg)
+	if rt.EngineUsed() != engine {
+		t.Fatalf("engine %v requested, %v resolved", engine, rt.EngineUsed())
+	}
+	exit, err := rt.Run()
+	data, merr := ctl.Trace().Marshal()
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	res := engineRunResult{
+		exit:    exit,
+		reports: rt.FormatReports(),
+		stats:   rt.Stats(),
+		trace:   string(data),
+	}
+	if err != nil {
+		res.errMsg = err.Error()
+	}
+	return res
+}
+
+// diffEngines compares a tree-walker run against a VM run of the same
+// program, configuration, and seed.
+func diffEngines(t *testing.T, label string, tree, vm engineRunResult) {
+	t.Helper()
+	if tree.exit != vm.exit {
+		t.Errorf("%s: exit tree=%d vm=%d", label, tree.exit, vm.exit)
+	}
+	if tree.errMsg != vm.errMsg {
+		t.Errorf("%s: error tree=%q vm=%q", label, tree.errMsg, vm.errMsg)
+	}
+	if tree.reports != vm.reports {
+		t.Errorf("%s: reports diverge:\ntree:\n%s---\nvm:\n%s", label, tree.reports, vm.reports)
+	}
+	if tree.stats != vm.stats {
+		t.Errorf("%s: stats tree=%+v vm=%+v", label, tree.stats, vm.stats)
+	}
+	if tree.trace != vm.trace {
+		t.Errorf("%s: recorded schedule traces differ (scheduling points moved)", label)
+	}
+}
+
+// TestEngineDifferentialCorpus runs every corpus program through both
+// engines under fixed seeds and every elision configuration, demanding
+// byte-identical observables.
+func TestEngineDifferentialCorpus(t *testing.T) {
+	configs := []struct {
+		name  string
+		elide bool
+		cache bool
+	}{
+		{"plain", false, false},
+		{"elide", true, false},
+		{"elide+cache", true, true},
+	}
+	for _, file := range allCorpusFiles {
+		file := file
+		t.Run(file, func(t *testing.T) {
+			for _, cc := range configs {
+				copts := compile.DefaultOptions()
+				copts.Elide = cc.elide
+				prog := buildCorpus(t, file, copts)
+				for _, seed := range []int64{1, 12} {
+					label := fmt.Sprintf("%s/seed=%d", cc.name, seed)
+					tree := engineRun(t, prog, interp.EngineTree, cc.cache, seed)
+					vm := engineRun(t, prog, interp.EngineVM, cc.cache, seed)
+					diffEngines(t, label, tree, vm)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// fuzz oracle: random well-typed programs from the semantics generator
+
+// shcType renders a core-language type as an ShC type: int with its mode,
+// wrapped in one '*' per reference level, each star carrying the level's
+// mode qualifier.
+func shcType(ty *semantics.Type) string {
+	if ty.Ref == nil {
+		return "int " + ty.Mode.String()
+	}
+	return shcType(ty.Ref) + " * " + ty.Mode.String()
+}
+
+// shcRenderer turns a semantics.Program into ShC source. Spawns are kept
+// only in main (worker-side spawns could recurse unboundedly without the
+// step budget the semantics machine enforces) and every spawn gets a
+// matching join so the program terminates on its own.
+type shcRenderer struct {
+	p   *semantics.Program
+	sb  strings.Builder
+	env map[string]*semantics.Type
+}
+
+func renderShC(p *semantics.Program) string {
+	r := &shcRenderer{p: p, env: map[string]*semantics.Type{}}
+	for _, g := range p.Globals {
+		r.env[g.Name] = g.Type
+		fmt.Fprintf(&r.sb, "%s %s;\n", shcType(g.Type), g.Name)
+	}
+	r.sb.WriteString("\n")
+	for _, th := range p.Threads {
+		if th.Name != p.Main {
+			r.thread(&th, false)
+		}
+	}
+	r.thread(p.Thread(p.Main), true)
+	return r.sb.String()
+}
+
+func (r *shcRenderer) typeOfLVal(l semantics.LVal) *semantics.Type {
+	ty := r.env[l.Name]
+	if l.Deref {
+		return ty.Ref
+	}
+	return ty
+}
+
+func (r *shcRenderer) thread(th *semantics.ThreadDef, isMain bool) {
+	if isMain {
+		fmt.Fprintf(&r.sb, "int main(void) {\n")
+	} else {
+		fmt.Fprintf(&r.sb, "void *%s(void *d) {\n", th.Name)
+	}
+	for _, l := range th.Locals {
+		r.env[l.Name] = l.Type
+		fmt.Fprintf(&r.sb, "\t%s %s;\n", shcType(l.Type), l.Name)
+	}
+	handles := 0
+	for _, s := range th.Body {
+		if s.Kind == semantics.StmtSpawn {
+			if !isMain || s.Thread == r.p.Main {
+				continue
+			}
+			fmt.Fprintf(&r.sb, "\tint private h%d = spawn(%s, NULL);\n", handles, s.Thread)
+			handles++
+			continue
+		}
+		r.assign(s)
+	}
+	for i := 0; i < handles; i++ {
+		fmt.Fprintf(&r.sb, "\tjoin(h%d);\n", i)
+	}
+	if isMain {
+		r.sb.WriteString("\treturn 0;\n}\n\n")
+	} else {
+		r.sb.WriteString("\treturn NULL;\n}\n\n")
+	}
+	for _, l := range th.Locals {
+		delete(r.env, l.Name)
+	}
+}
+
+func (r *shcRenderer) assign(s semantics.Stmt) {
+	lhs := s.L.String()
+	switch s.R.Kind {
+	case semantics.RHSInt:
+		fmt.Fprintf(&r.sb, "\t%s = %d;\n", lhs, s.R.N)
+	case semantics.RHSNull:
+		fmt.Fprintf(&r.sb, "\t%s = NULL;\n", lhs)
+	case semantics.RHSNew:
+		fmt.Fprintf(&r.sb, "\t%s = malloc(8);\n", lhs)
+	case semantics.RHSLVal:
+		fmt.Fprintf(&r.sb, "\t%s = %s;\n", lhs, s.R.L)
+	case semantics.RHSScast:
+		fmt.Fprintf(&r.sb, "\t%s = SCAST(%s, %s);\n", lhs, shcType(r.typeOfLVal(s.L)), s.R.X)
+	}
+}
+
+// TestEngineDifferentialFuzz is the differential fuzz oracle: random
+// well-typed core-language programs are rendered to ShC, and every one
+// that passes the static checker runs through both engines under fixed
+// seeds with identical observable behavior required. Programs the static
+// checker rejects (the renderer maps the core language onto a stricter
+// surface syntax) are skipped; the test demands a minimum yield so the
+// oracle cannot silently degenerate.
+func TestEngineDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2008))
+	ran := 0
+	for i := 0; i < 80; i++ {
+		src := renderShC(semantics.GenProgram(rng))
+		a, err := core.Analyze(parser.Source{Name: fmt.Sprintf("fuzz%d.shc", i), Text: src})
+		if err != nil || !a.Check.OK() {
+			continue
+		}
+		ran++
+		for _, elide := range []bool{false, true} {
+			copts := compile.DefaultOptions()
+			copts.Elide = elide
+			prog, err := a.Build(copts)
+			if err != nil {
+				t.Fatalf("program %d: build: %v", i, err)
+			}
+			for _, seed := range []int64{1, 7} {
+				label := fmt.Sprintf("program %d elide=%v seed=%d", i, elide, seed)
+				tree := engineRun(t, prog, interp.EngineTree, elide, seed)
+				vm := engineRun(t, prog, interp.EngineVM, elide, seed)
+				diffEngines(t, label, tree, vm)
+				if t.Failed() {
+					t.Fatalf("source of diverging program:\n%s", src)
+				}
+			}
+		}
+	}
+	if ran < 15 {
+		t.Fatalf("fuzz yield too low: only %d/80 rendered programs passed the checker", ran)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// cross-engine replay matrix
+
+// TestSchedCrossEngineReplay extends the elision soundness oracle across
+// engines: a schedule recorded on the tree walker replays without
+// divergence on both engines under every elision configuration (off,
+// static, static+cache), with identical exit values and reports — and the
+// VM records the byte-identical trace in the first place.
+func TestSchedCrossEngineReplay(t *testing.T) {
+	engines := []interp.Engine{interp.EngineTree, interp.EngineVM}
+	for _, file := range []string{"bank.shc", "barrier.shc", "racy_handoff.shc", "racy_reader.shc"} {
+		file := file
+		t.Run(file, func(t *testing.T) {
+			plain := buildCorpus(t, file, compile.DefaultOptions())
+			elideOpts := compile.DefaultOptions()
+			elideOpts.Elide = true
+			elided := buildCorpus(t, file, elideOpts)
+
+			cells := []struct {
+				name  string
+				prog  *ir.Program
+				cache bool
+			}{
+				{"off", plain, false},
+				{"static", elided, false},
+				{"static+cache", elided, true},
+			}
+
+			for _, seed := range []int64{3, 17} {
+				// Record on both engines: byte-identical traces required.
+				rec := engineRun(t, plain, interp.EngineTree, false, seed)
+				recVM := engineRun(t, plain, interp.EngineVM, false, seed)
+				diffEngines(t, fmt.Sprintf("record seed=%d", seed), rec, recVM)
+
+				tr, err := sched.UnmarshalTrace([]byte(rec.trace))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, cell := range cells {
+					for _, eng := range engines {
+						label := fmt.Sprintf("seed=%d %s engine=%v", seed, cell.name, eng)
+						rep := sched.NewReplay(tr)
+						cfg := interp.DefaultConfig()
+						cfg.Engine = eng
+						cfg.CheckCache = cell.cache
+						got := schedRun(t, cell.prog, cfg, rep)
+						if rep.Diverged() {
+							t.Fatalf("%s: trace did not align", label)
+						}
+						if got.exit != rec.exit {
+							t.Fatalf("%s: exit %d, recorded %d", label, got.exit, rec.exit)
+						}
+						if got.reports != rec.reports {
+							t.Fatalf("%s: reports diverge under a fixed schedule:\nrecorded:\n%s---\ngot:\n%s",
+								label, rec.reports, got.reports)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -95,6 +95,37 @@ type Config struct {
 	Telemetry *telemetry.Collector
 	Tracer    *telemetry.Tracer
 	Counters  *telemetry.Counters
+
+	// Engine selects the execution engine. The default (EngineAuto) runs
+	// the register VM whenever the program carries a flat form and falls
+	// back to the tree walker otherwise; both engines are behaviorally
+	// identical (reports, stats, schedule traces) by construction and by
+	// the differential oracle in engine_test.go.
+	Engine Engine
+}
+
+// Engine selects how compiled code executes.
+type Engine int
+
+const (
+	// EngineAuto runs the VM when the program has a flat form, else the
+	// tree walker.
+	EngineAuto Engine = iota
+	// EngineVM forces the register VM over the flat instruction form.
+	EngineVM
+	// EngineTree forces the recursive tree walker (kept for one release as
+	// the differential baseline).
+	EngineTree
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineVM:
+		return "vm"
+	case EngineTree:
+		return "tree"
+	}
+	return "auto"
 }
 
 // DefaultConfig returns a configuration adequate for the test programs and
@@ -166,6 +197,11 @@ type Stats struct {
 type Runtime struct {
 	prog *ir.Program
 	cfg  Config
+
+	// useVM is the resolved engine choice: the register VM over the flat
+	// form, or the recursive tree walker. Fixed at New so every thread of
+	// one runtime executes on the same engine.
+	useVM bool
 
 	mem       []int64
 	stackBase int64
@@ -262,6 +298,7 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 		reportSet: make(map[string]bool),
 		out:       cfg.Stdout,
 		ctl:       cfg.Sched,
+		useVM:     prog.Flat != nil && cfg.Engine != EngineTree,
 	}
 	if rt.out == nil {
 		rt.out = io.Discard
@@ -597,13 +634,22 @@ func (rt *Runtime) Run() (int64, error) {
 	ret := int64(0)
 	func() {
 		defer rt.threadEpilogue(t)
-		ret = t.runFunc(rt.prog.Funcs[mainIdx], nil)
+		ret = t.invoke(mainIdx, nil)
 	}()
 	rt.wg.Wait()
 	if fails := rt.ReportsOfKind(ReportThreadFail); len(fails) > 0 {
 		return ret, fmt.Errorf("%s", fails[0].Msg)
 	}
 	return ret, nil
+}
+
+// EngineUsed reports the engine the runtime resolved to at New: EngineVM
+// or EngineTree (never EngineAuto).
+func (rt *Runtime) EngineUsed() Engine {
+	if rt.useVM {
+		return EngineVM
+	}
+	return EngineTree
 }
 
 func (rt *Runtime) trackLive(d int32) {

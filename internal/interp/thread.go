@@ -38,6 +38,12 @@ type thread struct {
 	nLockChk int64
 	nBarrier int64
 	nElided  int64
+
+	// regs is the VM engine's register stack: each flat frame claims a
+	// window of NumRegs cells. cstrs is its pending C-string stack, filled
+	// by FCString instructions and consumed by the following FBuiltin.
+	regs  []int64
+	cstrs []string
 }
 
 func (rt *Runtime) newThread(tid int) *thread {
@@ -231,10 +237,22 @@ func (t *thread) dynStore(addr, val int64) {
 // ---------------------------------------------------------------------------
 // calls and frames
 
-// runFunc executes fn with the given argument values in a fresh frame and
-// returns its result.
-func (t *thread) runFunc(fn *ir.Func, args []int64) int64 {
-	frameBase := t.sp
+// invoke runs function fnIdx with the given arguments on whichever engine
+// the runtime selected. Every entry into user code — the main call, direct
+// and indirect calls, and spawned thread bodies — goes through here, so
+// one runtime never mixes engines.
+func (t *thread) invoke(fnIdx int, args []int64) int64 {
+	if t.rt.useVM {
+		return t.runFlat(fnIdx, args)
+	}
+	return t.runFunc(t.rt.prog.Funcs[fnIdx], args)
+}
+
+// pushFrame claims and zeroes a fresh frame for fn and stores the argument
+// values (tracked pointer parameters through the barrier). It returns the
+// frame base and the caller's frame pointer for popFrame.
+func (t *thread) pushFrame(fn *ir.Func, args []int64) (frameBase, prevFrame int64) {
+	frameBase = t.sp
 	if frameBase+int64(fn.FrameSize) > t.base+int64(t.rt.cfg.StackCells) {
 		t.fail(fn.Pos, "stack overflow in %s", fn.Name)
 	}
@@ -243,7 +261,7 @@ func (t *thread) runFunc(fn *ir.Func, args []int64) int64 {
 	for i := int64(0); i < int64(fn.FrameSize); i++ {
 		t.storeRaw(frameBase+i, 0)
 	}
-	prevFrame := t.frame
+	prevFrame = t.frame
 	t.frame = frameBase
 
 	for i, v := range args {
@@ -255,13 +273,13 @@ func (t *thread) runFunc(fn *ir.Func, args []int64) int64 {
 		}
 		t.storeRaw(frameBase+int64(slot), v)
 	}
+	return frameBase, prevFrame
+}
 
-	t.retVal = 0
-	t.execStmts(fn.Body)
-
-	// Frame teardown: the formal semantics zeroes a dead frame's cells;
-	// tracked pointer slots are nulled through the barrier so their
-	// referents' counts drop.
+// popFrame tears the frame down: the formal semantics zeroes a dead
+// frame's cells; tracked pointer slots are nulled through the barrier so
+// their referents' counts drop.
+func (t *thread) popFrame(fn *ir.Func, frameBase, prevFrame int64) {
 	for _, s := range fn.RCPtrSlots {
 		addr := frameBase + int64(s)
 		if old := t.loadRaw(addr); old != 0 && t.rt.rc != nil {
@@ -272,6 +290,15 @@ func (t *thread) runFunc(fn *ir.Func, args []int64) int64 {
 	}
 	t.frame = prevFrame
 	t.sp = frameBase
+}
+
+// runFunc executes fn with the given argument values in a fresh frame and
+// returns its result (the tree-walking engine).
+func (t *thread) runFunc(fn *ir.Func, args []int64) int64 {
+	frameBase, prevFrame := t.pushFrame(fn, args)
+	t.retVal = 0
+	t.execStmts(fn.Body)
+	t.popFrame(fn, frameBase, prevFrame)
 	return t.retVal
 }
 
@@ -531,7 +558,7 @@ func (t *thread) call(e *ir.Call) int64 {
 	if len(args) != fn.NumParams {
 		t.fail(e.Pos, "call to %s with %d args, want %d", fn.Name, len(args), fn.NumParams)
 	}
-	return t.runFunc(fn, args)
+	return t.invoke(idx, args)
 }
 
 // scast implements the sharing cast: verify the source is the sole
@@ -540,7 +567,12 @@ func (t *thread) call(e *ir.Call) int64 {
 // that one), null the source slot, clear the object's reader/writer sets —
 // after a cast, past accesses no longer constitute unintended sharing.
 func (t *thread) scast(e *ir.Scast) int64 {
-	addr := t.eval(e.Addr)
+	return t.scastAt(t.eval(e.Addr), e)
+}
+
+// scastAt is the engine-shared body of the sharing cast, entered once the
+// source l-value's address is known (the VM reaches it from FScast).
+func (t *thread) scastAt(addr int64, e *ir.Scast) int64 {
 	t.checkAddr(addr, e.Pos)
 	t.schedPoint(sched.PointScast)
 	v := t.load(addr, e.ChkR, e.Pos)

@@ -321,6 +321,12 @@ type Program struct {
 
 	// Elision is filled by the static check-elision pass when it runs.
 	Elision ElisionStats
+
+	// Flat is the linear instruction form of Funcs, attached by the
+	// linearize pass; the register VM executes it. Nil for hand-built
+	// programs that never went through the pass pipeline (the tree walker
+	// still runs those).
+	Flat *FlatProgram
 }
 
 // EncodeFunc converts a function index into a pointer-distinguishable value.
