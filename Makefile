@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench elision explore explore-smoke profile-smoke engine-smoke obs vm
+.PHONY: all build vet test race verify bench elision explore explore-smoke profile-smoke engine-smoke vet-smoke obs vm vet-bench
 
 all: verify
 
@@ -16,10 +16,10 @@ test:
 race:
 	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry
 
-# verify is the gate for every change: build, vet, the full test suite, the
-# race detector over the concurrency-bearing packages, and the exploration,
-# profile, and cross-engine smokes.
-verify: build vet test race explore-smoke profile-smoke engine-smoke
+# verify is the gate for every change: build, go vet, the full test suite,
+# the race detector over the concurrency-bearing packages, and the
+# exploration, profile, cross-engine, and static-analysis smokes.
+verify: build vet test race explore-smoke profile-smoke engine-smoke vet-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -67,6 +67,25 @@ engine-smoke:
 	done
 	@echo "engine-smoke ok"
 
+# vet-smoke runs the static analyzer over the whole corpus and asserts
+# the partition is exact: every clean program vets with zero must
+# findings (exit 0), every seeded-racy program with at least one (exit 1).
+vet-smoke:
+	@for prog in internal/interp/testdata/*.shc; do \
+		case $$prog in \
+		*racy_*) \
+			$(GO) run ./cmd/sharc vet $$prog > /dev/null 2>/dev/null; \
+			[ $$? -eq 1 ] || { echo "vet missed the seeded race in $$prog"; exit 1; };; \
+		*) \
+			$(GO) run ./cmd/sharc vet $$prog > /dev/null || { echo "false must verdict in $$prog"; exit 1; };; \
+		esac; \
+	done
+	@echo "vet-smoke ok"
+
 # vm regenerates BENCH_vm.json (tree walker vs register VM speedups).
 vm:
 	$(GO) run ./cmd/sharc-bench -vm
+
+# vet-bench regenerates BENCH_vet.json (static discharge vs elision alone).
+vet-bench:
+	$(GO) run ./cmd/sharc-bench -vet

@@ -23,6 +23,10 @@
 //	sharc-bench -vm                     engine comparison (tree walker vs
 //	                                    register VM) on the checked Table-1
 //	                                    rows, also written to BENCH_vm.json
+//	sharc-bench -vet                    static check discharge (elide-only
+//	                                    vs elide + vet discharge) on both
+//	                                    engines, also written to
+//	                                    BENCH_vet.json
 package main
 
 import (
@@ -47,6 +51,8 @@ func main() {
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the telemetry-overhead JSON")
 	vm := flag.Bool("vm", false, "compare the tree walker against the register VM and write BENCH_vm.json")
 	vmOut := flag.String("vm-out", "BENCH_vm.json", "output path for the engine-comparison JSON")
+	vetFlag := flag.Bool("vet", false, "measure static check discharge and write BENCH_vet.json")
+	vetOut := flag.String("vet-out", "BENCH_vet.json", "output path for the discharge JSON")
 	schedules := flag.Int("schedules", 100, "schedules per program in -explore mode")
 	flag.Parse()
 
@@ -164,6 +170,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *vmOut)
+		return
+	}
+
+	if *vetFlag {
+		var rows []bench.VetRow
+		for i := range bench.Benchmarks {
+			b := &bench.Benchmarks[i]
+			if *runOne != "" && b.Name != *runOne {
+				continue
+			}
+			r, err := bench.RunVet(b, scale, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println("Static check discharge (elide-only vs elide + vet discharge, both engines):")
+		fmt.Print(bench.FormatVet(rows))
+		data, err := bench.VetJSON(rows)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*vetOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *vetOut)
 		return
 	}
 

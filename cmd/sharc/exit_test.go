@@ -1,0 +1,92 @@
+package main
+
+import "testing"
+
+// TestExitFor pins the one outcome table run, explore, and vet share: run
+// propagates the program's exit byte, the analysis subcommands map
+// findings to 0/1.
+func TestExitFor(t *testing.T) {
+	cases := []struct {
+		name        string
+		cmd         string
+		programExit int64
+		findings    int
+		want        int
+	}{
+		{"run zero", "run", 0, 0, 0},
+		{"run value", "run", 7, 0, 7},
+		{"run masked", "run", 256 + 3, 0, 3},
+		{"run negative masked", "run", -1, 0, 255},
+		{"run ignores findings", "run", 0, 5, 0},
+		{"explore clean", "explore", 0, 0, 0},
+		{"explore findings", "explore", 0, 2, 1},
+		{"explore ignores exit", "explore", 9, 0, 0},
+		{"vet clean", "vet", 0, 0, 0},
+		{"vet musts", "vet", 0, 1, 1},
+		{"vet ignores exit", "vet", 9, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := exitFor(tc.cmd, tc.programExit, tc.findings); got != tc.want {
+			t.Errorf("%s: exitFor(%q, %d, %d) = %d, want %d",
+				tc.name, tc.cmd, tc.programExit, tc.findings, got, tc.want)
+		}
+	}
+}
+
+// TestValidateTable exercises the shared rule table directly: every rule's
+// exit code, that rules fire only for their subcommands, and that the
+// first violation wins (conflicts before bad values, as the table orders
+// them).
+func TestValidateTable(t *testing.T) {
+	ok := func() cliFlags {
+		return cliFlags{
+			schedules: 100, strategy: "mix", top: 10,
+			seed: 1, traceCap: 1024, engine: "auto",
+		}
+	}
+	cases := []struct {
+		name string
+		cmd  string
+		mut  func(*cliFlags)
+		code int
+	}{
+		{"run defaults valid", "run", func(f *cliFlags) { f.seed = -1 }, 0},
+		{"explore defaults valid", "explore", func(f *cliFlags) {}, 0},
+		{"profile defaults valid", "profile", func(f *cliFlags) { f.seed = 0 }, 0},
+		{"vet has no rules", "vet", func(f *cliFlags) { *f = cliFlags{} }, 0},
+		{"record+replay", "run", func(f *cliFlags) { f.seed = -1; f.record = "a"; f.replay = "b" }, exitConflict},
+		{"replay+seed", "run", func(f *cliFlags) { f.replay = "a" }, exitConflict},
+		{"unchecked+record", "run", func(f *cliFlags) { f.seed = -1; f.unchecked = true; f.record = "a" }, exitConflict},
+		{"unchecked+metrics", "run", func(f *cliFlags) { f.seed = -1; f.unchecked = true; f.metrics = true }, exitConflict},
+		{"unchecked+discharge", "run", func(f *cliFlags) { f.seed = -1; f.unchecked = true; f.discharge = true }, exitConflict},
+		{"run seed below -1", "run", func(f *cliFlags) { f.seed = -2 }, exitBadValue},
+		{"explore negative seed", "explore", func(f *cliFlags) { f.seed = -1 }, exitBadValue},
+		{"profile negative seed", "profile", func(f *cliFlags) { f.seed = -1 }, exitBadValue},
+		{"run allows seed -1", "run", func(f *cliFlags) { f.seed = -1 }, 0},
+		{"zero schedules", "explore", func(f *cliFlags) { f.schedules = 0 }, exitBadValue},
+		{"schedules rule is explore-only", "run", func(f *cliFlags) { f.seed = -1; f.schedules = 0 }, 0},
+		{"bad strategy", "explore", func(f *cliFlags) { f.strategy = "dfs" }, exitBadValue},
+		{"zero top", "profile", func(f *cliFlags) { f.seed = 0; f.top = 0 }, exitBadValue},
+		{"top rule is profile-only", "explore", func(f *cliFlags) { f.top = 0 }, 0},
+		{"zero trace cap run", "run", func(f *cliFlags) { f.seed = -1; f.traceCap = 0 }, exitBadValue},
+		{"zero trace cap explore", "explore", func(f *cliFlags) { f.traceCap = 0 }, exitBadValue},
+		{"zero trace cap profile", "profile", func(f *cliFlags) { f.seed = 0; f.traceCap = 0 }, exitBadValue},
+		{"bad engine", "run", func(f *cliFlags) { f.seed = -1; f.engine = "jit" }, exitBadValue},
+		{"conflict wins over bad value", "run", func(f *cliFlags) {
+			f.seed = -1
+			f.record, f.replay = "a", "b" // conflict…
+			f.engine = "jit"              // …and a bad value: table order says 3
+		}, exitConflict},
+	}
+	for _, tc := range cases {
+		f := ok()
+		tc.mut(&f)
+		code, msg := validate(tc.cmd, &f)
+		if code != tc.code {
+			t.Errorf("%s: validate(%q) = %d (%q), want %d", tc.name, tc.cmd, code, msg, tc.code)
+		}
+		if code != 0 && msg == "" {
+			t.Errorf("%s: non-zero code with empty message", tc.name)
+		}
+	}
+}

@@ -8,6 +8,10 @@
 //	                           and SCAST suggestions
 //	sharc infer  file.shc...   print the inferred sharing modes for every
 //	                           struct, global, and function (Figure 2 view)
+//	sharc vet    file.shc...   whole-program points-to + lockset analysis:
+//	                           report statically provable races (must) and
+//	                           possible ones (may), ranked; -json writes the
+//	                           full report to a path
 //	sharc run    file.shc...   execute with full instrumentation; prints
 //	                           program output, then any violation reports
 //	sharc run -unchecked ...   execute without instrumentation ("Orig")
@@ -18,8 +22,8 @@
 //	                           additionally record the schedule to a trace
 //	sharc run -replay t.json ...
 //	                           re-execute a recorded schedule exactly (also
-//	                           across -elide/-cache configs: the elision
-//	                           soundness oracle)
+//	                           across -elide/-cache/-discharge configs: the
+//	                           elision soundness oracle)
 //	sharc explore file.shc...  run many controlled schedules (PCT, random,
 //	                           round-robin sweep) and summarize the distinct
 //	                           violations found and which schedule first
@@ -28,8 +32,9 @@
 //	                           telemetry and print the hot-site report: the
 //	                           checks each site executed, how many were
 //	                           avoided (elision + cache), the threads that
-//	                           touched it, and the sharing mode the §4.1
-//	                           heuristics would suggest
+//	                           touched it, the sharing mode the §4.1
+//	                           heuristics would suggest, and the static vet
+//	                           verdict for the site (mismatches flagged !)
 //
 // run and explore also accept -metrics (print a telemetry summary) and
 // -trace-out/-trace-chrome (export the structured event stream as JSONL
@@ -39,12 +44,19 @@
 // execution engine: the register VM over the flat instruction form (the
 // default) or the recursive tree walker (retained for one release). The
 // two engines produce byte-identical reports, statistics, telemetry, and
-// schedule traces, so -record/-replay work across them.
+// schedule traces, so -record/-replay work across them. They also accept
+// -discharge, which runs the vet analysis at build time and removes the
+// dynamic checks it proves can never fail.
 //
-// Exit codes for invalid invocations are distinct: 2 for usage errors
-// (unknown subcommand, unparsable flags, no input files), 3 for valid
-// flags in conflicting combinations, 4 for a flag with a nonsensical
-// value.
+// Exit codes are uniform across subcommands (see exitFor):
+//
+//	0  clean: check passed, explore/vet found nothing
+//	1  findings: check/build errors, explore found a violation, vet
+//	   reported a must finding; run instead propagates the program's
+//	   own exit status masked to 0..255
+//	2  usage error: unknown subcommand or flag, no input files
+//	3  valid flags in a conflicting combination
+//	4  a flag with a nonsensical value
 package main
 
 import (
@@ -53,6 +65,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/sched"
@@ -66,43 +79,31 @@ const (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: sharc {check|infer|run|explore|profile} [flags] file.shc...\n")
+	fmt.Fprintf(os.Stderr, "usage: sharc {check|infer|vet|run|explore|profile} [flags] file.shc...\n")
 	os.Exit(exitUsage)
 }
 
-type runFlags struct {
-	unchecked   bool
-	stats       bool
-	seed        int64
-	record      string
-	replay      string
-	elide       bool
-	cache       bool
-	metrics     bool
-	traceOut    string
-	traceChrome string
-	traceCap    int
-	engine      string
-}
-
-type exploreFlags struct {
+// cliFlags is the union of every subcommand's flags. Each subcommand
+// registers only the subset it understands, so an unsupported flag is a
+// parse error (exit 2), not a silent no-op; the zero value of the rest is
+// inert. One struct means one validation table and one options builder.
+type cliFlags struct {
+	// run only
+	unchecked bool
+	stats     bool
+	record    string
+	replay    string
+	// explore only
 	schedules int
 	strategy  string
-	seed      int64
-	elide     bool
-	cache     bool
-	jsonOut   string
-	metrics   bool
-	traceOut  string
-	traceCap  int
-	engine    string
-}
-
-type profileFlags struct {
+	// profile only
+	top int
+	// shared between execution subcommands
 	seed        int64
-	top         int
 	elide       bool
 	cache       bool
+	discharge   bool
+	metrics     bool
 	jsonOut     string
 	traceOut    string
 	traceChrome string
@@ -119,70 +120,127 @@ func validEngine(s string) bool {
 	return false
 }
 
-// validateRun checks flag combinations before any file is read. It returns
-// a non-zero exit code and message on invalid input.
-func validateRun(f *runFlags) (int, string) {
-	if f.record != "" && f.replay != "" {
-		return exitConflict, "-record and -replay are mutually exclusive"
-	}
-	if f.replay != "" && f.seed >= 0 {
-		return exitConflict, "-replay re-executes a recorded schedule; -seed conflicts with it"
-	}
-	if f.unchecked && (f.record != "" || f.replay != "") {
-		return exitConflict, "-unchecked changes the instrumentation and with it the scheduling points; it cannot record or replay traces"
-	}
-	if f.seed < -1 {
-		return exitBadValue, fmt.Sprintf("-seed must be >= 0 (or omitted for free running), got %d", f.seed)
-	}
-	if f.unchecked && (f.metrics || f.traceOut != "" || f.traceChrome != "") {
-		return exitConflict, "-unchecked removes the instrumentation telemetry observes; it cannot combine with -metrics or trace export"
-	}
-	if f.traceCap <= 0 {
-		return exitBadValue, fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
-	}
-	if !validEngine(f.engine) {
-		return exitBadValue, fmt.Sprintf("-engine must be one of auto, vm, tree; got %q", f.engine)
+// cliRules is the single flag-validation table for every subcommand. Each
+// rule names the subcommands it applies to, the exit code a violation
+// earns, and a predicate returning the error message (empty = ok). The
+// rules run in order and the first violation wins, so conflicts (exit 3)
+// are listed before bad values (exit 4), matching the historical per-
+// subcommand validators this table replaced.
+var cliRules = []struct {
+	cmds string // space-separated subcommands the rule applies to
+	code int
+	bad  func(*cliFlags) string
+}{
+	{"run", exitConflict, func(f *cliFlags) string {
+		if f.record != "" && f.replay != "" {
+			return "-record and -replay are mutually exclusive"
+		}
+		return ""
+	}},
+	{"run", exitConflict, func(f *cliFlags) string {
+		if f.replay != "" && f.seed >= 0 {
+			return "-replay re-executes a recorded schedule; -seed conflicts with it"
+		}
+		return ""
+	}},
+	{"run", exitConflict, func(f *cliFlags) string {
+		if f.unchecked && (f.record != "" || f.replay != "") {
+			return "-unchecked changes the instrumentation and with it the scheduling points; it cannot record or replay traces"
+		}
+		return ""
+	}},
+	{"run", exitConflict, func(f *cliFlags) string {
+		if f.unchecked && (f.metrics || f.traceOut != "" || f.traceChrome != "") {
+			return "-unchecked removes the instrumentation telemetry observes; it cannot combine with -metrics or trace export"
+		}
+		return ""
+	}},
+	{"run", exitConflict, func(f *cliFlags) string {
+		if f.unchecked && f.discharge {
+			return "-unchecked removes every check already; -discharge has nothing to prove away"
+		}
+		return ""
+	}},
+	{"run", exitBadValue, func(f *cliFlags) string {
+		if f.seed < -1 {
+			return fmt.Sprintf("-seed must be >= 0 (or omitted for free running), got %d", f.seed)
+		}
+		return ""
+	}},
+	{"explore profile", exitBadValue, func(f *cliFlags) string {
+		if f.seed < 0 {
+			return fmt.Sprintf("-seed must be >= 0, got %d", f.seed)
+		}
+		return ""
+	}},
+	{"explore", exitBadValue, func(f *cliFlags) string {
+		if f.schedules <= 0 {
+			return fmt.Sprintf("-schedules must be positive, got %d", f.schedules)
+		}
+		return ""
+	}},
+	{"explore", exitBadValue, func(f *cliFlags) string {
+		switch f.strategy {
+		case "mix", "random", "pct", "rr":
+			return ""
+		}
+		return fmt.Sprintf("-strategy must be one of mix, random, pct, rr; got %q", f.strategy)
+	}},
+	{"profile", exitBadValue, func(f *cliFlags) string {
+		if f.top <= 0 {
+			return fmt.Sprintf("-top must be positive, got %d", f.top)
+		}
+		return ""
+	}},
+	{"run explore profile", exitBadValue, func(f *cliFlags) string {
+		if f.traceCap <= 0 {
+			return fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
+		}
+		return ""
+	}},
+	{"run explore profile", exitBadValue, func(f *cliFlags) string {
+		if !validEngine(f.engine) {
+			return fmt.Sprintf("-engine must be one of auto, vm, tree; got %q", f.engine)
+		}
+		return ""
+	}},
+}
+
+// validate runs cmd's slice of the rule table. It returns a non-zero exit
+// code and message on the first violated rule.
+func validate(cmd string, f *cliFlags) (int, string) {
+	for _, r := range cliRules {
+		applies := false
+		for _, c := range strings.Fields(r.cmds) {
+			if c == cmd {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			continue
+		}
+		if msg := r.bad(f); msg != "" {
+			return r.code, msg
+		}
 	}
 	return 0, ""
 }
 
-// validateProfile mirrors validateRun for the profile subcommand.
-func validateProfile(f *profileFlags) (int, string) {
-	if f.seed < 0 {
-		return exitBadValue, fmt.Sprintf("-seed must be >= 0, got %d", f.seed)
+// exitFor is the one outcome table run, explore, and vet share: run
+// propagates the program's exit status (masked to a byte, as a shell
+// would), while the analysis subcommands exit 1 when they found anything
+// and 0 when clean. findings is ignored for run; programExit for the rest.
+func exitFor(cmd string, programExit int64, findings int) int {
+	switch cmd {
+	case "run":
+		return int(programExit) & 0xff
+	case "explore", "vet":
+		if findings > 0 {
+			return 1
+		}
 	}
-	if f.top <= 0 {
-		return exitBadValue, fmt.Sprintf("-top must be positive, got %d", f.top)
-	}
-	if f.traceCap <= 0 {
-		return exitBadValue, fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
-	}
-	if !validEngine(f.engine) {
-		return exitBadValue, fmt.Sprintf("-engine must be one of auto, vm, tree; got %q", f.engine)
-	}
-	return 0, ""
-}
-
-// validateExplore mirrors validateRun for the explore subcommand.
-func validateExplore(f *exploreFlags) (int, string) {
-	if f.schedules <= 0 {
-		return exitBadValue, fmt.Sprintf("-schedules must be positive, got %d", f.schedules)
-	}
-	switch f.strategy {
-	case "mix", "random", "pct", "rr":
-	default:
-		return exitBadValue, fmt.Sprintf("-strategy must be one of mix, random, pct, rr; got %q", f.strategy)
-	}
-	if f.seed < 0 {
-		return exitBadValue, fmt.Sprintf("-seed must be >= 0, got %d", f.seed)
-	}
-	if f.traceCap <= 0 {
-		return exitBadValue, fmt.Sprintf("-trace-events must be positive, got %d", f.traceCap)
-	}
-	if !validEngine(f.engine) {
-		return exitBadValue, fmt.Sprintf("-engine must be one of auto, vm, tree; got %q", f.engine)
-	}
-	return 0, ""
+	return 0
 }
 
 func main() {
@@ -191,7 +249,7 @@ func main() {
 	}
 	cmd := os.Args[1]
 	switch cmd {
-	case "check", "infer", "run", "explore", "profile":
+	case "check", "infer", "vet", "run", "explore", "profile":
 	default:
 		fmt.Fprintf(os.Stderr, "sharc: unknown subcommand %q\n", cmd)
 		usage()
@@ -199,44 +257,52 @@ func main() {
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	var rf runFlags
-	var ef exploreFlags
-	var pf profileFlags
+	var f cliFlags
+	engineFlag := func() {
+		fs.StringVar(&f.engine, "engine", "auto", "execution engine: auto, vm (register VM), tree (recursive walker)")
+	}
+	elisionFlags := func() {
+		fs.BoolVar(&f.elide, "elide", false, "enable static redundant-check elision")
+		fs.BoolVar(&f.cache, "cache", false, "enable the runtime check cache")
+		fs.BoolVar(&f.discharge, "discharge", false, "statically discharge checks the vet analysis proves safe")
+	}
+	traceCapFlag := func() {
+		fs.IntVar(&f.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
+	}
 	switch cmd {
+	case "vet":
+		fs.StringVar(&f.jsonOut, "json", "", "also write the vet report as JSON to this path")
 	case "run":
-		fs.BoolVar(&rf.unchecked, "unchecked", false, "run without instrumentation (Orig)")
-		fs.BoolVar(&rf.stats, "stats", false, "print execution statistics")
-		fs.Int64Var(&rf.seed, "seed", -1, "deterministic scheduler seed (-1: free-running Go scheduler)")
-		fs.StringVar(&rf.record, "record", "", "record the schedule to this trace file (implies -seed 0 unless set)")
-		fs.StringVar(&rf.replay, "replay", "", "replay a recorded schedule from this trace file")
-		fs.BoolVar(&rf.elide, "elide", false, "enable static redundant-check elision")
-		fs.BoolVar(&rf.cache, "cache", false, "enable the runtime check cache")
-		fs.BoolVar(&rf.metrics, "metrics", false, "collect per-site telemetry and print a summary")
-		fs.StringVar(&rf.traceOut, "trace-out", "", "export the structured event trace as JSONL to this path")
-		fs.StringVar(&rf.traceChrome, "trace-chrome", "", "export the event trace in Chrome trace_event format to this path")
-		fs.IntVar(&rf.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
-		fs.StringVar(&rf.engine, "engine", "auto", "execution engine: auto, vm (register VM), tree (recursive walker)")
+		fs.BoolVar(&f.unchecked, "unchecked", false, "run without instrumentation (Orig)")
+		fs.BoolVar(&f.stats, "stats", false, "print execution statistics")
+		fs.Int64Var(&f.seed, "seed", -1, "deterministic scheduler seed (-1: free-running Go scheduler)")
+		fs.StringVar(&f.record, "record", "", "record the schedule to this trace file (implies -seed 0 unless set)")
+		fs.StringVar(&f.replay, "replay", "", "replay a recorded schedule from this trace file")
+		elisionFlags()
+		fs.BoolVar(&f.metrics, "metrics", false, "collect per-site telemetry and print a summary")
+		fs.StringVar(&f.traceOut, "trace-out", "", "export the structured event trace as JSONL to this path")
+		fs.StringVar(&f.traceChrome, "trace-chrome", "", "export the event trace in Chrome trace_event format to this path")
+		traceCapFlag()
+		engineFlag()
 	case "explore":
-		fs.IntVar(&ef.schedules, "schedules", 100, "number of schedules to run")
-		fs.StringVar(&ef.strategy, "strategy", "mix", "schedule generator: mix, random, pct, rr")
-		fs.Int64Var(&ef.seed, "seed", 1, "base exploration seed")
-		fs.BoolVar(&ef.elide, "elide", false, "enable static redundant-check elision")
-		fs.BoolVar(&ef.cache, "cache", false, "enable the runtime check cache")
-		fs.StringVar(&ef.jsonOut, "json", "", "also write the summary as JSON to this path")
-		fs.BoolVar(&ef.metrics, "metrics", false, "aggregate per-site telemetry across schedules and print a summary")
-		fs.StringVar(&ef.traceOut, "trace-out", "", "export the cross-schedule event trace as JSONL to this path")
-		fs.IntVar(&ef.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
-		fs.StringVar(&ef.engine, "engine", "auto", "execution engine: auto, vm (register VM), tree (recursive walker)")
+		fs.IntVar(&f.schedules, "schedules", 100, "number of schedules to run")
+		fs.StringVar(&f.strategy, "strategy", "mix", "schedule generator: mix, random, pct, rr")
+		fs.Int64Var(&f.seed, "seed", 1, "base exploration seed")
+		elisionFlags()
+		fs.StringVar(&f.jsonOut, "json", "", "also write the summary as JSON to this path")
+		fs.BoolVar(&f.metrics, "metrics", false, "aggregate per-site telemetry across schedules and print a summary")
+		fs.StringVar(&f.traceOut, "trace-out", "", "export the cross-schedule event trace as JSONL to this path")
+		traceCapFlag()
+		engineFlag()
 	case "profile":
-		fs.Int64Var(&pf.seed, "seed", 0, "deterministic scheduler seed for the profiled run")
-		fs.IntVar(&pf.top, "top", 10, "number of hot sites to list")
-		fs.BoolVar(&pf.elide, "elide", false, "enable static redundant-check elision")
-		fs.BoolVar(&pf.cache, "cache", false, "enable the runtime check cache")
-		fs.StringVar(&pf.jsonOut, "json", "", "also write the telemetry snapshot as JSON to this path")
-		fs.StringVar(&pf.traceOut, "trace-out", "", "export the structured event trace as JSONL to this path")
-		fs.StringVar(&pf.traceChrome, "trace-chrome", "", "export the event trace in Chrome trace_event format to this path")
-		fs.IntVar(&pf.traceCap, "trace-events", telemetry.DefaultTraceCapacity, "event ring-buffer capacity for trace export")
-		fs.StringVar(&pf.engine, "engine", "auto", "execution engine: auto, vm (register VM), tree (recursive walker)")
+		fs.Int64Var(&f.seed, "seed", 0, "deterministic scheduler seed for the profiled run")
+		fs.IntVar(&f.top, "top", 10, "number of hot sites to list")
+		elisionFlags()
+		fs.StringVar(&f.jsonOut, "json", "", "also write the telemetry snapshot as JSON to this path")
+		fs.StringVar(&f.traceOut, "trace-out", "", "export the structured event trace as JSONL to this path")
+		fs.StringVar(&f.traceChrome, "trace-chrome", "", "export the event trace in Chrome trace_event format to this path")
+		traceCapFlag()
+		engineFlag()
 	}
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(exitUsage)
@@ -247,31 +313,18 @@ func main() {
 	}
 
 	// Validate flag combinations before touching the filesystem.
-	switch cmd {
-	case "run":
-		if code, msg := validateRun(&rf); code != 0 {
-			fmt.Fprintln(os.Stderr, "sharc:", msg)
-			os.Exit(code)
-		}
-	case "explore":
-		if code, msg := validateExplore(&ef); code != 0 {
-			fmt.Fprintln(os.Stderr, "sharc:", msg)
-			os.Exit(code)
-		}
-	case "profile":
-		if code, msg := validateProfile(&pf); code != 0 {
-			fmt.Fprintln(os.Stderr, "sharc:", msg)
-			os.Exit(code)
-		}
+	if code, msg := validate(cmd, &f); code != 0 {
+		fmt.Fprintln(os.Stderr, "sharc:", msg)
+		os.Exit(code)
 	}
 
 	var sources []sharc.Source
-	for _, f := range files {
-		data, err := os.ReadFile(f)
+	for _, file := range files {
+		data, err := os.ReadFile(file)
 		if err != nil {
 			fatal(err)
 		}
-		sources = append(sources, sharc.Source{Name: f, Text: string(data)})
+		sources = append(sources, sharc.Source{Name: file, Text: string(data)})
 	}
 
 	a, err := sharc.Check(sources...)
@@ -304,19 +357,39 @@ func main() {
 		}
 		fmt.Print(a.InferredAnnotations())
 
+	case "vet":
+		if !a.OK() {
+			for _, e := range a.Errors() {
+				fmt.Println("error:", e)
+			}
+			os.Exit(1)
+		}
+		rep := a.Vet()
+		fmt.Print(rep.Format())
+		if f.jsonOut != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(f.jsonOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", f.jsonOut)
+		}
+		os.Exit(exitFor(cmd, 0, rep.MustCount()))
+
 	case "run":
-		opts := buildOpts(rf.unchecked, rf.elide, rf.cache, os.Stdout)
-		opts.Engine = rf.engine
-		opts.Metrics = rf.metrics
-		if rf.traceOut != "" || rf.traceChrome != "" {
-			opts.TraceEvents = rf.traceCap
+		opts := buildOpts(&f, os.Stdout)
+		opts.Metrics = f.metrics
+		if f.traceOut != "" || f.traceChrome != "" {
+			opts.TraceEvents = f.traceCap
 		}
 		p := buildOrDie(a, opts)
 		var res *sharc.Result
 		var runErr error
 		switch {
-		case rf.replay != "":
-			tr, err := sched.ReadTraceFile(rf.replay)
+		case f.replay != "":
+			tr, err := sched.ReadTraceFile(f.replay)
 			if err != nil {
 				fatal(err)
 			}
@@ -325,19 +398,19 @@ func main() {
 			if diverged {
 				fmt.Fprintln(os.Stderr, "sharc: replay diverged from the recorded schedule (different program or instrumentation?)")
 			}
-		case rf.record != "":
-			seed := rf.seed
+		case f.record != "":
+			seed := f.seed
 			if seed < 0 {
 				seed = 0
 			}
 			var tr *sched.Trace
 			res, tr, runErr = p.RunRecorded(seed)
-			if err := sched.WriteTraceFile(rf.record, tr); err != nil {
+			if err := sched.WriteTraceFile(f.record, tr); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "recorded %d scheduling decisions to %s\n", tr.Decisions, rf.record)
-		case rf.seed >= 0:
-			res, runErr = p.RunSeeded(rf.seed)
+			fmt.Fprintf(os.Stderr, "recorded %d scheduling decisions to %s\n", tr.Decisions, f.record)
+		case f.seed >= 0:
+			res, runErr = p.RunSeeded(f.seed)
 		default:
 			res, runErr = p.Run()
 		}
@@ -350,85 +423,81 @@ func main() {
 		for _, r := range res.Reports {
 			fmt.Fprintln(os.Stderr, r.Msg)
 		}
-		if rf.stats {
+		if f.stats {
 			st := res.Stats
 			fmt.Fprintf(os.Stderr, "accesses=%d dynamic=%d lockchecks=%d barriers=%d collections=%d threads=%d\n",
 				st.TotalAccesses, st.DynamicAccesses, st.LockChecks, st.Barriers, st.Collections, st.MaxThreads)
 		}
-		if rf.metrics {
+		if f.metrics {
 			fmt.Fprint(os.Stderr, telemetry.FormatSummary(res.Telemetry))
 		}
-		writeTraces(res.Trace, rf.traceOut, rf.traceChrome)
-		os.Exit(int(res.Exit) & 0xff)
+		writeTraces(res.Trace, f.traceOut, f.traceChrome)
+		os.Exit(exitFor(cmd, res.Exit, len(res.Reports)))
 
 	case "explore":
-		opts := buildOpts(false, ef.elide, ef.cache, io.Discard)
-		opts.Engine = ef.engine
-		opts.Metrics = ef.metrics
-		if ef.traceOut != "" {
-			opts.TraceEvents = ef.traceCap
+		opts := buildOpts(&f, io.Discard)
+		opts.Metrics = f.metrics
+		if f.traceOut != "" {
+			opts.TraceEvents = f.traceCap
 		}
 		p := buildOrDie(a, opts)
 		sum := p.Explore(sharc.ExploreOptions{
-			Schedules: ef.schedules,
-			Strategy:  ef.strategy,
-			Seed:      ef.seed,
+			Schedules: f.schedules,
+			Strategy:  f.strategy,
+			Seed:      f.seed,
 		})
 		fmt.Printf("explored %d schedules (%d scheduling decisions): %d distinct finding(s)\n",
 			sum.Schedules, sum.Decisions, len(sum.Findings))
-		for _, f := range sum.Findings {
+		for _, fd := range sum.Findings {
 			fmt.Printf("[%s] %s — first at schedule %d (%s, seed %d)\n",
-				f.KindName, f.Site, f.Schedule, f.Strategy, f.Seed)
-			fmt.Println(indent(f.Msg))
+				fd.KindName, fd.Site, fd.Schedule, fd.Strategy, fd.Seed)
+			fmt.Println(indent(fd.Msg))
 		}
-		if ef.jsonOut != "" {
+		if f.jsonOut != "" {
 			data, err := sharc.ExploreSummaryJSON(sum)
 			if err != nil {
 				fatal(err)
 			}
-			if err := os.WriteFile(ef.jsonOut, data, 0o644); err != nil {
+			if err := os.WriteFile(f.jsonOut, data, 0o644); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("wrote %s\n", ef.jsonOut)
+			fmt.Printf("wrote %s\n", f.jsonOut)
 		}
-		if ef.metrics {
+		if f.metrics {
 			fmt.Print(telemetry.FormatSummary(sum.Telemetry))
 		}
-		writeTraces(sum.Trace, ef.traceOut, "")
-		if len(sum.Findings) > 0 {
-			os.Exit(1)
-		}
+		writeTraces(sum.Trace, f.traceOut, "")
+		os.Exit(exitFor(cmd, 0, len(sum.Findings)))
 
 	case "profile":
 		// Program output is discarded: the deliverable is the hot-site
 		// report, computed from a deterministic seeded run so the table is
 		// byte-identical across invocations.
-		opts := buildOpts(false, pf.elide, pf.cache, io.Discard)
-		opts.Engine = pf.engine
+		opts := buildOpts(&f, io.Discard)
 		opts.Metrics = true
-		if pf.traceOut != "" || pf.traceChrome != "" {
-			opts.TraceEvents = pf.traceCap
+		if f.traceOut != "" || f.traceChrome != "" {
+			opts.TraceEvents = f.traceCap
 		}
 		p := buildOrDie(a, opts)
-		res, runErr := p.RunSeeded(pf.seed)
+		res, runErr := p.RunSeeded(f.seed)
 		if runErr != nil {
 			fmt.Fprintln(os.Stderr, "runtime error:", runErr)
 		}
 		if res.Deadlock {
 			fmt.Fprintln(os.Stderr, "sharc: deadlock detected (all threads blocked)")
 		}
-		fmt.Print(telemetry.FormatProfile(res.Telemetry, pf.top))
-		if pf.jsonOut != "" {
+		fmt.Print(telemetry.FormatProfileVet(res.Telemetry, f.top, a.Vet().Verdicts()))
+		if f.jsonOut != "" {
 			data, err := json.MarshalIndent(res.Telemetry, "", "  ")
 			if err != nil {
 				fatal(err)
 			}
-			if err := os.WriteFile(pf.jsonOut, append(data, '\n'), 0o644); err != nil {
+			if err := os.WriteFile(f.jsonOut, append(data, '\n'), 0o644); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", pf.jsonOut)
+			fmt.Fprintf(os.Stderr, "wrote %s\n", f.jsonOut)
 		}
-		writeTraces(res.Trace, pf.traceOut, pf.traceChrome)
+		writeTraces(res.Trace, f.traceOut, f.traceChrome)
 	}
 }
 
@@ -459,14 +528,17 @@ func writeTraces(tr *telemetry.Tracer, jsonl, chrome string) {
 	}
 }
 
-// buildOpts assembles the instrumentation options for run/explore.
-func buildOpts(unchecked, elide, cache bool, stdout io.Writer) sharc.Options {
+// buildOpts assembles the instrumentation options for the execution
+// subcommands from the shared flag struct.
+func buildOpts(f *cliFlags, stdout io.Writer) sharc.Options {
 	opts := sharc.DefaultOptions()
-	if unchecked {
+	if f.unchecked {
 		opts = sharc.Options{}
 	}
-	opts.ElideChecks = elide
-	opts.CheckCache = cache
+	opts.ElideChecks = f.elide
+	opts.CheckCache = f.cache
+	opts.StaticDischarge = f.discharge
+	opts.Engine = f.engine
 	opts.Stdout = stdout
 	return opts
 }

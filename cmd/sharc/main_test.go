@@ -170,6 +170,10 @@ func TestCLIValidation(t *testing.T) {
 		{"negative schedules", []string{"explore", "-schedules", "-3", "x.shc"}, 4, "-schedules must be positive"},
 		{"bad strategy", []string{"explore", "-strategy", "dfs", "x.shc"}, 4, "-strategy must be one of"},
 		{"negative explore seed", []string{"explore", "-seed", "-1", "x.shc"}, 4, "-seed must be"},
+		{"unchecked+discharge", []string{"run", "-unchecked", "-discharge", "x.shc"}, 3, "-discharge has nothing to prove away"},
+		{"vet no files", []string{"vet"}, 2, "usage"},
+		{"vet unknown flag", []string{"vet", "-engine", "vm", "x.shc"}, 2, "flag provided but not defined"},
+		{"bad engine", []string{"run", "-engine", "jit", "x.shc"}, 4, "-engine must be one of"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -188,6 +192,81 @@ func TestCLIValidation(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCLIVet covers the static analysis subcommand: must findings exit 1
+// with a ranked report, clean programs exit 0, -json writes the report,
+// and -discharge runs are output-identical to plain ones.
+func TestCLIVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+
+	t.Run("must race exits 1", func(t *testing.T) {
+		prog := writeProg(t, racyProg)
+		out, err := exec.Command(bin, "vet", prog).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("vet should exit 1 on must findings: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "must race") {
+			t.Fatalf("missing must race finding:\n%s", out)
+		}
+		if !strings.Contains(string(out), "g[0]") {
+			t.Fatalf("finding should name the racing cell:\n%s", out)
+		}
+	})
+
+	t.Run("clean program exits 0", func(t *testing.T) {
+		prog := writeProg(t, cleanProg)
+		out, err := exec.Command(bin, "vet", prog).CombinedOutput()
+		if err != nil {
+			t.Fatalf("vet: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "0 must") {
+			t.Fatalf("output: %s", out)
+		}
+	})
+
+	t.Run("json report", func(t *testing.T) {
+		prog := writeProg(t, racyProg)
+		jsonOut := filepath.Join(t.TempDir(), "vet.json")
+		out, err := exec.Command(bin, "vet", "-json", jsonOut, prog).CombinedOutput()
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("vet: %v\n%s", err, out)
+		}
+		data, err := os.ReadFile(jsonOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "\"findings\"") || !strings.Contains(string(data), "\"must\"") {
+			t.Fatalf("report JSON missing findings:\n%s", data)
+		}
+	})
+
+	t.Run("discharge preserves run output", func(t *testing.T) {
+		prog := writeProg(t, racyProg)
+		plain, err1 := exec.Command(bin, "run", "-seed", "9", prog).CombinedOutput()
+		disch, err2 := exec.Command(bin, "run", "-seed", "9", "-discharge", prog).CombinedOutput()
+		if string(plain) != string(disch) {
+			t.Fatalf("discharge changed output:\n%s---\n%s", plain, disch)
+		}
+		c1, c2 := exitCode(err1), exitCode(err2)
+		if c1 != c2 {
+			t.Fatalf("discharge changed exit: %d vs %d", c1, c2)
+		}
+	})
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
 }
 
 // TestCLISched covers the scheduled-run surface end to end: seeded runs are

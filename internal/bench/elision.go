@@ -43,6 +43,10 @@ type ElisionRow struct {
 	// produced exactly the reports and exit value of the unelided run.
 	ReportsMatch bool  `json:"reports_match"`
 	Exit         int64 `json:"exit"`
+
+	// StaticDischarge records whether the vet discharge pass was part of
+	// the measured configuration (the elision ladder runs without it).
+	StaticDischarge bool `json:"static_discharge"`
 }
 
 // elideOptions is DefaultOptions plus the static pass.

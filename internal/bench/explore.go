@@ -124,6 +124,10 @@ type ExploreRow struct {
 	Deadlocks     int   `json:"deadlocks"`
 
 	Exit int64 `json:"exit"`
+
+	// StaticDischarge records whether the vet discharge pass was part of
+	// the measured configuration.
+	StaticDischarge bool `json:"static_discharge"`
 }
 
 // RunExplore measures one racy benchmark: freeRuns free executions, then

@@ -42,6 +42,10 @@ type ObsRow struct {
 	TraceDropped uint64 `json:"trace_dropped"`
 	HotSite      string `json:"hot_site,omitempty"`
 	HotSuggested string `json:"hot_suggested,omitempty"`
+
+	// StaticDischarge records whether the vet discharge pass was part of
+	// the measured configuration.
+	StaticDischarge bool `json:"static_discharge"`
 }
 
 // runObsOnce executes prog with the given telemetry tier.

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/vet"
+)
+
+// VetRow measures static check discharge on one Table-1 benchmark: the
+// elide-only build against elide + vet discharge, on both engines. Match
+// is the soundness cross-check — the discharged build reproduced the
+// plain build's exit value and reports on each engine.
+type VetRow struct {
+	Name string `json:"name"`
+
+	MustFindings int `json:"must_findings"`
+	MayFindings  int `json:"may_findings"`
+
+	// Check-site accounting from the discharged build. Discharged sites
+	// never reach the elision pass, so elided+discharged over
+	// total+discharged is the full statically-avoided fraction.
+	TotalDynamic      int `json:"total_dynamic_checks"`
+	TotalLocked       int `json:"total_locked_checks"`
+	ElidedDynamic     int `json:"elided_dynamic_checks"`
+	ElidedLocked      int `json:"elided_locked_checks"`
+	DischargedDynamic int `json:"discharged_dynamic_checks"`
+	DischargedLocked  int `json:"discharged_locked_checks"`
+
+	// AvoidedFracElide is the elide-only build's statically-removed check
+	// fraction; AvoidedFracDischarge adds vet discharge on top.
+	AvoidedFracElide     float64 `json:"avoided_frac_elide"`
+	AvoidedFracDischarge float64 `json:"avoided_frac_elide_discharge"`
+
+	TimeElideTree     time.Duration `json:"time_elide_tree_ns"`
+	TimeDischargeTree time.Duration `json:"time_discharge_tree_ns"`
+	TimeElideVM       time.Duration `json:"time_elide_vm_ns"`
+	TimeDischargeVM   time.Duration `json:"time_discharge_vm_ns"`
+
+	// Speedups are elide-only time over discharged time (>1 = discharge
+	// made the run faster), per engine.
+	SpeedupTree float64 `json:"speedup_tree"`
+	SpeedupVM   float64 `json:"speedup_vm"`
+
+	// Match: on both engines, the discharged run produced exactly the
+	// elide-only run's exit value and reports.
+	Match bool  `json:"match"`
+	Exit  int64 `json:"exit"`
+
+	// StaticDischarge records the configuration that produced the timing
+	// and accounting columns, for artifact provenance.
+	StaticDischarge bool `json:"static_discharge"`
+}
+
+// RunVet measures one benchmark across the discharge comparison.
+func RunVet(b *Benchmark, s Scale, reps int) (VetRow, error) {
+	src := b.Source(s)
+	row := VetRow{Name: b.Name, StaticDischarge: true}
+
+	a, err := core.Analyze(parser.Source{Name: "program.shc", Text: src})
+	if err != nil {
+		return row, fmt.Errorf("%s (analyze): %w", b.Name, err)
+	}
+	rep := vet.Analyze(a.World, a.Inf)
+	for _, f := range rep.Findings {
+		if f.Severity == "must" {
+			row.MustFindings++
+		} else {
+			row.MayFindings++
+		}
+	}
+
+	progElide, err := a.Build(elideOptions())
+	if err != nil {
+		return row, fmt.Errorf("%s (elide build): %w", b.Name, err)
+	}
+	dopts := elideOptions()
+	dopts.Discharge = rep.Discharge()
+	progDisch, err := a.Build(dopts)
+	if err != nil {
+		return row, fmt.Errorf("%s (discharge build): %w", b.Name, err)
+	}
+
+	el := progElide.Elision
+	row.AvoidedFracElide = el.AvoidedFraction()
+	ds := progDisch.Elision
+	row.TotalDynamic = ds.TotalDynamic
+	row.TotalLocked = ds.TotalLocked
+	row.ElidedDynamic = ds.ElidedDynamic
+	row.ElidedLocked = ds.ElidedLocked
+	row.DischargedDynamic = ds.DischargedDynamic
+	row.DischargedLocked = ds.DischargedLocked
+	row.AvoidedFracDischarge = ds.AvoidedFraction()
+
+	// Soundness cross-check on both engines before timing.
+	row.Match = true
+	for _, eng := range []interp.Engine{interp.EngineTree, interp.EngineVM} {
+		rtE, retE, _, err := runEngineOnce(progElide, eng)
+		if err != nil {
+			return row, fmt.Errorf("%s (elide %v): %w", b.Name, eng, err)
+		}
+		rtD, retD, _, err := runEngineOnce(progDisch, eng)
+		if err != nil {
+			return row, fmt.Errorf("%s (discharge %v): %w", b.Name, eng, err)
+		}
+		row.Exit = retD
+		if retE != retD || !reportsEqual(rtE.Reports(), rtD.Reports()) {
+			row.Match = false
+		}
+	}
+
+	// Timing: interleave the configurations so host drift hits both.
+	for rep := 0; rep < reps; rep++ {
+		_, _, dET, err := runEngineOnce(progElide, interp.EngineTree)
+		if err != nil {
+			return row, err
+		}
+		_, _, dDT, err := runEngineOnce(progDisch, interp.EngineTree)
+		if err != nil {
+			return row, err
+		}
+		_, _, dEV, err := runEngineOnce(progElide, interp.EngineVM)
+		if err != nil {
+			return row, err
+		}
+		_, _, dDV, err := runEngineOnce(progDisch, interp.EngineVM)
+		if err != nil {
+			return row, err
+		}
+		if rep == 0 || dET < row.TimeElideTree {
+			row.TimeElideTree = dET
+		}
+		if rep == 0 || dDT < row.TimeDischargeTree {
+			row.TimeDischargeTree = dDT
+		}
+		if rep == 0 || dEV < row.TimeElideVM {
+			row.TimeElideVM = dEV
+		}
+		if rep == 0 || dDV < row.TimeDischargeVM {
+			row.TimeDischargeVM = dDV
+		}
+	}
+	if row.TimeDischargeTree > 0 {
+		row.SpeedupTree = float64(row.TimeElideTree) / float64(row.TimeDischargeTree)
+	}
+	if row.TimeDischargeVM > 0 {
+		row.SpeedupVM = float64(row.TimeElideVM) / float64(row.TimeDischargeVM)
+	}
+	return row, nil
+}
+
+// FormatVet renders the discharge comparison as an aligned table.
+func FormatVet(rows []VetRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %5s %5s %10s %10s %8s %8s %6s %5s\n",
+		"name", "must", "may", "avoid(el)", "avoid(+d)", "spd-tree", "spd-vm", "match", "exit")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %5d %5d %9.1f%% %9.1f%% %7.2fx %7.2fx %6v %5d\n",
+			r.Name, r.MustFindings, r.MayFindings,
+			100*r.AvoidedFracElide, 100*r.AvoidedFracDischarge,
+			r.SpeedupTree, r.SpeedupVM, r.Match, r.Exit)
+	}
+	return sb.String()
+}
+
+// VetJSON renders the rows as the BENCH_vet.json artifact.
+func VetJSON(rows []VetRow) ([]byte, error) {
+	return json.MarshalIndent(rows, "", "  ")
+}

@@ -29,6 +29,10 @@ type VMRow struct {
 	// run's exit value and violation reports.
 	Match bool  `json:"match"`
 	Exit  int64 `json:"exit"`
+
+	// StaticDischarge records whether the vet discharge pass was part of
+	// the measured configuration.
+	StaticDischarge bool `json:"static_discharge"`
 }
 
 // runEngineOnce executes prog on the chosen engine.

@@ -42,6 +42,13 @@ type Options struct {
 	// may reach a sharing cast (§4.3's optimization); when false every
 	// pointer store is barriered.
 	RCSiteAnalysis bool
+	// Discharge carries the whole-program vet verdicts: l-value positions
+	// whose dynamic or locked checks are statically proven unnecessary.
+	// The lowering mints CheckElided at these sites instead of a runtime
+	// check (and, for locked sites, skips compiling the lock expression
+	// entirely, like the elision pass does); the counts land in
+	// ir.Program.Elision.DischargedDynamic/DischargedLocked.
+	Discharge *ir.DischargeSet
 }
 
 // DefaultOptions enables full instrumentation with the site analysis.
@@ -353,6 +360,13 @@ func (c *compiler) checkFor(t *types.Type, lv ast.Expr) ir.Check {
 	m := c.s.Apply(t.Mode)
 	switch m.Kind {
 	case types.ModeDynamic:
+		if c.opts.Discharge != nil && c.opts.Discharge.Dynamic[lv.Pos()] {
+			c.prog.Elision.DischargedDynamic++
+			return ir.Check{
+				Kind: ir.CheckElided,
+				Site: c.site(ast.ExprString(lv), lv.Pos()),
+			}
+		}
 		return ir.Check{
 			Kind: ir.CheckDynamic,
 			Site: c.site(ast.ExprString(lv), lv.Pos()),
@@ -360,6 +374,13 @@ func (c *compiler) checkFor(t *types.Type, lv ast.Expr) ir.Check {
 	case types.ModeLocked:
 		if m.Lock == nil {
 			return ir.Check{}
+		}
+		if c.opts.Discharge != nil && c.opts.Discharge.Locked[lv.Pos()] {
+			c.prog.Elision.DischargedLocked++
+			return ir.Check{
+				Kind: ir.CheckElided,
+				Site: c.site(ast.ExprString(lv), lv.Pos()),
+			}
 		}
 		return ir.Check{
 			Kind: ir.CheckLocked,

@@ -84,6 +84,11 @@ func elideChecksWith(p *ir.Program, kills killSet) ir.ElisionStats {
 	Linearize(p)
 	stripBarriers(p)
 	var st ir.ElisionStats
+	// Checks the vet analysis discharged at lowering time are already
+	// CheckElided in the tree and invisible to this pass; carry their
+	// counts through so a rerun does not erase them.
+	st.DischargedDynamic = p.Elision.DischargedDynamic
+	st.DischargedLocked = p.Elision.DischargedLocked
 	for _, fn := range p.Funcs {
 		countFuncChecks(fn, &st)
 	}

@@ -288,19 +288,57 @@ type GlobalInit struct {
 	Val  Expr // Const or StrAddr
 }
 
-// ElisionStats summarizes the static redundant-check-elision pass: how
-// many dynamic and locked check sites the program carried before the pass
-// and how many the pass proved redundant and removed. Zero-valued when the
-// pass did not run.
+// ElisionStats summarizes static check elimination: how many dynamic and
+// locked check sites the program carried before the intra-procedural
+// elision pass, how many that pass proved redundant and removed, and how
+// many the whole-program vet analysis discharged outright at lowering time
+// (those never become dynamic or locked checks at all, so they are counted
+// separately and are not part of TotalDynamic/TotalLocked). Zero-valued
+// when neither mechanism ran.
 type ElisionStats struct {
 	TotalDynamic  int // dynamic check sites before elision
 	TotalLocked   int // locked check sites before elision
 	ElidedDynamic int // dynamic checks removed as dominated
 	ElidedLocked  int // locked checks removed as dominated
+
+	// DischargedDynamic/DischargedLocked count check sites proven safe by
+	// the whole-program points-to + lockset analysis (internal/vet) and
+	// compiled directly as elided.
+	DischargedDynamic int
+	DischargedLocked  int
 }
 
-// Elided returns the total number of checks the pass removed.
+// Elided returns the total number of checks the elision pass removed.
 func (s ElisionStats) Elided() int { return s.ElidedDynamic + s.ElidedLocked }
+
+// Discharged returns the total number of checks vet discharged statically.
+func (s ElisionStats) Discharged() int { return s.DischargedDynamic + s.DischargedLocked }
+
+// AvoidedFraction is the fraction of would-be checks removed statically by
+// either mechanism: (elided + discharged) / (total + discharged). The
+// denominator adds the discharged sites back because discharged checks are
+// excluded from TotalDynamic/TotalLocked.
+func (s ElisionStats) AvoidedFraction() float64 {
+	den := s.TotalDynamic + s.TotalLocked + s.Discharged()
+	if den == 0 {
+		return 0
+	}
+	return float64(s.Elided()+s.Discharged()) / float64(den)
+}
+
+// DischargeSet is the output of the whole-program vet analysis consumed by
+// the compiler: source positions of l-values whose dynamic (reader/writer
+// set) or locked (lock log) checks are statically proven unnecessary. The
+// compiler mints CheckElided at these positions instead of a real check.
+type DischargeSet struct {
+	Dynamic map[token.Pos]bool
+	Locked  map[token.Pos]bool
+}
+
+// Empty reports whether the set discharges nothing.
+func (d *DischargeSet) Empty() bool {
+	return d == nil || (len(d.Dynamic) == 0 && len(d.Locked) == 0)
+}
 
 // Program is a complete lowered ShC program.
 type Program struct {

@@ -1,0 +1,962 @@
+// Package pointsto implements a whole-program, flow-insensitive,
+// Andersen-style points-to analysis over ShC l-values. It is the
+// foundation of the static vet pipeline (internal/vet): the lockset
+// analysis asks it which mutex objects a lock expression can evaluate to,
+// the thread-escape analysis asks it which heap objects are ever reachable
+// from two thread classes, and check discharge asks it whether an
+// allocation site denotes a unique run-time object.
+//
+// The abstraction is object + field: every global, string literal,
+// aggregate local, and heap allocation site (malloc, mutexNew, condNew)
+// becomes one abstract object, and pointer values are sets of (object,
+// field) references. Struct members keep their field name while array
+// elements and pointer arithmetic smash to the wildcard field "$", so a
+// queue's lock pointer stays separate from its node pointers. The solver
+// reuses qualinfer's conservatism for control flow: indirect calls flow
+// into every address-taken function of matching arity, and spawn targets
+// come from the same resolution the thread-root computation uses.
+package pointsto
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/qualinfer"
+	"repro/internal/token"
+	"repro/internal/typer"
+	"repro/internal/types"
+)
+
+// Obj identifies one abstract memory object.
+type Obj int32
+
+// ObjKind classifies abstract objects.
+type ObjKind int
+
+const (
+	ObjGlobal ObjKind = iota // a global variable
+	ObjHeap                  // a malloc/mutexNew/condNew allocation site
+	ObjLocal                 // a struct- or array-typed local (frame memory)
+	ObjString                // a string literal
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case ObjGlobal:
+		return "global"
+	case ObjHeap:
+		return "heap"
+	case ObjLocal:
+		return "local"
+	case ObjString:
+		return "string"
+	}
+	return "?"
+}
+
+// ObjInfo describes one abstract object.
+type ObjInfo struct {
+	Kind   ObjKind
+	Name   string    // global/local name, allocation builtin, or "<str>"
+	Fn     string    // enclosing function ("" for globals)
+	Alloc  string    // allocating builtin for ObjHeap
+	Pos    token.Pos // declaration or allocation position
+	InLoop bool      // allocation/declaration lexically inside a loop
+}
+
+// Ref is a pointer value: a reference to one location of an abstract
+// object. Field "" is the object base (a scalar's only cell, an
+// aggregate's start); "$" is the wildcard covering any cell.
+type Ref struct {
+	Obj   Obj
+	Field string
+}
+
+type refSet map[Ref]bool
+
+// varKey identifies a scalar local or parameter. Locals are keyed by their
+// declaration node (names may shadow); parameters by function and name.
+type varKey struct {
+	fn   string
+	name string
+	decl *ast.DeclStmt
+}
+
+type objKey struct {
+	kind ObjKind
+	fn   string
+	name string
+	pos  token.Pos
+}
+
+// spawnSite is one spawn(...) call observed in a body.
+type spawnSite struct {
+	caller   string
+	targets  []string
+	inLoop   bool
+	resolved bool // target was a direct function name
+}
+
+// Analysis is the converged points-to state plus the derived thread-class
+// machinery.
+type Analysis struct {
+	W   *types.World
+	Inf *qualinfer.Result
+
+	objs    []ObjInfo
+	objIdx  map[objKey]Obj
+	content map[Obj]map[string]refSet
+	vars    map[varKey]refSet
+	rets    map[string]refSet
+	scasted map[Obj]bool
+
+	accessedByFn map[Obj]map[string]bool
+
+	directCalls map[string]map[string]bool
+	indirectAr  map[string]map[int]bool
+	lockOps     map[string]bool
+	spawns      []spawnSite
+
+	classes    []string
+	classReach map[string]map[string]bool
+	classMany  map[string]bool
+
+	frozen  bool
+	changed bool
+
+	// walk context
+	curFn     string
+	env       *typer.Env
+	loopDepth int
+}
+
+// Analyze runs the solver to a fixpoint over every function body.
+func Analyze(w *types.World, inf *qualinfer.Result) *Analysis {
+	a := &Analysis{
+		W:            w,
+		Inf:          inf,
+		objIdx:       make(map[objKey]Obj),
+		content:      make(map[Obj]map[string]refSet),
+		vars:         make(map[varKey]refSet),
+		rets:         make(map[string]refSet),
+		scasted:      make(map[Obj]bool),
+		accessedByFn: make(map[Obj]map[string]bool),
+		directCalls:  make(map[string]map[string]bool),
+		indirectAr:   make(map[string]map[int]bool),
+		lockOps:      make(map[string]bool),
+	}
+	// The solver is a repeated abstract walk of every body until no
+	// points-to set grows. Sets only grow, so termination is bounded by the
+	// finite universe of (object, field) pairs; the iteration cap is a
+	// safety net, not a tuning knob.
+	for iter := 0; iter < 64; iter++ {
+		a.changed = false
+		a.spawns = a.spawns[:0]
+		a.walkAll()
+		if !a.changed {
+			break
+		}
+	}
+	a.computeClasses()
+	return a
+}
+
+// Freeze stops access recording: queries made after Freeze (EvalValue and
+// friends) no longer extend the accessed-by relation, so thread-escape
+// verdicts cannot depend on query order.
+func (a *Analysis) Freeze() { a.frozen = true }
+
+// ---------------------------------------------------------------------------
+// objects
+
+func (a *Analysis) intern(k objKey, info ObjInfo) Obj {
+	if o, ok := a.objIdx[k]; ok {
+		return o
+	}
+	o := Obj(len(a.objs))
+	a.objIdx[k] = o
+	a.objs = append(a.objs, info)
+	return o
+}
+
+func (a *Analysis) globalObj(name string) Obj {
+	g := a.W.Globals[name]
+	pos := token.Pos{}
+	if g != nil && g.Decl != nil {
+		pos = g.Decl.P
+	}
+	return a.intern(objKey{kind: ObjGlobal, name: name},
+		ObjInfo{Kind: ObjGlobal, Name: name, Pos: pos})
+}
+
+func (a *Analysis) heapObj(alloc string, pos token.Pos) Obj {
+	return a.intern(objKey{kind: ObjHeap, fn: a.curFn, name: alloc, pos: pos},
+		ObjInfo{Kind: ObjHeap, Name: alloc, Fn: a.curFn, Alloc: alloc, Pos: pos, InLoop: a.loopDepth > 0})
+}
+
+func (a *Analysis) localObj(name string, pos token.Pos) Obj {
+	return a.intern(objKey{kind: ObjLocal, fn: a.curFn, name: name, pos: pos},
+		ObjInfo{Kind: ObjLocal, Name: name, Fn: a.curFn, Pos: pos, InLoop: a.loopDepth > 0})
+}
+
+func (a *Analysis) stringObj(pos token.Pos) Obj {
+	return a.intern(objKey{kind: ObjString, fn: a.curFn, name: "<str>", pos: pos},
+		ObjInfo{Kind: ObjString, Name: "<str>", Fn: a.curFn, Pos: pos})
+}
+
+// Obj returns the descriptor of an abstract object.
+func (a *Analysis) Obj(o Obj) ObjInfo { return a.objs[int(o)] }
+
+// NumObjs returns the number of abstract objects discovered.
+func (a *Analysis) NumObjs() int { return len(a.objs) }
+
+// Scasted reports whether any value pointing at o ever flowed through a
+// sharing cast.
+func (a *Analysis) Scasted(o Obj) bool { return a.scasted[o] }
+
+// ---------------------------------------------------------------------------
+// set plumbing
+
+func (a *Analysis) fieldSet(o Obj, f string) refSet {
+	m := a.content[o]
+	if m == nil {
+		m = make(map[string]refSet)
+		a.content[o] = m
+	}
+	s := m[f]
+	if s == nil {
+		s = make(refSet)
+		m[f] = s
+	}
+	return s
+}
+
+func (a *Analysis) addAll(dst refSet, src refSet) {
+	for r := range src {
+		if !dst[r] {
+			dst[r] = true
+			a.changed = true
+		}
+	}
+}
+
+// read returns the pointer values stored at location r, folding in the
+// wildcard field (and, for a wildcard read, every named field).
+func (a *Analysis) read(r Ref) refSet {
+	a.recordAccess(r.Obj)
+	out := make(refSet)
+	m := a.content[r.Obj]
+	if m == nil {
+		return out
+	}
+	if r.Field == "$" {
+		for _, s := range m {
+			for v := range s {
+				out[v] = true
+			}
+		}
+		return out
+	}
+	for v := range m[r.Field] {
+		out[v] = true
+	}
+	for v := range m["$"] {
+		out[v] = true
+	}
+	return out
+}
+
+func (a *Analysis) write(r Ref, vs refSet) {
+	a.recordAccess(r.Obj)
+	a.addAll(a.fieldSet(r.Obj, r.Field), vs)
+}
+
+func (a *Analysis) recordAccess(o Obj) {
+	if a.frozen {
+		return
+	}
+	m := a.accessedByFn[o]
+	if m == nil {
+		m = make(map[string]bool)
+		a.accessedByFn[o] = m
+	}
+	if !m[a.curFn] {
+		m[a.curFn] = true
+		a.changed = true
+	}
+}
+
+func (a *Analysis) varSet(k varKey) refSet {
+	s := a.vars[k]
+	if s == nil {
+		s = make(refSet)
+		a.vars[k] = s
+	}
+	return s
+}
+
+func (a *Analysis) retSet(fn string) refSet {
+	s := a.rets[fn]
+	if s == nil {
+		s = make(refSet)
+		a.rets[fn] = s
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// walking
+
+func (a *Analysis) walkAll() {
+	names := make([]string, 0, len(a.W.Funcs))
+	for name, fi := range a.W.Funcs {
+		if fi.Decl != nil && fi.Decl.Body != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fi := a.W.Funcs[name]
+		a.curFn = name
+		a.loopDepth = 0
+		a.env = typer.NewEnv(a.W, fi)
+		a.stmt(fi.Decl.Body)
+	}
+}
+
+func (a *Analysis) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.Block:
+		a.env.Push()
+		for _, st := range s.Stmts {
+			a.stmt(st)
+		}
+		a.env.Pop()
+	case *ast.ExprStmt:
+		a.aval(s.X)
+	case *ast.DeclStmt:
+		lt := a.env.F.Locals[s]
+		var init refSet
+		if s.Init != nil {
+			init = a.aval(s.Init)
+		}
+		a.env.Define(&typer.Sym{Kind: typer.SymLocal, Name: s.Name, Type: lt, Decl: s})
+		if s.Init != nil && !isAggregate(lt) {
+			a.addAll(a.varSet(varKey{fn: a.curFn, name: s.Name, decl: s}), init)
+		}
+	case *ast.If:
+		a.aval(s.Cond)
+		a.stmt(s.Then)
+		a.stmt(s.Else)
+	case *ast.While:
+		a.loopDepth++
+		a.aval(s.Cond)
+		a.stmt(s.Body)
+		a.loopDepth--
+	case *ast.DoWhile:
+		a.loopDepth++
+		a.stmt(s.Body)
+		a.aval(s.Cond)
+		a.loopDepth--
+	case *ast.For:
+		a.env.Push()
+		a.stmt(s.Init)
+		a.loopDepth++
+		if s.Cond != nil {
+			a.aval(s.Cond)
+		}
+		a.stmt(s.Body)
+		if s.Post != nil {
+			a.aval(s.Post)
+		}
+		a.loopDepth--
+		a.env.Pop()
+	case *ast.Return:
+		if s.X != nil {
+			a.addAll(a.retSet(a.curFn), a.aval(s.X))
+		}
+	case *ast.Switch:
+		a.aval(s.X)
+		for _, c := range s.Cases {
+			for _, st := range c.Body {
+				a.stmt(st)
+			}
+		}
+	case *ast.Break, *ast.Continue:
+	}
+}
+
+// aval abstractly evaluates e and returns its pointer value.
+func (a *Analysis) aval(e ast.Expr) refSet {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.IntLit, *ast.NullLit, *ast.Sizeof:
+		return nil
+	case *ast.StringLit:
+		return refSet{Ref{Obj: a.stringObj(e.P)}: true}
+	case *ast.Ident:
+		locs, vk := a.lval(e)
+		if vk != nil {
+			return a.varSet(*vk)
+		}
+		if sym := a.env.Lookup(e.Name); sym != nil && isAggregate(sym.Type) {
+			return locs // arrays decay to their base address
+		}
+		return a.readLocs(locs)
+	case *ast.Unary:
+		switch e.Op {
+		case token.STAR:
+			return a.readLocs(a.aval(e.X))
+		case token.AMP:
+			locs, vk := a.lval(e.X)
+			if vk != nil {
+				return nil // scalar locals are unaddressable in ShC
+			}
+			return locs
+		case token.INC, token.DEC:
+			return a.assignFlow(e.X, nil, true)
+		default:
+			a.aval(e.X)
+			return nil
+		}
+	case *ast.Postfix:
+		return a.assignFlow(e.X, nil, true)
+	case *ast.Binary:
+		l := a.aval(e.L)
+		r := a.aval(e.R)
+		switch e.Op {
+		case token.PLUS, token.MINUS:
+			// Pointer arithmetic stays within the object but may land on
+			// any cell: smash to the wildcard field.
+			out := make(refSet)
+			for v := range l {
+				out[Ref{Obj: v.Obj, Field: "$"}] = true
+			}
+			for v := range r {
+				out[Ref{Obj: v.Obj, Field: "$"}] = true
+			}
+			return out
+		}
+		return nil
+	case *ast.Assign:
+		var v refSet
+		if e.Op == token.ASSIGN {
+			v = a.aval(e.R)
+		} else {
+			v = a.arith(a.aval(e.R))
+		}
+		return a.assignFlow(e.L, v, e.Op != token.ASSIGN)
+	case *ast.Cond:
+		a.aval(e.C)
+		out := make(refSet)
+		for v := range a.aval(e.T) {
+			out[v] = true
+		}
+		for v := range a.aval(e.F) {
+			out[v] = true
+		}
+		return out
+	case *ast.Cast:
+		return a.aval(e.X)
+	case *ast.Scast:
+		v := a.aval(e.X)
+		for r := range v {
+			if !a.scasted[r.Obj] {
+				a.scasted[r.Obj] = true
+				a.changed = true
+			}
+		}
+		return v
+	case *ast.Index, *ast.Member:
+		locs, vk := a.lval(e)
+		if vk != nil {
+			return a.varSet(*vk)
+		}
+		if t, err := a.env.TypeOf(e); err == nil && isAggregate(t) {
+			return locs
+		}
+		return a.readLocs(locs)
+	case *ast.Call:
+		return a.call(e)
+	}
+	return nil
+}
+
+// arith coarsens refs the way pointer arithmetic does.
+func (a *Analysis) arith(vs refSet) refSet {
+	out := make(refSet)
+	for v := range vs {
+		out[Ref{Obj: v.Obj, Field: "$"}] = true
+	}
+	return out
+}
+
+// assignFlow stores v into l-value l (weak update) and returns the stored
+// value. compound additionally reads the old value (p += i keeps p's
+// targets).
+func (a *Analysis) assignFlow(l ast.Expr, v refSet, compound bool) refSet {
+	locs, vk := a.lval(l)
+	if compound {
+		var old refSet
+		if vk != nil {
+			old = a.varSet(*vk)
+		} else {
+			old = a.readLocs(locs)
+		}
+		merged := make(refSet)
+		for r := range v {
+			merged[r] = true
+		}
+		for r := range a.arith(old) {
+			merged[r] = true
+		}
+		v = merged
+	}
+	if vk != nil {
+		a.addAll(a.varSet(*vk), v)
+		return v
+	}
+	for r := range locs {
+		a.write(r, v)
+	}
+	return v
+}
+
+func (a *Analysis) readLocs(locs refSet) refSet {
+	out := make(refSet)
+	for r := range locs {
+		for v := range a.read(r) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// lval returns the locations an l-value denotes. For scalar locals and
+// parameters (which live in unaddressable frame slots) it returns a
+// variable key instead.
+func (a *Analysis) lval(e ast.Expr) (refSet, *varKey) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := a.env.Lookup(e.Name)
+		if sym == nil {
+			return nil, nil
+		}
+		switch sym.Kind {
+		case typer.SymGlobal:
+			return refSet{Ref{Obj: a.globalObj(e.Name)}: true}, nil
+		case typer.SymLocal:
+			if isAggregate(sym.Type) {
+				pos := e.P
+				if sym.Decl != nil {
+					pos = sym.Decl.P
+				}
+				return refSet{Ref{Obj: a.localObj(e.Name, pos)}: true}, nil
+			}
+			return nil, &varKey{fn: a.curFn, name: e.Name, decl: sym.Decl}
+		case typer.SymParam:
+			if isAggregate(sym.Type) {
+				return refSet{Ref{Obj: a.localObj(e.Name, token.Pos{})}: true}, nil
+			}
+			return nil, &varKey{fn: a.curFn, name: e.Name}
+		}
+		return nil, nil
+	case *ast.Unary:
+		if e.Op == token.STAR {
+			return a.aval(e.X), nil
+		}
+		return nil, nil
+	case *ast.Index:
+		a.aval(e.I)
+		var base refSet
+		if t, err := a.env.TypeOf(e.X); err == nil && t.Kind == types.KArray {
+			base, _ = a.lval(e.X)
+		} else {
+			base = a.aval(e.X)
+		}
+		out := make(refSet)
+		for r := range base {
+			if r.Field == "" {
+				out[Ref{Obj: r.Obj, Field: "$"}] = true
+			} else {
+				out[r] = true
+			}
+		}
+		return out, nil
+	case *ast.Member:
+		var base refSet
+		if e.Arrow {
+			base = a.aval(e.X)
+		} else {
+			base, _ = a.lval(e.X)
+		}
+		out := make(refSet)
+		for r := range base {
+			if r.Field == "" {
+				out[Ref{Obj: r.Obj, Field: e.Name}] = true
+			} else {
+				out[Ref{Obj: r.Obj, Field: "$"}] = true
+			}
+		}
+		return out, nil
+	case *ast.Cast:
+		return a.lval(e.X)
+	}
+	return nil, nil
+}
+
+func isAggregate(t *types.Type) bool {
+	return t != nil && (t.Kind == types.KArray || t.Kind == types.KStruct)
+}
+
+// ---------------------------------------------------------------------------
+// calls
+
+func (a *Analysis) call(e *ast.Call) refSet {
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		if b := types.Builtins[id.Name]; b != nil && a.env.Lookup(id.Name) == nil {
+			return a.builtin(id.Name, e)
+		}
+		if sym := a.env.Lookup(id.Name); sym != nil && sym.Kind == typer.SymFunc {
+			return a.userCall(id.Name, e.Args)
+		}
+	}
+	// Indirect call: every address-taken function of matching arity.
+	a.aval(e.Fun)
+	a.markIndirect(len(e.Args))
+	out := make(refSet)
+	for _, name := range a.addressTakenArity(len(e.Args)) {
+		for v := range a.userCall(name, e.Args) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func (a *Analysis) userCall(name string, args []ast.Expr) refSet {
+	dc := a.directCalls[a.curFn]
+	if dc == nil {
+		dc = make(map[string]bool)
+		a.directCalls[a.curFn] = dc
+	}
+	dc[name] = true
+	fi := a.W.Funcs[name]
+	for i, arg := range args {
+		v := a.aval(arg)
+		if fi != nil && i < len(fi.Params) {
+			a.addAll(a.varSet(varKey{fn: name, name: fi.Params[i].Name}), v)
+		}
+	}
+	return a.retSet(name)
+}
+
+func (a *Analysis) markIndirect(arity int) {
+	m := a.indirectAr[a.curFn]
+	if m == nil {
+		m = make(map[int]bool)
+		a.indirectAr[a.curFn] = m
+	}
+	m[arity] = true
+}
+
+func (a *Analysis) addressTakenArity(arity int) []string {
+	var out []string
+	for name := range a.Inf.AddressTaken {
+		if fi := a.W.Funcs[name]; fi != nil && len(fi.Params) == arity {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *Analysis) builtin(name string, e *ast.Call) refSet {
+	argv := func(i int) refSet {
+		if i < len(e.Args) {
+			return a.aval(e.Args[i])
+		}
+		return nil
+	}
+	switch name {
+	case "malloc", "mutexNew", "condNew":
+		argv(0)
+		return refSet{Ref{Obj: a.heapObj(name, e.P)}: true}
+	case "spawn":
+		targets, resolved := a.spawnTargets(e)
+		var arg refSet
+		if len(e.Args) > 1 {
+			arg = a.aval(e.Args[1])
+		}
+		for _, tgt := range targets {
+			fi := a.W.Funcs[tgt]
+			if fi != nil && len(fi.Params) > 0 {
+				a.addAll(a.varSet(varKey{fn: tgt, name: fi.Params[0].Name}), arg)
+			}
+		}
+		a.spawns = append(a.spawns, spawnSite{caller: a.curFn, targets: targets, inLoop: a.loopDepth > 0, resolved: resolved})
+		return nil
+	case "mutexLock", "mutexUnlock", "condWait":
+		a.lockOps[a.curFn] = true
+		for i := range e.Args {
+			argv(i)
+		}
+		return nil
+	case "memcpy", "strcpy":
+		dst := argv(0)
+		src := argv(1)
+		argv(2)
+		vs := make(refSet)
+		for r := range src {
+			for v := range a.read(Ref{Obj: r.Obj, Field: "$"}) {
+				vs[v] = true
+			}
+		}
+		for r := range dst {
+			a.write(Ref{Obj: r.Obj, Field: "$"}, vs)
+		}
+		return dst
+	case "memset":
+		dst := argv(0)
+		argv(1)
+		argv(2)
+		for r := range dst {
+			a.write(Ref{Obj: r.Obj, Field: "$"}, nil)
+		}
+		return dst
+	case "strstr":
+		hay := argv(0)
+		argv(1)
+		for r := range hay {
+			a.recordAccess(r.Obj)
+		}
+		out := make(refSet)
+		for r := range hay {
+			out[Ref{Obj: r.Obj, Field: "$"}] = true
+		}
+		return out
+	case "strlen", "strcmp":
+		for i := range e.Args {
+			for r := range argv(i) {
+				a.recordAccess(r.Obj)
+			}
+		}
+		return nil
+	default:
+		// join, condSignal, condBroadcast, print, printInt, assert, rand,
+		// srand, sleepMs, yield: evaluate arguments, no pointer result.
+		for i := range e.Args {
+			for r := range argv(i) {
+				if name == "print" && i == 0 {
+					a.recordAccess(r.Obj)
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// spawnTargets resolves a spawn's thread function the same way qualinfer's
+// thread-root computation does.
+func (a *Analysis) spawnTargets(e *ast.Call) ([]string, bool) {
+	if len(e.Args) > 0 {
+		if id, ok := e.Args[0].(*ast.Ident); ok {
+			if fi := a.W.Funcs[id.Name]; fi != nil {
+				return []string{id.Name}, true
+			}
+		}
+		a.aval(e.Args[0])
+	}
+	var out []string
+	for name := range a.Inf.ThreadRoots {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, false
+}
+
+// ---------------------------------------------------------------------------
+// thread classes
+
+// computeClasses derives the thread classes and their call-graph reach: the
+// main thread plus one class per thread root, with a multiplicity bit that
+// is 1 only when the root is provably spawned at most once.
+func (a *Analysis) computeClasses() {
+	roots := make([]string, 0, len(a.Inf.ThreadRoots))
+	for name := range a.Inf.ThreadRoots {
+		roots = append(roots, name)
+	}
+	sort.Strings(roots)
+	a.classes = append([]string{"main"}, roots...)
+
+	a.classReach = make(map[string]map[string]bool)
+	for _, c := range a.classes {
+		a.classReach[c] = a.reachFrom(c)
+	}
+
+	// Multiplicity: a root is single-instance only when exactly one spawn
+	// site can start it, that site is in main, outside any loop, with a
+	// directly named target.
+	weight := make(map[string]int)
+	for _, s := range a.spawns {
+		w := 1
+		if s.inLoop || s.caller != "main" || !s.resolved {
+			w = 2
+		}
+		for _, tgt := range s.targets {
+			weight[tgt] += w
+		}
+	}
+	a.classMany = make(map[string]bool)
+	for _, r := range roots {
+		a.classMany[r] = weight[r] != 1
+	}
+}
+
+func (a *Analysis) reachFrom(fn string) map[string]bool {
+	seen := map[string]bool{fn: true}
+	work := []string{fn}
+	for len(work) > 0 {
+		f := work[0]
+		work = work[1:]
+		var succs []string
+		for callee := range a.directCalls[f] {
+			succs = append(succs, callee)
+		}
+		for arity := range a.indirectAr[f] {
+			succs = append(succs, a.addressTakenArity(arity)...)
+		}
+		for _, s := range succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Classes returns the thread classes: "main" plus every thread root.
+func (a *Analysis) Classes() []string { return a.classes }
+
+// ClassMany reports whether the class can have more than one live thread
+// instance ("main" never can).
+func (a *Analysis) ClassMany(class string) bool { return a.classMany[class] }
+
+// FuncClasses returns the sorted thread classes that may execute fn.
+func (a *Analysis) FuncClasses(fn string) []string {
+	var out []string
+	for _, c := range a.classes {
+		if a.classReach[c][fn] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Calls returns fn's resolved call successors (direct plus the
+// address-taken closure of its indirect call arities), sorted.
+func (a *Analysis) Calls(fn string) []string {
+	seen := make(map[string]bool)
+	for callee := range a.directCalls[fn] {
+		seen[callee] = true
+	}
+	for arity := range a.indirectAr[fn] {
+		for _, s := range a.addressTakenArity(arity) {
+			seen[s] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasLockOps reports whether fn itself calls mutexLock, mutexUnlock, or
+// condWait.
+func (a *Analysis) HasLockOps(fn string) bool { return a.lockOps[fn] }
+
+// HasIndirectCalls reports whether fn contains calls through pointers.
+func (a *Analysis) HasIndirectCalls(fn string) bool { return len(a.indirectAr[fn]) > 0 }
+
+// ---------------------------------------------------------------------------
+// queries
+
+// EvalValue evaluates e's pointer value against the converged state in the
+// scope of env (a typer environment positioned inside fn) and returns the
+// refs sorted by (object, field). It is a pure query once Freeze has been
+// called.
+func (a *Analysis) EvalValue(env *typer.Env, fn string, e ast.Expr) []Ref {
+	a.curFn = fn
+	a.env = env
+	return sortRefs(a.aval(e))
+}
+
+// EvalLValue returns the sorted locations l-value e may denote (empty for
+// scalar locals, which no other thread can reach).
+func (a *Analysis) EvalLValue(env *typer.Env, fn string, e ast.Expr) []Ref {
+	a.curFn = fn
+	a.env = env
+	locs, vk := a.lval(e)
+	if vk != nil {
+		return nil
+	}
+	return sortRefs(locs)
+}
+
+func sortRefs(s refSet) []Ref {
+	out := make([]Ref, 0, len(s))
+	for r := range s {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Obj != out[j].Obj {
+			return out[i].Obj < out[j].Obj
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}
+
+// UniqueAlloc reports whether the allocation site denotes at most one
+// run-time object: allocated in main (which runs exactly once and is never
+// respawned or called) outside any loop.
+func (a *Analysis) UniqueAlloc(o Obj) bool {
+	info := a.objs[int(o)]
+	return info.Kind == ObjHeap && info.Fn == "main" && !info.InLoop &&
+		!a.Inf.ThreadRoots["main"] && !a.Inf.AddressTaken["main"]
+}
+
+// AccessClasses returns the sorted thread classes whose code may touch any
+// cell of o.
+func (a *Analysis) AccessClasses(o Obj) []string {
+	seen := make(map[string]bool)
+	for fn := range a.accessedByFn[o] {
+		for _, c := range a.FuncClasses(fn) {
+			seen[c] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SingleThreadHeap reports whether o is a heap object only ever reachable
+// by one single-instance thread class — the thread-escape refinement that
+// licenses discharging its dynamic checks.
+func (a *Analysis) SingleThreadHeap(o Obj) bool {
+	if a.objs[int(o)].Kind != ObjHeap {
+		return false
+	}
+	classes := a.AccessClasses(o)
+	if len(classes) == 0 {
+		return true
+	}
+	return len(classes) == 1 && !a.ClassMany(classes[0])
+}

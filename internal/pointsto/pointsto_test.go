@@ -1,0 +1,195 @@
+package pointsto
+
+// Unit tests for the Andersen-style points-to analysis: object discovery,
+// thread classes, escape via spawn arguments, and the refinements
+// (UniqueAlloc, SingleThreadHeap, Scasted) the vet analysis builds on.
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/qualinfer"
+	"repro/internal/typer"
+	"repro/internal/types"
+)
+
+func analyze(t *testing.T, src string) (*Analysis, *types.World) {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: "t.shc", Text: src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := types.BuildWorld(prog)
+	if len(w.Errors) > 0 {
+		t.Fatalf("resolve: %v", w.Errors[0])
+	}
+	a := Analyze(w, qualinfer.Infer(w))
+	a.Freeze()
+	return a, w
+}
+
+// findObj scans the interned objects for the first one matching pred.
+func findObj(a *Analysis, pred func(ObjInfo) bool) (Obj, bool) {
+	for i := 0; i < a.NumObjs(); i++ {
+		if pred(a.Obj(Obj(i))) {
+			return Obj(i), true
+		}
+	}
+	return 0, false
+}
+
+func TestSingleThreadHeap(t *testing.T) {
+	a, _ := analyze(t, `
+int main(void) {
+	int dynamic *p = malloc(4);
+	*p = 5;
+	return *p;
+}
+`)
+	o, ok := findObj(a, func(i ObjInfo) bool { return i.Kind == ObjHeap && i.Alloc == "malloc" })
+	if !ok {
+		t.Fatal("malloc object not interned")
+	}
+	if !a.SingleThreadHeap(o) {
+		t.Errorf("single-threaded malloc should be SingleThreadHeap; classes %v", a.AccessClasses(o))
+	}
+	if !a.UniqueAlloc(o) {
+		t.Error("straight-line malloc in main should be UniqueAlloc")
+	}
+	if a.Scasted(o) {
+		t.Error("never-cast object marked Scasted")
+	}
+}
+
+const escapeSrc = `
+void *worker(void *d) {
+	int *p = d;
+	*p = 1;
+	return NULL;
+}
+
+int main(void) {
+	int *p = malloc(4);
+	int dynamic *pd = SCAST(int dynamic *, p);
+	int h = spawn(worker, pd);
+	join(h);
+	return *pd;
+}
+`
+
+func TestEscapeViaSpawn(t *testing.T) {
+	a, _ := analyze(t, escapeSrc)
+	o, ok := findObj(a, func(i ObjInfo) bool { return i.Kind == ObjHeap && i.Alloc == "malloc" })
+	if !ok {
+		t.Fatal("malloc object not interned")
+	}
+	if a.SingleThreadHeap(o) {
+		t.Error("object handed to a spawned thread must not be SingleThreadHeap")
+	}
+	classes := a.AccessClasses(o)
+	if len(classes) != 2 {
+		t.Fatalf("AccessClasses = %v, want main and worker", classes)
+	}
+	if !a.Scasted(o) {
+		t.Error("SCAST-shared object should be marked Scasted")
+	}
+}
+
+func TestLoopAllocNotUnique(t *testing.T) {
+	a, _ := analyze(t, `
+int main(void) {
+	int *last = NULL;
+	for (int i = 0; i < 3; i++) {
+		int *p = malloc(4);
+		*p = i;
+		last = p;
+	}
+	return *last;
+}
+`)
+	o, ok := findObj(a, func(i ObjInfo) bool { return i.Kind == ObjHeap && i.Alloc == "malloc" })
+	if !ok {
+		t.Fatal("malloc object not interned")
+	}
+	if a.UniqueAlloc(o) {
+		t.Error("loop allocation denotes many run-time objects; must not be UniqueAlloc")
+	}
+}
+
+const classesSrc = `
+int shared;
+
+void *once(void *d) { shared = 1; return NULL; }
+void *many(void *d) { shared = 2; return NULL; }
+int helper(void) { return shared; }
+
+int main(void) {
+	int h = spawn(once, NULL);
+	for (int i = 0; i < 3; i++) spawn(many, NULL);
+	join(h);
+	return helper();
+}
+`
+
+func TestThreadClasses(t *testing.T) {
+	a, _ := analyze(t, classesSrc)
+	if cs := a.FuncClasses("helper"); len(cs) != 1 || cs[0] != "main" {
+		t.Errorf("FuncClasses(helper) = %v, want [main]", cs)
+	}
+	if cs := a.FuncClasses("once"); len(cs) != 1 || cs[0] != "once" {
+		t.Errorf("FuncClasses(once) = %v, want [once]", cs)
+	}
+	if a.ClassMany("once") {
+		t.Error("once is spawned exactly once outside loops")
+	}
+	if !a.ClassMany("many") {
+		t.Error("loop-spawned class must be many-instance")
+	}
+	calls := a.Calls("main")
+	found := false
+	for _, c := range calls {
+		if c == "helper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Calls(main) = %v, want helper included", calls)
+	}
+}
+
+func TestEvalLValueGlobal(t *testing.T) {
+	a, w := analyze(t, `
+int g;
+
+int main(void) {
+	g = 7;
+	return g;
+}
+`)
+	fi := w.Funcs["main"]
+	env := typer.NewEnv(w, fi)
+	env.Push()
+	// The first statement's assignment target is the global g.
+	es, ok := fi.Decl.Body.Stmts[0].(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("unexpected stmt %T", fi.Decl.Body.Stmts[0])
+	}
+	asn, ok := es.X.(*ast.Assign)
+	if !ok {
+		t.Fatalf("unexpected expr %T", es.X)
+	}
+	refs := a.EvalLValue(env, "main", asn.L)
+	if len(refs) != 1 {
+		t.Fatalf("EvalLValue(g) = %v, want one ref", refs)
+	}
+	info := a.Obj(refs[0].Obj)
+	if info.Kind != ObjGlobal || info.Name != "g" {
+		t.Errorf("resolved to %+v, want global g", info)
+	}
+	// Determinism: repeated queries return the same sorted slice.
+	again := a.EvalLValue(env, "main", asn.L)
+	if len(again) != 1 || again[0] != refs[0] {
+		t.Errorf("repeated query differs: %v vs %v", again, refs)
+	}
+}

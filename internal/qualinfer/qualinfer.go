@@ -971,6 +971,18 @@ func (inf *inferencer) solve() {
 // ---------------------------------------------------------------------------
 // AST walking helpers
 
+// WalkStmts calls fn on every statement in the subtree. It is the walking
+// order the inference itself uses; the whole-program analyses built on top
+// of inference (internal/pointsto, internal/vet) share it so every pass
+// visits the same nodes.
+func WalkStmts(s ast.Stmt, fn func(ast.Stmt)) { walkStmts(s, fn) }
+
+// WalkExprs calls fn on every expression under the statement subtree.
+func WalkExprs(s ast.Stmt, fn func(ast.Expr)) { walkExprs(s, fn) }
+
+// WalkExpr calls fn on e and every nested expression.
+func WalkExpr(e ast.Expr, fn func(ast.Expr)) { walkExpr(e, fn) }
+
 // walkStmts calls fn on every statement in the subtree.
 func walkStmts(s ast.Stmt, fn func(ast.Stmt)) {
 	if s == nil {

@@ -79,6 +79,17 @@ func FormatSummary(snap *Snapshot) string {
 // checks avoided by elision and the cache, violation count, thread
 // footprint, and the suggested annotation.
 func FormatProfile(snap *Snapshot, top int) string {
+	return FormatProfileVet(snap, top, nil)
+}
+
+// FormatProfileVet is FormatProfile with an extra column comparing each
+// site's telemetry-suggested mode against the static vet verdict for the
+// same position (verdicts is keyed "file:line:col"; nil omits the column).
+// A trailing ! flags the interesting disagreements: vet proved a race or
+// lock violation possible at a site whose observed schedule looked
+// single-threaded or read-only, or the run produced violations at a site
+// vet marked safe (the latter would be a vet soundness bug).
+func FormatProfileVet(snap *Snapshot, top int, verdicts map[string]string) string {
 	if snap == nil {
 		return "telemetry disabled\n"
 	}
@@ -99,15 +110,51 @@ func FormatProfile(snap *Snapshot, top int) string {
 			el.ElidedDynamic, el.TotalDynamic, el.ElidedLocked, el.TotalLocked)
 	}
 	fmt.Fprintf(&sb, "hot sites: top %d of %d (ranked by checks executed + elided)\n", shown, n)
-	fmt.Fprintf(&sb, "%4s %9s %8s %8s %8s %8s %7s %6s %4s  %-12s %s\n",
-		"rank", "checks", "reads", "writes", "locked", "elided", "avoid%", "confl", "thr",
-		"suggested", "site")
+	if verdicts == nil {
+		fmt.Fprintf(&sb, "%4s %9s %8s %8s %8s %8s %7s %6s %4s  %-12s %s\n",
+			"rank", "checks", "reads", "writes", "locked", "elided", "avoid%", "confl", "thr",
+			"suggested", "site")
+	} else {
+		fmt.Fprintf(&sb, "%4s %9s %8s %8s %8s %8s %7s %6s %4s  %-12s %-15s %s\n",
+			"rank", "checks", "reads", "writes", "locked", "elided", "avoid%", "confl", "thr",
+			"suggested", "vet", "site")
+	}
 	for i := 0; i < shown; i++ {
 		s := &snap.Sites[i]
-		fmt.Fprintf(&sb, "%4d %9d %8d %8d %8d %8d %6.1f%% %6d %4d  %-12s %s @ %s\n",
+		if verdicts == nil {
+			fmt.Fprintf(&sb, "%4d %9d %8d %8d %8d %8d %6.1f%% %6d %4d  %-12s %s @ %s\n",
+				i+1, s.Checks(), s.Reads, s.Writes, s.Locked, s.Elided,
+				s.AvoidedPct(), s.Violations(), s.Threads(), s.Suggested,
+				s.LValue, s.Pos)
+			continue
+		}
+		verdict, ok := verdicts[s.Pos]
+		if !ok {
+			verdict = "-"
+		}
+		if vetMismatch(s, verdict) {
+			verdict += " !"
+		}
+		fmt.Fprintf(&sb, "%4d %9d %8d %8d %8d %8d %6.1f%% %6d %4d  %-12s %-15s %s @ %s\n",
 			i+1, s.Checks(), s.Reads, s.Writes, s.Locked, s.Elided,
 			s.AvoidedPct(), s.Violations(), s.Threads(), s.Suggested,
-			s.LValue, s.Pos)
+			verdict, s.LValue, s.Pos)
 	}
 	return sb.String()
+}
+
+// vetMismatch reports whether a site's dynamic telemetry and static vet
+// verdict point in opposite directions.
+func vetMismatch(s *SiteStats, verdict string) bool {
+	vetRacy := strings.HasSuffix(verdict, "-race") || strings.HasSuffix(verdict, "-lock") ||
+		verdict == "readonly-write"
+	switch {
+	case verdict == "safe" && s.Violations() > 0:
+		// Vet proved the site safe yet the run reported a violation there.
+		return true
+	case vetRacy && (s.Suggested == "private" || s.Suggested == "readonly"):
+		// Statically reachable race at a site this schedule never shared.
+		return true
+	}
+	return false
 }

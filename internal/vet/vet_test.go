@@ -1,0 +1,307 @@
+package vet
+
+// Unit tests for the static analyzer: seeded must-races are found at the
+// right positions, clean lock disciplines discharge their checks, the
+// init-write idiom is not a readonly violation, and the report renders
+// deterministically (golden files under testdata/, regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/vet/).
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/qualinfer"
+	"repro/internal/types"
+)
+
+func analyzeSrc(t *testing.T, name, src string) *Report {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: name, Text: src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := types.BuildWorld(prog)
+	if len(w.Errors) > 0 {
+		t.Fatalf("resolve: %v", w.Errors[0])
+	}
+	return Analyze(w, qualinfer.Infer(w))
+}
+
+const mustRaceSrc = `
+int shared;
+
+void *early(void *d) { shared = 1; return NULL; }
+void *late(void *d) { shared = 2; return NULL; }
+
+int main(void) {
+	int h1 = spawn(early, NULL);
+	int h2 = spawn(late, NULL);
+	join(h1);
+	join(h2);
+	return shared;
+}
+`
+
+func TestMustRace(t *testing.T) {
+	rep := analyzeSrc(t, "race.shc", mustRaceSrc)
+	if rep.MustCount() != 1 {
+		t.Fatalf("MustCount = %d, want 1\n%s", rep.MustCount(), rep.Format())
+	}
+	f := rep.Findings[0]
+	if f.Severity != "must" || f.Kind != "race" {
+		t.Fatalf("finding = %+v", f)
+	}
+	if f.LValue != "shared" {
+		t.Fatalf("LValue = %q, want shared", f.LValue)
+	}
+	// Both racing sites are the workers' writes, lines 4 and 5.
+	if f.Pos.Line != 4 && f.Pos.Line != 5 {
+		t.Fatalf("Pos = %v, want a worker write", f.Pos)
+	}
+	if f.OtherPos.Line != 4 && f.OtherPos.Line != 5 || f.OtherPos == f.Pos {
+		t.Fatalf("OtherPos = %v", f.OtherPos)
+	}
+}
+
+const lockedCleanSrc = `
+struct counter {
+	mutex *m;
+	int locked(m) n;
+};
+
+void *worker(void *d) {
+	struct counter *c = d;
+	for (int i = 0; i < 10; i++) {
+		mutexLock(c->m);
+		c->n = c->n + 1;
+		mutexUnlock(c->m);
+	}
+	return NULL;
+}
+
+int main(void) {
+	struct counter *c = malloc(sizeof(struct counter));
+	c->m = mutexNew();
+	mutexLock(c->m);
+	c->n = 0;
+	mutexUnlock(c->m);
+	struct counter dynamic *cd = SCAST(struct counter dynamic *, c);
+	int h1 = spawn(worker, cd);
+	int h2 = spawn(worker, cd);
+	join(h1);
+	join(h2);
+	mutexLock(cd->m);
+	int n = cd->n;
+	mutexUnlock(cd->m);
+	return n;
+}
+`
+
+func TestLockedDischarge(t *testing.T) {
+	rep := analyzeSrc(t, "counter.shc", lockedCleanSrc)
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean program has findings:\n%s", rep.Format())
+	}
+	if rep.Stats.LockedSites == 0 {
+		t.Fatal("no locked sites seen")
+	}
+	if rep.Stats.SafeLocked != rep.Stats.LockedSites {
+		t.Fatalf("discharged %d of %d locked sites, want all:\n%s",
+			rep.Stats.SafeLocked, rep.Stats.LockedSites, rep.Format())
+	}
+	d := rep.Discharge()
+	if d == nil || len(d.Locked) != rep.Stats.SafeLocked {
+		t.Fatalf("discharge set size = %v, want %d", d, rep.Stats.SafeLocked)
+	}
+}
+
+const lockViolationSrc = `
+struct counter {
+	mutex *m;
+	int locked(m) n;
+};
+
+void *worker(void *d) {
+	struct counter *c = d;
+	c->n = c->n + 1;
+	return NULL;
+}
+
+int main(void) {
+	struct counter *c = malloc(sizeof(struct counter));
+	c->m = mutexNew();
+	struct counter dynamic *cd = SCAST(struct counter dynamic *, c);
+	int h = spawn(worker, cd);
+	join(h);
+	return 0;
+}
+`
+
+func TestLockViolation(t *testing.T) {
+	rep := analyzeSrc(t, "nolock.shc", lockViolationSrc)
+	if rep.MustCount() == 0 {
+		t.Fatalf("missing must-lock finding:\n%s", rep.Format())
+	}
+	var found bool
+	for _, f := range rep.Findings {
+		if f.Kind == "lock" && f.Severity == "must" {
+			found = true
+			if !strings.Contains(f.LValue, "n") {
+				t.Fatalf("finding names %q", f.LValue)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no must lock finding:\n%s", rep.Format())
+	}
+	// Nothing may be discharged at a site the analysis says is broken.
+	for pos := range rep.Discharge().Locked {
+		for _, f := range rep.Findings {
+			if f.Pos == pos {
+				t.Fatalf("finding position %v also discharged", pos)
+			}
+		}
+	}
+}
+
+const readonlySrc = `
+int readonly limit;
+
+void *worker(void *d) {
+	int x = limit;
+	return NULL;
+}
+
+int main(void) {
+	limit = 10;
+	int h = spawn(worker, NULL);
+	limit = 20;
+	join(h);
+	return 0;
+}
+`
+
+func TestReadonlyWrite(t *testing.T) {
+	rep := analyzeSrc(t, "ro.shc", readonlySrc)
+	var lines []int
+	for _, f := range rep.Findings {
+		if f.Kind == "readonly-write" {
+			lines = append(lines, f.Pos.Line)
+		}
+	}
+	// The init write on line 10 precedes the spawn and is the sanctioned
+	// idiom; only the post-spawn write on line 12 is a finding.
+	if len(lines) != 1 || lines[0] != 12 {
+		t.Fatalf("readonly-write findings at lines %v, want [12]:\n%s", lines, rep.Format())
+	}
+}
+
+const singleThreadSrc = `
+int main(void) {
+	int dynamic *p = malloc(4);
+	*p = 5;
+	return *p;
+}
+`
+
+func TestDynamicDischargeSingleThread(t *testing.T) {
+	rep := analyzeSrc(t, "single.shc", singleThreadSrc)
+	if len(rep.Findings) != 0 {
+		t.Fatalf("findings:\n%s", rep.Format())
+	}
+	if rep.Stats.DynamicSites == 0 {
+		t.Fatal("no dynamic sites seen")
+	}
+	if rep.Stats.SafeDynamic != rep.Stats.DynamicSites {
+		t.Fatalf("discharged %d of %d dynamic sites, want all",
+			rep.Stats.SafeDynamic, rep.Stats.DynamicSites)
+	}
+}
+
+// mixedSrc produces one finding of each severity so the golden file pins
+// both the rendering and the must-first sort order.
+const mixedSrc = `
+int readonly banner;
+int shared;
+
+void *w1(void *d) { shared = 1; return NULL; }
+void *w2(void *d) { shared = 2; return NULL; }
+
+int main(void) {
+	banner = 1;
+	int h1 = spawn(w1, NULL);
+	int h2 = spawn(w2, NULL);
+	banner = 2;
+	join(h1);
+	join(h2);
+	return shared;
+}
+`
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s differs from golden file\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenReport(t *testing.T) {
+	rep := analyzeSrc(t, "mixed.shc", mixedSrc)
+	checkGolden(t, "mixed.golden", []byte(rep.Format()))
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "mixed.json.golden", data)
+}
+
+// TestDeterministic re-analyzes from scratch and demands byte-identical
+// text and JSON reports: map iteration anywhere in the pipeline would
+// surface here as flaking.
+func TestDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		rep := analyzeSrc(t, "mixed.shc", mixedSrc)
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Format(), string(data)
+	}
+	f1, j1 := render()
+	for i := 0; i < 5; i++ {
+		f2, j2 := render()
+		if f1 != f2 || j1 != j2 {
+			t.Fatalf("report differs across runs:\n%s---\n%s", f1, f2)
+		}
+	}
+}
+
+func TestFindingsSorted(t *testing.T) {
+	rep := analyzeSrc(t, "mixed.shc", mixedSrc)
+	if len(rep.Findings) < 2 {
+		t.Fatalf("want at least 2 findings:\n%s", rep.Format())
+	}
+	sawMay := false
+	for _, f := range rep.Findings {
+		if f.Severity == "may" {
+			sawMay = true
+		} else if sawMay {
+			t.Fatalf("must finding after may finding:\n%s", rep.Format())
+		}
+	}
+}

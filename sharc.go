@@ -40,6 +40,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 	"repro/internal/types"
+	"repro/internal/vet"
 )
 
 // Source is one named ShC source text.
@@ -62,6 +63,12 @@ type Options struct {
 	// ElideChecks runs the static redundant-check-elision pass after
 	// lowering (compile layer of check elision).
 	ElideChecks bool
+	// StaticDischarge runs the whole-program vet analysis (points-to +
+	// locksets, internal/vet) at build time and compiles its safe verdicts
+	// as already-elided checks: must-held locksets discharge locked checks
+	// across calls and single-thread heap objects discharge dynamic
+	// checks. Counted in Elision().DischargedDynamic/DischargedLocked.
+	StaticDischarge bool
 	// CheckCache enables the per-thread granule check cache in the shadow
 	// runtime (runtime layer of check elision).
 	CheckCache bool
@@ -250,16 +257,30 @@ func (a *Analysis) Build(opts Options) (*Program, error) {
 	if _, err := parseEngine(opts.Engine); err != nil {
 		return nil, err
 	}
-	p, err := a.inner.Build(compile.Options{
+	copts := compile.Options{
 		Checks:         opts.Checks,
 		Elide:          opts.ElideChecks,
 		RC:             opts.RefCounting,
 		RCSiteAnalysis: opts.RCSiteAnalysis,
-	})
+	}
+	if opts.StaticDischarge && opts.Checks {
+		copts.Discharge = a.Vet().Discharge()
+	}
+	p, err := a.inner.Build(copts)
 	if err != nil {
 		return nil, err
 	}
 	return &Program{ir: p, opts: opts}, nil
+}
+
+// VetReport is the result of the whole-program static vet analysis; see
+// internal/vet.
+type VetReport = vet.Report
+
+// Vet runs the points-to + lockset static analysis over the checked
+// program: ranked must/may findings plus the check-discharge set.
+func (a *Analysis) Vet() *VetReport {
+	return vet.Analyze(a.inner.World, a.inner.Inf)
 }
 
 // Elision returns the static check-elision counts (zero unless the program

@@ -1,0 +1,181 @@
+package sharc
+
+// Soundness cross-checks between the static vet analysis and the dynamic
+// detectors, over the whole interpreter corpus:
+//
+//  1. every vet must-race is confirmed by schedule exploration — some
+//     explored schedule produces a dynamic conflict at one of the
+//     finding's two positions — and no clean corpus program has any must
+//     finding (zero false musts);
+//  2. the discharge oracle: a schedule recorded on the fully-checked
+//     build replays on the discharged build without divergence and with
+//     identical reports and exit value, so no access vet marked safe ever
+//     produces a dynamic violation.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("internal", "interp", "testdata", "*.shc"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(files))
+	}
+	return files
+}
+
+func checkFile(t *testing.T, path string) *Analysis {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Check(Source{Name: path, Text: string(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK() {
+		t.Fatalf("%s: static checking failed: %v", path, a.Errors())
+	}
+	return a
+}
+
+// TestVetMustRacesConfirmedByExplore is cross-check (1): must findings are
+// exactly the seeded races, each reproduced dynamically by exploration.
+func TestVetMustRacesConfirmedByExplore(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			a := checkFile(t, path)
+			rep := a.Vet()
+
+			racy := strings.HasPrefix(filepath.Base(path), "racy_")
+			if !racy {
+				if rep.MustCount() != 0 {
+					t.Fatalf("false must verdict on clean program:\n%s", rep.Format())
+				}
+				return
+			}
+			if rep.MustCount() == 0 {
+				t.Fatalf("seeded racy program has no must finding:\n%s", rep.Format())
+			}
+
+			p, err := a.Build(DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := p.Explore(ExploreOptions{Schedules: 200, Strategy: "mix", Seed: 1})
+			dynamic := make(map[string]bool)
+			for _, f := range sum.Findings {
+				dynamic[fmt.Sprintf("%s:%d:%d", f.Pos.File, f.Pos.Line, f.Pos.Col)] = true
+			}
+			for _, f := range rep.Findings {
+				if f.Severity != "must" {
+					continue
+				}
+				at := fmt.Sprintf("%s:%d:%d", f.Pos.File, f.Pos.Line, f.Pos.Col)
+				other := fmt.Sprintf("%s:%d:%d", f.OtherPos.File, f.OtherPos.Line, f.OtherPos.Col)
+				if !dynamic[at] && !dynamic[other] {
+					t.Errorf("must finding at %s/%s not confirmed by exploration (dynamic sites: %v)",
+						at, other, dynamic)
+				}
+			}
+		})
+	}
+}
+
+// TestVetDischargeReplayOracle is cross-check (2): the replay oracle over
+// the discharged build. Discharge removes checks without touching
+// scheduling points, so a trace recorded on the plain checked build must
+// replay on the discharged build without divergence, with byte-identical
+// output, reports, and exit value.
+func TestVetDischargeReplayOracle(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			a := checkFile(t, path)
+
+			var plainOut, dischOut strings.Builder
+			plainOpts := DefaultOptions()
+			plainOpts.Stdout = &plainOut
+			plain, err := a.Build(plainOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dischOpts := DefaultOptions()
+			dischOpts.StaticDischarge = true
+			dischOpts.Stdout = &dischOut
+			disch, err := a.Build(dischOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for seed := int64(1); seed <= 5; seed++ {
+				plainOut.Reset()
+				dischOut.Reset()
+				resP, tr, err := plain.RunRecorded(seed)
+				if err != nil {
+					t.Fatalf("seed %d record: %v", seed, err)
+				}
+				resD, diverged, err := disch.RunReplay(tr)
+				if err != nil {
+					t.Fatalf("seed %d replay: %v", seed, err)
+				}
+				if diverged {
+					t.Fatalf("seed %d: discharged build diverged from recorded schedule", seed)
+				}
+				if resP.Exit != resD.Exit {
+					t.Fatalf("seed %d: exit %d vs %d", seed, resP.Exit, resD.Exit)
+				}
+				if plainOut.String() != dischOut.String() {
+					t.Fatalf("seed %d: output differs:\n%s---\n%s", seed, plainOut.String(), dischOut.String())
+				}
+				if len(resP.Reports) != len(resD.Reports) {
+					t.Fatalf("seed %d: %d vs %d reports", seed, len(resP.Reports), len(resD.Reports))
+				}
+				for i := range resP.Reports {
+					if resP.Reports[i].Msg != resD.Reports[i].Msg {
+						t.Fatalf("seed %d report %d:\n%s\nvs\n%s", seed, i,
+							resP.Reports[i].Msg, resD.Reports[i].Msg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVetDischargeCountsSurface pins the accounting hand-off: discharged
+// sites appear in the build's elision stats and raise the avoided
+// fraction on a program with a clean lock discipline.
+func TestVetDischargeCountsSurface(t *testing.T) {
+	path := filepath.Join("internal", "interp", "testdata", "bank.shc")
+	a := checkFile(t, path)
+
+	opts := DefaultOptions()
+	opts.ElideChecks = true
+	plain, err := a.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.StaticDischarge = true
+	disch, err := a.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, de := plain.Elision(), disch.Elision()
+	if de.Discharged() == 0 {
+		t.Fatal("bank.shc discharged no checks; its lock discipline is fully analyzable")
+	}
+	if de.DischargedLocked == 0 {
+		t.Error("bank's discharge should include locked sites")
+	}
+	if de.AvoidedFraction() <= pe.AvoidedFraction() {
+		t.Errorf("discharge did not raise avoided fraction: %.3f vs %.3f",
+			de.AvoidedFraction(), pe.AvoidedFraction())
+	}
+}
