@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench elision explore explore-smoke profile-smoke engine-smoke vet-smoke obs vm vet-bench
+.PHONY: all build vet test race verify bench elision explore explore-smoke portfolio-smoke portfolio-race portfolio profile-smoke engine-smoke vet-smoke obs vm vet-bench
 
 all: verify
 
@@ -14,12 +14,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry
+	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry ./internal/portfolio
 
 # verify is the gate for every change: build, go vet, the full test suite,
 # the race detector over the concurrency-bearing packages, and the
-# exploration, profile, cross-engine, and static-analysis smokes.
-verify: build vet test race explore-smoke profile-smoke engine-smoke vet-smoke
+# exploration, portfolio, profile, cross-engine, and static-analysis smokes.
+verify: build vet test race explore-smoke portfolio-smoke profile-smoke engine-smoke vet-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -46,6 +46,29 @@ explore-smoke:
 			$(GO) run ./cmd/sharc explore -schedules 10 -seed $$seed $$prog || exit 1; \
 		done; \
 	done
+
+# portfolio-smoke pins the worker-count-independence contract from the
+# shell: the same seeded exploration at 1, 2, and 8 workers must write
+# byte-identical JSON, across all three sharing topologies.
+portfolio-smoke:
+	@$(GO) run ./cmd/sharc explore -schedules 20 -seed 5 -workers 1 -json /tmp/shc-pf-1.json internal/interp/testdata/racy_pair.shc > /dev/null 2>&1; \
+	for workers in 2 8; do \
+		for share in none local global; do \
+			$(GO) run ./cmd/sharc explore -schedules 20 -seed 5 -workers $$workers -share $$share -json /tmp/shc-pf-k.json internal/interp/testdata/racy_pair.shc > /dev/null 2>&1; \
+			cmp /tmp/shc-pf-1.json /tmp/shc-pf-k.json || { echo "portfolio output diverges at workers=$$workers share=$$share"; exit 1; }; \
+		done; \
+	done
+	@echo "portfolio-smoke ok"
+
+# portfolio-race hammers a multi-worker exploration of the racy corpus
+# under the race detector (the explorer's internal concurrency, not just
+# the packages' unit tests).
+portfolio-race:
+	$(GO) test -race ./internal/interp -run 'TestExploreWorkerCountIndependence|TestExploreProcessIsolation' -count 1
+
+# portfolio regenerates BENCH_portfolio.json (scaling vs worker count).
+portfolio:
+	$(GO) run ./cmd/sharc-bench -portfolio -reps 3
 
 # profile-smoke pins the deterministic-profile claim from the shell: the
 # same seeded profile twice, byte-identical, with the trace export intact.

@@ -17,6 +17,11 @@
 //	                                    the seeded-racy programs, compared
 //	                                    against free-running detection, also
 //	                                    written to BENCH_explore.json
+//	sharc-bench -portfolio              portfolio-exploration scaling on the
+//	                                    racy programs (throughput, time to
+//	                                    first finding, and duplicate skip
+//	                                    rate vs worker count), also written
+//	                                    to BENCH_portfolio.json
 //	sharc-bench -obs                    telemetry overhead tiers (off /
 //	                                    metrics / metrics+trace), also
 //	                                    written to BENCH_obs.json
@@ -47,6 +52,9 @@ func main() {
 	elisionOut := flag.String("elision-out", "BENCH_elision.json", "output path for the elision JSON")
 	explore := flag.Bool("explore", false, "compare schedule exploration against free-running detection and write BENCH_explore.json")
 	exploreOut := flag.String("explore-out", "BENCH_explore.json", "output path for the exploration JSON")
+	pf := flag.Bool("portfolio", false, "measure portfolio-exploration scaling vs worker count and write BENCH_portfolio.json")
+	pfOut := flag.String("portfolio-out", "BENCH_portfolio.json", "output path for the portfolio-scaling JSON")
+	pfShare := flag.String("share", "local", "sharing topology for -portfolio: none, local, global")
 	obs := flag.Bool("obs", false, "measure telemetry overhead tiers and write BENCH_obs.json")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the telemetry-overhead JSON")
 	vm := flag.Bool("vm", false, "compare the tree walker against the register VM and write BENCH_vm.json")
@@ -196,6 +204,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *vetOut)
+		return
+	}
+
+	if *pf {
+		rep, err := bench.PortfolioTable(*schedules, *reps, *pfShare)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Portfolio exploration scaling (same seed, merged output identical at every worker count):")
+		fmt.Print(bench.FormatPortfolio(rep))
+		data, err := bench.PortfolioJSON(rep)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*pfOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *pfOut)
 		return
 	}
 

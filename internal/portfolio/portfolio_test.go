@@ -1,0 +1,159 @@
+package portfolio
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func TestFactory(t *testing.T) {
+	for _, kind := range Kinds {
+		if !ValidKind(kind) {
+			t.Errorf("ValidKind(%q) = false for a listed kind", kind)
+		}
+		s, err := New(kind, 4)
+		if err != nil || s == nil {
+			t.Errorf("New(%q) = %v, %v", kind, s, err)
+		}
+		s.Close()
+	}
+	if ValidKind("ring") {
+		t.Error("ValidKind accepted an unknown topology")
+	}
+	if _, err := New("ring", 4); err == nil {
+		t.Error("New accepted an unknown topology")
+	}
+	// The empty kind is the factory's default, mapped to local broadcast.
+	s, err := New("", 4)
+	if err != nil {
+		t.Fatalf("New(\"\") = %v", err)
+	}
+	if _, ok := s.(*localSharing); !ok {
+		t.Errorf("New(\"\") = %T, want *localSharing", s)
+	}
+}
+
+func TestDigestTrace(t *testing.T) {
+	tr := func(steps ...sched.Step) *sched.Trace { return &sched.Trace{Steps: steps} }
+	a := DigestTrace(tr(sched.Step{Key: 1, N: 3}, sched.Step{Key: 2, N: 1}))
+	b := DigestTrace(tr(sched.Step{Key: 1, N: 3}, sched.Step{Key: 2, N: 1}))
+	if a != b {
+		t.Error("equal traces digest differently")
+	}
+	// Sensitive to keys, run lengths, and boundaries: (1×3, 2×1) must not
+	// collide with (1×2, 2×2) or (1×4).
+	for _, other := range []*sched.Trace{
+		tr(sched.Step{Key: 1, N: 2}, sched.Step{Key: 2, N: 2}),
+		tr(sched.Step{Key: 1, N: 4}),
+		tr(sched.Step{Key: 2, N: 3}, sched.Step{Key: 1, N: 1}),
+		tr(),
+	} {
+		if DigestTrace(other) == a {
+			t.Errorf("distinct trace %+v collides", other.Steps)
+		}
+	}
+	// Strategy metadata stays out of the hash: the digest identifies the
+	// interleaving, not the generator that produced it.
+	c := &sched.Trace{Strategy: "pct", Seed: 99, Steps: []sched.Step{{Key: 1, N: 3}, {Key: 2, N: 1}}}
+	if DigestTrace(c) != a {
+		t.Error("digest depends on strategy metadata")
+	}
+}
+
+func TestLocalSharing(t *testing.T) {
+	s, _ := New("local", 2)
+	defer s.Close()
+	if _, ok := s.Lookup("rr1|1"); ok {
+		t.Error("empty sharing answered a lookup")
+	}
+	first := Memo{Digest: 7, Decisions: 13, Reports: 1, Findings: []Finding{{Site: "a.shc:3:1"}}}
+	s.Publish("rr1|1", first)
+	s.Publish("rr1|1", Memo{Digest: 8}) // first publish wins
+	m, ok := s.Lookup("rr1|1")
+	if !ok || m.Digest != 7 || m.Decisions != 13 || len(m.Findings) != 1 {
+		t.Errorf("Lookup = %+v, %v; want the first memo", m, ok)
+	}
+	s.PublishSites([]string{"b.shc:2:5", "a.shc:3:1"})
+	s.PublishSites([]string{"a.shc:3:1"})
+	if n := s.SiteCount(); n != 2 {
+		t.Errorf("SiteCount = %d, want 2", n)
+	}
+	if sites := s.Sites(); len(sites) != 2 || sites[0] != "a.shc:3:1" || sites[1] != "b.shc:2:5" {
+		t.Errorf("Sites = %v, want sorted distinct", sites)
+	}
+	st := s.Stats()
+	if st.Published != 1 || st.Hits != 1 {
+		t.Errorf("Stats = %+v, want Published=1 Hits=1", st)
+	}
+}
+
+func TestGlobalSharingGather(t *testing.T) {
+	s, _ := New("global", 4)
+	s.Publish("pct|5", Memo{Digest: 42})
+	s.PublishSites([]string{"x.shc:1:1"})
+	// Publication propagates within a gather round.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := s.Lookup("pct|5"); ok && s.SiteCount() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("published memo never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Publications still pending at Close become visible via the final
+	// gather, so a post-Close merger sees everything.
+	s.Publish("rr2|2", Memo{Digest: 43})
+	s.Close()
+	if m, ok := s.Lookup("rr2|2"); !ok || m.Digest != 43 {
+		t.Errorf("post-Close Lookup = %+v, %v; want the flushed memo", m, ok)
+	}
+	if s.Stats().Rounds == 0 {
+		t.Error("global topology reported zero gather rounds")
+	}
+}
+
+func TestNoneSharing(t *testing.T) {
+	s, _ := New("none", 4)
+	defer s.Close()
+	s.Publish("a", Memo{Digest: 1})
+	s.PublishSites([]string{"x"})
+	if _, ok := s.Lookup("a"); ok {
+		t.Error("none topology transported a memo")
+	}
+	if s.SiteCount() != 0 || s.Sites() != nil {
+		t.Error("none topology transported sites")
+	}
+}
+
+// TestSharingConcurrent hammers every topology from many goroutines; run
+// under -race it proves the implementations are data-race free.
+func TestSharingConcurrent(t *testing.T) {
+	for _, kind := range Kinds {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			s, _ := New(kind, 8)
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						id := fmt.Sprintf("id%d", i%17)
+						s.Publish(id, Memo{Digest: Digest(i)})
+						s.Lookup(id)
+						s.PublishSites([]string{fmt.Sprintf("s%d", i%5)})
+						s.SiteCount()
+					}
+				}(w)
+			}
+			wg.Wait()
+			s.Close()
+			s.Stats()
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCountersMerge(t *testing.T) {
+	var a, b Counters
+	a.TotalAccesses.Store(10)
+	a.Conflicts.Store(1)
+	a.MaxThreads.Store(3)
+	a.MaxLocksHeld.Store(2)
+	b.TotalAccesses.Store(5)
+	b.Conflicts.Store(2)
+	b.MaxThreads.Store(7)
+	b.MaxLocksHeld.Store(1)
+	a.Merge(&b)
+	if got := a.TotalAccesses.Load(); got != 15 {
+		t.Errorf("TotalAccesses = %d, want 15 (sum)", got)
+	}
+	if got := a.Conflicts.Load(); got != 3 {
+		t.Errorf("Conflicts = %d, want 3 (sum)", got)
+	}
+	if got := a.MaxThreads.Load(); got != 7 {
+		t.Errorf("MaxThreads = %d, want 7 (max)", got)
+	}
+	if got := a.MaxLocksHeld.Load(); got != 2 {
+		t.Errorf("MaxLocksHeld = %d, want 2 (max)", got)
+	}
+}
+
+func TestCollectorMerge(t *testing.T) {
+	info := []SiteInfo{{LValue: "g"}, {LValue: "h"}}
+	a, b := NewCollector(info), NewCollector(info)
+	a.DynamicCheck(1, 0, true, false, false)  // writer tid 1 at site 0
+	b.DynamicCheck(2, 0, false, false, true)  // reader tid 2, conflicting
+	b.DynamicCheck(3, 1, true, true, false)   // site 1 under lock
+	a.Merge(b)
+	snap := a.Snapshot(GlobalStats{}, Elision{})
+	s0 := snap.Sites[0]
+	if s0.Reads != 1 || s0.Writes != 1 || s0.Conflicts != 1 {
+		t.Errorf("site 0 = reads %d writes %d conflicts %d, want 1/1/1", s0.Reads, s0.Writes, s0.Conflicts)
+	}
+	if s0.ReadThreads != 1 || s0.WriteThreads != 1 {
+		t.Errorf("site 0 read/write threads = %d/%d, want 1/1 (masks ORed)", s0.ReadThreads, s0.WriteThreads)
+	}
+	if s1 := snap.Sites[1]; s1.Writes != 1 || s1.UnderLock != 1 {
+		t.Errorf("site 1 = writes %d underLock %d, want 1/1", s1.Writes, s1.UnderLock)
+	}
+}
+
+func TestMergeGlobalStats(t *testing.T) {
+	g := MergeGlobalStats(
+		GlobalStats{TotalAccesses: 4, Conflicts: 1, MaxThreads: 2, ShadowPages: 3, HeapPages: 1, RCLoggedSlots: 5},
+		GlobalStats{TotalAccesses: 6, Conflicts: 0, MaxThreads: 5, ShadowPages: 2, HeapPages: 4, RCLoggedSlots: 1},
+	)
+	if g.TotalAccesses != 10 || g.Conflicts != 1 || g.RCLoggedSlots != 6 {
+		t.Errorf("sums wrong: %+v", g)
+	}
+	if g.MaxThreads != 5 || g.ShadowPages != 3 || g.HeapPages != 4 {
+		t.Errorf("maxima wrong: %+v", g)
+	}
+}
+
+// fillTracer appends n events for the given schedule, with addr encoding
+// the emission order so windows can be compared.
+func fillTracer(tr *Tracer, schedule, n int, addr *int64) {
+	tr.SetSchedule(schedule)
+	for i := 0; i < n; i++ {
+		tr.Append(KindChkRead, 1, 0, *addr, 0)
+		*addr++
+	}
+}
+
+// TestMergeTracersMatchesSequential pins the ring-tail property: per-part
+// rings at full capacity, filled in ascending schedule order, merge to the
+// byte-identical window a single sequential ring would have kept.
+func TestMergeTracersMatchesSequential(t *testing.T) {
+	info := []SiteInfo{{LValue: "g"}}
+	const capacity = 16
+	// Sequential: one ring sees schedules 0..3 in order (sizes overflow
+	// the ring, so the tail window matters).
+	seq := NewTracer(capacity, info)
+	var addr int64
+	sizes := []int{5, 9, 7, 4}
+	for s, n := range sizes {
+		fillTracer(seq, s, n, &addr)
+	}
+	// Portfolio: schedule 0 on the calibration part, odd schedules on
+	// worker A, even on worker B — each part appends ascending.
+	calib, wa, wb := NewTracer(capacity, info), NewTracer(capacity, info), NewTracer(capacity, info)
+	addrOf := func(s int) int64 {
+		var a int64
+		for i := 0; i < s; i++ {
+			a += int64(sizes[i])
+		}
+		return a
+	}
+	for s, part := range []*Tracer{calib, wa, wb, wa} {
+		a := addrOf(s)
+		fillTracer(part, s, sizes[s], &a)
+	}
+	merged := MergeTracers(capacity, info, calib, wa, wb)
+
+	if got, want := merged.Total(), seq.Total(); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	if got, want := merged.Dropped(), seq.Dropped(); got != want {
+		t.Fatalf("Dropped = %d, want %d", got, want)
+	}
+	var mb, sb bytes.Buffer
+	if err := merged.WriteJSONL(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if mb.String() != sb.String() {
+		t.Errorf("merged window diverges from sequential:\nmerged:\n%s\nsequential:\n%s", mb.String(), sb.String())
+	}
+}
+
+func TestFrozenTracerIsReadOnly(t *testing.T) {
+	info := []SiteInfo{{LValue: "g"}}
+	part := NewTracer(8, info)
+	var addr int64
+	fillTracer(part, 0, 3, &addr)
+	merged := MergeTracers(8, info, part)
+	before := len(merged.Events())
+	merged.Append(KindChkWrite, 1, 0, 99, 0) // must be dropped
+	if got := len(merged.Events()); got != before {
+		t.Errorf("frozen tracer accepted an append: %d -> %d events", before, got)
+	}
+	if merged.Total() != 3 {
+		t.Errorf("Total = %d, want 3", merged.Total())
+	}
+}

@@ -95,10 +95,22 @@ type Event struct {
 // Tracer is the ring buffer. Append is mutex-guarded: tracing is opt-in
 // and the cost is paid only when enabled, so a contended fast path is not
 // worth racing the ring slots for.
+//
+// All state is instance-scoped — there is deliberately no package-level
+// mutable state anywhere in this package, so any number of checked
+// programs (or portfolio explorer workers) can trace concurrently in one
+// process. The step and sched stamps are ambient per-instance state: a
+// tracer must therefore be driven by one runtime at a time (the portfolio
+// explorer gives every worker its own tracer and merges afterwards with
+// MergeTracers).
 type Tracer struct {
 	mu     sync.Mutex
 	events []Event
 	total  uint64
+	// frozen marks a tracer produced by MergeTracers: events holds the
+	// retained window verbatim (not a ring), total counts pre-merge
+	// appends, and further appends are rejected.
+	frozen bool
 
 	info  []SiteInfo
 	step  atomic.Int64
@@ -120,9 +132,10 @@ func NewTracer(capacity int, info []SiteInfo) *Tracer {
 	return t
 }
 
-// Append records one event (nil-safe: a nil tracer drops it).
+// Append records one event (nil-safe: a nil tracer drops it; a frozen
+// merged tracer is read-only and drops it too).
 func (t *Tracer) Append(kind Kind, tid, site int, addr, aux int64) {
-	if t == nil {
+	if t == nil || t.frozen {
 		return
 	}
 	e := Event{
@@ -165,7 +178,8 @@ func (t *Tracer) Total() uint64 {
 	return t.total
 }
 
-// Dropped returns how many events the ring has overwritten.
+// Dropped returns how many events the ring has overwritten (for a merged
+// tracer: dropped before or during the merge).
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
@@ -186,6 +200,11 @@ func (t *Tracer) Events() []Event {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.frozen {
+		out := make([]Event, len(t.events))
+		copy(out, t.events)
+		return out
+	}
 	n := uint64(len(t.events))
 	if t.total <= n {
 		out := make([]Event, t.total)
