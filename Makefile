@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench elision explore explore-smoke portfolio-smoke portfolio-race portfolio profile-smoke engine-smoke vet-smoke obs vm vet-bench
+.PHONY: all build vet test race verify bench elision explore explore-smoke portfolio-smoke portfolio-race portfolio profile-smoke engine-smoke vet-smoke obs vm vet-bench serve-smoke serve-bench
 
 all: verify
 
@@ -14,12 +14,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry ./internal/portfolio
+	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry ./internal/portfolio ./internal/serve
 
 # verify is the gate for every change: build, go vet, the full test suite,
 # the race detector over the concurrency-bearing packages, and the
-# exploration, portfolio, profile, cross-engine, and static-analysis smokes.
-verify: build vet test race explore-smoke portfolio-smoke profile-smoke engine-smoke vet-smoke
+# exploration, portfolio, profile, cross-engine, static-analysis, and
+# execution-service smokes.
+verify: build vet test race explore-smoke portfolio-smoke profile-smoke engine-smoke vet-smoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -104,6 +105,30 @@ vet-smoke:
 		esac; \
 	done
 	@echo "vet-smoke ok"
+
+# serve-smoke drives the execution service from the shell the way an
+# operator would: build both binaries, start `sharc serve` on an ephemeral
+# port, fire the sharc-bench assertion harness at it (1000 sequential +
+# 100 concurrent mixed-program requests, every reply byte-deterministic),
+# then SIGTERM and require a clean drain (exit 0). The queue is raised to
+# 256 because the harness throws 100 simultaneous arrivals at 4 workers —
+# the default queue of 64 would (correctly) refuse the overflow.
+serve-smoke:
+	@$(GO) build -o /tmp/shc-serve-bin ./cmd/sharc
+	@$(GO) build -o /tmp/shc-serve-bench ./cmd/sharc-bench
+	@rm -f /tmp/shc-serve-addr; \
+	/tmp/shc-serve-bin serve -addr 127.0.0.1:0 -addr-file /tmp/shc-serve-addr -queue 256 2>/tmp/shc-serve-log & \
+	pid=$$!; \
+	for i in $$(seq 1 200); do [ -s /tmp/shc-serve-addr ] && break; sleep 0.05; done; \
+	[ -s /tmp/shc-serve-addr ] || { echo "serve never came up"; cat /tmp/shc-serve-log; kill $$pid; exit 1; }; \
+	/tmp/shc-serve-bench -serve-smoke -serve-addr "$$(cat /tmp/shc-serve-addr)" || { kill $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "serve did not drain cleanly"; cat /tmp/shc-serve-log; exit 1; }
+	@echo "serve-smoke ok"
+
+# serve-bench regenerates BENCH_serve.json (service load scenarios).
+serve-bench:
+	$(GO) run ./cmd/sharc-bench -serve
 
 # vm regenerates BENCH_vm.json (tree walker vs register VM speedups).
 vm:

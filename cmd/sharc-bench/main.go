@@ -32,6 +32,16 @@
 //	                                    vs elide + vet discharge) on both
 //	                                    engines, also written to
 //	                                    BENCH_vet.json
+//	sharc-bench -serve                  load-generate against the checked
+//	                                    execution service (closed/open loop,
+//	                                    bursts, connection churn, slowloris),
+//	                                    also written to BENCH_serve.json; an
+//	                                    in-process server is started unless
+//	                                    -serve-addr points at a running one
+//	sharc-bench -serve-smoke            assertion harness: 1000 sequential +
+//	                                    100 concurrent mixed requests, all
+//	                                    replies byte-deterministic; exits
+//	                                    non-zero on the first violation
 package main
 
 import (
@@ -62,6 +72,12 @@ func main() {
 	vetFlag := flag.Bool("vet", false, "measure static check discharge and write BENCH_vet.json")
 	vetOut := flag.String("vet-out", "BENCH_vet.json", "output path for the discharge JSON")
 	schedules := flag.Int("schedules", 100, "schedules per program in -explore mode")
+	serveBench := flag.Bool("serve", false, "load-generate against the execution service and write BENCH_serve.json")
+	serveSmoke := flag.Bool("serve-smoke", false, "run the serve assertion harness (1000 sequential + 100 concurrent requests)")
+	serveAddr := flag.String("serve-addr", "", "host:port of a running sharc serve; empty starts one in-process")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for the serve load JSON")
+	serveReqs := flag.Int("serve-requests", 400, "per-scenario request budget in -serve mode")
+	serveConc := flag.Int("serve-concurrency", 8, "closed-loop worker count in -serve mode")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -78,6 +94,36 @@ func main() {
 	if *schedules <= 0 {
 		fmt.Fprintln(os.Stderr, "sharc-bench: -schedules must be positive")
 		os.Exit(2)
+	}
+
+	if *serveSmoke {
+		if err := bench.RunServeSmoke(*serveAddr, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println("serve smoke: PASS")
+		return
+	}
+
+	if *serveBench {
+		rep, err := bench.RunServeBench(bench.ServeOptions{
+			Addr:        *serveAddr,
+			Requests:    *serveReqs,
+			Concurrency: *serveConc,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Serve load scenarios (req/s over OK replies; latencies include queueing):")
+		fmt.Print(bench.FormatServe(rep))
+		data, err := bench.ServeJSON(rep)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*serveOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *serveOut)
+		return
 	}
 
 	if *ladder {

@@ -42,6 +42,8 @@ func TestValidateTable(t *testing.T) {
 		return cliFlags{
 			schedules: 100, strategy: "mix", workers: 1, share: "local",
 			top: 10, seed: 1, traceCap: 1024, engine: "auto",
+			addr: "127.0.0.1:7077", maxSessions: 4, queue: 64,
+			timeoutMS: 10000, cacheCap: 128, drainMS: 10000,
 		}
 	}
 	cases := []struct {
@@ -85,6 +87,27 @@ func TestValidateTable(t *testing.T) {
 			f.record, f.replay = "a", "b" // conflict…
 			f.engine = "jit"              // …and a bad value: table order says 3
 		}, exitConflict},
+		{"serve defaults valid", "serve", func(f *cliFlags) {}, 0},
+		{"serve ephemeral port valid", "serve", func(f *cliFlags) { f.addr = "127.0.0.1:0" }, 0},
+		{"serve all-interfaces valid", "serve", func(f *cliFlags) { f.addr = ":7077" }, 0},
+		{"serve bad addr", "serve", func(f *cliFlags) { f.addr = "localhost" }, exitBadValue},
+		{"serve bad port", "serve", func(f *cliFlags) { f.addr = "127.0.0.1:http" }, exitBadValue},
+		{"serve port out of range", "serve", func(f *cliFlags) { f.addr = "127.0.0.1:99999" }, exitBadValue},
+		{"serve zero sessions", "serve", func(f *cliFlags) { f.maxSessions = 0 }, exitBadValue},
+		{"serve negative sessions", "serve", func(f *cliFlags) { f.maxSessions = -2 }, exitBadValue},
+		{"serve negative queue", "serve", func(f *cliFlags) { f.queue = -1 }, exitBadValue},
+		{"serve empty queue valid", "serve", func(f *cliFlags) { f.queue = 0 }, 0},
+		{"serve zero timeout", "serve", func(f *cliFlags) { f.timeoutMS = 0 }, exitBadValue},
+		{"serve negative cache cap", "serve", func(f *cliFlags) { f.cacheCap = -1 }, exitBadValue},
+		{"serve cache disabled valid", "serve", func(f *cliFlags) { f.cacheCap = 0 }, 0},
+		{"serve zero drain", "serve", func(f *cliFlags) { f.drainMS = 0 }, exitBadValue},
+		{"serve preload+nocache conflict", "serve", func(f *cliFlags) { f.preload = 2; f.cacheCap = 0 }, exitConflict},
+		{"serve preload with cache valid", "serve", func(f *cliFlags) { f.preload = 2 }, 0},
+		{"serve conflict wins over bad value", "serve", func(f *cliFlags) {
+			f.preload, f.cacheCap = 1, 0 // conflict…
+			f.maxSessions = 0            // …and a bad value: table order says 3
+		}, exitConflict},
+		{"serve rules are serve-only", "run", func(f *cliFlags) { f.seed = -1; f.maxSessions = -5; f.addr = "nonsense" }, 0},
 	}
 	for _, tc := range cases {
 		f := ok()

@@ -35,6 +35,15 @@
 //	                           touched it, the sharing mode the §4.1
 //	                           heuristics would suggest, and the static vet
 //	                           verdict for the site (mismatches flagged !)
+//	sharc serve [file.shc...]  run the long-lived checked-execution service:
+//	                           clients POST programs (inline source or a
+//	                           cached handle) to /run and get the report/
+//	                           exit/stats reply as JSON; compilation happens
+//	                           once per distinct program. Positional files
+//	                           are preloaded into the cache at startup.
+//	                           Flags: -addr, -addr-file, -max-sessions,
+//	                           -queue, -timeout-ms, -cache-cap (0 disables
+//	                           the cache), -drain-ms (SIGTERM grace)
 //
 // run and explore also accept -metrics (print a telemetry summary) and
 // -trace-out/-trace-chrome (export the structured event stream as JSONL
@@ -60,16 +69,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/portfolio"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
 
@@ -80,7 +96,7 @@ const (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: sharc {check|infer|vet|run|explore|profile} [flags] file.shc...\n")
+	fmt.Fprintf(os.Stderr, "usage: sharc {check|infer|vet|run|explore|profile|serve} [flags] file.shc...\n")
 	os.Exit(exitUsage)
 }
 
@@ -101,6 +117,15 @@ type cliFlags struct {
 	share     string
 	// profile only
 	top int
+	// serve only
+	addr        string
+	addrFile    string
+	maxSessions int
+	queue       int
+	timeoutMS   int
+	cacheCap    int
+	drainMS     int
+	preload     int // count of positional preload files (set after Parse)
 	// shared between execution subcommands
 	seed        int64
 	elide       bool
@@ -121,6 +146,22 @@ func validEngine(s string) bool {
 		return true
 	}
 	return false
+}
+
+// badAddr explains what is wrong with a TCP listen address, or returns ""
+// for a usable one. Port 0 is legal (the kernel picks; -addr-file reads
+// the result back).
+func badAddr(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Sprintf("-addr %q is not host:port", addr)
+	}
+	_ = host // empty host = all interfaces, fine
+	n, err := strconv.Atoi(port)
+	if err != nil || n < 0 || n > 65535 {
+		return fmt.Sprintf("-addr port %q is not a TCP port (0-65535)", port)
+	}
+	return ""
 }
 
 // cliRules is the single flag-validation table for every subcommand. Each
@@ -219,6 +260,45 @@ var cliRules = []struct {
 		}
 		return ""
 	}},
+	{"serve", exitConflict, func(f *cliFlags) string {
+		if f.preload > 0 && f.cacheCap == 0 {
+			return "-cache-cap 0 disables the program cache; preloading files into it is contradictory"
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		return badAddr(f.addr)
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if f.maxSessions <= 0 {
+			return fmt.Sprintf("-max-sessions must be positive, got %d", f.maxSessions)
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if f.queue < 0 {
+			return fmt.Sprintf("-queue must be >= 0, got %d", f.queue)
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if f.timeoutMS <= 0 {
+			return fmt.Sprintf("-timeout-ms must be positive, got %d", f.timeoutMS)
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if f.cacheCap < 0 {
+			return fmt.Sprintf("-cache-cap must be >= 0 (0 disables caching), got %d", f.cacheCap)
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if f.drainMS <= 0 {
+			return fmt.Sprintf("-drain-ms must be positive, got %d", f.drainMS)
+		}
+		return ""
+	}},
 }
 
 // validate runs cmd's slice of the rule table. It returns a non-zero exit
@@ -264,7 +344,7 @@ func main() {
 	}
 	cmd := os.Args[1]
 	switch cmd {
-	case "check", "infer", "vet", "run", "explore", "profile":
+	case "check", "infer", "vet", "run", "explore", "profile", "serve":
 	default:
 		fmt.Fprintf(os.Stderr, "sharc: unknown subcommand %q\n", cmd)
 		usage()
@@ -320,19 +400,35 @@ func main() {
 		fs.StringVar(&f.traceChrome, "trace-chrome", "", "export the event trace in Chrome trace_event format to this path")
 		traceCapFlag()
 		engineFlag()
+	case "serve":
+		fs.StringVar(&f.addr, "addr", "127.0.0.1:7077", "TCP listen address (port 0 picks an ephemeral port)")
+		fs.StringVar(&f.addrFile, "addr-file", "", "write the bound address to this file once listening")
+		fs.IntVar(&f.maxSessions, "max-sessions", 4, "concurrent checked executions")
+		fs.IntVar(&f.queue, "queue", 64, "requests allowed to wait for a session slot before 503")
+		fs.IntVar(&f.timeoutMS, "timeout-ms", 10000, "per-request execution timeout (ms)")
+		fs.IntVar(&f.cacheCap, "cache-cap", 128, "compiled-program cache entries (0 disables caching)")
+		fs.IntVar(&f.drainMS, "drain-ms", 10000, "graceful-drain deadline after SIGTERM/SIGINT (ms)")
 	}
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(exitUsage)
 	}
 	files := fs.Args()
-	if len(files) == 0 {
+	// serve takes positional files as optional cache preloads; every other
+	// subcommand needs at least one input.
+	if len(files) == 0 && cmd != "serve" {
 		usage()
 	}
+	f.preload = len(files)
 
 	// Validate flag combinations before touching the filesystem.
 	if code, msg := validate(cmd, &f); code != 0 {
 		fmt.Fprintln(os.Stderr, "sharc:", msg)
 		os.Exit(code)
+	}
+
+	if cmd == "serve" {
+		runServe(&f, files)
+		return
 	}
 
 	var sources []sharc.Source
@@ -521,6 +617,65 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", f.jsonOut)
 		}
 		writeTraces(res.Trace, f.traceOut, f.traceChrome)
+	}
+}
+
+// runServe runs the checked-execution service until a termination signal,
+// then drains: in-flight requests finish (up to -drain-ms), new ones are
+// refused, and past the deadline stragglers are interrupted.
+func runServe(f *cliFlags, files []string) {
+	cacheCap := f.cacheCap
+	if cacheCap == 0 {
+		cacheCap = -1 // CLI 0 = disabled; Config negative = disabled
+	}
+	srv := serve.New(serve.Config{
+		Addr:        f.addr,
+		MaxSessions: f.maxSessions,
+		QueueDepth:  f.queue,
+		Timeout:     time.Duration(f.timeoutMS) * time.Millisecond,
+		CacheCap:    cacheCap,
+	})
+	if err := srv.Listen(); err != nil {
+		fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		handle, err := srv.Preload(file, string(data))
+		if err != nil {
+			fatal(fmt.Errorf("preload %s: %w", file, err))
+		}
+		fmt.Fprintf(os.Stderr, "sharc serve: preloaded %s as %s\n", file, handle)
+	}
+	if f.addrFile != "" {
+		if err := os.WriteFile(f.addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sharc serve: listening on %s (%d session(s), queue %d, timeout %dms)\n",
+		srv.Addr(), f.maxSessions, f.queue, f.timeoutMS)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sharc serve: %v: draining (deadline %dms)\n", sig, f.drainMS)
+		ctx, cancel := context.WithTimeout(context.Background(),
+			time.Duration(f.drainMS)*time.Millisecond)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "sharc serve: drain deadline exceeded; interrupted remaining runs")
+		}
+		<-done
+		fmt.Fprintln(os.Stderr, "sharc serve: shutdown complete")
 	}
 }
 

@@ -1,0 +1,152 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServe launches `sharc serve` on an ephemeral port, waits for the
+// addr file, and returns the base URL plus the running process.
+func startServe(t *testing.T, bin string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{"serve", "-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			return cmd, "http://" + strings.TrimSpace(string(data))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("server never wrote %s; stderr:\n%s", addrFile, stderr.String())
+	return nil, ""
+}
+
+func postJSON(t *testing.T, url string, body string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Sharc-Cache"), buf.Bytes()
+}
+
+// TestCLIServeLifecycle: the binary serves requests end to end — preload,
+// hit/miss equivalence, /stats — and SIGTERM produces a clean drain.
+func TestCLIServeLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, cleanProg)
+	cmd, base := startServe(t, bin, prog)
+
+	// The preloaded program is already cached: an inline run of the same
+	// source under the same name is a hit on the first request.
+	src, err := json.Marshal(cleanProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"source":` + string(src) + `,"name":"` + prog + `","seed":5}`
+	st, cache, b1 := postJSON(t, base+"/run", body)
+	if st != 200 || cache != "hit" {
+		t.Fatalf("preloaded run: status %d cache %q body %s", st, cache, b1)
+	}
+	var reply struct {
+		Exit   int64  `json:"exit"`
+		Stdout string `json:"stdout"`
+	}
+	if err := json.Unmarshal(b1, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Exit != 3 || !strings.Contains(reply.Stdout, "hello from shc") {
+		t.Fatalf("reply: %s", b1)
+	}
+
+	// Same request again: byte-identical.
+	_, _, b2 := postJSON(t, base+"/run", body)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("replies differ:\n%s\n%s", b1, b2)
+	}
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	// SIGTERM: drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+// TestCLIServeFlagValidation pins the serve rows of the exit-code table
+// end to end through the binary.
+func TestCLIServeFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, cleanProg)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"serve", "-bogus"}, 2},
+		{"bad addr", []string{"serve", "-addr", "nonsense"}, 4},
+		{"bad port", []string{"serve", "-addr", "127.0.0.1:notaport"}, 4},
+		{"bad max-sessions", []string{"serve", "-max-sessions", "0"}, 4},
+		{"bad queue", []string{"serve", "-queue", "-1"}, 4},
+		{"bad timeout", []string{"serve", "-timeout-ms", "0"}, 4},
+		{"bad cache cap", []string{"serve", "-cache-cap", "-3"}, 4},
+		{"bad drain", []string{"serve", "-drain-ms", "0"}, 4},
+		{"preload without cache", []string{"serve", "-cache-cap", "0", prog}, 3},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(bin, tc.args...).CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if code != tc.want {
+			t.Errorf("%s: exit %d, want %d\n%s", tc.name, code, tc.want, out)
+		}
+	}
+}

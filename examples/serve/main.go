@@ -1,0 +1,174 @@
+// Serve: the checked-execution service end to end, in process.
+//
+// A long-lived server owns a compiled-program cache: the first request for
+// a program pays the analyze+compile cost (a cache miss), every later one
+// reuses the frozen flat IR (a hit), and because seeded runs are fully
+// deterministic the reply bodies are byte-identical either way. The
+// walkthrough starts a server, demonstrates the hit/miss equivalence,
+// names a cached program by handle, shows a racy program's reports coming
+// back in the reply JSON, provokes an admission refusal, reads the
+// aggregated telemetry from /stats, and drains the server gracefully.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+const counter = `
+int main(void) {
+	int *p = malloc(sizeof(int));
+	*p = 0;
+	for (int i = 0; i < 5000; i++) {
+		*p = *p + 1;
+	}
+	print("count=");
+	printInt(*p);
+	return 0;
+}
+`
+
+const racer = `
+int racy *cell;
+
+void *worker(void *d) {
+	for (int i = 0; i < 50; i++) {
+		cell[0] = cell[0] + 1;
+	}
+	return NULL;
+}
+
+int main(void) {
+	cell = malloc(sizeof(int));
+	cell[0] = 0;
+	int h1 = spawn(worker, NULL);
+	int h2 = spawn(worker, NULL);
+	join(h1);
+	join(h2);
+	return 0;
+}
+`
+
+func post(base, path string, body any) (int, string, []byte) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Sharc-Cache"), data
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	cfg := serve.DefaultConfig()
+	cfg.Addr = "127.0.0.1:0"
+	cfg.MaxSessions = 2
+	cfg.QueueDepth = 0 // no waiting room: over-capacity requests are refused
+	srv := serve.New(cfg)
+	if err := srv.Listen(); err != nil {
+		fatal(err)
+	}
+	go srv.Serve()
+	base := "http://" + srv.Addr()
+	fmt.Printf("=== 1. Server up at %s ===\n", srv.Addr())
+
+	fmt.Println()
+	fmt.Println("=== 2. Cache miss, then hit — byte-identical replies ===")
+	req := map[string]any{"source": counter, "name": "counter.shc", "seed": 3}
+	_, c1, b1 := post(base, "/run", req)
+	_, c2, b2 := post(base, "/run", req)
+	fmt.Printf("first request:  X-Sharc-Cache: %s\n", c1)
+	fmt.Printf("second request: X-Sharc-Cache: %s\n", c2)
+	fmt.Printf("bodies identical: %v\n", bytes.Equal(b1, b2))
+	fmt.Printf("reply: %s", b1)
+
+	fmt.Println()
+	fmt.Println("=== 3. Compile once, run by handle ===")
+	st, _, ch := post(base, "/compile", map[string]any{"source": racer, "name": "racer.shc"})
+	if st != http.StatusOK {
+		fatal(fmt.Errorf("compile: %d %s", st, ch))
+	}
+	var compiled struct {
+		Handle string `json:"handle"`
+	}
+	if err := json.Unmarshal(ch, &compiled); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("handle: %s\n", compiled.Handle)
+	_, cache, rb := post(base, "/run", map[string]any{"handle": compiled.Handle, "seed": 1})
+	fmt.Printf("run by handle (cache %s):\n", cache)
+	var racerReply struct {
+		Exit    int64 `json:"exit"`
+		Reports []struct {
+			Kind string `json:"kind"`
+			Pos  string `json:"pos"`
+			Msg  string `json:"msg"`
+		} `json:"reports"`
+	}
+	if err := json.Unmarshal(rb, &racerReply); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("exit %d, %d deterministic report(s); first:\n", racerReply.Exit, len(racerReply.Reports))
+	if len(racerReply.Reports) > 0 {
+		fmt.Printf("  %s\n", racerReply.Reports[0].Msg)
+	}
+
+	fmt.Println()
+	fmt.Println("=== 4. Admission control: 2 sessions, no queue ===")
+	slow := strings.Replace(counter, "5000", "30000000", 1)
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			st, _, _ := post(base, "/run", map[string]any{
+				"source": slow, "name": "slow.shc", "timeout_ms": 1500,
+			})
+			done <- st
+		}()
+	}
+	time.Sleep(300 * time.Millisecond) // let both occupy the slots
+	st, _, body := post(base, "/run", req)
+	fmt.Printf("third concurrent request: %d %s", st, body)
+	<-done
+	<-done
+
+	fmt.Println()
+	fmt.Println("=== 5. Aggregated telemetry from /stats ===")
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var pretty bytes.Buffer
+	json.Indent(&pretty, stats, "", "  ")
+	fmt.Println(pretty.String())
+
+	fmt.Println("=== 6. Graceful drain ===")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	fmt.Println("drained: in-flight sessions finished, listener closed")
+}

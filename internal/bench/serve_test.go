@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunServeBenchSmallScale runs the whole scenario sweep at a tiny
+// budget against an in-process server and checks the report's shape and
+// internal consistency — it is a harness test, not a performance one.
+func TestRunServeBenchSmallScale(t *testing.T) {
+	rep, err := RunServeBench(ServeOptions{
+		Requests:        24,
+		Concurrency:     4,
+		SlowlorisWindow: 3500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"cold-compile", "closed-sequential-hot", "closed-concurrent-hot",
+		"closed-concurrent-mixed", "open-fixed-rate", "bursty",
+		"connection-churn", "slowloris",
+	}
+	if len(rep.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rep.Rows), len(want), rep.Rows)
+	}
+	for i, r := range rep.Rows {
+		if r.Scenario != want[i] {
+			t.Errorf("row %d: scenario %q, want %q", i, r.Scenario, want[i])
+		}
+		if r.Requests == 0 {
+			t.Errorf("%s: zero requests", r.Scenario)
+		}
+		if got := r.OK + r.Refused + r.Timeouts + r.Errors; got != r.Requests {
+			t.Errorf("%s: outcomes %d != requests %d", r.Scenario, got, r.Requests)
+		}
+		if r.OK > 0 && (r.P50NS <= 0 || r.P99NS < r.P50NS) {
+			t.Errorf("%s: implausible latencies p50=%d p99=%d", r.Scenario, r.P50NS, r.P99NS)
+		}
+		if r.Errors > 0 {
+			t.Errorf("%s: %d transport errors", r.Scenario, r.Errors)
+		}
+	}
+	// The cold row compiles all three programs: all misses. Steady-state
+	// rows run against a warm cache: all hits.
+	if rep.Rows[0].CacheHitRate != 0 {
+		t.Errorf("cold row hit rate %v, want 0", rep.Rows[0].CacheHitRate)
+	}
+	for _, r := range rep.Rows[1:] {
+		if r.OK > 0 && r.CacheHitRate != 1 {
+			t.Errorf("%s: hit rate %v, want 1 against warm cache", r.Scenario, r.CacheHitRate)
+		}
+	}
+	// Slowloris connections must actually get cut: the in-process server
+	// has a 2s read deadline and the window is 3.5s.
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.SlowConnsCut == 0 {
+		t.Error("slowloris: no trickling connections were cut")
+	}
+	if rep.NumCPU <= 0 || rep.GOMAXPROCS <= 0 || rep.External {
+		t.Errorf("provenance: %+v", rep)
+	}
+
+	data, err := ServeJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round ServeReport
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("BENCH_serve.json does not round-trip: %v", err)
+	}
+	if len(round.Rows) != len(rep.Rows) {
+		t.Fatalf("round-trip dropped rows: %d != %d", len(round.Rows), len(rep.Rows))
+	}
+	if FormatServe(rep) == "" {
+		t.Error("empty table")
+	}
+}
+
+// TestRunServeSmokeInProcess runs the full acceptance harness (1000
+// sequential + 100 concurrent requests) against an in-process server.
+func TestRunServeSmokeInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1100 requests")
+	}
+	if err := RunServeSmoke("", nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -178,7 +178,7 @@ func (t *thread) doJoin(h int64, pos token.Pos) int64 {
 	th := v.(*threadHandle)
 	if rt.ctl != nil {
 		if !rt.ctl.Join(t.skey, th.skey) {
-			t.fail(pos, "deadlock: all threads blocked")
+			t.schedDown(pos)
 		}
 	}
 	// Under the scheduler the target has already passed its Exit point;
@@ -220,7 +220,7 @@ func (t *thread) doMutexLock(addr int64, pos token.Pos) int64 {
 		// with no way to hand the token on; ownership is modeled in the
 		// controller instead, which also gives deadlock detection.
 		if !rt.ctl.Lock(t.skey, addr) {
-			t.fail(pos, "deadlock: all threads blocked")
+			t.schedDown(pos)
 		}
 	} else {
 		mu.Lock()
@@ -249,7 +249,7 @@ func (t *thread) doMutexUnlock(addr int64, pos token.Pos) int64 {
 	}
 	if rt.ctl != nil {
 		if !rt.ctl.Unlock(t.skey, addr) {
-			t.fail(pos, "deadlock: all threads blocked")
+			t.schedDown(pos)
 		}
 	} else {
 		mu.Unlock()
@@ -287,7 +287,7 @@ func (t *thread) doCondWait(cvAddr, mAddr int64, pos token.Pos) int64 {
 	}
 	if rt.ctl != nil {
 		if !rt.ctl.Wait(t.skey, cvAddr, mAddr) {
-			t.fail(pos, "deadlock: all threads blocked")
+			t.schedDown(pos)
 		}
 	} else {
 		cs.cond.Wait()
@@ -315,7 +315,7 @@ func (t *thread) doCondSignal(cvAddr int64, broadcast bool, pos token.Pos) int64
 		// The controller picks which waiter wakes: wake order is a
 		// recorded, explorable scheduling decision.
 		if !rt.ctl.Signal(t.skey, cvAddr, broadcast) {
-			t.fail(pos, "deadlock: all threads blocked")
+			t.schedDown(pos)
 		}
 	} else if cond != nil {
 		if broadcast {
@@ -495,7 +495,7 @@ func (t *thread) doSpawn(fnVal, arg int64, pos token.Pos) int64 {
 			case tid = <-rt.tidPool:
 			default:
 				if !rt.ctl.AwaitExit(t.skey) {
-					t.fail(pos, "deadlock: all threads blocked")
+					t.schedDown(pos)
 				}
 				continue
 			}

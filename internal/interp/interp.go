@@ -11,6 +11,7 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -102,6 +103,14 @@ type Config struct {
 	// identical (reports, stats, schedule traces) by construction and by
 	// the differential oracle in engine_test.go.
 	Engine Engine
+
+	// Interrupt, when non-nil, makes the run stoppable from outside: once
+	// the flag is set (Runtime.Interrupt sets it), every thread unwinds at
+	// its next scheduling point without reporting, and Run returns
+	// ErrInterrupted. Nil (the default) keeps the per-access cost at a
+	// single nil comparison. See Runtime.Interrupt for the blocking-thread
+	// guarantees.
+	Interrupt *atomic.Bool
 }
 
 // Engine selects how compiled code executes.
@@ -253,6 +262,11 @@ type Runtime struct {
 	skeyTids    sync.Map // scheduler key -> tid, for trace decision lanes
 	liveThreads atomic.Int32
 
+	// intr is Config.Interrupt (nil when the run is not interruptible);
+	// interrupted records that at least one thread actually unwound on it.
+	intr        *atomic.Bool
+	interrupted atomic.Bool
+
 	ctl *sched.Controller // nil: free-running Go scheduler
 }
 
@@ -298,6 +312,7 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 		reportSet: make(map[string]bool),
 		out:       cfg.Stdout,
 		ctl:       cfg.Sched,
+		intr:      cfg.Interrupt,
 		useVM:     prog.Flat != nil && cfg.Engine != EngineTree,
 	}
 	if rt.out == nil {
@@ -637,11 +652,41 @@ func (rt *Runtime) Run() (int64, error) {
 		ret = t.invoke(mainIdx, nil)
 	}()
 	rt.wg.Wait()
+	if rt.interrupted.Load() {
+		return ret, ErrInterrupted
+	}
 	if fails := rt.ReportsOfKind(ReportThreadFail); len(fails) > 0 {
 		return ret, fmt.Errorf("%s", fails[0].Msg)
 	}
 	return ret, nil
 }
+
+// ErrInterrupted is returned by Run when the execution was cut short by
+// Runtime.Interrupt rather than finishing on its own.
+var ErrInterrupted = errors.New("interrupted: the run was stopped before completion")
+
+// Interrupt stops an in-flight Run from another goroutine: it raises the
+// Config.Interrupt flag (threads unwind silently at their next scheduling
+// point — a shared-memory access or a synchronization operation) and,
+// under the cooperative scheduler, aborts the controller so threads parked
+// waiting for the execution token or blocked on modeled locks, condition
+// variables, and joins are all released immediately. The teardown is
+// reliable for scheduled runs (Config.Sched non-nil, the serve layer's
+// default); for free-running programs it is best-effort — a thread parked
+// in a Go-level mutex or condition wait is only interrupted once it wakes
+// on its own. Safe to call at any time, including after Run returned.
+func (rt *Runtime) Interrupt() {
+	if rt.intr != nil {
+		rt.intr.Store(true)
+	}
+	if rt.ctl != nil {
+		rt.ctl.Abort()
+	}
+}
+
+// Interrupted reports whether at least one thread unwound on an
+// Interrupt (the condition under which Run returns ErrInterrupted).
+func (rt *Runtime) Interrupted() bool { return rt.interrupted.Load() }
 
 // EngineUsed reports the engine the runtime resolved to at New: EngineVM
 // or EngineTree (never EngineAuto).
@@ -662,14 +707,32 @@ func (rt *Runtime) trackLive(d int32) {
 // threadEpilogue runs when a thread finishes: recover failures, clear its
 // shadow bits, recycle its id.
 func (rt *Runtime) threadEpilogue(t *thread) {
+	interrupted := false
 	if r := recover(); r != nil {
-		if f, ok := r.(threadFailure); ok {
+		switch f := r.(type) {
+		case threadFailure:
 			rt.report(ReportThreadFail, f.pos, fmt.Sprintf("%s: thread %d failed: %s", f.pos, t.tid, f.msg))
-		} else {
+		case interruptPanic:
+			// Torn down by Runtime.Interrupt: unwind without reporting —
+			// the locks this thread still holds are teardown debris, not a
+			// program error. Free-running threads hold real Go mutexes, so
+			// release them here or siblings parked in mu.Lock() would never
+			// reach their own interrupt check (modeled locks under a
+			// controller are unwedged by Controller.Abort instead).
+			rt.interrupted.Store(true)
+			interrupted = true
+			if rt.ctl == nil {
+				for _, addr := range t.locks.Snapshot() {
+					if v, ok := rt.mutexes.Load(addr); ok {
+						v.(*sync.Mutex).Unlock()
+					}
+				}
+			}
+		default:
 			panic(r)
 		}
 	}
-	if t.locks.Count() > 0 {
+	if !interrupted && t.locks.Count() > 0 {
 		rt.report(ReportLock, token.Pos{}, fmt.Sprintf("thread %d exited holding %d lock(s)", t.tid, t.locks.Count()))
 	}
 	t.locks.Clear()

@@ -80,6 +80,16 @@ func (rt *Runtime) tidOfKey(key int) int {
 // Counters exposes the always-on global counter spine.
 func (rt *Runtime) Counters() *telemetry.Counters { return rt.counters }
 
+// Collector exposes the per-site metrics collector (nil unless the run was
+// configured with Config.Metrics or a shared collector). The serve layer
+// folds finished requests' collectors into per-program aggregates with
+// telemetry.Collector.Merge; call after Run.
+func (rt *Runtime) Collector() *telemetry.Collector { return rt.tel }
+
+// GlobalStats assembles this run's global counter tier in telemetry's
+// canonical merge form (the shape MergeGlobalStats folds). Call after Run.
+func (rt *Runtime) GlobalStats() telemetry.GlobalStats { return rt.globalStats() }
+
 // Tracer returns the structured event tracer, or nil when tracing is off.
 func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tracer }
 

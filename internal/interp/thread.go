@@ -62,15 +62,39 @@ func (t *thread) fail(pos token.Pos, format string, args ...any) {
 	panic(threadFailure{msg: fmt.Sprintf(format, args...), pos: pos})
 }
 
+// interruptPanic unwinds a thread torn down by Runtime.Interrupt; the
+// epilogue recovers it without reporting.
+type interruptPanic struct{}
+
+// interruptCheck unwinds when the runtime's interrupt flag is raised. It
+// runs at every scheduling point; when the run is not interruptible the
+// cost is one nil comparison.
+func (t *thread) interruptCheck() {
+	if t.rt.intr != nil && t.rt.intr.Load() {
+		panic(interruptPanic{})
+	}
+}
+
+// schedDown unwinds after a controller call returned false: abort teardown
+// (Runtime.Interrupt) unwinds silently, deadlock teardown fails the thread
+// with the diagnostic.
+func (t *thread) schedDown(pos token.Pos) {
+	if t.rt.ctl != nil && t.rt.ctl.Aborted() {
+		panic(interruptPanic{})
+	}
+	t.fail(pos, "deadlock: all threads blocked")
+}
+
 // schedPoint offers the execution token to the cooperative scheduler (when
-// one is installed). A false return means the controller declared deadlock
-// and this thread must unwind.
+// one is installed). A false return means the controller tore the run down
+// (deadlock or abort) and this thread must unwind.
 func (t *thread) schedPoint(p sched.Point) {
+	t.interruptCheck()
 	if t.rt.ctl == nil || t.noYield > 0 {
 		return
 	}
 	if !t.rt.ctl.YieldPoint(t.skey, p) {
-		t.fail(token.Pos{}, "deadlock: all threads blocked")
+		t.schedDown(token.Pos{})
 	}
 }
 

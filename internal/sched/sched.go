@@ -132,6 +132,7 @@ type Controller struct {
 	lockOwner map[int64]int
 	running   int
 	deadlock  bool
+	aborted   bool
 	record    bool
 	decisions []int
 	nDec      int64
@@ -229,7 +230,7 @@ func (c *Controller) SetObserver(o Observer) {
 // task, and the call returns when t is picked again. It returns false when
 // the scheduler declared deadlock, in which case t must unwind.
 func (c *Controller) yieldLocked(t *task, p Point, blocked bool) bool {
-	if c.deadlock {
+	if c.deadlock || c.aborted {
 		return false
 	}
 	if blocked {
@@ -256,7 +257,7 @@ func (c *Controller) yieldLocked(t *task, p Point, blocked bool) bool {
 	next.resume <- resumeMsg{}
 	msg := <-t.resume
 	c.mu.Lock()
-	if msg.deadlock || c.deadlock {
+	if msg.deadlock || c.deadlock || c.aborted {
 		return false
 	}
 	return true
@@ -358,7 +359,7 @@ func (c *Controller) Wait(key int, cv, lock int64) bool {
 func (c *Controller) Signal(key int, cv int64, broadcast bool) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.deadlock {
+	if c.deadlock || c.aborted {
 		return false
 	}
 	var waiters []int
@@ -428,7 +429,7 @@ func (c *Controller) Exit(key int) {
 			u.reason = blkNone
 		}
 	}
-	if c.deadlock {
+	if c.deadlock || c.aborted {
 		return
 	}
 	ready := c.readyLocked()
@@ -447,6 +448,44 @@ func (c *Controller) Exit(key int) {
 	c.mu.Unlock()
 	next.resume <- resumeMsg{}
 	c.mu.Lock()
+}
+
+// Abort tears the schedule down from outside the program: every parked
+// task — ready tasks waiting for the token as well as blocked ones — is
+// released with a teardown token, and every subsequent controller call
+// returns false, so all threads unwind at their next scheduling point.
+// Unlike deadlock detection, which only fires when no task can run, Abort
+// is called from another goroutine (a request timeout, a server drain)
+// while the program is healthy; Deadlocked stays false and the interpreter
+// unwinds without emitting deadlock reports. Idempotent, and a no-op after
+// deadlock teardown has already begun.
+func (c *Controller) Abort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.aborted || c.deadlock {
+		return
+	}
+	c.aborted = true
+	for _, u := range c.tasks {
+		if u.state == stExited {
+			continue
+		}
+		if u.state == stBlocked {
+			u.state = stReady
+			u.reason = blkNone
+		}
+		select {
+		case u.resume <- resumeMsg{deadlock: true}:
+		default:
+		}
+	}
+}
+
+// Aborted reports whether Abort tore the run down.
+func (c *Controller) Aborted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborted
 }
 
 // Deadlocked reports whether the run was torn down by deadlock detection.

@@ -319,3 +319,61 @@ func TestAwaitExit(t *testing.T) {
 		t.Fatal("AwaitExit never resumed")
 	}
 }
+
+// TestAbort: aborting a controller denies further yields to every task —
+// running, ready, and blocked alike — without flagging a deadlock.
+func TestAbort(t *testing.T) {
+	var denied [3]bool
+	var started sync.WaitGroup
+	started.Add(3)
+	spin := func(c *Controller, key int, slot int) {
+		started.Done()
+		for i := 0; i < 1_000_000; i++ {
+			if !c.YieldPoint(key, PointCheck) {
+				denied[slot] = true
+				return
+			}
+		}
+	}
+	blocked := func(c *Controller, key int, slot int) {
+		started.Done()
+		if !c.Lock(key, 100) {
+			denied[slot] = true
+			return
+		}
+		if !c.Lock(key, 100) { // self-block; only Abort can release it
+			denied[slot] = true
+			return
+		}
+	}
+	c := New(NewRoundRobin(1), Options{})
+	keys := []int{c.Register(), c.Register(), c.Register()}
+	var wg sync.WaitGroup
+	run := func(i int, f func(*Controller, int, int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Begin(keys[i])
+			f(c, keys[i], i)
+			c.Exit(keys[i])
+		}()
+	}
+	run(0, spin)
+	run(1, spin)
+	run(2, blocked)
+	started.Wait()
+	c.Abort()
+	wg.Wait()
+	if !c.Aborted() {
+		t.Fatal("Aborted() = false after Abort")
+	}
+	if c.Deadlocked() {
+		t.Fatal("Abort must not masquerade as a deadlock")
+	}
+	for i, d := range denied {
+		if !d {
+			t.Errorf("task %d was not released by Abort", i)
+		}
+	}
+	c.Abort() // idempotent
+}
