@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench elision explore explore-smoke portfolio-smoke portfolio-race portfolio profile-smoke engine-smoke vet-smoke obs vm vet-bench serve-smoke serve-bench
+.PHONY: all build vet test race verify bench elision explore explore-smoke portfolio-smoke portfolio-race portfolio profile-smoke engine-smoke vet-smoke obs vm vet-bench serve-smoke serve-bench obs-smoke
 
 all: verify
 
@@ -14,13 +14,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry ./internal/portfolio ./internal/serve
+	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry ./internal/portfolio ./internal/serve ./internal/obsrv
 
 # verify is the gate for every change: build, go vet, the full test suite,
 # the race detector over the concurrency-bearing packages, and the
 # exploration, portfolio, profile, cross-engine, static-analysis, and
 # execution-service smokes.
-verify: build vet test race explore-smoke portfolio-smoke profile-smoke engine-smoke vet-smoke serve-smoke
+verify: build vet test race explore-smoke portfolio-smoke profile-smoke engine-smoke vet-smoke serve-smoke obs-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -125,6 +125,30 @@ serve-smoke:
 	kill -TERM $$pid; \
 	wait $$pid || { echo "serve did not drain cleanly"; cat /tmp/shc-serve-log; exit 1; }
 	@echo "serve-smoke ok"
+
+# obs-smoke drives the observability surface of a real `sharc serve`
+# process from the shell: 50 requests with unique X-Sharc-Request ids and
+# deterministic replies, /metrics parsing as Prometheus text, a forced
+# slow request leaving a five-phase span capture in the capture dir, and
+# SIGTERM flipping /healthz to 503 during the drain grace before a clean
+# exit 0.
+obs-smoke:
+	@$(GO) build -o /tmp/shc-obs-bin ./cmd/sharc
+	@$(GO) build -o /tmp/shc-obs-bench ./cmd/sharc-bench
+	@rm -rf /tmp/shc-obs-caps /tmp/shc-obs-addr /tmp/shc-obs-access.log; \
+	mkdir -p /tmp/shc-obs-caps; \
+	/tmp/shc-obs-bin serve -addr 127.0.0.1:0 -addr-file /tmp/shc-obs-addr \
+		-slow-ms 1 -capture-dir /tmp/shc-obs-caps \
+		-access-log /tmp/shc-obs-access.log -drain-grace-ms 1500 \
+		2>/tmp/shc-obs-log & \
+	pid=$$!; \
+	for i in $$(seq 1 200); do [ -s /tmp/shc-obs-addr ] && break; sleep 0.05; done; \
+	[ -s /tmp/shc-obs-addr ] || { echo "serve never came up"; cat /tmp/shc-obs-log; kill $$pid; exit 1; }; \
+	/tmp/shc-obs-bench -obs-smoke -serve-addr "$$(cat /tmp/shc-obs-addr)" \
+		-obs-pid $$pid -obs-capture-dir /tmp/shc-obs-caps || { kill $$pid; exit 1; }; \
+	wait $$pid || { echo "serve did not drain cleanly"; cat /tmp/shc-obs-log; exit 1; }; \
+	[ -s /tmp/shc-obs-access.log ] || { echo "access log is empty"; exit 1; }
+	@echo "obs-smoke ok"
 
 # serve-bench regenerates BENCH_serve.json (service load scenarios).
 serve-bench:

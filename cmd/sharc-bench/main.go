@@ -78,6 +78,9 @@ func main() {
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for the serve load JSON")
 	serveReqs := flag.Int("serve-requests", 400, "per-scenario request budget in -serve mode")
 	serveConc := flag.Int("serve-concurrency", 8, "closed-loop worker count in -serve mode")
+	obsSmoke := flag.Bool("obs-smoke", false, "run the observability assertion harness (request IDs, /metrics, slow capture, drain flip)")
+	obsPID := flag.Int("obs-pid", 0, "serve process to SIGTERM for the -obs-smoke drain assertion (0 skips)")
+	obsCaptureDir := flag.String("obs-capture-dir", "", "the target's -capture-dir, where -obs-smoke expects the slow-request capture")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -101,6 +104,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("serve smoke: PASS")
+		return
+	}
+
+	if *obsSmoke {
+		err := bench.RunObsSmoke(bench.ObsSmokeOptions{
+			Addr:       *serveAddr,
+			PID:        *obsPID,
+			CaptureDir: *obsCaptureDir,
+		}, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("obs smoke: PASS")
 		return
 	}
 

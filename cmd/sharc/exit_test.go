@@ -44,6 +44,7 @@ func TestValidateTable(t *testing.T) {
 			top: 10, seed: 1, traceCap: 1024, engine: "auto",
 			addr: "127.0.0.1:7077", maxSessions: 4, queue: 64,
 			timeoutMS: 10000, cacheCap: 128, drainMS: 10000,
+			obs: true, captureMax: 32, logLevel: "info",
 		}
 	}
 	cases := []struct {
@@ -103,6 +104,20 @@ func TestValidateTable(t *testing.T) {
 		{"serve zero drain", "serve", func(f *cliFlags) { f.drainMS = 0 }, exitBadValue},
 		{"serve preload+nocache conflict", "serve", func(f *cliFlags) { f.preload = 2; f.cacheCap = 0 }, exitConflict},
 		{"serve preload with cache valid", "serve", func(f *cliFlags) { f.preload = 2 }, 0},
+		{"serve obs off valid", "serve", func(f *cliFlags) { f.obs = false }, 0},
+		{"serve slow-ms with capture valid", "serve", func(f *cliFlags) { f.slowMS = 50; f.captureDir = "caps" }, 0},
+		{"serve quantile with capture valid", "serve", func(f *cliFlags) { f.slowQuantile = 0.99; f.captureDir = "caps" }, 0},
+		{"serve access log valid", "serve", func(f *cliFlags) { f.accessLog = "-" }, 0},
+		{"serve drain grace valid", "serve", func(f *cliFlags) { f.drainGraceMS = 1500 }, 0},
+		{"serve obs-off+slow-ms conflict", "serve", func(f *cliFlags) { f.obs = false; f.slowMS = 50; f.captureDir = "caps" }, exitConflict},
+		{"serve obs-off+access-log conflict", "serve", func(f *cliFlags) { f.obs = false; f.accessLog = "-" }, exitConflict},
+		{"serve slow-ms without capture-dir", "serve", func(f *cliFlags) { f.slowMS = 50 }, exitConflict},
+		{"serve capture-dir without threshold", "serve", func(f *cliFlags) { f.captureDir = "caps" }, exitConflict},
+		{"serve negative slow-ms", "serve", func(f *cliFlags) { f.slowMS = -1; f.captureDir = "caps" }, exitBadValue},
+		{"serve quantile out of range", "serve", func(f *cliFlags) { f.slowQuantile = 1.5; f.captureDir = "caps" }, exitBadValue},
+		{"serve zero capture-max", "serve", func(f *cliFlags) { f.slowMS = 50; f.captureDir = "caps"; f.captureMax = 0 }, exitBadValue},
+		{"serve bad log level", "serve", func(f *cliFlags) { f.logLevel = "chatty" }, exitBadValue},
+		{"serve negative drain grace", "serve", func(f *cliFlags) { f.drainGraceMS = -1 }, exitBadValue},
 		{"serve conflict wins over bad value", "serve", func(f *cliFlags) {
 			f.preload, f.cacheCap = 1, 0 // conflict…
 			f.maxSessions = 0            // …and a bad value: table order says 3

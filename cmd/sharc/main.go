@@ -43,7 +43,23 @@
 //	                           are preloaded into the cache at startup.
 //	                           Flags: -addr, -addr-file, -max-sessions,
 //	                           -queue, -timeout-ms, -cache-cap (0 disables
-//	                           the cache), -drain-ms (SIGTERM grace)
+//	                           the cache), -drain-ms (SIGTERM grace).
+//	                           Observability (default on, -obs=false to
+//	                           disable): every request gets a span tree
+//	                           over admission-wait/resolve/schedule/
+//	                           execute/telemetry-merge and an
+//	                           X-Sharc-Request id; GET /metrics serves
+//	                           Prometheus text; -access-log writes JSONL
+//	                           records ("-" = stderr) gated by -log-level;
+//	                           -slow-ms N or -slow-quantile q with
+//	                           -capture-dir dumps any slower request's
+//	                           span tree plus its program-level event ring
+//	                           to the dir (at most -capture-max captures,
+//	                           each with a Chrome trace_event twin);
+//	                           -drain-grace-ms keeps the listener open
+//	                           after SIGTERM with /healthz and /readyz
+//	                           answering 503 so load balancers see the
+//	                           drain before connections fail.
 //
 // run and explore also accept -metrics (print a telemetry summary) and
 // -trace-out/-trace-chrome (export the structured event stream as JSONL
@@ -83,6 +99,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obsrv"
 	"repro/internal/portfolio"
 	"repro/internal/sched"
 	"repro/internal/serve"
@@ -118,14 +135,22 @@ type cliFlags struct {
 	// profile only
 	top int
 	// serve only
-	addr        string
-	addrFile    string
-	maxSessions int
-	queue       int
-	timeoutMS   int
-	cacheCap    int
-	drainMS     int
-	preload     int // count of positional preload files (set after Parse)
+	addr         string
+	addrFile     string
+	maxSessions  int
+	queue        int
+	timeoutMS    int
+	cacheCap     int
+	drainMS      int
+	preload      int // count of positional preload files (set after Parse)
+	obs          bool
+	slowMS       int
+	slowQuantile float64
+	captureDir   string
+	captureMax   int
+	accessLog    string
+	logLevel     string
+	drainGraceMS int
 	// shared between execution subcommands
 	seed        int64
 	elide       bool
@@ -299,6 +324,54 @@ var cliRules = []struct {
 		}
 		return ""
 	}},
+	{"serve", exitConflict, func(f *cliFlags) string {
+		if !f.obs && (f.slowMS != 0 || f.slowQuantile != 0 || f.captureDir != "" || f.accessLog != "") {
+			return "-obs=false disables the observability layer; -slow-ms, -slow-quantile, -capture-dir, and -access-log have nothing to act on"
+		}
+		return ""
+	}},
+	{"serve", exitConflict, func(f *cliFlags) string {
+		if (f.slowMS > 0 || f.slowQuantile > 0) && f.captureDir == "" {
+			return "a slow-request threshold needs -capture-dir to say where captures go"
+		}
+		return ""
+	}},
+	{"serve", exitConflict, func(f *cliFlags) string {
+		if f.captureDir != "" && f.slowMS == 0 && f.slowQuantile == 0 {
+			return "-capture-dir without -slow-ms or -slow-quantile would never capture anything"
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if f.slowMS < 0 {
+			return fmt.Sprintf("-slow-ms must be >= 0 (0 disables the fixed threshold), got %d", f.slowMS)
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if f.slowQuantile < 0 || f.slowQuantile >= 1 {
+			return fmt.Sprintf("-slow-quantile must be in [0, 1), got %g", f.slowQuantile)
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if f.captureMax <= 0 {
+			return fmt.Sprintf("-capture-max must be positive, got %d", f.captureMax)
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if _, err := obsrv.ParseLevel(f.logLevel); err != nil {
+			return "-log-level: " + err.Error()
+		}
+		return ""
+	}},
+	{"serve", exitBadValue, func(f *cliFlags) string {
+		if f.drainGraceMS < 0 {
+			return fmt.Sprintf("-drain-grace-ms must be >= 0, got %d", f.drainGraceMS)
+		}
+		return ""
+	}},
 }
 
 // validate runs cmd's slice of the rule table. It returns a non-zero exit
@@ -408,6 +481,14 @@ func main() {
 		fs.IntVar(&f.timeoutMS, "timeout-ms", 10000, "per-request execution timeout (ms)")
 		fs.IntVar(&f.cacheCap, "cache-cap", 128, "compiled-program cache entries (0 disables caching)")
 		fs.IntVar(&f.drainMS, "drain-ms", 10000, "graceful-drain deadline after SIGTERM/SIGINT (ms)")
+		fs.BoolVar(&f.obs, "obs", true, "request observability: spans, /metrics, request IDs")
+		fs.IntVar(&f.slowMS, "slow-ms", 0, "capture any request slower than this many ms (0 disables)")
+		fs.Float64Var(&f.slowQuantile, "slow-quantile", 0, "capture requests above this trailing-window latency quantile, e.g. 0.99 (0 disables)")
+		fs.StringVar(&f.captureDir, "capture-dir", "", "directory for slow-request captures (span tree + program trace)")
+		fs.IntVar(&f.captureMax, "capture-max", 32, "most recent slow-request captures kept on disk")
+		fs.StringVar(&f.accessLog, "access-log", "", "JSONL access-log path (\"-\" for stderr, empty disables)")
+		fs.StringVar(&f.logLevel, "log-level", "info", "access-log level: off, error, info, debug")
+		fs.IntVar(&f.drainGraceMS, "drain-grace-ms", 0, "keep the listener open this long after SIGTERM with /healthz answering 503, so health checks observe the drain")
 	}
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(exitUsage)
@@ -628,12 +709,34 @@ func runServe(f *cliFlags, files []string) {
 	if cacheCap == 0 {
 		cacheCap = -1 // CLI 0 = disabled; Config negative = disabled
 	}
+	obsCfg := obsrv.Config{
+		Enabled:       f.obs,
+		SlowThreshold: time.Duration(f.slowMS) * time.Millisecond,
+		SlowQuantile:  f.slowQuantile,
+		CaptureDir:    f.captureDir,
+		CaptureMax:    f.captureMax,
+	}
+	obsCfg.LogLevel, _ = obsrv.ParseLevel(f.logLevel) // validated above
+	switch f.accessLog {
+	case "":
+	case "-":
+		obsCfg.AccessLog = os.Stderr
+	default:
+		lf, err := os.OpenFile(f.accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer lf.Close()
+		obsCfg.AccessLog = lf
+	}
 	srv := serve.New(serve.Config{
 		Addr:        f.addr,
 		MaxSessions: f.maxSessions,
 		QueueDepth:  f.queue,
 		Timeout:     time.Duration(f.timeoutMS) * time.Millisecond,
 		CacheCap:    cacheCap,
+		DrainGrace:  time.Duration(f.drainGraceMS) * time.Millisecond,
+		Obs:         obsCfg,
 	})
 	if err := srv.Listen(); err != nil {
 		fatal(err)
@@ -668,8 +771,10 @@ func runServe(f *cliFlags, files []string) {
 		}
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "sharc serve: %v: draining (deadline %dms)\n", sig, f.drainMS)
+		// The drain-grace window (listener open, health checks 503) runs
+		// before the drain proper; give the deadline room for both.
 		ctx, cancel := context.WithTimeout(context.Background(),
-			time.Duration(f.drainMS)*time.Millisecond)
+			time.Duration(f.drainMS+f.drainGraceMS)*time.Millisecond)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "sharc serve: drain deadline exceeded; interrupted remaining runs")

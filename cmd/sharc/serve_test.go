@@ -98,6 +98,22 @@ func TestCLIServeLifecycle(t *testing.T) {
 		resp.Body.Close()
 	}
 
+	// Observability defaults on: /metrics serves Prometheus text and the
+	// run requests above appear in the request counters.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d: %s", resp.StatusCode, metrics.Bytes())
+	}
+	if !strings.Contains(metrics.String(), `sharc_requests_total{code="200",endpoint="run"} 2`) {
+		t.Fatalf("/metrics missing run counter:\n%s", metrics.String())
+	}
+
 	// SIGTERM: drain and exit 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -136,6 +152,14 @@ func TestCLIServeFlagValidation(t *testing.T) {
 		{"bad cache cap", []string{"serve", "-cache-cap", "-3"}, 4},
 		{"bad drain", []string{"serve", "-drain-ms", "0"}, 4},
 		{"preload without cache", []string{"serve", "-cache-cap", "0", prog}, 3},
+		{"bad slow-ms", []string{"serve", "-slow-ms", "-5", "-capture-dir", "caps"}, 4},
+		{"bad slow-quantile", []string{"serve", "-slow-quantile", "2", "-capture-dir", "caps"}, 4},
+		{"bad capture-max", []string{"serve", "-slow-ms", "50", "-capture-dir", "caps", "-capture-max", "0"}, 4},
+		{"bad log level", []string{"serve", "-log-level", "chatty"}, 4},
+		{"bad drain grace", []string{"serve", "-drain-grace-ms", "-1"}, 4},
+		{"slow-ms without capture-dir", []string{"serve", "-slow-ms", "50"}, 3},
+		{"capture-dir without threshold", []string{"serve", "-capture-dir", "caps"}, 3},
+		{"obs off with slow-ms", []string{"serve", "-obs=false", "-slow-ms", "50", "-capture-dir", "caps"}, 3},
 	}
 	for _, tc := range cases {
 		out, err := exec.Command(bin, tc.args...).CombinedOutput()

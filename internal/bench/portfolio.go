@@ -44,7 +44,7 @@ type PortfolioRow struct {
 	Efficiency float64 `json:"efficiency"`
 
 	Findings       int     `json:"findings"`
-	FindingsMatch  bool    `json:"findings_match"` // identical set to workers=1
+	FindingsMatch  bool    `json:"findings_match"`   // identical set to workers=1
 	FirstFindingMs float64 `json:"first_finding_ms"` // -1 if no finding
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obsrv"
 	"repro/internal/serve"
 )
 
@@ -127,6 +129,11 @@ type ServeReport struct {
 	StaticDischarge bool   `json:"static_discharge"`
 	NumCPU          int    `json:"num_cpu"`
 	GOMAXPROCS      int    `json:"gomaxprocs"`
+	// ObsOverheadPct is the throughput cost of the fully-armed
+	// observability layer on the hot sequential path: 100*(off-on)/off
+	// from the obs-off-hot and obs-on-hot rows. Only measured against
+	// in-process targets (an external server's obs config is its own).
+	ObsOverheadPct float64 `json:"obs_overhead_pct"`
 }
 
 // serveTarget is a server under measurement: a base URL plus an optional
@@ -444,7 +451,71 @@ func RunServeBench(opts ServeOptions) (*ServeReport, error) {
 	row.SlowConnsCut = <-cutCh
 	add(row, outs, d)
 
+	// Observability overhead: the same hot sequential loop against two
+	// fresh in-process servers, observability off vs fully armed. Skipped
+	// for external targets, whose obs config we can't toggle.
+	if !rep.External {
+		if err := measureObsOverhead(rep, opts.Requests); err != nil {
+			return nil, err
+		}
+	}
+
 	return rep, nil
+}
+
+// measureObsOverhead appends obs-off-hot and obs-on-hot rows and sets
+// ObsOverheadPct. "Fully armed" means span trees, metrics, JSONL access
+// logging, and slow-capture with a per-request event ring — the capture
+// threshold is an hour so the capture machinery runs but never writes.
+func measureObsOverhead(rep *ServeReport, requests int) error {
+	capDir, err := os.MkdirTemp("", "sharc-obs-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(capDir)
+
+	run := func(scenario string, obsCfg obsrv.Config) (ServeRow, error) {
+		cfg := serve.DefaultConfig()
+		cfg.Addr = "127.0.0.1:0"
+		cfg.ReadTimeout = 2 * time.Second
+		cfg.Obs = obsCfg
+		s := serve.New(cfg)
+		if err := s.Listen(); err != nil {
+			return ServeRow{}, err
+		}
+		go s.Serve()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		}()
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+		defer client.CloseIdleConnections()
+		base := "http://" + s.Addr()
+		doRequest(client, base, reqBody(0)) // warm: compile once off the clock
+		outs, d := closedLoop(client, base, requests, 1, func(int) string { return reqBody(0) })
+		return tally(ServeRow{Scenario: scenario, Loop: "closed", Concurrency: 1}, outs, d), nil
+	}
+
+	off, err := run("obs-off-hot", obsrv.Config{})
+	if err != nil {
+		return err
+	}
+	on, err := run("obs-on-hot", obsrv.Config{
+		Enabled:       true,
+		SlowThreshold: time.Hour,
+		CaptureDir:    capDir,
+		AccessLog:     io.Discard,
+		LogLevel:      obsrv.LevelInfo,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Rows = append(rep.Rows, off, on)
+	if off.ReqPerSec > 0 {
+		rep.ObsOverheadPct = 100 * (off.ReqPerSec - on.ReqPerSec) / off.ReqPerSec
+	}
+	return nil
 }
 
 // FormatServe renders the scenario table.
@@ -459,6 +530,10 @@ func FormatServe(rep *ServeReport) string {
 			time.Duration(r.P50NS).Round(time.Microsecond),
 			time.Duration(r.P99NS).Round(time.Microsecond),
 			r.CacheHitRate*100)
+	}
+	if !rep.External {
+		fmt.Fprintf(&b, "observability overhead (hot sequential, fully armed): %.1f%%\n",
+			rep.ObsOverheadPct)
 	}
 	return b.String()
 }

@@ -21,7 +21,7 @@ func TestRunServeBenchSmallScale(t *testing.T) {
 	want := []string{
 		"cold-compile", "closed-sequential-hot", "closed-concurrent-hot",
 		"closed-concurrent-mixed", "open-fixed-rate", "bursty",
-		"connection-churn", "slowloris",
+		"connection-churn", "slowloris", "obs-off-hot", "obs-on-hot",
 	}
 	if len(rep.Rows) != len(want) {
 		t.Fatalf("got %d rows, want %d: %+v", len(rep.Rows), len(want), rep.Rows)
@@ -55,9 +55,13 @@ func TestRunServeBenchSmallScale(t *testing.T) {
 	}
 	// Slowloris connections must actually get cut: the in-process server
 	// has a 2s read deadline and the window is 3.5s.
-	last := rep.Rows[len(rep.Rows)-1]
-	if last.SlowConnsCut == 0 {
+	if rep.Rows[7].SlowConnsCut == 0 {
 		t.Error("slowloris: no trickling connections were cut")
+	}
+	// The obs comparison rows must both have run (the overhead number is
+	// meaningless if either side refused or errored out).
+	if off, on := rep.Rows[8], rep.Rows[9]; off.OK != off.Requests || on.OK != on.Requests {
+		t.Errorf("obs rows incomplete: off %d/%d on %d/%d", off.OK, off.Requests, on.OK, on.Requests)
 	}
 	if rep.NumCPU <= 0 || rep.GOMAXPROCS <= 0 || rep.External {
 		t.Errorf("provenance: %+v", rep)

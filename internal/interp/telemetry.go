@@ -93,6 +93,16 @@ func (rt *Runtime) GlobalStats() telemetry.GlobalStats { return rt.globalStats()
 // Tracer returns the structured event tracer, or nil when tracing is off.
 func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tracer }
 
+// Decisions returns how many scheduling decisions the cooperative
+// controller made, or -1 on a free-running run (no controller, nothing to
+// count). Call after Run.
+func (rt *Runtime) Decisions() int64 {
+	if rt.ctl == nil {
+		return -1
+	}
+	return rt.ctl.Decisions()
+}
+
 // globalStats assembles the snapshot's global tier from the spine and the
 // runtime's own gauges.
 func (rt *Runtime) globalStats() telemetry.GlobalStats {

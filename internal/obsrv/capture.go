@@ -1,0 +1,225 @@
+package obsrv
+
+// Slow-request capture: when a request's latency crosses a fixed
+// threshold (or a trailing-window quantile), its full span tree plus the
+// run's program-level Tracer ring are dumped to a bounded directory —
+// the "one bad request in a million" is diagnosable after the fact
+// without having had tracing enabled globally.
+//
+// Each capture is two files: <id>.json (machine-readable: phases,
+// decisions, and the tracer events in the exact PR-3 JSONL schema) and
+// <id>.chrome.json (trace_event JSON: the request phases as "X" slices
+// with the program's events overlaid as instants inside the execute
+// span, so chrome://tracing shows both layers on one timeline).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Capturer decides which requests to capture and writes the files.
+type Capturer struct {
+	dir       string
+	maxFiles  int
+	threshold time.Duration // fixed; 0 = quantile-only
+
+	quantile float64
+	minThr   time.Duration
+
+	mu     sync.Mutex
+	window []time.Duration // trailing latency ring for the quantile
+	wpos   int
+	wfull  bool
+	made   bool // capture dir created
+	files  []string
+}
+
+func newCapturer(cfg Config) *Capturer {
+	return &Capturer{
+		dir:       cfg.CaptureDir,
+		maxFiles:  cfg.CaptureMax,
+		threshold: cfg.SlowThreshold,
+		quantile:  cfg.SlowQuantile,
+		minThr:    cfg.SlowMin,
+		window:    make([]time.Duration, cfg.SlowWindow),
+	}
+}
+
+// slowAt returns the current capture threshold, folding lat into the
+// trailing window. Fixed threshold wins when set; the quantile needs a
+// half-full window before it can fire and never drops below minThr.
+func (c *Capturer) slowAt(lat time.Duration) (time.Duration, bool) {
+	if c.threshold > 0 {
+		return c.threshold, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.wpos
+	if c.wfull {
+		n = len(c.window)
+	}
+	snap := make([]time.Duration, n)
+	copy(snap, c.window[:n])
+	// Fold lat in for later requests, but judge it against the window of
+	// its predecessors — otherwise the outlier raises its own bar.
+	c.window[c.wpos] = lat
+	c.wpos++
+	if c.wpos == len(c.window) {
+		c.wpos = 0
+		c.wfull = true
+	}
+	if n < len(c.window)/2 {
+		return 0, false
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	idx := int(float64(n) * c.quantile)
+	if idx >= n {
+		idx = n - 1
+	}
+	thr := snap[idx]
+	if thr < c.minThr {
+		thr = c.minThr
+	}
+	return thr, true
+}
+
+// maybeCapture writes a capture if lat crosses the threshold; returns the
+// capture file path or "".
+func (c *Capturer) maybeCapture(r *Req, lat time.Duration, out Outcome) string {
+	thr, armed := c.slowAt(lat)
+	if !armed || lat <= thr {
+		return ""
+	}
+	path, err := c.write(r, lat, thr, out)
+	if err != nil {
+		return ""
+	}
+	return path
+}
+
+// captureFile is the machine-readable capture schema.
+type captureFile struct {
+	Req         string        `json:"req"`
+	Endpoint    string        `json:"endpoint"`
+	Start       string        `json:"start"`
+	LatencyNS   int64         `json:"latency_ns"`
+	ThresholdNS int64         `json:"threshold_ns"`
+	Status      int           `json:"status"`
+	Handle      string        `json:"handle,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	Decisions   int64         `json:"decisions"`
+	Phases      []*Span       `json:"phases"`
+	Trace       *captureTrace `json:"trace,omitempty"`
+}
+
+type captureTrace struct {
+	Total   uint64            `json:"total"`
+	Dropped uint64            `json:"dropped"`
+	Events  []json.RawMessage `json:"events"`
+}
+
+func (c *Capturer) write(r *Req, lat, thr time.Duration, out Outcome) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.made {
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			return "", err
+		}
+		c.made = true
+	}
+
+	cf := captureFile{
+		Req:         r.ID,
+		Endpoint:    r.Endpoint,
+		Start:       r.start.UTC().Format(time.RFC3339Nano),
+		LatencyNS:   int64(lat),
+		ThresholdNS: int64(thr),
+		Status:      out.Status,
+		Handle:      r.Handle,
+		Error:       out.Err,
+		Decisions:   out.Decisions,
+		Phases:      r.root.Children,
+	}
+	if tr := out.Tracer; tr != nil {
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err == nil {
+			ct := &captureTrace{Total: tr.Total(), Dropped: tr.Dropped()}
+			for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+				if line != "" {
+					ct.Events = append(ct.Events, json.RawMessage(line))
+				}
+			}
+			cf.Trace = ct
+		}
+	}
+
+	path := filepath.Join(c.dir, r.ID+".json")
+	b, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	chromePath := filepath.Join(c.dir, r.ID+".chrome.json")
+	var cb bytes.Buffer
+	writeChromeCapture(&cb, r, out.Tracer)
+	if err := os.WriteFile(chromePath, cb.Bytes(), 0o644); err != nil {
+		os.Remove(path)
+		return "", err
+	}
+
+	c.files = append(c.files, path, chromePath)
+	for len(c.files) > 2*c.maxFiles {
+		os.Remove(c.files[0])
+		os.Remove(c.files[1])
+		c.files = c.files[2:]
+	}
+	return path, nil
+}
+
+// writeChromeCapture renders a combined trace_event view: request phases
+// as duration slices on tid 0, program events as instants on 100+tid.
+// Program events carry logical time only (seq/step), so they are spread
+// evenly across the execute span's wall-clock window — ordering is
+// faithful, spacing is synthetic.
+func writeChromeCapture(w io.Writer, r *Req, tr *telemetry.Tracer) {
+	io.WriteString(w, "[\n")
+	first := true
+	chromeSpan(w, r.root, 0, &first)
+
+	if tr != nil {
+		var execStart, execDur int64
+		for _, s := range r.root.Children {
+			if s.Name == "execute" {
+				execStart, execDur = s.StartNS, max64(s.DurNS, 0)
+			}
+		}
+		evs := tr.Events()
+		n := int64(len(evs))
+		for i, e := range evs {
+			ts := execStart + (int64(i)+1)*execDur/(n+1)
+			name := e.Kind.String()
+			if site := tr.SiteLabel(e.Site); site != "" {
+				name += " " + site
+			}
+			if !first {
+				io.WriteString(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, `{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t"}`,
+				name, ts/1e3, 100+e.Tid)
+		}
+	}
+	io.WriteString(w, "\n]\n")
+}

@@ -1,0 +1,95 @@
+package obsrv
+
+// Structured JSONL access logging. One record per line, fields in stable
+// order (ts, level, event, then caller fields in the order given) so logs
+// diff cleanly and downstream line parsers stay trivial. A single mutex
+// serializes writes — the access log is not on the reply path, and
+// interleaved half-lines would be worse than the contention.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level gates which records reach the log.
+type Level int
+
+const (
+	LevelOff Level = iota
+	LevelError
+	LevelInfo
+	LevelDebug
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelOff:
+		return "off"
+	case LevelError:
+		return "error"
+	case LevelInfo:
+		return "info"
+	case LevelDebug:
+		return "debug"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel maps a flag string to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "off":
+		return LevelOff, nil
+	case "error":
+		return LevelError, nil
+	case "info":
+		return LevelInfo, nil
+	case "debug":
+		return LevelDebug, nil
+	}
+	return LevelOff, fmt.Errorf("unknown log level %q (want off|error|info|debug)", s)
+}
+
+// Logger writes JSONL records at or below its level.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	lvl Level
+}
+
+// NewLogger wraps w at the given level.
+func NewLogger(w io.Writer, lvl Level) *Logger {
+	return &Logger{w: w, lvl: lvl}
+}
+
+// Log writes one record if lvl is admitted. Field order is preserved.
+func (l *Logger) Log(lvl Level, event string, fields ...Field) {
+	if l == nil || lvl > l.lvl || lvl == LevelOff {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(`{"ts":`)
+	b.WriteString(fmt.Sprintf("%q", time.Now().UTC().Format(time.RFC3339Nano)))
+	b.WriteString(`,"level":`)
+	b.WriteString(fmt.Sprintf("%q", lvl.String()))
+	b.WriteString(`,"event":`)
+	b.WriteString(fmt.Sprintf("%q", event))
+	for _, f := range fields {
+		b.WriteString(",")
+		b.WriteString(fmt.Sprintf("%q", f.Key))
+		b.WriteString(":")
+		v, err := json.Marshal(f.Val)
+		if err != nil {
+			v = []byte(fmt.Sprintf("%q", fmt.Sprint(f.Val)))
+		}
+		b.Write(v)
+	}
+	b.WriteString("}\n")
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}

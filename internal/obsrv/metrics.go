@@ -1,0 +1,367 @@
+package obsrv
+
+// The metrics half of the observability layer: a small Prometheus-text
+// registry. The hot path touches only lock-free primitives — counters are
+// single atomics, histograms are an atomic bucket array indexed by a
+// branchless-ish scan over log-spaced bounds, gauges are evaluated lazily
+// at scrape time from caller-supplied closures. The registry's mutexes
+// guard registration and exposition only, never a request.
+//
+// Output is the Prometheus text exposition format (version 0.0.4): one
+// HELP/TYPE comment pair per family, series sorted by label string so a
+// scrape is deterministic for a fixed state.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. Nil-safe: a nil counter
+// (the observability-off path) drops the increment.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// histBounds are the log-spaced latency bucket upper bounds, in seconds:
+// 10µs doubling up to ~5.2s. Requests and phases share the layout so the
+// exposition stays comparable across families.
+var histBounds = func() []float64 {
+	b := make([]float64, 20)
+	v := 10e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram is a log-bucketed latency histogram. Observations land in
+// exactly one atomic bucket; the cumulative form Prometheus wants is
+// computed at scrape time.
+type Histogram struct {
+	buckets []atomic.Int64 // one per bound, plus a final +Inf slot
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, len(histBounds)+1)}
+}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(histBounds) && s > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// series is one labeled instance within a family. Exactly one of the
+// value fields is live, matching the family type.
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      func() float64
+	h      *Histogram
+}
+
+// family is one metric name: HELP/TYPE plus its labeled series.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+func (f *family) get(labels string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[labels]
+	if !ok {
+		s = &series{labels: labels}
+		switch f.typ {
+		case "counter":
+			s.c = new(Counter)
+		case "histogram":
+			s.h = newHistogram()
+		}
+		f.series[labels] = s
+	}
+	return s
+}
+
+// Registry holds metric families in registration order.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+	byN  map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byN: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byN[name]; ok {
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+	r.fams = append(r.fams, f)
+	r.byN[name] = f
+	return f
+}
+
+// renderLabels turns k,v pairs into the canonical {a="b",c="d"} form with
+// keys sorted, so the same label set always names the same series.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`=`)
+		b.WriteString(strconv.Quote(p.v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter registers (or finds) a counter series. Labels are k,v pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.family(name, help, "counter").get(renderLabels(labels)).c
+}
+
+// Gauge registers a function-backed gauge series, evaluated at scrape.
+func (r *Registry) Gauge(name, help string, f func() float64, labels ...string) {
+	r.family(name, help, "gauge").get(renderLabels(labels)).g = f
+}
+
+// Histogram registers (or finds) a histogram series.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.family(name, help, "histogram").get(renderLabels(labels)).h
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labeled splices extra label pairs into an already-rendered label string
+// (for the histogram's le label).
+func labeled(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WritePrometheus writes the registry in the text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		snap := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			snap = append(snap, f.series[k])
+		}
+		f.mu.Unlock()
+
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range snap {
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case "gauge":
+				v := 0.0
+				if s.g != nil {
+					v = s.g()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, fmtFloat(v))
+			case "histogram":
+				var cum int64
+				for i, bound := range histBounds {
+					cum += s.h.buckets[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n",
+						f.name, labeled(s.labels, `le=`+strconv.Quote(fmtFloat(bound))), cum)
+				}
+				cum += s.h.buckets[len(histBounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labeled(s.labels, `le="+Inf"`), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, s.labels,
+					fmtFloat(float64(s.h.sumNS.Load())/1e9))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, s.labels, s.h.count.Load())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidatePrometheus checks that data parses as Prometheus text exposition
+// format and returns the number of sample lines. It is the assertion the
+// obs-smoke harness and tests run against a live /metrics scrape: every
+// line must be a HELP/TYPE comment or a `name{labels} value` sample with a
+// legal metric name and a parseable float value.
+func ValidatePrometheus(data []byte) (int, error) {
+	samples := 0
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "# ")
+			if !strings.HasPrefix(rest, "HELP ") && !strings.HasPrefix(rest, "TYPE ") {
+				return samples, fmt.Errorf("line %d: comment is neither HELP nor TYPE: %q", ln+1, line)
+			}
+			continue
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !validMetricName(name) {
+			return samples, fmt.Errorf("line %d: bad metric name %q", ln+1, name)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return samples, fmt.Errorf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			if err := validLabels(rest[1:end]); err != nil {
+				return samples, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			rest = rest[end+1:]
+		}
+		val := strings.TrimSpace(rest)
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			if val != "+Inf" && val != "-Inf" && val != "NaN" {
+				return samples, fmt.Errorf("line %d: bad sample value %q", ln+1, val)
+			}
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	return samples, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabels(s string) error {
+	for _, part := range splitLabels(s) {
+		eq := strings.Index(part, "=")
+		if eq <= 0 {
+			return fmt.Errorf("bad label pair %q", part)
+		}
+		v := part[eq+1:]
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value not quoted in %q", part)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}

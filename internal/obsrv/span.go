@@ -1,0 +1,128 @@
+package obsrv
+
+// Request-scoped span trees. A span is a named interval measured with the
+// monotonic clock, offset-relative to the request start so a capture is
+// self-contained. The tree is built by the single handler goroutine that
+// owns the request, so no locking is needed on the build path; exports
+// take a snapshot after the request is finished.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Span is one timed interval in a request. StartNS is the offset from the
+// request start; DurNS is -1 while the span is open.
+type Span struct {
+	Name     string  `json:"name"`
+	StartNS  int64   `json:"start_ns"`
+	DurNS    int64   `json:"dur_ns"`
+	Children []*Span `json:"children,omitempty"`
+
+	parent *Span
+	req    *Req
+}
+
+// End closes the span. Nil-safe; ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil || s.req == nil {
+		return
+	}
+	if s.DurNS < 0 {
+		s.DurNS = int64(time.Since(s.req.start)) - s.StartNS
+	}
+	if s.req.cur == s {
+		s.req.cur = s.parent
+	}
+}
+
+// StartSpan opens a child span under the innermost open span. Nil-safe:
+// on a nil *Req (observability disabled) it returns nil, and every method
+// on the nil *Span is likewise a no-op.
+func (r *Req) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{
+		Name:    name,
+		StartNS: int64(time.Since(r.start)),
+		DurNS:   -1,
+		req:     r,
+		parent:  r.cur,
+	}
+	if r.cur != nil {
+		r.cur.Children = append(r.cur.Children, s)
+	} else {
+		r.root.Children = append(r.root.Children, s)
+		s.parent = r.root
+	}
+	r.cur = s
+	return s
+}
+
+// closeAll ends any spans left open (error paths that bail mid-phase).
+func (r *Req) closeAll() {
+	for r.cur != nil && r.cur != r.root {
+		r.cur.End()
+	}
+	if r.root.DurNS < 0 {
+		r.root.DurNS = int64(time.Since(r.start))
+	}
+}
+
+// writeSpanJSONL emits the tree depth-first, one JSON object per line,
+// each carrying the request id so lines from interleaved requests can be
+// demultiplexed.
+func writeSpanJSONL(w io.Writer, id string, s *Span, depth int) error {
+	rec := struct {
+		Req     string `json:"req"`
+		Depth   int    `json:"depth"`
+		Name    string `json:"name"`
+		StartNS int64  `json:"start_ns"`
+		DurNS   int64  `json:"dur_ns"`
+	}{id, depth, s.Name, s.StartNS, s.DurNS}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	for _, c := range s.Children {
+		if err := writeSpanJSONL(w, id, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSpanJSONL exports the request's span tree as JSONL. Safe to call
+// only after the request is ended.
+func (r *Req) WriteSpanJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return writeSpanJSONL(w, r.ID, r.root, 0)
+}
+
+// chromeSpan emits one complete ("X"-phase) trace_event slice.
+func chromeSpan(w io.Writer, s *Span, tid int, first *bool) {
+	if !*first {
+		io.WriteString(w, ",\n")
+	}
+	*first = false
+	fmt.Fprintf(w, `{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d}`,
+		s.Name, s.StartNS/1e3, max64(s.DurNS, 0)/1e3, tid)
+	for _, c := range s.Children {
+		chromeSpan(w, c, tid, first)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

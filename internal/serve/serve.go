@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/interp"
+	"repro/internal/obsrv"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
@@ -45,6 +47,15 @@ type Config struct {
 	// (header + body). It is the slowloris guard: a trickling writer is
 	// cut off here and never reaches admission.
 	ReadTimeout time.Duration
+	// DrainGrace keeps the listener open for this long after Shutdown is
+	// called, with /healthz and /readyz answering 503, so load balancers
+	// can observe the drain before connections start being refused. Zero
+	// closes the listener immediately (the pre-observability behavior).
+	DrainGrace time.Duration
+	// Obs configures the request-scoped observability layer (spans,
+	// /metrics, access logs, slow-request capture). Zero value = disabled;
+	// disabling never changes reply bytes, only headers and side channels.
+	Obs obsrv.Config
 }
 
 // DefaultConfig returns the service defaults.
@@ -138,8 +149,14 @@ type errorReply struct {
 	Error string `json:"error"`
 }
 
-// statsReply is the /stats snapshot.
+// statsReply is the /stats snapshot. ServerStart/GoVersion/Engine make a
+// scraped snapshot attributable: which process, built with what, running
+// which default engine.
 type statsReply struct {
+	ServerStart   string                `json:"server_start"`
+	GoVersion     string                `json:"go_version"`
+	Engine        string                `json:"engine"`
+	Endpoints     []string              `json:"endpoints"`
 	UptimeSeconds float64               `json:"uptime_seconds"`
 	Requests      int64                 `json:"requests"`
 	Refused       int64                 `json:"refused"`
@@ -166,6 +183,7 @@ type programStats struct {
 type Server struct {
 	cfg   Config
 	cache *cache
+	obs   *obsrv.Observer
 
 	slots    chan struct{}
 	waiting  atomic.Int64
@@ -221,12 +239,36 @@ func New(cfg Config) *Server {
 		slots:  make(chan struct{}, cfg.MaxSessions),
 		active: make(map[*interp.Runtime]struct{}),
 		start:  time.Now(),
+		obs:    obsrv.New(cfg.Obs),
+	}
+	if reg := s.obs.Registry(); reg != nil {
+		reg.Gauge("sharc_sessions_inflight", "Checked runs executing right now.",
+			func() float64 { return float64(s.activeCount()) })
+		reg.Gauge("sharc_admission_queue_depth", "Requests parked in the waiting room.",
+			func() float64 { return float64(s.waiting.Load()) })
+		reg.Gauge("sharc_cache_entries", "Compiled programs resident in the cache.",
+			func() float64 { return float64(s.cache.len()) })
+		reg.Gauge("sharc_cache_hits_total", "Program cache hits.",
+			func() float64 { return float64(s.cache.hits.Load()) })
+		reg.Gauge("sharc_cache_misses_total", "Program cache misses (compiles).",
+			func() float64 { return float64(s.cache.misses.Load()) })
+		reg.Gauge("sharc_cache_evictions_total", "Program cache LRU evictions.",
+			func() float64 { return float64(s.cache.evictions.Load()) })
+		reg.Gauge("sharc_draining", "1 while the server is draining.",
+			func() float64 {
+				if s.draining.Load() {
+					return 1
+				}
+				return 0
+			})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.hsrv = &http.Server{
 		Handler:           mux,
 		ReadTimeout:       cfg.ReadTimeout,
@@ -290,9 +332,21 @@ func (s *Server) ListenAndServe() error {
 // Shutdown drains the server: new requests are refused immediately,
 // in-flight requests run to completion until ctx expires, and past the
 // deadline every remaining execution is interrupted and waited out. The
-// listener is closed in all cases.
+// listener is closed in all cases. With DrainGrace set, the listener
+// stays open for the grace window first — /healthz and /readyz answer
+// 503 throughout — so external health checks see the drain before
+// connections start failing.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.obs.Info("drain-start", obsrv.Field{Key: "grace_ms", Val: s.cfg.DrainGrace.Milliseconds()})
+	if g := s.cfg.DrainGrace; g > 0 {
+		t := time.NewTimer(g)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
 	err := s.hsrv.Shutdown(ctx)
 	if err != nil {
 		// Deadline hit with handlers still running: cut the stragglers
@@ -300,6 +354,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.interruptAll()
 		s.runners.Wait()
 	}
+	s.obs.Info("drain-done", obsrv.Field{Key: "err", Val: fmt.Sprint(err)})
 	return err
 }
 
@@ -428,19 +483,38 @@ func cacheHeader(w http.ResponseWriter, hit bool) {
 	}
 }
 
+// obsBegin opens an observed request for one endpoint and returns it with
+// an Outcome holder the handler fills in; the deferred end closes spans,
+// bumps metrics, logs, and fires capture. The X-Sharc-Request header goes
+// out immediately so even refused requests are correlatable. All of it is
+// nil-safe: with observability off, or == nil flows through every call.
+func (s *Server) obsBegin(w http.ResponseWriter, endpoint string) (*obsrv.Req, *obsrv.Outcome, func()) {
+	or := s.obs.Begin(endpoint)
+	out := &obsrv.Outcome{Status: http.StatusOK, Decisions: -1}
+	if or != nil {
+		w.Header().Set("X-Sharc-Request", or.ID)
+	}
+	return or, out, func() { s.obs.End(or, *out) }
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	or, out, end := s.obsBegin(w, "run")
+	defer end()
 	if r.Method != http.MethodPost {
+		out.Status = http.StatusMethodNotAllowed
 		writeJSON(w, http.StatusMethodNotAllowed, errorReply{Error: "POST only"})
 		return
 	}
 	s.requests.Add(1)
 	var req runRequest
 	if err := decodeBody(w, r, &req); err != nil {
+		out.Status, out.Err = http.StatusBadRequest, "bad body"
 		s.badRequest(w, "bad request body: "+err.Error())
 		return
 	}
 	engine, err := parseEngine(req.Engine)
 	if err != nil {
+		out.Status, out.Err = http.StatusBadRequest, "bad engine"
 		s.badRequest(w, err.Error())
 		return
 	}
@@ -451,26 +525,39 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	sp := or.StartSpan("admission-wait")
 	release, status, msg := s.admit(r.Context())
+	sp.End()
 	if release == nil {
 		s.refused.Add(1)
+		out.Status, out.Err = status, msg
 		writeJSON(w, status, errorReply{Error: msg})
 		return
 	}
 	defer release()
 
+	sp = or.StartSpan("resolve")
 	e, hit, status, msg := s.resolve(&req)
+	sp.End()
 	if e == nil {
 		if status == http.StatusBadRequest {
 			s.badRequests.Add(1)
 		}
+		out.Status, out.Err = status, msg
 		writeJSON(w, status, errorReply{Error: msg})
 		return
 	}
+	or.SetHandle(e.handle)
+	if hit {
+		or.SetField("cache", "hit")
+	} else {
+		or.SetField("cache", "miss")
+	}
 
-	reply, timedOut := s.execute(e, &req, engine, timeout)
+	reply, timedOut := s.execute(e, &req, engine, timeout, or, out)
 	if timedOut {
 		s.timeouts.Add(1)
+		out.Status, out.Err = http.StatusGatewayTimeout, "deadline"
 		cacheHeader(w, hit)
 		writeJSON(w, http.StatusGatewayTimeout,
 			errorReply{Error: fmt.Sprintf("run exceeded %v and was interrupted", timeout)})
@@ -482,17 +569,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // execute runs one request against a compiled program. The reply carries
 // only deterministic data (see runStats); telemetry flows into the
-// server-side aggregates instead.
-func (s *Server) execute(e *entry, req *runRequest, engine interp.Engine, timeout time.Duration) (*runReply, bool) {
+// server-side aggregates instead. The schedule/execute/telemetry-merge
+// request phases are spanned here; when slow-capture is armed the run
+// also gets a private event ring so a capture can show what the program
+// did, never affecting the reply.
+func (s *Server) execute(e *entry, req *runRequest, engine interp.Engine, timeout time.Duration, or *obsrv.Req, obsOut *obsrv.Outcome) (*runReply, bool) {
 	s.runners.Add(1)
 	defer s.runners.Done()
 
+	sp := or.StartSpan("schedule")
 	var out bytes.Buffer
 	cfg := interp.DefaultConfig()
 	cfg.Stdout = &out
 	cfg.Engine = engine
 	cfg.Metrics = req.Metrics
 	cfg.Interrupt = new(atomic.Bool)
+	if cap := s.obs.TraceCapacity(); cap > 0 {
+		cfg.TraceCapacity = cap
+	}
 	seed := int64(1)
 	if req.Seed != nil {
 		seed = *req.Seed
@@ -502,22 +596,31 @@ func (s *Server) execute(e *entry, req *runRequest, engine interp.Engine, timeou
 		cfg.SeedRand = seed
 	}
 	rt := interp.New(e.prog, cfg)
+	sp.End()
 
+	sp = or.StartSpan("execute")
 	untrack := s.trackActive(rt)
 	timer := time.AfterFunc(timeout, rt.Interrupt)
 	ret, runErr := rt.Run()
 	timer.Stop()
 	untrack()
+	sp.End()
+	if obsOut != nil {
+		obsOut.Tracer = rt.Tracer()
+		obsOut.Decisions = rt.Decisions()
+	}
 
 	if errors.Is(runErr, interp.ErrInterrupted) {
 		return nil, true
 	}
 
+	sp = or.StartSpan("telemetry-merge")
 	g := rt.GlobalStats()
 	e.addRun(rt.Collector(), g, s.cfg.TelemetryBatch)
 	s.gmu.Lock()
 	s.gstats = telemetry.MergeGlobalStats(s.gstats, g)
 	s.gmu.Unlock()
+	sp.End()
 
 	reports := rt.Reports()
 	rj := make([]reportJSON, 0, len(reports))
@@ -548,22 +651,28 @@ func (s *Server) execute(e *entry, req *runRequest, engine interp.Engine, timeou
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	or, out, end := s.obsBegin(w, "compile")
+	defer end()
 	if r.Method != http.MethodPost {
+		out.Status = http.StatusMethodNotAllowed
 		writeJSON(w, http.StatusMethodNotAllowed, errorReply{Error: "POST only"})
 		return
 	}
 	s.requests.Add(1)
 	if s.draining.Load() {
 		s.refused.Add(1)
+		out.Status, out.Err = http.StatusServiceUnavailable, "draining"
 		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: "server is draining"})
 		return
 	}
 	var req runRequest
 	if err := decodeBody(w, r, &req); err != nil {
+		out.Status, out.Err = http.StatusBadRequest, "bad body"
 		s.badRequest(w, "bad request body: "+err.Error())
 		return
 	}
 	if req.Source == "" {
+		out.Status, out.Err = http.StatusBadRequest, "no source"
 		s.badRequest(w, "compile needs inline source")
 		return
 	}
@@ -571,18 +680,31 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "prog.shc"
 	}
+	sp := or.StartSpan("resolve")
 	k := progKey{Name: name, Elide: req.Elide, Discharge: req.Discharge}
 	e, hit, err := s.cache.getOrCompile(k, req.Source)
+	sp.End()
 	if err != nil {
+		out.Status, out.Err = http.StatusBadRequest, "compile error"
 		s.badRequest(w, err.Error())
 		return
 	}
+	or.SetHandle(e.handle)
 	cacheHeader(w, hit)
 	writeJSON(w, http.StatusOK, compileReply{Handle: e.handle})
 }
 
+// serveEndpoints is the self-description /stats advertises.
+var serveEndpoints = []string{"/run", "/compile", "/stats", "/metrics", "/healthz", "/readyz"}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	_, _, end := s.obsBegin(w, "stats")
+	defer end()
 	reply := statsReply{
+		ServerStart:   s.start.UTC().Format(time.RFC3339Nano),
+		GoVersion:     runtime.Version(),
+		Engine:        "auto",
+		Endpoints:     serveEndpoints,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		Refused:       s.refused.Load(),
@@ -610,11 +732,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reply)
 }
 
+// handleHealthz serves both /healthz and /readyz: liveness and readiness
+// coincide here because the only not-ready state is the drain, during
+// which both must flip to 503 so load balancers stop routing.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	endpoint := "healthz"
+	if r.URL.Path == "/readyz" {
+		endpoint = "readyz"
+	}
+	_, out, end := s.obsBegin(w, endpoint)
+	defer end()
 	if s.draining.Load() {
+		out.Status, out.Err = http.StatusServiceUnavailable, "draining"
 		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: "draining"})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write([]byte("{\"ok\":true}\n"))
+}
+
+// handleMetrics is the Prometheus text exposition. 404 when observability
+// is off — scrapers then know the layer is disabled rather than empty.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil {
+		writeJSON(w, http.StatusNotFound, errorReply{Error: "observability disabled"})
+		return
+	}
+	_, out, end := s.obsBegin(w, "metrics")
+	defer end()
+	var buf bytes.Buffer
+	if err := s.obs.WriteMetrics(&buf); err != nil {
+		out.Status, out.Err = http.StatusInternalServerError, "exposition failure"
+		writeJSON(w, http.StatusInternalServerError, errorReply{Error: "exposition failure"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
 }

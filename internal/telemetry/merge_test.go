@@ -121,6 +121,168 @@ func TestMergeTracersMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestCollectorMergeEmptySides pins the serve folding edge case: merging
+// an untouched collector in (either direction) must neither change counts
+// nor panic, and merging into a fresh collector must equal a copy.
+func TestCollectorMergeEmptySides(t *testing.T) {
+	info := []SiteInfo{{LValue: "g"}, {LValue: "h"}}
+
+	// Non-empty <- empty: a no-op.
+	a, empty := NewCollector(info), NewCollector(info)
+	a.DynamicCheck(1, 0, true, false, false)
+	a.DynamicCheck(2, 1, false, true, false)
+	before := a.Snapshot(GlobalStats{}, Elision{})
+	a.Merge(empty)
+	after := a.Snapshot(GlobalStats{}, Elision{})
+	for i := range before.Sites {
+		if before.Sites[i] != after.Sites[i] {
+			t.Errorf("site %d changed by empty merge: %+v -> %+v", i, before.Sites[i], after.Sites[i])
+		}
+	}
+
+	// Empty <- non-empty: a copy.
+	fresh := NewCollector(info)
+	fresh.Merge(a)
+	got := fresh.Snapshot(GlobalStats{}, Elision{})
+	for i := range after.Sites {
+		if got.Sites[i] != after.Sites[i] {
+			t.Errorf("site %d after merge into fresh: %+v, want %+v", i, got.Sites[i], after.Sites[i])
+		}
+	}
+
+	// Nil receiver and nil argument are both inert (a request with
+	// -metrics off folds a nil collector).
+	var nilC *Collector
+	nilC.Merge(a)
+	a.Merge(nil)
+	final := a.Snapshot(GlobalStats{}, Elision{})
+	for i := range after.Sites {
+		if final.Sites[i] != after.Sites[i] {
+			t.Errorf("site %d changed by nil merge: %+v", i, final.Sites[i])
+		}
+	}
+}
+
+// TestMergeGlobalStatsSingleSided pins gauge maxima when only one side has
+// run: zeros on the other side must not drag maxima down, and a
+// zero-value part must be the identity.
+func TestMergeGlobalStatsSingleSided(t *testing.T) {
+	run := GlobalStats{
+		TotalAccesses: 12, DynamicChecks: 8, Conflicts: 2,
+		MaxThreads: 4, MaxLocksHeld: 3, ShadowPages: 7, HeapPages: 5,
+	}
+	for name, g := range map[string]GlobalStats{
+		"zero-left":  MergeGlobalStats(GlobalStats{}, run),
+		"zero-right": MergeGlobalStats(run, GlobalStats{}),
+		"single":     MergeGlobalStats(run),
+	} {
+		if g != run {
+			t.Errorf("%s: merge with zero identity = %+v, want %+v", name, g, run)
+		}
+	}
+	if g := MergeGlobalStats(); g != (GlobalStats{}) {
+		t.Errorf("empty merge = %+v, want zero", g)
+	}
+	// Maxima must come from whichever single side holds them even when
+	// that side is otherwise quiet.
+	g := MergeGlobalStats(GlobalStats{MaxThreads: 9}, run)
+	if g.MaxThreads != 9 || g.MaxLocksHeld != 3 {
+		t.Errorf("single-sided maxima: MaxThreads=%d MaxLocksHeld=%d, want 9/3", g.MaxThreads, g.MaxLocksHeld)
+	}
+	if g.TotalAccesses != 12 {
+		t.Errorf("sums with quiet side: TotalAccesses=%d, want 12", g.TotalAccesses)
+	}
+}
+
+// TestMergeTracersExactCapacityBoundary pins the ring-tail window at the
+// exact-fit boundaries serve's concurrent folding hits: parts that sum to
+// exactly capacity (nothing dropped), one event over (exactly one
+// dropped), and a single part already at capacity.
+func TestMergeTracersExactCapacityBoundary(t *testing.T) {
+	info := []SiteInfo{{LValue: "g"}}
+	const capacity = 8
+
+	build := func(sizes ...int) []*Tracer {
+		var parts []*Tracer
+		var addr int64
+		for s, n := range sizes {
+			tr := NewTracer(capacity, info)
+			fillTracer(tr, s, n, &addr)
+			parts = append(parts, tr)
+		}
+		return parts
+	}
+
+	// Exact fit: 3+5 = capacity. Every event retained, none dropped.
+	m := MergeTracers(capacity, info, build(3, 5)...)
+	if m.Total() != capacity || m.Dropped() != 0 {
+		t.Errorf("exact fit: total %d dropped %d, want %d/0", m.Total(), m.Dropped(), capacity)
+	}
+	evs := m.Events()
+	if len(evs) != capacity {
+		t.Fatalf("exact fit retained %d events, want %d", len(evs), capacity)
+	}
+	for i, e := range evs {
+		if e.Addr != int64(i) {
+			t.Errorf("exact fit event %d has addr %d, want %d (ordered, renumbered)", i, e.Addr, i)
+		}
+		if e.Seq != uint64(i) {
+			t.Errorf("exact fit event %d has seq %d, want %d", i, e.Seq, i)
+		}
+	}
+
+	// One over: 4+5 = capacity+1. The oldest event falls off the tail.
+	m = MergeTracers(capacity, info, build(4, 5)...)
+	if m.Total() != capacity+1 || m.Dropped() != 1 {
+		t.Errorf("one over: total %d dropped %d, want %d/1", m.Total(), m.Dropped(), capacity+1)
+	}
+	evs = m.Events()
+	if len(evs) != capacity {
+		t.Fatalf("one over retained %d events, want %d", len(evs), capacity)
+	}
+	if evs[0].Addr != 1 {
+		t.Errorf("one over: oldest retained addr %d, want 1 (addr 0 dropped)", evs[0].Addr)
+	}
+	if evs[0].Seq != 1 || evs[len(evs)-1].Seq != uint64(capacity) {
+		t.Errorf("one over: seq window [%d, %d], want [1, %d]",
+			evs[0].Seq, evs[len(evs)-1].Seq, capacity)
+	}
+
+	// A single part exactly at capacity merges to itself.
+	single := build(capacity)
+	var want bytes.Buffer
+	if err := single[0].WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+	m = MergeTracers(capacity, info, single...)
+	var got bytes.Buffer
+	if err := m.WriteJSONL(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("at-capacity single part not identity:\ngot:\n%s\nwant:\n%s", got.String(), want.String())
+	}
+}
+
+// TestTracerSiteLabel pins the exported site renderer against the JSONL
+// export's internal one.
+func TestTracerSiteLabel(t *testing.T) {
+	info := []SiteInfo{{LValue: "g"}}
+	tr := NewTracer(4, info)
+	if got, want := tr.SiteLabel(0), info[0].String(); got != want {
+		t.Errorf("SiteLabel(0) = %q, want %q", got, want)
+	}
+	for _, bad := range []int32{-1, 1, 99} {
+		if got := tr.SiteLabel(bad); got != "" {
+			t.Errorf("SiteLabel(%d) = %q, want \"\"", bad, got)
+		}
+	}
+	var nilT *Tracer
+	if got := nilT.SiteLabel(0); got != "" {
+		t.Errorf("nil SiteLabel = %q, want \"\"", got)
+	}
+}
+
 func TestFrozenTracerIsReadOnly(t *testing.T) {
 	info := []SiteInfo{{LValue: "g"}}
 	part := NewTracer(8, info)

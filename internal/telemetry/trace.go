@@ -226,6 +226,16 @@ func (t *Tracer) siteString(site int32) string {
 	return t.info[site].String()
 }
 
+// SiteLabel renders an event's site exactly as the JSONL export would, or
+// "" when the event has none. Nil-safe; lets consumers that hold raw
+// Events (obsrv's combined capture view) label them consistently.
+func (t *Tracer) SiteLabel(site int32) string {
+	if t == nil {
+		return ""
+	}
+	return t.siteString(site)
+}
+
 // jstr renders s as a JSON string literal.
 func jstr(s string) string {
 	b, err := json.Marshal(s)
