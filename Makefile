@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench elision explore explore-smoke portfolio-smoke portfolio-race portfolio profile-smoke engine-smoke vet-smoke obs vm vet-bench serve-smoke serve-bench obs-smoke
+.PHONY: all build vet test race verify bench elision explore explore-smoke portfolio-smoke portfolio-race portfolio profile-smoke engine-smoke vet-smoke vet2-smoke obs vm vet-bench ablation serve-smoke serve-bench obs-smoke
 
 all: verify
 
@@ -14,13 +14,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry ./internal/portfolio ./internal/serve ./internal/obsrv
+	$(GO) test -race ./internal/shadow ./internal/interp ./internal/refcount ./internal/sched ./internal/telemetry ./internal/portfolio ./internal/serve ./internal/obsrv ./internal/absint
 
 # verify is the gate for every change: build, go vet, the full test suite,
 # the race detector over the concurrency-bearing packages, and the
 # exploration, portfolio, profile, cross-engine, static-analysis, and
 # execution-service smokes.
-verify: build vet test race explore-smoke portfolio-smoke profile-smoke engine-smoke vet-smoke serve-smoke obs-smoke
+verify: build vet test race explore-smoke portfolio-smoke profile-smoke engine-smoke vet-smoke vet2-smoke serve-smoke obs-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -106,6 +106,14 @@ vet-smoke:
 	done
 	@echo "vet-smoke ok"
 
+# vet2-smoke is the abstract-interpretation acceptance gate: on every
+# Table-1 benchmark the absint tier must push the statically avoided
+# check fraction past 90%, resolve every would-be finding, and keep the
+# discharged build's reports and exit byte-identical to the elide-only
+# build on both engines.
+vet2-smoke:
+	$(GO) test ./internal/bench -run TestVet2Smoke -count 1
+
 # serve-smoke drives the execution service from the shell the way an
 # operator would: build both binaries, start `sharc serve` on an ephemeral
 # port, fire the sharc-bench assertion harness at it (1000 sequential +
@@ -161,3 +169,7 @@ vm:
 # vet-bench regenerates BENCH_vet.json (static discharge vs elision alone).
 vet-bench:
 	$(GO) run ./cmd/sharc-bench -vet
+
+# ablation regenerates BENCH_ablation.json (avoided checks per absint tier).
+ablation:
+	$(GO) run ./cmd/sharc-bench -ablate

@@ -32,6 +32,11 @@
 //	                                    vs elide + vet discharge) on both
 //	                                    engines, also written to
 //	                                    BENCH_vet.json
+//	sharc-bench -ablate                 absint tier ablation: avoided-check
+//	                                    fraction under lockset only, +MHP
+//	                                    phase rules, +interval certification,
+//	                                    +cross-function summaries, also
+//	                                    written to BENCH_ablation.json
 //	sharc-bench -serve                  load-generate against the checked
 //	                                    execution service (closed/open loop,
 //	                                    bursts, connection churn, slowloris),
@@ -71,6 +76,8 @@ func main() {
 	vmOut := flag.String("vm-out", "BENCH_vm.json", "output path for the engine-comparison JSON")
 	vetFlag := flag.Bool("vet", false, "measure static check discharge and write BENCH_vet.json")
 	vetOut := flag.String("vet-out", "BENCH_vet.json", "output path for the discharge JSON")
+	ablate := flag.Bool("ablate", false, "measure the absint tier ladder (lockset / +mhp / +intervals / +summaries) and write BENCH_ablation.json")
+	ablateOut := flag.String("ablate-out", "BENCH_ablation.json", "output path for the ablation JSON")
 	schedules := flag.Int("schedules", 100, "schedules per program in -explore mode")
 	serveBench := flag.Bool("serve", false, "load-generate against the execution service and write BENCH_serve.json")
 	serveSmoke := flag.Bool("serve-smoke", false, "run the serve assertion harness (1000 sequential + 100 concurrent requests)")
@@ -266,6 +273,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *vetOut)
+		return
+	}
+
+	if *ablate {
+		var rows []bench.AblationRow
+		for i := range bench.Benchmarks {
+			b := &bench.Benchmarks[i]
+			if *runOne != "" && b.Name != *runOne {
+				continue
+			}
+			r, err := bench.RunAblation(b, scale)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, r)
+		}
+		fmt.Println("Absint ablation (statically avoided checks as the tiers come on):")
+		fmt.Print(bench.FormatAblation(rows))
+		data, err := bench.AblationJSON(rows)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*ablateOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *ablateOut)
 		return
 	}
 

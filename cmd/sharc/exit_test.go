@@ -56,7 +56,16 @@ func TestValidateTable(t *testing.T) {
 		{"run defaults valid", "run", func(f *cliFlags) { f.seed = -1 }, 0},
 		{"explore defaults valid", "explore", func(f *cliFlags) {}, 0},
 		{"profile defaults valid", "profile", func(f *cliFlags) { f.seed = 0 }, 0},
-		{"vet has no rules", "vet", func(f *cliFlags) { *f = cliFlags{} }, 0},
+		{"vet defaults valid", "vet", func(f *cliFlags) { *f = cliFlags{} }, 0},
+		{"vet explain valid", "vet", func(f *cliFlags) { f.explain = "prog.shc:12:7" }, 0},
+		{"vet explain colons in file", "vet", func(f *cliFlags) { f.explain = "a:b.shc:3:1" }, 0},
+		{"vet explain+json conflict", "vet", func(f *cliFlags) { f.explain = "prog.shc:12:7"; f.jsonOut = "out.json" }, exitConflict},
+		{"vet explain missing col", "vet", func(f *cliFlags) { f.explain = "prog.shc:12" }, exitBadValue},
+		{"vet explain bare file", "vet", func(f *cliFlags) { f.explain = "prog.shc" }, exitBadValue},
+		{"vet explain non-numeric", "vet", func(f *cliFlags) { f.explain = "prog.shc:a:b" }, exitBadValue},
+		{"vet explain zero line", "vet", func(f *cliFlags) { f.explain = "prog.shc:0:7" }, exitBadValue},
+		{"vet conflict wins over bad value", "vet", func(f *cliFlags) { f.explain = "prog.shc:0"; f.jsonOut = "o.json" }, exitConflict},
+		{"explain rule is vet-only", "run", func(f *cliFlags) { f.seed = -1; f.explain = "nonsense" }, 0},
 		{"record+replay", "run", func(f *cliFlags) { f.seed = -1; f.record = "a"; f.replay = "b" }, exitConflict},
 		{"replay+seed", "run", func(f *cliFlags) { f.replay = "a" }, exitConflict},
 		{"unchecked+record", "run", func(f *cliFlags) { f.seed = -1; f.unchecked = true; f.record = "a" }, exitConflict},

@@ -11,7 +11,11 @@
 //	sharc vet    file.shc...   whole-program points-to + lockset analysis:
 //	                           report statically provable races (must) and
 //	                           possible ones (may), ranked; -json writes the
-//	                           full report to a path
+//	                           full report to a path; -explain file:line:col
+//	                           prints one site's proof chain (lockset →
+//	                           points-to → absint tier) and exits 0 when
+//	                           the site has a static verdict, 1 when it
+//	                           keeps its runtime check
 //	sharc run    file.shc...   execute with full instrumentation; prints
 //	                           program output, then any violation reports
 //	sharc run -unchecked ...   execute without instrumentation ("Orig")
@@ -134,6 +138,8 @@ type cliFlags struct {
 	share     string
 	// profile only
 	top int
+	// vet only
+	explain string
 	// serve only
 	addr         string
 	addrFile     string
@@ -173,6 +179,26 @@ func validEngine(s string) bool {
 	return false
 }
 
+// badSite explains what is wrong with a file:line:col site key, or returns
+// "" for a well-formed one.
+func badSite(site string) string {
+	// The file part may contain colons, so parse from the right.
+	i := strings.LastIndexByte(site, ':')
+	if i < 0 {
+		return fmt.Sprintf("-explain %q is not file:line:col", site)
+	}
+	j := strings.LastIndexByte(site[:i], ':')
+	if j <= 0 {
+		return fmt.Sprintf("-explain %q is not file:line:col", site)
+	}
+	line, err1 := strconv.Atoi(site[j+1 : i])
+	col, err2 := strconv.Atoi(site[i+1:])
+	if err1 != nil || err2 != nil || line < 1 || col < 1 {
+		return fmt.Sprintf("-explain %q needs positive line and column numbers", site)
+	}
+	return ""
+}
+
 // badAddr explains what is wrong with a TCP listen address, or returns ""
 // for a usable one. Port 0 is legal (the kernel picks; -addr-file reads
 // the result back).
@@ -200,6 +226,18 @@ var cliRules = []struct {
 	code int
 	bad  func(*cliFlags) string
 }{
+	{"vet", exitConflict, func(f *cliFlags) string {
+		if f.explain != "" && f.jsonOut != "" {
+			return "-explain prints one site's proof chain; it cannot combine with the full -json report"
+		}
+		return ""
+	}},
+	{"vet", exitBadValue, func(f *cliFlags) string {
+		if f.explain != "" {
+			return badSite(f.explain)
+		}
+		return ""
+	}},
 	{"run", exitConflict, func(f *cliFlags) string {
 		if f.record != "" && f.replay != "" {
 			return "-record and -replay are mutually exclusive"
@@ -440,6 +478,7 @@ func main() {
 	switch cmd {
 	case "vet":
 		fs.StringVar(&f.jsonOut, "json", "", "also write the vet report as JSON to this path")
+		fs.StringVar(&f.explain, "explain", "", "print the proof chain for one site (file:line:col) instead of the report")
 	case "run":
 		fs.BoolVar(&f.unchecked, "unchecked", false, "run without instrumentation (Orig)")
 		fs.BoolVar(&f.stats, "stats", false, "print execution statistics")
@@ -559,6 +598,13 @@ func main() {
 			os.Exit(1)
 		}
 		rep := a.Vet()
+		if f.explain != "" {
+			fmt.Print(rep.Explain(f.explain))
+			if _, classified := rep.Verdicts()[f.explain]; !classified {
+				os.Exit(1) // the site keeps its runtime check: a finding
+			}
+			os.Exit(0)
+		}
 		fmt.Print(rep.Format())
 		if f.jsonOut != "" {
 			data, err := rep.JSON()

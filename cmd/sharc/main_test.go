@@ -345,3 +345,109 @@ func TestCLISched(t *testing.T) {
 		}
 	})
 }
+
+// ticketProg is certifiable by the absint interval tier: each worker draws
+// a ticket from the lock-protected counter and writes its own two-cell
+// granule of the shared buffer, so vet resolves the would-be may race with
+// an interval-bounded proof — giving -explain a full proof chain to print.
+const ticketProg = `
+struct pool {
+	mutex *m;
+	int locked(m) next;
+	char dynamic *buf;
+};
+
+void *worker(void *d) {
+	struct pool dynamic *p = d;
+	while (1) {
+		mutexLock(p->m);
+		int t = p->next;
+		if (t >= 32) { mutexUnlock(p->m); return NULL; }
+		p->next = t + 1;
+		mutexUnlock(p->m);
+		char dynamic *b = p->buf;
+		b[t * 2] = 1;
+		b[t * 2 + 1] = 2;
+	}
+	return NULL;
+}
+
+int main(void) {
+	struct pool *p = malloc(sizeof(struct pool));
+	p->m = mutexNew();
+	mutexLock(p->m);
+	p->next = 0;
+	mutexUnlock(p->m);
+	char *raw = malloc(64);
+	p->buf = SCAST(char dynamic *, raw);
+	struct pool dynamic *pd = SCAST(struct pool dynamic *, p);
+	int t1 = spawn(worker, pd);
+	int t2 = spawn(worker, pd);
+	join(t1);
+	join(t2);
+	return 0;
+}
+`
+
+// TestCLIVetExplain drives vet -explain end to end: extract a resolved
+// site from the plain report, ask for its proof chain, then cover the
+// unknown-site, conflicting-flag, and malformed-site exits.
+func TestCLIVetExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, ticketProg)
+
+	out, err := exec.Command(bin, "vet", prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("vet: %v\n%s", err, out)
+	}
+	var site string
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && fields[1] == "resolved" {
+			site = fields[2]
+			break
+		}
+	}
+	if site == "" {
+		t.Fatalf("no resolved finding in report:\n%s", out)
+	}
+
+	t.Run("proof chain exits 0", func(t *testing.T) {
+		out, err := exec.Command(bin, "vet", "-explain", site, prog).CombinedOutput()
+		if err != nil {
+			t.Fatalf("explain: %v\n%s", err, out)
+		}
+		for _, want := range []string{"tier 1 lockset", "tier 2 points-to", "tier 3 absint", "interval-bounded"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("explain output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("unknown site exits 1", func(t *testing.T) {
+		out, err := exec.Command(bin, "vet", "-explain", prog+":999:1", prog).CombinedOutput()
+		if exitCode(err) != 1 {
+			t.Fatalf("want exit 1 for a checked site: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "no static verdict") {
+			t.Fatalf("output: %s", out)
+		}
+	})
+
+	t.Run("explain+json conflicts", func(t *testing.T) {
+		out, err := exec.Command(bin, "vet", "-explain", site, "-json", "o.json", prog).CombinedOutput()
+		if exitCode(err) != 3 {
+			t.Fatalf("want exit 3: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("malformed site exits 4", func(t *testing.T) {
+		out, err := exec.Command(bin, "vet", "-explain", "nonsense", prog).CombinedOutput()
+		if exitCode(err) != 4 {
+			t.Fatalf("want exit 4: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,325 @@
+// Package absint is the abstract-interpretation tier of the SharC static
+// analysis: a flow- and context-sensitive layer staged after internal/vet's
+// lockset + points-to pass. vet hands it the access records that survived
+// the lockset tier; absint tries to prove the remaining dynamic check sites
+// redundant and returns per-position proofs that the compiler turns into
+// elided checks with "absint" provenance.
+//
+// The layer runs three rule families, cheapest first:
+//
+//   - phase-disjoint (R1): a read of heap objects that no dynamic-mode
+//     access ever writes. The shadow writer flag for such an object is never
+//     set, so the read check cannot fire, and eliding it removes only
+//     reader-bit side effects that no surviving check observes.
+//
+//   - may-happen-in-parallel (R2): accesses provably outside the parallel
+//     phase. "post-join" covers main-thread accesses after every structured
+//     spawn has been joined (joins clear the dead thread's shadow bits, so
+//     only main's own bits remain and no later check can fire);
+//     "pre-spawn" covers heap objects all of whose accesses happen in main
+//     before the first spawn (nobody else ever checks the object, so the
+//     elision is invisible).
+//
+//   - ticket certification (R3): the interval engine. A lock-protected
+//     monotone counter ("ticket") read-and-incremented under a continuously
+//     held unique lock yields distinct values per execution; array writes at
+//     base + K*ticket + r with r in [0, K-1] and K a multiple of the shadow
+//     granule therefore touch pairwise granule-disjoint regions and cannot
+//     conflict. The engine proves the residual bound by running an
+//     interval + affine-form fixpoint over the function's flat IR, either
+//     in the certified function itself ("interval-bounded") or across a
+//     call boundary via per-call-site digests ("summary-safe").
+//
+// Every rule discharges whole positions: a position is proven only when
+// every dynamic-mode access recorded at it (including builtin referent
+// pseudo-accesses) is covered, so eliding the position's checks — pointer
+// and referent alike — preserves the execution's reports exactly.
+package absint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pointsto"
+	"repro/internal/qualinfer"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Options selects which rule families run. The zero value disables
+// everything; DefaultOptions enables all tiers.
+type Options struct {
+	// MHP enables the phase rules: phase-disjoint, pre-spawn, post-join.
+	MHP bool
+	// Intervals enables same-function ticket certification via the
+	// interval engine ("interval-bounded").
+	Intervals bool
+	// Summaries enables cross-function certification through per-call-site
+	// digests ("summary-safe"). Requires Intervals.
+	Summaries bool
+	// StepBudget caps the number of instruction-processing steps each
+	// engine fixpoint may take before giving up (soundly). 0 = default.
+	StepBudget int
+}
+
+// DefaultOptions enables every tier.
+func DefaultOptions() Options {
+	return Options{MHP: true, Intervals: true, Summaries: true}
+}
+
+const defaultStepBudget = 20000
+
+// Access is one access record exported by vet: a dynamic- or locked-mode
+// read or write of an l-value, or a builtin's referent pseudo-access.
+type Access struct {
+	Fn       string
+	Pos      token.Pos
+	LV       string
+	Write    bool
+	Locked   bool // locked-mode access; false = dynamic-mode
+	Referent bool // builtin referent pseudo-access at a pointer argument
+	Objs     []pointsto.Ref
+	Must     []pointsto.Obj // must-held lock objects (locked accesses)
+	Seq      int            // top-level statement index in main; -1 elsewhere
+}
+
+// Facts is everything the tier needs from vet's run.
+type Facts struct {
+	World *types.World
+	Inf   *qualinfer.Result
+	Pts   *pointsto.Analysis
+
+	// Accesses are all recorded accesses of every mode, including builtin
+	// referent pseudo-accesses (completeness of this list is what the
+	// object-level rules rely on).
+	Accesses []Access
+
+	// Discharged marks positions the lockset tier already discharged;
+	// absint skips them and may rely on their checks being elided.
+	Discharged map[token.Pos]bool
+
+	// Excluded marks positions whose checks are expected to fire (vet must
+	// findings): they are not candidates, and no proof may treat them as
+	// elided or harmless.
+	Excluded map[token.Pos]bool
+
+	// SpawnElsewhere reports a spawn outside main's top level; FirstSpawn
+	// is the first spawning statement's top-level index in main (-1 none).
+	SpawnElsewhere bool
+	FirstSpawn     int
+}
+
+// Proof explains why one position's dynamic checks were discharged.
+type Proof struct {
+	Pos    token.Pos
+	Reason string // pre-spawn | post-join | phase-disjoint | interval-bounded | summary-safe
+	Detail string
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Candidates int            // dynamic positions examined
+	Discharged int            // positions proven
+	ByReason   map[string]int // proofs per reason
+	Steps      int            // engine instruction steps across all fixpoints
+	GaveUp     bool           // some fixpoint hit the step budget
+}
+
+// Result is the tier's output: proofs keyed by position. Every proven
+// position is safe to compile with its dynamic checks elided.
+type Result struct {
+	Dynamic map[token.Pos]Proof
+	Stats   Stats
+}
+
+// Analyze runs the tier over vet's facts.
+func Analyze(f *Facts, opts Options) *Result {
+	res := &Result{
+		Dynamic: make(map[token.Pos]Proof),
+		Stats:   Stats{ByReason: make(map[string]int)},
+	}
+	if f == nil || f.World == nil || f.Pts == nil {
+		return res
+	}
+	if opts.StepBudget <= 0 {
+		opts.StepBudget = defaultStepBudget
+	}
+
+	// Group dynamic-mode accesses by position; these are the candidates.
+	dynAt := make(map[token.Pos][]*Access)
+	for i := range f.Accesses {
+		a := &f.Accesses[i]
+		if a.Locked {
+			continue
+		}
+		if f.Discharged[a.Pos] || f.Excluded[a.Pos] {
+			continue
+		}
+		dynAt[a.Pos] = append(dynAt[a.Pos], a)
+	}
+	res.Stats.Candidates = len(dynAt)
+
+	if opts.MHP {
+		runPhaseRules(f, dynAt, res)
+	}
+	if opts.Intervals {
+		runTicketRules(f, dynAt, opts, res)
+	}
+
+	res.Stats.Discharged = len(res.Dynamic)
+	return res
+}
+
+// prove records a proof for pos unless one exists (first rule wins; the
+// caller orders rules by precedence).
+func (r *Result) prove(pos token.Pos, reason, detail string) bool {
+	if _, ok := r.Dynamic[pos]; ok {
+		return false
+	}
+	r.Dynamic[pos] = Proof{Pos: pos, Reason: reason, Detail: detail}
+	r.Stats.ByReason[reason]++
+	return true
+}
+
+// precedesSharing reports that the access runs in main strictly before the
+// first thread is spawned.
+func precedesSharing(f *Facts, a *Access) bool {
+	return !f.SpawnElsewhere && a.Fn == "main" && a.Seq >= 0 &&
+		(f.FirstSpawn < 0 || a.Seq < f.FirstSpawn)
+}
+
+// runPhaseRules applies post-join, pre-spawn, and phase-disjoint, in that
+// precedence order, to every candidate position.
+func runPhaseRules(f *Facts, dynAt map[token.Pos][]*Access, res *Result) {
+	structured, maxJoinSeq := structuredJoin(f)
+	preSafe := preSpawnObjects(f)
+	writeFree := writeFreeHeapObjects(f)
+
+	// Deterministic iteration order for stable Detail strings and stats.
+	positions := make([]token.Pos, 0, len(dynAt))
+	for pos := range dynAt {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return posLess(positions[i], positions[j]) })
+
+	for _, pos := range positions {
+		accs := dynAt[pos]
+
+		// post-join: every dynamic access at the position runs in main
+		// after the last join of a fully structured spawn/join phase.
+		if structured {
+			all := true
+			for _, a := range accs {
+				if a.Fn != "main" || a.Seq <= maxJoinSeq {
+					all = false
+					break
+				}
+			}
+			if all && res.prove(pos, "post-join",
+				fmt.Sprintf("main statement after last join (seq > %d)", maxJoinSeq)) {
+				continue
+			}
+		}
+
+		// pre-spawn: every object the position touches lives entirely in
+		// main's pre-spawn phase.
+		if allObjsIn(f, accs, preSafe) {
+			if res.prove(pos, "pre-spawn", "heap object only accessed in main before first spawn") {
+				continue
+			}
+		}
+
+		// phase-disjoint: a pure read of write-free heap objects.
+		readsOnly := true
+		for _, a := range accs {
+			if a.Write {
+				readsOnly = false
+				break
+			}
+		}
+		if readsOnly && allObjsIn(f, accs, writeFree) {
+			res.prove(pos, "phase-disjoint", "read of heap object with no dynamic-mode writes")
+		}
+	}
+}
+
+// allObjsIn reports that every access in accs resolves to a nonempty object
+// set fully contained in ok.
+func allObjsIn(f *Facts, accs []*Access, ok map[pointsto.Obj]bool) bool {
+	for _, a := range accs {
+		if len(a.Objs) == 0 {
+			return false
+		}
+		for _, r := range a.Objs {
+			if !ok[r.Obj] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// preSpawnObjects computes the heap objects all of whose recorded accesses
+// (any mode, including referents) run in main before the first spawn.
+func preSpawnObjects(f *Facts) map[pointsto.Obj]bool {
+	seen := make(map[pointsto.Obj]bool)
+	bad := make(map[pointsto.Obj]bool)
+	for i := range f.Accesses {
+		a := &f.Accesses[i]
+		pre := precedesSharing(f, a)
+		for _, r := range a.Objs {
+			seen[r.Obj] = true
+			if !pre {
+				bad[r.Obj] = true
+			}
+		}
+	}
+	out := make(map[pointsto.Obj]bool)
+	for o := range seen {
+		if !bad[o] && f.Pts.Obj(o).Kind == pointsto.ObjHeap {
+			out[o] = true
+		}
+	}
+	return out
+}
+
+// writeFreeHeapObjects computes the heap objects with no dynamic-mode write
+// access anywhere in the program. Granule rounding makes this object-level:
+// a dynamic write to any field could set the writer flag of a granule a
+// read of a neighboring field shares, so fields are not considered.
+// Heap-only because distinct heap objects never share a granule (the
+// allocator is granule-aligned), while globals and frames may.
+func writeFreeHeapObjects(f *Facts) map[pointsto.Obj]bool {
+	written := make(map[pointsto.Obj]bool)
+	seen := make(map[pointsto.Obj]bool)
+	for i := range f.Accesses {
+		a := &f.Accesses[i]
+		for _, r := range a.Objs {
+			seen[r.Obj] = true
+			if !a.Locked && a.Write {
+				written[r.Obj] = true
+			}
+		}
+	}
+	out := make(map[pointsto.Obj]bool)
+	for o := range seen {
+		if !written[o] && f.Pts.Obj(o).Kind == pointsto.ObjHeap {
+			out[o] = true
+		}
+	}
+	return out
+}
+
+func posLess(a, b token.Pos) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Col < b.Col
+}
+
+func posKey(p token.Pos) string {
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}

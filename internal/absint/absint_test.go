@@ -1,0 +1,245 @@
+package absint_test
+
+// Rule-level tests for the absint tier, driven through the vet pipeline the
+// way the production stack runs it (vet collects the access facts, absint
+// proves, vet reports). Each rule family gets a distilled program that it —
+// and only it — can discharge, plus ablation checks that turning a tier off
+// removes exactly its proofs.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/absint"
+	"repro/internal/bench"
+	"repro/internal/parser"
+	"repro/internal/qualinfer"
+	"repro/internal/types"
+	"repro/internal/vet"
+)
+
+func analyze(t *testing.T, src string, opts absint.Options) *vet.Report {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: "prog.shc", Text: src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := types.BuildWorld(prog)
+	if len(w.Errors) > 0 {
+		t.Fatalf("resolve: %v", w.Errors[0])
+	}
+	return vet.AnalyzeWith(w, qualinfer.Infer(w), opts)
+}
+
+// reasons collects the proof reasons the report carries, keyed by count.
+func reasons(rep *vet.Report) map[string]int {
+	out := make(map[string]int)
+	for _, p := range rep.Proofs() {
+		out[p.Reason]++
+	}
+	return out
+}
+
+const preSpawnSrc = `
+void *w(void *d) { return NULL; }
+
+int main(void) {
+	char *b = malloc(16);
+	char dynamic *p = SCAST(char dynamic *, b);
+	p[0] = 5;
+	int t = spawn(w, NULL);
+	join(t);
+	return 0;
+}
+`
+
+func TestRulePreSpawn(t *testing.T) {
+	rep := analyze(t, preSpawnSrc, absint.DefaultOptions())
+	if got := reasons(rep)["pre-spawn"]; got < 1 {
+		t.Fatalf("pre-spawn proofs = %d, want >= 1; proofs: %v", got, rep.Proofs())
+	}
+	// The phase rules carry the proof; with MHP off it must disappear.
+	rep = analyze(t, preSpawnSrc, absint.Options{Intervals: true, Summaries: true})
+	if got := reasons(rep)["pre-spawn"]; got != 0 {
+		t.Fatalf("pre-spawn proofs with MHP off = %d, want 0", got)
+	}
+}
+
+const postJoinSrc = `
+void *w(void *d) {
+	char dynamic *p = d;
+	p[0] = 1;
+	return NULL;
+}
+
+int main(void) {
+	char *b = malloc(16);
+	char dynamic *p = SCAST(char dynamic *, b);
+	int t = spawn(w, p);
+	join(t);
+	int s = p[0];
+	return s;
+}
+`
+
+func TestRulePostJoin(t *testing.T) {
+	rep := analyze(t, postJoinSrc, absint.DefaultOptions())
+	if got := reasons(rep)["post-join"]; got < 1 {
+		t.Fatalf("post-join proofs = %d, want >= 1; proofs: %v", got, rep.Proofs())
+	}
+}
+
+// phaseDisjointSrc builds the buffer through an unqualified (private)
+// pointer, publishes it with a sharing cast, and only ever reads it in
+// dynamic mode: no dynamic-mode write exists anywhere, so the shadow
+// writer flag can never be set and the reads are unfailable.
+const phaseDisjointSrc = `
+void *reader(void *d) {
+	char dynamic *p = d;
+	int s = 0;
+	for (int i = 0; i < 16; i++) {
+		s += p[i];
+	}
+	return NULL;
+}
+
+int main(void) {
+	char *b = malloc(16);
+	for (int i = 0; i < 16; i++) {
+		b[i] = i;
+	}
+	char dynamic *p = SCAST(char dynamic *, b);
+	int t1 = spawn(reader, p);
+	int t2 = spawn(reader, p);
+	join(t1);
+	join(t2);
+	return 0;
+}
+`
+
+func TestRulePhaseDisjoint(t *testing.T) {
+	rep := analyze(t, phaseDisjointSrc, absint.DefaultOptions())
+	if got := reasons(rep)["phase-disjoint"]; got < 1 {
+		t.Fatalf("phase-disjoint proofs = %d, want >= 1; proofs: %v", got, rep.Proofs())
+	}
+}
+
+// ticketSrc is the interval-bounded shape: each worker draws a ticket t
+// from a lock-protected counter and writes the two cells at buf[2t] and
+// buf[2t+1] — granule-disjoint regions per draw, provable within the
+// worker itself.
+const ticketSrc = `
+struct pool {
+	mutex *m;
+	int locked(m) next;
+	char dynamic *buf;
+};
+
+void *worker(void *d) {
+	struct pool dynamic *p = d;
+	while (1) {
+		mutexLock(p->m);
+		int t = p->next;
+		if (t >= 32) { mutexUnlock(p->m); return NULL; }
+		p->next = t + 1;
+		mutexUnlock(p->m);
+		char dynamic *b = p->buf;
+		b[t * 2] = 1;
+		b[t * 2 + 1] = 2;
+	}
+	return NULL;
+}
+
+int main(void) {
+	struct pool *p = malloc(sizeof(struct pool));
+	p->m = mutexNew();
+	mutexLock(p->m);
+	p->next = 0;
+	mutexUnlock(p->m);
+	char *raw = malloc(64);
+	p->buf = SCAST(char dynamic *, raw);
+	struct pool dynamic *pd = SCAST(struct pool dynamic *, p);
+	int t1 = spawn(worker, pd);
+	int t2 = spawn(worker, pd);
+	join(t1);
+	join(t2);
+	return 0;
+}
+`
+
+func TestRuleIntervalBounded(t *testing.T) {
+	rep := analyze(t, ticketSrc, absint.DefaultOptions())
+	if got := reasons(rep)["interval-bounded"]; got < 1 {
+		t.Fatalf("interval-bounded proofs = %d, want >= 1; proofs: %v", got, rep.Proofs())
+	}
+	// The engine tier carries the proof; with intervals off it must go.
+	rep = analyze(t, ticketSrc, absint.Options{MHP: true})
+	if got := reasons(rep)["interval-bounded"]; got != 0 {
+		t.Fatalf("interval-bounded proofs with Intervals off = %d, want 0", got)
+	}
+}
+
+func TestRuleSummarySafeOnAget(t *testing.T) {
+	src := bench.AgetSource(bench.Quick)
+	rep := analyze(t, src, absint.DefaultOptions())
+	if got := reasons(rep)["summary-safe"]; got < 1 {
+		t.Fatalf("summary-safe proofs = %d, want >= 1; proofs: %v", got, rep.Proofs())
+	}
+	// The cross-function write is the one would-be finding; it must be
+	// reported as resolved, not left as a may race.
+	if len(rep.Resolved) == 0 {
+		t.Fatalf("no resolved findings; findings: %v", rep.Findings)
+	}
+	found := false
+	for _, r := range rep.Resolved {
+		if strings.Contains(r.Reasons, "summary-safe") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no resolved entry credits summary-safe: %v", rep.Resolved)
+	}
+	// Summaries off: the same site must fall back to a live may finding.
+	rep = analyze(t, src, absint.Options{MHP: true, Intervals: true})
+	if got := reasons(rep)["summary-safe"]; got != 0 {
+		t.Fatalf("summary-safe proofs with Summaries off = %d, want 0", got)
+	}
+}
+
+// TestAbsintDisabledDischargesNothing pins the zero-options baseline: the
+// lockset tier alone must not claim any absint provenance.
+func TestAbsintDisabledDischargesNothing(t *testing.T) {
+	for _, src := range []string{preSpawnSrc, postJoinSrc, phaseDisjointSrc, ticketSrc} {
+		rep := analyze(t, src, absint.Options{})
+		if len(rep.Proofs()) != 0 {
+			t.Fatalf("proofs with absint disabled: %v", rep.Proofs())
+		}
+		if rep.Stats.SafeAbsint != 0 {
+			t.Fatalf("SafeAbsint = %d with absint disabled", rep.Stats.SafeAbsint)
+		}
+	}
+}
+
+// TestExplainProofChain pins the three-tier explanation for an
+// absint-discharged site and the no-verdict fallback.
+func TestExplainProofChain(t *testing.T) {
+	rep := analyze(t, preSpawnSrc, absint.DefaultOptions())
+	var site string
+	for s := range rep.Proofs() {
+		site = s
+		break
+	}
+	if site == "" {
+		t.Fatal("no absint-discharged site to explain")
+	}
+	out := rep.Explain(site)
+	for _, want := range []string{"tier 1 lockset", "tier 2 points-to", "tier 3 absint", "pre-spawn"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain(%s) missing %q:\n%s", site, want, out)
+		}
+	}
+	out = rep.Explain("prog.shc:999:1")
+	if !strings.Contains(out, "no static verdict") {
+		t.Fatalf("unknown site explanation: %s", out)
+	}
+}

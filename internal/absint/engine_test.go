@@ -1,0 +1,123 @@
+package absint
+
+// Engine-level termination tests: the widening discipline must reach a
+// fixpoint on hostile loop shapes well inside the step budget, and budget
+// exhaustion must surface as gaveUp (the caller then declines to certify)
+// rather than an unsound or hung analysis.
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/qualinfer"
+	"repro/internal/types"
+)
+
+// flatProgram compiles src with every check live and linearizes it, the
+// same preparation analysisProgram performs for the real tier.
+func flatProgram(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.ParseProgram(parser.Source{Name: "loops.shc", Text: src})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := types.BuildWorld(prog)
+	if len(w.Errors) > 0 {
+		t.Fatalf("resolve: %v", w.Errors[0])
+	}
+	inf := qualinfer.Infer(w)
+	p, err := compile.Compile(w, inf, compile.Options{Checks: true, RC: true, RCSiteAnalysis: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// hostileLoops exercises the widening edge cases: an inequality-guarded
+// loop whose bound is unknown (i != n never refines to a finite range), a
+// down-counting inner loop, a non-unit stride, a loop-carried product, and
+// a huge constant bound that plain iteration could never enumerate.
+const hostileLoops = `
+int hostile(int n, int m) {
+	int s = 0;
+	for (int i = 0; i != n; i = i + 3) {
+		for (int j = m; j > 0; j = j - 1) {
+			s = s + j;
+		}
+		s = s * 2 - s;
+	}
+	int k = 0;
+	while (k < 1000000000) {
+		k = k + 7;
+	}
+	int a = 0;
+	int b = 1;
+	while (a < n) {
+		int t = a + b;
+		a = b;
+		b = t;
+	}
+	return s + k + a;
+}
+
+int main(void) {
+	return hostile(5, 3);
+}
+`
+
+func TestWideningTerminates(t *testing.T) {
+	prog := flatProgram(t, hostileLoops)
+	fnIdx, ok := prog.FuncIdx["hostile"]
+	if !ok {
+		t.Fatal("hostile not compiled")
+	}
+	eng := newEngine(prog, fnIdx, nil, nil, nil, 1, defaultStepBudget)
+	eng.run()
+	if eng.gaveUp {
+		t.Fatalf("fixpoint hit the %d-step budget on hostile loops (steps=%d)",
+			defaultStepBudget, eng.steps)
+	}
+	if eng.steps >= defaultStepBudget {
+		t.Fatalf("steps = %d, want well under the %d budget", eng.steps, defaultStepBudget)
+	}
+	// Every reachable pc must carry a state: widening may only lose
+	// precision, never reachability.
+	if eng.states[0] == nil {
+		t.Fatal("entry state missing")
+	}
+}
+
+func TestStepBudgetExhaustionSetsGaveUp(t *testing.T) {
+	prog := flatProgram(t, hostileLoops)
+	fnIdx := prog.FuncIdx["hostile"]
+	eng := newEngine(prog, fnIdx, nil, nil, nil, 1, 25)
+	eng.run()
+	if !eng.gaveUp {
+		t.Fatalf("a 25-step budget must exhaust on hostile loops (steps=%d)", eng.steps)
+	}
+}
+
+// TestWideningConvergesQuickly pins that widening, not enumeration, does
+// the work: a loop bounded by a ten-digit constant converges in a step
+// count proportional to the code size, not the trip count.
+func TestWideningConvergesQuickly(t *testing.T) {
+	src := `
+int spin(void) {
+	int k = 0;
+	while (k < 2000000000) { k = k + 1; }
+	return k;
+}
+int main(void) { return spin(); }
+`
+	prog := flatProgram(t, src)
+	eng := newEngine(prog, prog.FuncIdx["spin"], nil, nil, nil, 1, defaultStepBudget)
+	eng.run()
+	if eng.gaveUp {
+		t.Fatal("gave up on a single counted loop")
+	}
+	if eng.steps > 2000 {
+		t.Fatalf("steps = %d; widening should converge in a handful of passes", eng.steps)
+	}
+}

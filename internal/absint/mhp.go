@@ -1,0 +1,173 @@
+// May-happen-in-parallel phase analysis: detecting the fully structured
+// spawn/join shape of main. When every spawn in the program is a top-level
+// statement of main whose handle is a main local used only to be joined by
+// a later top-level statement, the program's parallel phase is the interval
+// (firstSpawnSeq, maxJoinSeq]: before it only main runs, and after it only
+// main runs again (each join clears the dead thread's shadow bits, so no
+// surviving shadow state can make a later main-only check fire).
+package absint
+
+import (
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+// structuredJoin reports whether the program's spawn/join structure is
+// fully structured as above, and if so the top-level statement index of
+// the last join in main. Accesses in main at seq > maxJoinSeq run strictly
+// after every spawned thread has terminated.
+func structuredJoin(f *Facts) (structured bool, maxJoinSeq int) {
+	mainFi := f.World.Funcs["main"]
+	if mainFi == nil || mainFi.Decl == nil || mainFi.Decl.Body == nil {
+		return false, 0
+	}
+	top := mainFi.Decl.Body.Stmts
+
+	// Classify main's top-level statements: spawn-handle declarations and
+	// assignments, and join statements.
+	type spawnRec struct {
+		seq    int
+		joined bool
+	}
+	handles := make(map[string]*spawnRec)
+	assignForm := make(map[string]bool) // handle bound via `h = spawn(...)`
+	maxJoinSeq = -1
+	allowedSpawns := make(map[*ast.Call]bool)
+	allowedJoinIdents := make(map[*ast.Ident]bool)
+	assignIdents := make(map[*ast.Ident]bool)
+
+	for seq, s := range top {
+		switch s := s.(type) {
+		case *ast.DeclStmt:
+			if c := spawnCall(s.Init); c != nil {
+				if _, dup := handles[s.Name]; dup {
+					return false, 0 // handle name reused
+				}
+				handles[s.Name] = &spawnRec{seq: seq}
+				allowedSpawns[c] = true
+			}
+		case *ast.ExprStmt:
+			if as, ok := s.X.(*ast.Assign); ok && as.Op == token.ASSIGN {
+				if c := spawnCall(as.R); c != nil {
+					id, ok := as.L.(*ast.Ident)
+					if !ok {
+						continue // spawn in a non-ident assignment: caught below
+					}
+					if _, dup := handles[id.Name]; dup {
+						return false, 0
+					}
+					handles[id.Name] = &spawnRec{seq: seq}
+					assignForm[id.Name] = true
+					allowedSpawns[c] = true
+					assignIdents[id] = true
+				}
+			}
+			if c := joinCall(s.X); c != nil {
+				if id, ok := c.Args[0].(*ast.Ident); ok {
+					if h, isHandle := handles[id.Name]; isHandle {
+						if seq <= h.seq {
+							return false, 0
+						}
+						h.joined = true
+						if seq > maxJoinSeq {
+							maxJoinSeq = seq
+						}
+						allowedJoinIdents[id] = true
+					}
+				}
+			}
+		}
+	}
+	if len(handles) == 0 {
+		// No spawns at all: there is no parallel phase. Report structured
+		// with maxJoinSeq = -1 only if truly no spawn exists anywhere.
+		maxJoinSeq = -1
+	}
+
+	// Every spawn handle must be joined.
+	for _, h := range handles {
+		if len(handles) > 0 && !h.joined {
+			return false, 0
+		}
+	}
+
+	// Every spawn call in the whole program must be one of the allowed
+	// top-level forms in main. (A name shadowing the builtin makes us treat
+	// more calls as spawns, which only errs toward "unstructured".)
+	for name, fi := range f.World.Funcs {
+		if fi.Decl == nil || fi.Decl.Body == nil {
+			continue
+		}
+		ok := true
+		forAllExprs(fi.Decl.Body, func(e ast.Expr) {
+			if c, isCall := e.(*ast.Call); isCall {
+				if isBuiltinCall(c, "spawn") && (name != "main" || !allowedSpawns[c]) {
+					ok = false
+				}
+			}
+		})
+		if !ok {
+			return false, 0
+		}
+	}
+
+	// Handle hygiene: a handle identifier may appear only at its binding
+	// and its joins — if main's body (or any other function) mentions it
+	// anywhere else, the handle may leak and the join accounting above is
+	// not trustworthy. Handles bound by assignment must also be main
+	// locals (a global handle could be reached from other functions).
+	for name := range handles {
+		if assignForm[name] && !declaresLocal(mainFi.Decl.Body, name) {
+			return false, 0
+		}
+		ok := true
+		forAllExprs(mainFi.Decl.Body, func(e ast.Expr) {
+			if id, isIdent := e.(*ast.Ident); isIdent && id.Name == name {
+				if !allowedJoinIdents[id] && !assignIdents[id] {
+					ok = false
+				}
+			}
+		})
+		if !ok {
+			return false, 0
+		}
+	}
+
+	return true, maxJoinSeq
+}
+
+// spawnCall returns e as a call to the spawn builtin, or nil.
+func spawnCall(e ast.Expr) *ast.Call {
+	if c, ok := e.(*ast.Call); ok && isBuiltinCall(c, "spawn") {
+		return c
+	}
+	return nil
+}
+
+// joinCall returns e as a one-argument call to the join builtin, or nil.
+func joinCall(e ast.Expr) *ast.Call {
+	if c, ok := e.(*ast.Call); ok && isBuiltinCall(c, "join") && len(c.Args) == 1 {
+		return c
+	}
+	return nil
+}
+
+// isBuiltinCall reports a direct call to the named builtin. Shadowing is
+// ignored deliberately: misclassifying a user call as a builtin only adds
+// conservatism.
+func isBuiltinCall(c *ast.Call, name string) bool {
+	id, ok := c.Fun.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// declaresLocal reports whether the statement tree declares a local with
+// the given name.
+func declaresLocal(s ast.Stmt, name string) bool {
+	found := false
+	forEachStmt(s, func(st ast.Stmt) {
+		if d, ok := st.(*ast.DeclStmt); ok && d.Name == name {
+			found = true
+		}
+	})
+	return found
+}

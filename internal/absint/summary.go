@@ -1,0 +1,638 @@
+// Ticket certification, part 2: the proof. For each matched ticket group
+// (ticket.go) the interval engine (interval.go) runs over a fully-checked
+// compilation of the program and tries to show that every live dynamic
+// check in a function resolves to an address of the shape
+//
+//	π + K·τ + r,   0 <= r <= K-1,   K % GranuleCells == 0
+//
+// where τ is the ticket (distinct per execution by counter integrity) and
+// π is a heap object base that is constant during the parallel phase.
+// Executions with distinct tickets then touch pairwise granule-disjoint
+// regions of the same object — or different objects outright — so the
+// checks can never fire and their shadow side effects are visible only to
+// other checks on the same object. Region exclusivity (condition d) closes
+// the argument: every other dynamic access to the object is either itself
+// elided by some tier or runs in main strictly after all joins, where no
+// check can fire regardless.
+//
+// Two instantiations share the core:
+//
+//   - interval-bounded (same function): τ is seeded at the cert's locked
+//     counter-read check; π symbols are seeded at dynamic reads of "stable"
+//     fields — heap pointer fields every AST store to which writes the same
+//     heap base, with all recorded writes preceding the first spawn.
+//
+//   - summary-safe (cross function): every direct call site of a callee is
+//     digested (ticket local | integer literal | unique heap base |
+//     unknown); when all sites agree, the callee is certified once under
+//     that abstract calling context.
+//
+// The proof certifies granule disjointness of in-bounds accesses; an
+// out-of-bounds index would escape the region, but the checked execution's
+// bounds checking (and the record/replay oracle) enforce in-bounds
+// independently. See DESIGN.md.
+package absint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/compile"
+	"repro/internal/ir"
+	"repro/internal/pointsto"
+	"repro/internal/shadow"
+	"repro/internal/token"
+	"repro/internal/typer"
+)
+
+// runTicketRules drives R3 over every surviving candidate position.
+func runTicketRules(f *Facts, dynAt map[token.Pos][]*Access, opts Options, res *Result) {
+	remaining := false
+	for pos := range dynAt {
+		if _, done := res.Dynamic[pos]; !done {
+			remaining = true
+			break
+		}
+	}
+	if !remaining {
+		return
+	}
+	idx := indexAccesses(f)
+	groups := findCerts(f, idx)
+	if len(groups) == 0 {
+		return
+	}
+
+	// An indirect call could hide a counter write, a spawn, or a call into
+	// a certified function with unknown arguments; reject the whole tier.
+	for name := range f.World.Funcs {
+		if f.Pts.HasIndirectCalls(name) {
+			return
+		}
+	}
+
+	prog := analysisProgram(f)
+	if prog == nil {
+		return
+	}
+	structured, maxJoinSeq := structuredJoin(f)
+	stables := stableFields(f)
+
+	// Deterministic order: groups by counter, certs by function name.
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].counter.Obj != groups[j].counter.Obj {
+			return groups[i].counter.Obj < groups[j].counter.Obj
+		}
+		return groups[i].counter.Field < groups[j].counter.Field
+	})
+	for _, g := range groups {
+		sort.Slice(g.certs, func(i, j int) bool { return g.certs[i].fn < g.certs[j].fn })
+		for _, c := range g.certs {
+			tryIntervalBounded(f, prog, idx, c, stables, dynAt, structured, maxJoinSeq, opts, res)
+		}
+		if opts.Summaries {
+			trySummarySafe(f, prog, g, dynAt, structured, maxJoinSeq, opts, res)
+		}
+	}
+}
+
+// analysisProgram compiles the world with every check live (no elision, no
+// discharge) so the engine sees each dynamic check as an instruction.
+func analysisProgram(f *Facts) *ir.Program {
+	prog, err := compile.Compile(f.World, f.Inf, compile.Options{
+		Checks: true, RC: true, RCSiteAnalysis: true,
+	})
+	if err != nil || prog == nil {
+		return nil
+	}
+	// Compile's pass pipeline already linearized and fused the access
+	// windows; re-linearizing here would rebuild the flat form WITHOUT
+	// fusion, and the engine's τ/π check seeding keys on the fused
+	// FLoadChk/FStoreChk instructions.
+	return prog
+}
+
+// checkPos maps a check to its site's source position.
+func checkPos(prog *ir.Program, ck *ir.Check) token.Pos {
+	if ck.Site >= 0 && ck.Site < len(prog.Sites) {
+		return prog.Sites[ck.Site].Pos
+	}
+	return token.Pos{}
+}
+
+// provenAt reports that the position's dynamic checks are already elided by
+// the lockset tier or an earlier absint rule.
+func provenAt(f *Facts, res *Result, pos token.Pos) bool {
+	if f.Discharged[pos] {
+		return true
+	}
+	_, ok := res.Dynamic[pos]
+	return ok
+}
+
+// certOutcome is a successful certification: every live dynamic check in
+// the function either was already proven or decomposes as π + k·τ + r with
+// a shared (π, k) and r in [0, k-1]; positions collects the newly certified
+// check positions.
+type certOutcome struct {
+	ok        bool
+	k         int64
+	pi        Sym
+	positions map[token.Pos]bool
+}
+
+// certifyFn runs the engine over one function under the given context and
+// seeds and attempts the decomposition of every live dynamic check.
+func certifyFn(f *Facts, prog *ir.Program, fnIdx int, ctx map[int]val,
+	tauSeeds map[int32]int, piSeeds map[int32]Sym, piAllowed map[Sym]bool,
+	opts Options, res *Result) certOutcome {
+
+	eng := newEngine(prog, fnIdx, ctx, tauSeeds, piSeeds, 1, opts.StepBudget)
+	eng.run()
+	res.Stats.Steps += eng.steps
+	if eng.gaveUp {
+		res.Stats.GaveUp = true
+		return certOutcome{}
+	}
+	ff := prog.Flat.Funcs[fnIdx]
+
+	// Checks the engine cannot see: builtin referent checks and sharing-cast
+	// checks execute inside FBuiltin/FCString/FScast, not as FChk
+	// instructions. A dynamic one at a position no other tier has proven
+	// defeats certification outright.
+	for i := range ff.Builtins {
+		bc := ff.Builtins[i].E
+		for j := range bc.ArgChecks {
+			ck := &bc.ArgChecks[j]
+			if ck.Kind == ir.CheckDynamic && !provenAt(f, res, checkPos(prog, ck)) {
+				return certOutcome{}
+			}
+		}
+	}
+	for _, sc := range ff.Scasts {
+		for _, ck := range []*ir.Check{&sc.ChkR, &sc.ChkW} {
+			if ck.Kind == ir.CheckDynamic && !provenAt(f, res, checkPos(prog, ck)) {
+				return certOutcome{}
+			}
+		}
+	}
+
+	tau := symSeed(0)
+	out := certOutcome{positions: make(map[token.Pos]bool)}
+	havePi := false
+	for _, ca := range eng.checkAddrs() {
+		if ca.kind != ir.CheckDynamic {
+			continue
+		}
+		if !ca.live {
+			continue // unreachable under the abstraction: never executes
+		}
+		if provenAt(f, res, ca.pos) {
+			continue // another tier already elides this position
+		}
+
+		// Decompose addr = π + k·τ + residual.
+		k := ca.v.f[tau]
+		if k <= 0 || k%int64(shadow.GranuleCells) != 0 {
+			return certOutcome{}
+		}
+		var pi Sym
+		piCount := 0
+		resid := make(form)
+		for s, cf := range ca.v.f {
+			switch {
+			case s == tau:
+			case s >= symCtx0:
+				if cf != 1 || !piAllowed[s] {
+					return certOutcome{}
+				}
+				pi = s
+				piCount++
+			default:
+				// Residual symbols must be locations the state can bound.
+				if _, isLoc := eng.symLoc(s); !isLoc {
+					return certOutcome{}
+				}
+				resid[s] = cf
+			}
+		}
+		if piCount != 1 {
+			return certOutcome{}
+		}
+		lo, hi := eng.boundForm(ca.st, resid, ca.v.lo, ca.v.hi)
+		if lo < 0 || hi > k-1 {
+			return certOutcome{}
+		}
+		if !havePi {
+			out.pi, out.k, havePi = pi, k, true
+		} else if out.pi != pi || out.k != k {
+			return certOutcome{}
+		}
+		out.positions[ca.pos] = true
+	}
+	out.ok = true
+	return out
+}
+
+// regionExclusive is condition (d): every recorded dynamic-mode access that
+// may touch the certified object is either itself elided (certified here or
+// by another tier) or runs in main strictly after all structured joins,
+// where its checks cannot fire and the missing shadow bits of elided checks
+// are unobservable. An access with an empty object set may touch anything.
+func regionExclusive(f *Facts, target pointsto.Obj, certified map[token.Pos]bool,
+	structured bool, maxJoinSeq int, res *Result) bool {
+
+	if f.Pts.Obj(target).Kind != pointsto.ObjHeap {
+		return false // granule exclusivity holds only for heap objects
+	}
+	for i := range f.Accesses {
+		a := &f.Accesses[i]
+		if a.Locked {
+			continue // locked checks never touch shadow state
+		}
+		touches := len(a.Objs) == 0
+		for _, r := range a.Objs {
+			if r.Obj == target {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		if certified[a.Pos] || provenAt(f, res, a.Pos) {
+			continue
+		}
+		if structured && a.Fn == "main" && a.Seq > maxJoinSeq {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// discharge records proofs for the certified positions. A position whose
+// recorded accesses include a builtin referent stays live: discharging it
+// would elide the referent check, which the engine never modeled.
+func discharge(f *Facts, dynAt map[token.Pos][]*Access, outc certOutcome,
+	reason, detail string, res *Result) {
+
+	positions := make([]token.Pos, 0, len(outc.positions))
+	for pos := range outc.positions {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return posLess(positions[i], positions[j]) })
+	for _, pos := range positions {
+		accs, known := dynAt[pos]
+		if !known {
+			continue // no vet record backs this check; leave it alone
+		}
+		referent := false
+		for _, a := range accs {
+			if a.Referent {
+				referent = true
+				break
+			}
+		}
+		if !referent {
+			res.prove(pos, reason, detail)
+		}
+	}
+}
+
+// stableFields finds heap pointer fields whose value is a single heap
+// object's base for the whole parallel phase: every simple AST assignment
+// to the field stores that base, nothing mutates it any other way, and
+// every recorded write access overlapping it precedes the first spawn.
+// Such a field can stand for the π symbol: all certified executions that
+// read it observe the same granule-aligned base.
+func stableFields(f *Facts) map[pointsto.Ref]pointsto.Obj {
+	type fieldInfo struct {
+		targets map[pointsto.Obj]bool
+		stores  int
+		bad     bool
+	}
+	fields := make(map[pointsto.Ref]*fieldInfo)
+	rec := func(r pointsto.Ref) *fieldInfo {
+		in := fields[r]
+		if in == nil {
+			in = &fieldInfo{targets: make(map[pointsto.Obj]bool)}
+			fields[r] = in
+		}
+		return in
+	}
+	for _, fn := range sortedFuncNames(f) {
+		name := fn
+		scopedWalk(f.World, name, func(env *typer.Env, e ast.Expr) {
+			switch e := e.(type) {
+			case *ast.Assign:
+				lrefs := f.Pts.EvalLValue(env, name, e.L)
+				if e.Op == token.ASSIGN && len(lrefs) == 1 {
+					in := rec(lrefs[0])
+					in.stores++
+					vr := f.Pts.EvalValue(env, name, e.R)
+					if len(vr) == 1 && vr[0].Field == "" &&
+						f.Pts.Obj(vr[0].Obj).Kind == pointsto.ObjHeap {
+						in.targets[vr[0].Obj] = true
+					} else {
+						in.bad = true
+					}
+				} else {
+					// Compound assignment or ambiguous l-value: the stored
+					// value is not a plain base.
+					for _, r := range lrefs {
+						rec(r).bad = true
+					}
+				}
+			case *ast.Unary:
+				if e.Op == token.INC || e.Op == token.DEC || e.Op == token.AMP {
+					for _, r := range f.Pts.EvalLValue(env, name, e.X) {
+						rec(r).bad = true
+					}
+				}
+			case *ast.Postfix:
+				for _, r := range f.Pts.EvalLValue(env, name, e.X) {
+					rec(r).bad = true
+				}
+			case *ast.Scast:
+				for _, r := range f.Pts.EvalLValue(env, name, e.X) {
+					rec(r).bad = true
+				}
+			}
+		})
+	}
+	out := make(map[pointsto.Ref]pointsto.Obj)
+	for r, in := range fields {
+		if in.bad || in.stores == 0 || len(in.targets) != 1 || r.Field == "$" {
+			continue
+		}
+		ok := true
+		for i := range f.Accesses {
+			a := &f.Accesses[i]
+			if !a.Write {
+				continue
+			}
+			for _, ar := range a.Objs {
+				if ar.Obj != r.Obj || !fieldsOverlap(ar.Field, r.Field) {
+					continue
+				}
+				// A builtin referent write is opaque (the AST scan above
+				// cannot characterize the stored value); any other write
+				// must precede sharing.
+				if a.Referent || !precedesSharing(f, a) {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		for o := range in.targets {
+			out[r] = o
+		}
+	}
+	return out
+}
+
+// tryIntervalBounded certifies the cert's own function: τ is seeded at the
+// locked counter-read check, π symbols at dynamic reads of stable fields.
+func tryIntervalBounded(f *Facts, prog *ir.Program, idx accessIndex, c *cert,
+	stables map[pointsto.Ref]pointsto.Obj, dynAt map[token.Pos][]*Access,
+	structured bool, maxJoinSeq int, opts Options, res *Result) {
+
+	fnIdx, ok := prog.FuncIdx[c.fn]
+	if !ok {
+		return
+	}
+	ff := prog.Flat.Funcs[fnIdx]
+
+	// The counter read must appear as exactly one locked-mode read check.
+	tauSeeds := make(map[int32]int)
+	for i := range ff.Checks {
+		ck := ff.Checks[i].Orig
+		if ck == nil || ck.Kind != ir.CheckLocked || ff.Checks[i].Write {
+			continue
+		}
+		if checkPos(prog, ck) == c.readPos {
+			tauSeeds[int32(i)] = 0
+		}
+	}
+	if len(tauSeeds) != 1 {
+		return
+	}
+
+	piSeeds := make(map[int32]Sym)
+	piObj := make(map[Sym]pointsto.Obj)
+	piAllowed := make(map[Sym]bool)
+	symFor := make(map[pointsto.Ref]Sym)
+	next := 0
+	for i := range ff.Checks {
+		ck := ff.Checks[i].Orig
+		if ck == nil || ck.Kind != ir.CheckDynamic || ff.Checks[i].Write {
+			continue
+		}
+		a := idx.directAccess(checkPos(prog, ck), false)
+		if a == nil || len(a.Objs) != 1 {
+			continue
+		}
+		ref := a.Objs[0]
+		o, stable := stables[ref]
+		if !stable {
+			continue
+		}
+		s, have := symFor[ref]
+		if !have {
+			s = CtxSym(next)
+			next++
+			symFor[ref] = s
+			piObj[s] = o
+			piAllowed[s] = true
+		}
+		piSeeds[int32(i)] = s
+	}
+	if len(piSeeds) == 0 {
+		return
+	}
+
+	outc := certifyFn(f, prog, fnIdx, nil, tauSeeds, piSeeds, piAllowed, opts, res)
+	if !outc.ok || len(outc.positions) == 0 {
+		return
+	}
+	target := piObj[outc.pi]
+	if !regionExclusive(f, target, outc.positions, structured, maxJoinSeq, res) {
+		return
+	}
+	discharge(f, dynAt, outc, "interval-bounded",
+		fmt.Sprintf("%s: ticket %s stride %d over heap object %s",
+			c.fn, counterName(f, c.counter), outc.k, objName(f, target)), res)
+}
+
+// digArg is one abstracted actual in a call-site digest.
+type digArg struct {
+	kind byte // 'T' ticket, 'C' constant, 'P' heap base, '?' unknown
+	cst  int64
+	obj  pointsto.Obj
+}
+
+// trySummarySafe certifies callees across a call boundary: every direct
+// call site of a callee anywhere in the program is digested; when all sites
+// agree and at least one argument is a ticket of the group, the callee is
+// certified once under that context.
+func trySummarySafe(f *Facts, prog *ir.Program, g *certGroup,
+	dynAt map[token.Pos][]*Access, structured bool, maxJoinSeq int,
+	opts Options, res *Result) {
+
+	certFor := make(map[string]*cert)
+	for _, c := range g.certs {
+		certFor[c.fn] = c
+	}
+
+	calls := make(map[string][][]digArg)
+	for _, caller := range sortedFuncNames(f) {
+		c := certFor[caller]
+		name := caller
+		scopedWalk(f.World, name, func(env *typer.Env, e ast.Expr) {
+			call, isCall := e.(*ast.Call)
+			if !isCall {
+				return
+			}
+			id, isIdent := call.Fun.(*ast.Ident)
+			if !isIdent {
+				return
+			}
+			callee := f.World.Funcs[id.Name]
+			if callee == nil || callee.Decl == nil || callee.Decl.Body == nil {
+				return
+			}
+			if sym := env.Lookup(id.Name); sym != nil && sym.Kind != typer.SymFunc {
+				return // a local shadows the function name
+			}
+			dig := make([]digArg, len(call.Args))
+			for i, arg := range call.Args {
+				dig[i] = digArg{kind: '?'}
+				if c != nil {
+					if aid, isId := arg.(*ast.Ident); isId && aid.Name == c.x {
+						if sym := env.Lookup(aid.Name); sym != nil && sym.Decl == c.decl {
+							dig[i] = digArg{kind: 'T'}
+							continue
+						}
+					}
+				}
+				if lit, isLit := arg.(*ast.IntLit); isLit {
+					dig[i] = digArg{kind: 'C', cst: lit.Value}
+					continue
+				}
+				vr := f.Pts.EvalValue(env, name, arg)
+				if len(vr) == 1 && vr[0].Field == "" &&
+					f.Pts.Obj(vr[0].Obj).Kind == pointsto.ObjHeap {
+					dig[i] = digArg{kind: 'P', obj: vr[0].Obj}
+				}
+			}
+			calls[id.Name] = append(calls[id.Name], dig)
+		})
+	}
+
+	callees := make([]string, 0, len(calls))
+	for gname := range calls {
+		callees = append(callees, gname)
+	}
+	sort.Strings(callees)
+
+	for _, gname := range callees {
+		if gname == "main" || f.Inf.ThreadRoots[gname] {
+			continue // thread roots receive their argument from spawn, not a digestible site
+		}
+		digs := calls[gname]
+		dig := digs[0]
+		agree := true
+		for _, d := range digs[1:] {
+			if len(d) != len(dig) {
+				agree = false
+				break
+			}
+			for i := range d {
+				if d[i] != dig[i] {
+					agree = false
+					break
+				}
+			}
+			if !agree {
+				break
+			}
+		}
+		if !agree {
+			continue
+		}
+		hasTau := false
+		for _, a := range dig {
+			if a.kind == 'T' {
+				hasTau = true
+			}
+		}
+		if !hasTau {
+			continue
+		}
+		fnIdx, ok := prog.FuncIdx[gname]
+		if !ok {
+			continue
+		}
+		fn := prog.Funcs[fnIdx]
+		if fn.NumParams != len(dig) {
+			continue
+		}
+		ctx := make(map[int]val)
+		piAllowed := make(map[Sym]bool)
+		piObj := make(map[Sym]pointsto.Obj)
+		for i, a := range dig {
+			slot := fn.ParamSlots[i]
+			switch a.kind {
+			case 'T':
+				ctx[slot] = symVal(symSeed(0))
+			case 'C':
+				ctx[slot] = cst(a.cst)
+			case 'P':
+				s := CtxSym(i)
+				ctx[slot] = symVal(s)
+				piAllowed[s] = true
+				piObj[s] = a.obj
+			}
+		}
+		outc := certifyFn(f, prog, fnIdx, ctx, nil, nil, piAllowed, opts, res)
+		if !outc.ok || len(outc.positions) == 0 {
+			continue
+		}
+		target := piObj[outc.pi]
+		if !regionExclusive(f, target, outc.positions, structured, maxJoinSeq, res) {
+			continue
+		}
+		discharge(f, dynAt, outc, "summary-safe",
+			fmt.Sprintf("%s: every call site passes a ticket of %s, stride %d over heap object %s",
+				gname, counterName(f, g.counter), outc.k, objName(f, target)), res)
+	}
+}
+
+func sortedFuncNames(f *Facts) []string {
+	names := make([]string, 0, len(f.World.Funcs))
+	for name, fi := range f.World.Funcs {
+		if fi.Decl != nil && fi.Decl.Body != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func objName(f *Facts, o pointsto.Obj) string {
+	if in := f.Pts.Obj(o); in.Name != "" {
+		return in.Name
+	}
+	return fmt.Sprintf("obj#%d", int32(o))
+}
+
+func counterName(f *Facts, r pointsto.Ref) string {
+	if r.Field == "" {
+		return objName(f, r.Obj)
+	}
+	return objName(f, r.Obj) + "." + r.Field
+}

@@ -1,0 +1,335 @@
+// Ticket certification, part 1: recognizing the ticket pattern in the AST
+// and proving the counter's integrity.
+//
+// A "ticket" is a lock-protected monotone counter drawn with the idiom
+//
+//	lock(m);
+//	int x = obj->next;          // counter read, locked mode
+//	if (x >= LIMIT) { unlock(m); return ...; }
+//	obj->next = x + c;          // counter increment, same lock, c >= 1
+//	unlock(m);
+//
+// Every execution of the pattern observes a distinct counter value: the
+// read and the increment happen under one continuously held unique lock
+// (the only statements permitted between them are pure-condition early
+// exits), and the counter only ever moves by +c. Distinctness is what the
+// interval engine's τ symbol stands for; the region-disjointness proof in
+// summary.go is built on it.
+//
+// Counter integrity requires that nothing else writes the counter: every
+// recorded write access overlapping the counter field must be one of the
+// group's certified increments or a main pre-spawn initialization.
+package absint
+
+import (
+	"repro/internal/ast"
+	"repro/internal/pointsto"
+	"repro/internal/token"
+)
+
+// cert is one matched ticket pattern.
+type cert struct {
+	fn       string
+	x        string        // the ticket local
+	decl     *ast.DeclStmt // its declaration (identity for scoped lookups)
+	readPos  token.Pos     // counter read position (the τ seed site)
+	writePos token.Pos     // increment write position
+	step     int64         // the increment constant c
+	lock     pointsto.Obj  // the protecting unique lock
+	counter  pointsto.Ref  // the counter field
+}
+
+// certGroup is every cert over one counter (they share the τ stream: any
+// two executions, in any function of the group, draw distinct values).
+type certGroup struct {
+	counter pointsto.Ref
+	lock    pointsto.Obj
+	certs   []*cert
+	incPos  map[token.Pos]bool // the group's increment write positions
+}
+
+// accKey indexes access records by position and direction.
+type accKey struct {
+	pos   token.Pos
+	write bool
+}
+
+type accessIndex map[accKey][]*Access
+
+func indexAccesses(f *Facts) accessIndex {
+	idx := make(accessIndex)
+	for i := range f.Accesses {
+		a := &f.Accesses[i]
+		k := accKey{a.Pos, a.Write}
+		idx[k] = append(idx[k], a)
+	}
+	return idx
+}
+
+// directAccess returns the single non-referent access recorded at
+// (pos, write), or nil if absent or ambiguous.
+func (idx accessIndex) directAccess(pos token.Pos, write bool) *Access {
+	var found *Access
+	for _, a := range idx[accKey{pos, write}] {
+		if a.Referent {
+			continue
+		}
+		if found != nil {
+			return nil
+		}
+		found = a
+	}
+	return found
+}
+
+// findCerts matches the ticket pattern in every function and returns the
+// groups that survive the counter-integrity check.
+func findCerts(f *Facts, idx accessIndex) []*certGroup {
+	var certs []*cert
+	for name, fi := range f.World.Funcs {
+		if fi.Decl == nil || fi.Decl.Body == nil {
+			continue
+		}
+		forEachStmt(fi.Decl.Body, func(s ast.Stmt) {
+			var lists [][]ast.Stmt
+			switch s := s.(type) {
+			case *ast.Block:
+				lists = [][]ast.Stmt{s.Stmts}
+			case *ast.Switch:
+				for _, c := range s.Cases {
+					lists = append(lists, c.Body)
+				}
+			}
+			for _, list := range lists {
+				certs = append(certs, matchList(f, idx, name, fi.Decl.Body, list)...)
+			}
+		})
+	}
+
+	// One cert per (function, counter): a function that draws the same
+	// ticket twice would need two τ symbols with no relation between them,
+	// so both matches are dropped.
+	type fnCounter struct {
+		fn      string
+		counter pointsto.Ref
+	}
+	count := make(map[fnCounter]int)
+	for _, c := range certs {
+		count[fnCounter{c.fn, c.counter}]++
+	}
+	kept := certs[:0]
+	for _, c := range certs {
+		if count[fnCounter{c.fn, c.counter}] == 1 {
+			kept = append(kept, c)
+		}
+	}
+
+	// Group by counter; the lock must agree across the group.
+	byCounter := make(map[pointsto.Ref]*certGroup)
+	order := []pointsto.Ref{}
+	for _, c := range kept {
+		g := byCounter[c.counter]
+		if g == nil {
+			g = &certGroup{counter: c.counter, lock: c.lock, incPos: make(map[token.Pos]bool)}
+			byCounter[c.counter] = g
+			order = append(order, c.counter)
+		}
+		if g.lock != c.lock {
+			g.certs = nil // mixed locks: poison the group
+			continue
+		}
+		g.certs = append(g.certs, c)
+		g.incPos[c.writePos] = true
+	}
+
+	var out []*certGroup
+	for _, key := range order {
+		g := byCounter[key]
+		if len(g.certs) > 0 && counterIntact(f, g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// matchList scans one statement list for the ticket pattern.
+func matchList(f *Facts, idx accessIndex, fn string, body ast.Stmt, list []ast.Stmt) []*cert {
+	var out []*cert
+	for i, s := range list {
+		d, ok := s.(*ast.DeclStmt)
+		if !ok || d.Init == nil {
+			continue
+		}
+		read := idx.directAccess(d.Init.Pos(), false)
+		if read == nil || !read.Locked || len(read.Must) != 1 || len(read.Objs) != 1 {
+			continue
+		}
+		lock := read.Must[0]
+		counter := read.Objs[0]
+		if counter.Field == "$" || !f.Pts.UniqueAlloc(lock) {
+			continue
+		}
+		readStr := ast.ExprString(d.Init)
+
+		// Skip pure-condition early exits between read and increment; any
+		// other statement breaks lock continuity structurally.
+		j := i + 1
+		for j < len(list) {
+			ifs, isIf := list[j].(*ast.If)
+			if !isIf || ifs.Else != nil || !pureExpr(ifs.Cond) || !endsInReturn(ifs.Then) {
+				break
+			}
+			j++
+		}
+		if j >= len(list) {
+			continue
+		}
+		es, ok := list[j].(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		as, ok := es.X.(*ast.Assign)
+		if !ok || as.Op != token.ASSIGN || ast.ExprString(as.L) != readStr {
+			continue
+		}
+		step, isInc := incrementOf(as.R, d.Name)
+		if !isInc || step < 1 {
+			continue
+		}
+		write := idx.directAccess(as.L.Pos(), true)
+		if write == nil || !write.Locked || len(write.Objs) != 1 || write.Objs[0] != counter {
+			continue
+		}
+		if !containsObj(write.Must, lock) {
+			continue
+		}
+		if !immutableLocal(body, d) {
+			continue
+		}
+		out = append(out, &cert{
+			fn: fn, x: d.Name, decl: d,
+			readPos: d.Init.Pos(), writePos: as.L.Pos(),
+			step: step, lock: lock, counter: counter,
+		})
+	}
+	return out
+}
+
+// incrementOf matches `x + c` or `c + x` and returns c.
+func incrementOf(e ast.Expr, x string) (int64, bool) {
+	b, ok := e.(*ast.Binary)
+	if !ok || b.Op != token.PLUS {
+		return 0, false
+	}
+	if id, ok := b.L.(*ast.Ident); ok && id.Name == x {
+		if lit, ok := b.R.(*ast.IntLit); ok {
+			return lit.Value, true
+		}
+	}
+	if id, ok := b.R.(*ast.Ident); ok && id.Name == x {
+		if lit, ok := b.L.(*ast.IntLit); ok {
+			return lit.Value, true
+		}
+	}
+	return 0, false
+}
+
+// pureExpr rejects anything with side effects or lock operations: calls,
+// assignments, sharing casts, increments.
+func pureExpr(e ast.Expr) bool {
+	pure := true
+	forEachExpr(e, func(x ast.Expr) {
+		switch x := x.(type) {
+		case *ast.Call, *ast.Assign, *ast.Scast, *ast.Postfix:
+			pure = false
+		case *ast.Unary:
+			if x.Op == token.INC || x.Op == token.DEC {
+				pure = false
+			}
+		}
+	})
+	return pure
+}
+
+// endsInReturn reports that the branch always leaves the function.
+func endsInReturn(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.Return:
+		return true
+	case *ast.Block:
+		if len(s.Stmts) == 0 {
+			return false
+		}
+		return endsInReturn(s.Stmts[len(s.Stmts)-1])
+	}
+	return false
+}
+
+// immutableLocal verifies the ticket local is never reassigned, mutated,
+// address-taken, or shadowed anywhere in the function.
+func immutableLocal(body ast.Stmt, d *ast.DeclStmt) bool {
+	ok := true
+	forEachStmt(body, func(s ast.Stmt) {
+		if dd, isDecl := s.(*ast.DeclStmt); isDecl && dd != d && dd.Name == d.Name {
+			ok = false
+		}
+	})
+	if !ok {
+		return false
+	}
+	forAllExprs(body, func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Assign:
+			if id, isId := e.L.(*ast.Ident); isId && id.Name == d.Name {
+				ok = false
+			}
+		case *ast.Unary:
+			if e.Op == token.INC || e.Op == token.DEC || e.Op == token.AMP {
+				if id, isId := e.X.(*ast.Ident); isId && id.Name == d.Name {
+					ok = false
+				}
+			}
+		case *ast.Postfix:
+			if id, isId := e.X.(*ast.Ident); isId && id.Name == d.Name {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// counterIntact verifies counter integrity for a group: every recorded
+// write access (any mode, referents included) overlapping the counter
+// field is one of the group's increments or a main pre-spawn write.
+func counterIntact(f *Facts, g *certGroup) bool {
+	for i := range f.Accesses {
+		a := &f.Accesses[i]
+		if !a.Write {
+			continue
+		}
+		for _, r := range a.Objs {
+			if r.Obj != g.counter.Obj || !fieldsOverlap(r.Field, g.counter.Field) {
+				continue
+			}
+			if !g.incPos[a.Pos] && !precedesSharing(f, a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fieldsOverlap is the conservative overlap of one-level field refs:
+// "$" is any field, "" the whole base.
+func fieldsOverlap(a, b string) bool {
+	return a == b || a == "$" || b == "$" || a == "" || b == ""
+}
+
+func containsObj(s []pointsto.Obj, o pointsto.Obj) bool {
+	for _, x := range s {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+// AST walking utilities: a plain pre-order walker over statements and
+// expressions, and a scope-tracking walker that maintains a typer.Env so
+// visitors can call the points-to evaluator (which resolves identifiers
+// against lexical scopes) at any node.
+package absint
+
+import (
+	"repro/internal/ast"
+	"repro/internal/typer"
+	"repro/internal/types"
+)
+
+// forEachStmt visits s and every statement nested under it, pre-order.
+func forEachStmt(s ast.Stmt, visit func(ast.Stmt)) {
+	if s == nil {
+		return
+	}
+	visit(s)
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			forEachStmt(st, visit)
+		}
+	case *ast.If:
+		forEachStmt(s.Then, visit)
+		forEachStmt(s.Else, visit)
+	case *ast.While:
+		forEachStmt(s.Body, visit)
+	case *ast.DoWhile:
+		forEachStmt(s.Body, visit)
+	case *ast.For:
+		forEachStmt(s.Init, visit)
+		forEachStmt(s.Body, visit)
+	case *ast.Switch:
+		for _, c := range s.Cases {
+			for _, st := range c.Body {
+				forEachStmt(st, visit)
+			}
+		}
+	}
+}
+
+// forEachExpr visits e and every subexpression, pre-order.
+func forEachExpr(e ast.Expr, visit func(ast.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch e := e.(type) {
+	case *ast.Unary:
+		forEachExpr(e.X, visit)
+	case *ast.Postfix:
+		forEachExpr(e.X, visit)
+	case *ast.Binary:
+		forEachExpr(e.L, visit)
+		forEachExpr(e.R, visit)
+	case *ast.Assign:
+		forEachExpr(e.L, visit)
+		forEachExpr(e.R, visit)
+	case *ast.Cond:
+		forEachExpr(e.C, visit)
+		forEachExpr(e.T, visit)
+		forEachExpr(e.F, visit)
+	case *ast.Call:
+		forEachExpr(e.Fun, visit)
+		for _, a := range e.Args {
+			forEachExpr(a, visit)
+		}
+	case *ast.Index:
+		forEachExpr(e.X, visit)
+		forEachExpr(e.I, visit)
+	case *ast.Member:
+		forEachExpr(e.X, visit)
+	case *ast.Cast:
+		forEachExpr(e.X, visit)
+	case *ast.Scast:
+		forEachExpr(e.X, visit)
+	}
+}
+
+// exprsOf visits every expression directly attached to the statement (not
+// statements nested under it).
+func exprsOf(s ast.Stmt, visit func(ast.Expr)) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		forEachExpr(s.X, visit)
+	case *ast.DeclStmt:
+		forEachExpr(s.Init, visit)
+	case *ast.If:
+		forEachExpr(s.Cond, visit)
+	case *ast.While:
+		forEachExpr(s.Cond, visit)
+	case *ast.DoWhile:
+		forEachExpr(s.Cond, visit)
+	case *ast.For:
+		forEachExpr(s.Cond, visit)
+		forEachExpr(s.Post, visit)
+	case *ast.Return:
+		forEachExpr(s.X, visit)
+	case *ast.Switch:
+		forEachExpr(s.X, visit)
+	}
+}
+
+// forAllExprs visits every expression anywhere under the statement.
+func forAllExprs(s ast.Stmt, visit func(ast.Expr)) {
+	forEachStmt(s, func(st ast.Stmt) { exprsOf(st, visit) })
+}
+
+// scopedWalk walks one function body maintaining the lexical environment
+// (mirroring vet's walker: params from NewEnv, a scope per block, locals
+// defined after their initializer), calling visit on every expression with
+// the environment current at that point.
+func scopedWalk(w *types.World, fn string, visit func(env *typer.Env, e ast.Expr)) {
+	fi := w.Funcs[fn]
+	if fi == nil || fi.Decl == nil || fi.Decl.Body == nil {
+		return
+	}
+	env := typer.NewEnv(w, fi)
+	env.Push()
+	sw := &scopedWalker{env: env, visit: visit}
+	for _, s := range fi.Decl.Body.Stmts {
+		sw.stmt(s)
+	}
+	env.Pop()
+}
+
+type scopedWalker struct {
+	env   *typer.Env
+	visit func(env *typer.Env, e ast.Expr)
+}
+
+func (sw *scopedWalker) expr(e ast.Expr) {
+	forEachExpr(e, func(x ast.Expr) { sw.visit(sw.env, x) })
+}
+
+func (sw *scopedWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.Block:
+		sw.env.Push()
+		for _, st := range s.Stmts {
+			sw.stmt(st)
+		}
+		sw.env.Pop()
+	case *ast.ExprStmt:
+		sw.expr(s.X)
+	case *ast.DeclStmt:
+		if s.Init != nil {
+			sw.expr(s.Init)
+		}
+		sw.env.Define(&typer.Sym{Kind: typer.SymLocal, Name: s.Name, Type: sw.env.F.Locals[s], Decl: s})
+	case *ast.If:
+		sw.expr(s.Cond)
+		sw.stmt(s.Then)
+		sw.stmt(s.Else)
+	case *ast.While:
+		sw.expr(s.Cond)
+		sw.stmt(s.Body)
+	case *ast.DoWhile:
+		sw.stmt(s.Body)
+		sw.expr(s.Cond)
+	case *ast.For:
+		sw.env.Push()
+		sw.stmt(s.Init)
+		if s.Cond != nil {
+			sw.expr(s.Cond)
+		}
+		sw.stmt(s.Body)
+		if s.Post != nil {
+			sw.expr(s.Post)
+		}
+		sw.env.Pop()
+	case *ast.Return:
+		if s.X != nil {
+			sw.expr(s.X)
+		}
+	case *ast.Switch:
+		sw.expr(s.X)
+		sw.env.Push()
+		for _, c := range s.Cases {
+			for _, st := range c.Body {
+				sw.stmt(st)
+			}
+		}
+		sw.env.Pop()
+	}
+}

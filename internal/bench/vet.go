@@ -3,11 +3,14 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/absint"
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/ir"
 	"repro/internal/parser"
 	"repro/internal/vet"
 )
@@ -31,6 +34,9 @@ type VetRow struct {
 	ElidedLocked      int `json:"elided_locked_checks"`
 	DischargedDynamic int `json:"discharged_dynamic_checks"`
 	DischargedLocked  int `json:"discharged_locked_checks"`
+	// DischargedAbsint is the subset of discharged dynamic sites proven by
+	// the abstract-interpretation tier (disjoint from DischargedDynamic).
+	DischargedAbsint int `json:"discharged_absint_checks"`
 
 	// AvoidedFracElide is the elide-only build's statically-removed check
 	// fraction; AvoidedFracDischarge adds vet discharge on top.
@@ -95,6 +101,7 @@ func RunVet(b *Benchmark, s Scale, reps int) (VetRow, error) {
 	row.ElidedLocked = ds.ElidedLocked
 	row.DischargedDynamic = ds.DischargedDynamic
 	row.DischargedLocked = ds.DischargedLocked
+	row.DischargedAbsint = ds.DischargedAbsint
 	row.AvoidedFracDischarge = ds.AvoidedFraction()
 
 	// Soundness cross-check on both engines before timing.
@@ -114,37 +121,45 @@ func RunVet(b *Benchmark, s Scale, reps int) (VetRow, error) {
 		}
 	}
 
-	// Timing: interleave the configurations so host drift hits both.
-	for rep := 0; rep < reps; rep++ {
-		_, _, dET, err := runEngineOnce(progElide, interp.EngineTree)
-		if err != nil {
+	// Timing: one untimed warmup per configuration (the match runs above
+	// warmed tree only once each; repeat so caches and the scheduler settle
+	// for both engines), then interleave the configurations so host drift
+	// hits every column equally, and take the median rep. The median is
+	// robust against the occasional descheduling spike that made early
+	// BENCH_vet.json speedups jitter across regenerations.
+	for _, eng := range []interp.Engine{interp.EngineTree, interp.EngineVM} {
+		if _, err := timeEngineOnce(progElide, eng); err != nil {
 			return row, err
 		}
-		_, _, dDT, err := runEngineOnce(progDisch, interp.EngineTree)
-		if err != nil {
+		if _, err := timeEngineOnce(progDisch, eng); err != nil {
 			return row, err
-		}
-		_, _, dEV, err := runEngineOnce(progElide, interp.EngineVM)
-		if err != nil {
-			return row, err
-		}
-		_, _, dDV, err := runEngineOnce(progDisch, interp.EngineVM)
-		if err != nil {
-			return row, err
-		}
-		if rep == 0 || dET < row.TimeElideTree {
-			row.TimeElideTree = dET
-		}
-		if rep == 0 || dDT < row.TimeDischargeTree {
-			row.TimeDischargeTree = dDT
-		}
-		if rep == 0 || dEV < row.TimeElideVM {
-			row.TimeElideVM = dEV
-		}
-		if rep == 0 || dDV < row.TimeDischargeVM {
-			row.TimeDischargeVM = dDV
 		}
 	}
+	var et, dt, ev, dv []time.Duration
+	for rep := 0; rep < reps; rep++ {
+		dET, err := timeEngineOnce(progElide, interp.EngineTree)
+		if err != nil {
+			return row, err
+		}
+		dDT, err := timeEngineOnce(progDisch, interp.EngineTree)
+		if err != nil {
+			return row, err
+		}
+		dEV, err := timeEngineOnce(progElide, interp.EngineVM)
+		if err != nil {
+			return row, err
+		}
+		dDV, err := timeEngineOnce(progDisch, interp.EngineVM)
+		if err != nil {
+			return row, err
+		}
+		et, dt = append(et, dET), append(dt, dDT)
+		ev, dv = append(ev, dEV), append(dv, dDV)
+	}
+	row.TimeElideTree = medianDuration(et)
+	row.TimeDischargeTree = medianDuration(dt)
+	row.TimeElideVM = medianDuration(ev)
+	row.TimeDischargeVM = medianDuration(dv)
 	if row.TimeDischargeTree > 0 {
 		row.SpeedupTree = float64(row.TimeElideTree) / float64(row.TimeDischargeTree)
 	}
@@ -152,6 +167,23 @@ func RunVet(b *Benchmark, s Scale, reps int) (VetRow, error) {
 		row.SpeedupVM = float64(row.TimeElideVM) / float64(row.TimeDischargeVM)
 	}
 	return row, nil
+}
+
+// timeEngineOnce executes prog and returns only the wall time.
+func timeEngineOnce(prog *ir.Program, engine interp.Engine) (time.Duration, error) {
+	_, _, d, err := runEngineOnce(prog, engine)
+	return d, err
+}
+
+// medianDuration returns the median of ds (the lower middle for even
+// counts); 0 for an empty slice.
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
 }
 
 // FormatVet renders the discharge comparison as an aligned table.
@@ -170,5 +202,84 @@ func FormatVet(rows []VetRow) string {
 
 // VetJSON renders the rows as the BENCH_vet.json artifact.
 func VetJSON(rows []VetRow) ([]byte, error) {
+	return json.MarshalIndent(rows, "", "  ")
+}
+
+// AblationRow is one benchmark's statically-avoided check fraction as the
+// absint tiers come on in order: lockset only, + the may-happen-in-parallel
+// phase rules, + same-function interval certification, + cross-function
+// summaries. Monotone by construction (each tier only adds proofs).
+type AblationRow struct {
+	Name          string  `json:"name"`
+	Lockset       float64 `json:"avoided_lockset"`
+	PlusMHP       float64 `json:"avoided_plus_mhp"`
+	PlusIntervals float64 `json:"avoided_plus_intervals"`
+	PlusSummaries float64 `json:"avoided_plus_summaries"`
+	// AbsintSites is the discharged-by-absint site count of the full
+	// configuration, tying the fraction deltas to concrete proofs.
+	AbsintSites int `json:"absint_sites"`
+}
+
+// ablationTiers are the cumulative absint configurations, in order.
+var ablationTiers = []absint.Options{
+	{},
+	{MHP: true},
+	{MHP: true, Intervals: true},
+	{MHP: true, Intervals: true, Summaries: true},
+}
+
+// RunAblation measures one benchmark's avoided-check fraction per tier.
+func RunAblation(b *Benchmark, s Scale) (AblationRow, error) {
+	row := AblationRow{Name: b.Name}
+	src := b.Source(s)
+	a, err := core.Analyze(parser.Source{Name: "program.shc", Text: src})
+	if err != nil {
+		return row, fmt.Errorf("%s (analyze): %w", b.Name, err)
+	}
+	out := []*float64{&row.Lockset, &row.PlusMHP, &row.PlusIntervals, &row.PlusSummaries}
+	for i, opts := range ablationTiers {
+		rep := vet.AnalyzeWith(a.World, a.Inf, opts)
+		dopts := elideOptions()
+		dopts.Discharge = rep.Discharge()
+		prog, err := a.Build(dopts)
+		if err != nil {
+			return row, fmt.Errorf("%s (tier %d build): %w", b.Name, i, err)
+		}
+		*out[i] = prog.Elision.AvoidedFraction()
+		if i == len(ablationTiers)-1 {
+			row.AbsintSites = prog.Elision.DischargedAbsint
+		}
+	}
+	return row, nil
+}
+
+// AblationTable measures every Table-1 benchmark across the tiers.
+func AblationTable(s Scale) ([]AblationRow, error) {
+	var rows []AblationRow
+	for i := range Benchmarks {
+		r, err := RunAblation(&Benchmarks[i], s)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the tier ladder as an aligned table.
+func FormatAblation(rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %9s %9s %11s %11s %7s\n",
+		"name", "lockset", "+mhp", "+intervals", "+summaries", "absint")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %8.1f%% %8.1f%% %10.1f%% %10.1f%% %7d\n",
+			r.Name, 100*r.Lockset, 100*r.PlusMHP,
+			100*r.PlusIntervals, 100*r.PlusSummaries, r.AbsintSites)
+	}
+	return sb.String()
+}
+
+// AblationJSON renders the rows as the BENCH_ablation.json artifact.
+func AblationJSON(rows []AblationRow) ([]byte, error) {
 	return json.MarshalIndent(rows, "", "  ")
 }

@@ -361,7 +361,11 @@ func (c *compiler) checkFor(t *types.Type, lv ast.Expr) ir.Check {
 	switch m.Kind {
 	case types.ModeDynamic:
 		if c.opts.Discharge != nil && c.opts.Discharge.Dynamic[lv.Pos()] {
-			c.prog.Elision.DischargedDynamic++
+			if c.opts.Discharge.ProvenanceOf(lv.Pos()) == "absint" {
+				c.prog.Elision.DischargedAbsint++
+			} else {
+				c.prog.Elision.DischargedDynamic++
+			}
 			return ir.Check{
 				Kind: ir.CheckElided,
 				Site: c.site(ast.ExprString(lv), lv.Pos()),

@@ -89,6 +89,7 @@ func elideChecksWith(p *ir.Program, kills killSet) ir.ElisionStats {
 	// counts through so a rerun does not erase them.
 	st.DischargedDynamic = p.Elision.DischargedDynamic
 	st.DischargedLocked = p.Elision.DischargedLocked
+	st.DischargedAbsint = p.Elision.DischargedAbsint
 	for _, fn := range p.Funcs {
 		countFuncChecks(fn, &st)
 	}

@@ -306,13 +306,22 @@ type ElisionStats struct {
 	// compiled directly as elided.
 	DischargedDynamic int
 	DischargedLocked  int
+
+	// DischargedAbsint counts dynamic check sites proven safe by the
+	// abstract-interpretation layer (internal/absint) — the flow- and
+	// context-sensitive tier staged after the lockset pass. Disjoint from
+	// DischargedDynamic: a site is attributed to exactly one tier.
+	DischargedAbsint int
 }
 
 // Elided returns the total number of checks the elision pass removed.
 func (s ElisionStats) Elided() int { return s.ElidedDynamic + s.ElidedLocked }
 
-// Discharged returns the total number of checks vet discharged statically.
-func (s ElisionStats) Discharged() int { return s.DischargedDynamic + s.DischargedLocked }
+// Discharged returns the total number of checks vet discharged statically,
+// across all provenance tiers (lockset/points-to and absint).
+func (s ElisionStats) Discharged() int {
+	return s.DischargedDynamic + s.DischargedLocked + s.DischargedAbsint
+}
 
 // AvoidedFraction is the fraction of would-be checks removed statically by
 // either mechanism: (elided + discharged) / (total + discharged). The
@@ -333,6 +342,24 @@ func (s ElisionStats) AvoidedFraction() float64 {
 type DischargeSet struct {
 	Dynamic map[token.Pos]bool
 	Locked  map[token.Pos]bool
+
+	// Provenance names the analysis tier that proved each position safe
+	// ("absint" for the abstract-interpretation layer; positions absent
+	// from the map default to the lockset/points-to tier). The compiler
+	// uses it to attribute discharged checks to the right ElisionStats
+	// counter.
+	Provenance map[token.Pos]string
+}
+
+// ProvenanceOf returns the tier that discharged pos ("vet" when unrecorded).
+func (d *DischargeSet) ProvenanceOf(pos token.Pos) string {
+	if d == nil || d.Provenance == nil {
+		return "vet"
+	}
+	if p, ok := d.Provenance[pos]; ok {
+		return p
+	}
+	return "vet"
 }
 
 // Empty reports whether the set discharges nothing.

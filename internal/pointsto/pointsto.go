@@ -930,6 +930,20 @@ func (a *Analysis) UniqueAlloc(o Obj) bool {
 		!a.Inf.ThreadRoots["main"] && !a.Inf.AddressTaken["main"]
 }
 
+// AccessingFuncs returns the sorted functions whose code may touch any
+// cell of o (reads, writes, or builtin referent accesses). The absint
+// layer uses it as a closed-world check: a discharge proof about o's
+// accesses is only valid if every function the solver saw touching o is
+// accounted for by the proof.
+func (a *Analysis) AccessingFuncs(o Obj) []string {
+	out := make([]string, 0, len(a.accessedByFn[o]))
+	for fn := range a.accessedByFn[o] {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // AccessClasses returns the sorted thread classes whose code may touch any
 // cell of o.
 func (a *Analysis) AccessClasses(o Obj) []string {

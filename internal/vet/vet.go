@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/absint"
 	"repro/internal/ast"
 	"repro/internal/ir"
 	"repro/internal/pointsto"
@@ -64,18 +65,34 @@ type Stats struct {
 	Objects      int `json:"objects"` // abstract points-to objects
 	DynamicSites int `json:"dynamic_sites"`
 	LockedSites  int `json:"locked_sites"`
-	SafeDynamic  int `json:"safe_dynamic"` // dynamic checks discharged
+	SafeDynamic  int `json:"safe_dynamic"` // dynamic checks discharged (all tiers)
 	SafeLocked   int `json:"safe_locked"`  // locked checks discharged
+	SafeAbsint   int `json:"safe_absint"`  // of SafeDynamic, proven by the absint tier
+}
+
+// Resolved is a would-be finding every access site of which the absint tier
+// proved safe: the sharing it describes cannot produce a failing check.
+type Resolved struct {
+	Site    string `json:"site"`
+	LValue  string `json:"lvalue"`
+	Reasons string `json:"reasons"` // comma-joined absint proof reasons
+	Msg     string `json:"msg"`
 }
 
 // Report is the full vet result: ranked findings, site statistics, and the
 // discharge set the compiler can consume.
 type Report struct {
-	Findings []Finding `json:"findings"`
-	Stats    Stats     `json:"stats"`
+	Findings []Finding  `json:"findings"`
+	Resolved []Resolved `json:"resolved,omitempty"`
+	Stats    Stats      `json:"stats"`
+
+	// Absint summarizes the abstract-interpretation tier's run (json-silent:
+	// engine step counts are implementation detail, not verdict).
+	Absint absint.Stats `json:"-"`
 
 	discharge *ir.DischargeSet
 	verdicts  map[string]string
+	proofs    map[string]absint.Proof
 }
 
 // MustCount returns the number of must-severity findings.
@@ -99,6 +116,39 @@ func (r *Report) Discharge() *ir.DischargeSet { return r.discharge }
 // runtime check". Sites absent from the map stay dynamically checked.
 func (r *Report) Verdicts() map[string]string { return r.verdicts }
 
+// Proofs maps "file:line:col" site keys to the absint proof that discharged
+// the site, for sites with "absint" provenance.
+func (r *Report) Proofs() map[string]absint.Proof { return r.proofs }
+
+// Explain renders the proof chain for one "file:line:col" site key: the
+// static verdict, the tier that produced it, and (for absint discharges)
+// the proof rule and its justification.
+func (r *Report) Explain(site string) string {
+	var b strings.Builder
+	verdict, classified := r.verdicts[site]
+	if !classified {
+		fmt.Fprintf(&b, "%s: no static verdict; the site keeps its runtime check\n", site)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%s: verdict %q\n", site, verdict)
+	for _, f := range r.Findings {
+		if f.Site == site || f.Other == site {
+			fmt.Fprintf(&b, "  finding: [%s] %s: %s\n", f.Severity, f.Kind, f.Msg)
+		}
+	}
+	if verdict != "safe" {
+		return b.String()
+	}
+	if p, ok := r.proofs[site]; ok {
+		fmt.Fprintf(&b, "  tier 1 lockset: not discharged (no lock discipline or single-thread proof)\n")
+		fmt.Fprintf(&b, "  tier 2 points-to: object set resolved; candidate survived to absint\n")
+		fmt.Fprintf(&b, "  tier 3 absint: %s — %s\n", p.Reason, p.Detail)
+	} else {
+		fmt.Fprintf(&b, "  tier 1 lockset + points-to: discharged by the lockset tier\n")
+	}
+	return b.String()
+}
+
 // JSON renders the report deterministically (findings are pre-sorted and
 // Stats has fixed fields, so the bytes are identical across runs).
 func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
@@ -107,11 +157,14 @@ func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ")
 func (r *Report) Format() string {
 	var b strings.Builder
 	musts := r.MustCount()
-	fmt.Fprintf(&b, "vet: %d finding(s), %d must, %d may; %d dynamic site(s), %d locked site(s); discharged %d dynamic + %d locked check site(s)\n",
+	fmt.Fprintf(&b, "vet: %d finding(s), %d must, %d may; %d dynamic site(s), %d locked site(s); discharged %d dynamic (%d absint) + %d locked check site(s)\n",
 		len(r.Findings), musts, len(r.Findings)-musts,
-		r.Stats.DynamicSites, r.Stats.LockedSites, r.Stats.SafeDynamic, r.Stats.SafeLocked)
+		r.Stats.DynamicSites, r.Stats.LockedSites, r.Stats.SafeDynamic, r.Stats.SafeAbsint, r.Stats.SafeLocked)
 	for _, f := range r.Findings {
 		fmt.Fprintf(&b, "%-4s %-14s %s  %s: %s\n", f.Severity, f.Kind, f.Site, f.LValue, f.Msg)
+	}
+	for _, res := range r.Resolved {
+		fmt.Fprintf(&b, "ok   %-14s %s  %s: %s\n", "resolved", res.Site, res.LValue, res.Msg)
 	}
 	return b.String()
 }
@@ -182,13 +235,30 @@ type analyzer struct {
 	noDischarge map[token.Pos]bool
 
 	findings  []Finding
+	resolved  []Resolved
 	stats     Stats
 	discharge *ir.DischargeSet
 	verdicts  map[string]string
+
+	// absint tier state: rule options, referent pseudo-access records
+	// (deduplicated across lockset rounds), and the resulting proofs.
+	absintOpts  absint.Options
+	referents   []absint.Access
+	referentIdx map[accessKey]bool
+	proofs      map[string]absint.Proof
+	absintStats absint.Stats
 }
 
-// Analyze runs the vet pipeline over a resolved, inferred, checked world.
+// Analyze runs the vet pipeline over a resolved, inferred, checked world
+// with every analysis tier enabled.
 func Analyze(w *types.World, inf *qualinfer.Result) *Report {
+	return AnalyzeWith(w, inf, absint.DefaultOptions())
+}
+
+// AnalyzeWith runs the pipeline with an explicit absint tier configuration
+// (the ablation harness turns rule families off one at a time; the zero
+// Options disables the tier entirely, giving the pure lockset baseline).
+func AnalyzeWith(w *types.World, inf *qualinfer.Result, opts absint.Options) *Report {
 	a := &analyzer{
 		w:           w,
 		inf:         inf,
@@ -200,10 +270,14 @@ func Analyze(w *types.World, inf *qualinfer.Result) *Report {
 		firstSpawn:  -1,
 		noDischarge: make(map[token.Pos]bool),
 		discharge: &ir.DischargeSet{
-			Dynamic: make(map[token.Pos]bool),
-			Locked:  make(map[token.Pos]bool),
+			Dynamic:    make(map[token.Pos]bool),
+			Locked:     make(map[token.Pos]bool),
+			Provenance: make(map[token.Pos]string),
 		},
-		verdicts: make(map[string]string),
+		verdicts:    make(map[string]string),
+		absintOpts:  opts,
+		referentIdx: make(map[accessKey]bool),
+		proofs:      make(map[string]absint.Proof),
 	}
 	a.pts = pointsto.Analyze(w, inf)
 	for name, fi := range w.Funcs {
@@ -234,7 +308,15 @@ func Analyze(w *types.World, inf *qualinfer.Result) *Report {
 		}
 		return fi.Kind < fj.Kind
 	})
-	return &Report{Findings: a.findings, Stats: a.stats, discharge: a.discharge, verdicts: a.verdicts}
+	return &Report{
+		Findings:  a.findings,
+		Resolved:  a.resolved,
+		Stats:     a.stats,
+		Absint:    a.absintStats,
+		discharge: a.discharge,
+		verdicts:  a.verdicts,
+		proofs:    a.proofs,
+	}
 }
 
 func posLess(a, b token.Pos) bool {
@@ -749,8 +831,13 @@ func (w *fnwalk) access(lv ast.Expr, write bool) {
 			acc.objs = w.a.pts.EvalLValue(w.env, w.fn, lv)
 			acc.global, acc.gidx = w.directGlobalCell(lv)
 		}
-		if m.Kind == types.ModeLocked && m.Lock != nil {
-			acc.lockRefs = w.a.pts.EvalValue(w.env, w.fn, m.Lock.Expr)
+		if m.Kind == types.ModeLocked {
+			// The absint tier's ticket matching needs the counter's identity,
+			// so locked accesses record their l-value objects too.
+			acc.objs = w.a.pts.EvalLValue(w.env, w.fn, lv)
+			if m.Lock != nil {
+				acc.lockRefs = w.a.pts.EvalValue(w.env, w.fn, m.Lock.Expr)
+			}
 		}
 		acc.must = clone(w.must)
 		acc.may = clone(w.may)
@@ -852,15 +939,66 @@ func (w *fnwalk) builtin(b *types.Builtin, e *ast.Call) {
 	for i, argE := range e.Args {
 		w.value(argE)
 		// Builtin pointer arguments with read/write summaries get referent
-		// checks minted at the argument's position: block discharge there.
+		// checks minted at the argument's position: block discharge there,
+		// and record referent pseudo-accesses so the absint tier's
+		// object-level rules see every shadow-touching operation.
 		if i < len(b.Args) && b.Args[i].Access != types.AccessNone {
 			if at, err := w.env.TypeOf(argE); err == nil {
 				if d := typer.Decay(at); d != nil && d.Kind == types.KPtr {
 					w.a.noDischarge[argE.Pos()] = true
+					w.referent(argE, b.Args[i].Access, d)
 				}
 			}
 		}
 	}
+	w.lockEffects(b, e)
+}
+
+// referent records the pseudo-accesses a builtin performs on a pointer
+// argument's referent cells. Only dynamic- and locked-mode referents touch
+// shadow state (private and racy referents are uninstrumented), so only
+// those modes are recorded; the absint tier's object-level rules need this
+// list to be complete.
+func (w *fnwalk) referent(argE ast.Expr, acc types.Access, d *types.Type) {
+	if d.Elem == nil {
+		return
+	}
+	m := w.a.inf.Subst.Apply(d.Elem.Mode)
+	if m.Kind != types.ModeDynamic && m.Kind != types.ModeLocked {
+		return
+	}
+	objs := w.a.pts.EvalValue(w.env, w.fn, argE)
+	seq := -1
+	if w.fn == "main" {
+		seq = w.seq
+	}
+	add := func(write bool) {
+		key := accessKey{pos: argE.Pos(), write: write}
+		if w.a.referentIdx[key] {
+			return
+		}
+		w.a.referentIdx[key] = true
+		w.a.referents = append(w.a.referents, absint.Access{
+			Fn:       w.fn,
+			Pos:      argE.Pos(),
+			LV:       ast.ExprString(argE),
+			Write:    write,
+			Locked:   m.Kind == types.ModeLocked,
+			Referent: true,
+			Objs:     objs,
+			Seq:      seq,
+		})
+	}
+	if acc == types.AccessRead || acc == types.AccessReadWrite {
+		add(false)
+	}
+	if acc == types.AccessWrite || acc == types.AccessReadWrite {
+		add(true)
+	}
+}
+
+// lockEffects applies a builtin's effect on the walker's lockset state.
+func (w *fnwalk) lockEffects(b *types.Builtin, e *ast.Call) {
 	lockArg := func(i int) []pointsto.Ref {
 		if i < len(e.Args) {
 			return w.a.pts.EvalValue(w.env, w.fn, e.Args[i])
@@ -923,7 +1061,92 @@ func (a *analyzer) classify() {
 	a.classifyDynamic()
 	a.classifyReadonly()
 	a.findMustRaces()
+	a.runAbsint()
 	a.findMayRaces()
+}
+
+// runAbsint stages the abstract-interpretation tier after the lockset
+// discharge passes: candidates are the dynamic sites the lockset tier kept,
+// minus must-race positions (those checks are expected to fire, so no proof
+// may build on their elision).
+func (a *analyzer) runAbsint() {
+	opts := a.absintOpts
+	if !opts.MHP && !opts.Intervals {
+		return
+	}
+	excluded := make(map[token.Pos]bool)
+	for _, f := range a.findings {
+		if f.Severity == "must" && f.Kind == "race" {
+			excluded[f.Pos] = true
+			if f.OtherPos != (token.Pos{}) {
+				excluded[f.OtherPos] = true
+			}
+		}
+	}
+	facts := &absint.Facts{
+		World:          a.w,
+		Inf:            a.inf,
+		Pts:            a.pts,
+		Discharged:     a.discharge.Dynamic,
+		Excluded:       excluded,
+		SpawnElsewhere: a.spawnElsewhere,
+		FirstSpawn:     a.firstSpawn,
+	}
+	for _, acc := range a.accesses {
+		if acc.mode != types.ModeDynamic && acc.mode != types.ModeLocked {
+			continue
+		}
+		rec := absint.Access{
+			Fn:     acc.fn,
+			Pos:    acc.pos,
+			LV:     acc.lv,
+			Write:  acc.write,
+			Locked: acc.mode == types.ModeLocked,
+			Objs:   acc.objs,
+			Seq:    acc.seq,
+		}
+		if rec.Locked {
+			rec.Must = sortedObjs(acc.must)
+		}
+		facts.Accesses = append(facts.Accesses, rec)
+	}
+	facts.Accesses = append(facts.Accesses, a.referents...)
+
+	res := absint.Analyze(facts, opts)
+	a.absintStats = res.Stats
+
+	positions := make([]token.Pos, 0, len(res.Dynamic))
+	for pos := range res.Dynamic {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return posLess(positions[i], positions[j]) })
+	for _, pos := range positions {
+		if a.discharge.Dynamic[pos] {
+			continue
+		}
+		a.discharge.Dynamic[pos] = true
+		a.discharge.Provenance[pos] = "absint"
+		a.verdicts[posKey(pos)] = "safe"
+		a.proofs[posKey(pos)] = res.Dynamic[pos]
+		// Stats count access records, matching classifyDynamic (a position
+		// read and written counts twice); referent-only positions carry no
+		// dynamic access record and add nothing.
+		for _, wr := range []bool{false, true} {
+			if acc, ok := a.accIdx[accessKey{pos: pos, write: wr}]; ok && acc.mode == types.ModeDynamic {
+				a.stats.SafeDynamic++
+				a.stats.SafeAbsint++
+			}
+		}
+	}
+}
+
+func sortedObjs(s map[pointsto.Obj]bool) []pointsto.Obj {
+	out := make([]pointsto.Obj, 0, len(s))
+	for o := range s {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // precedesSharing reports whether acc provably executes before any other
@@ -1276,6 +1499,40 @@ func (a *analyzer) findMayRaces() {
 		}
 		sort.Slice(accs, func(i, j int) bool { return posLess(accs[i].pos, accs[j].pos) })
 		anchor := accs[0]
+		// absint resolution: when every access site of the group is
+		// discharged and at least one proof came from the absint tier, the
+		// would-be finding is reported as resolved — the sharing it
+		// describes is proven unable to fail a check.
+		allSafe, anyAbsint := true, false
+		reasonSet := make(map[string]bool)
+		for _, acc := range accs {
+			if !a.discharge.Dynamic[acc.pos] {
+				allSafe = false
+				break
+			}
+			if a.discharge.ProvenanceOf(acc.pos) == "absint" {
+				anyAbsint = true
+				if p, ok := a.proofs[posKey(acc.pos)]; ok {
+					reasonSet[p.Reason] = true
+				}
+			}
+		}
+		if allSafe && anyAbsint {
+			var reasons []string
+			for r := range reasonSet {
+				reasons = append(reasons, r)
+			}
+			sort.Strings(reasons)
+			info := a.pts.Obj(o)
+			a.resolved = append(a.resolved, Resolved{
+				Site:    posKey(anchor.pos),
+				LValue:  anchor.lv,
+				Reasons: strings.Join(reasons, ","),
+				Msg: fmt.Sprintf("sharing of %s object '%s' proven check-free across %d site(s): %s",
+					info.Kind, info.Name, len(accs), strings.Join(reasons, ", ")),
+			})
+			continue
+		}
 		var cls []string
 		for c := range classes {
 			cls = append(cls, c)

@@ -179,3 +179,109 @@ func TestVetDischargeCountsSurface(t *testing.T) {
 			de.AvoidedFraction(), pe.AvoidedFraction())
 	}
 }
+
+// absintTicketProg is certifiable only by the interval tier: workers draw
+// lock-protected tickets and write granule-disjoint two-cell regions. It
+// rides along with the corpus below so the exploration cross-check covers
+// an interval-bounded proof, which the corpus programs never produce (the
+// Table-1 benchmarks do, but they are far too slow under the exploration
+// scheduler).
+const absintTicketProg = `
+struct pool {
+	mutex *m;
+	int locked(m) next;
+	char dynamic *buf;
+};
+
+void *worker(void *d) {
+	struct pool dynamic *p = d;
+	while (1) {
+		mutexLock(p->m);
+		int t = p->next;
+		if (t >= 32) { mutexUnlock(p->m); return NULL; }
+		p->next = t + 1;
+		mutexUnlock(p->m);
+		char dynamic *b = p->buf;
+		b[t * 2] = 1;
+		b[t * 2 + 1] = 2;
+	}
+	return NULL;
+}
+
+int main(void) {
+	struct pool *p = malloc(sizeof(struct pool));
+	p->m = mutexNew();
+	mutexLock(p->m);
+	p->next = 0;
+	mutexUnlock(p->m);
+	char *raw = malloc(64);
+	p->buf = SCAST(char dynamic *, raw);
+	struct pool dynamic *pd = SCAST(struct pool dynamic *, p);
+	int t1 = spawn(worker, pd);
+	int t2 = spawn(worker, pd);
+	join(t1);
+	join(t2);
+	return 0;
+}
+`
+
+// TestAbsintDischargeNeverConflicts is cross-check (3), for the absint
+// tier specifically: a site the abstract interpreter discharged must never
+// appear in any conflict set that schedule exploration finds — over the
+// whole corpus plus the ticket program, five exploration seeds each. An
+// overlap would mean a proof elided a check that some real schedule needs.
+func TestAbsintDischargeNeverConflicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explores many schedules")
+	}
+	type prog struct {
+		name string
+		text string
+	}
+	var progs []prog
+	for _, path := range corpusFiles(t) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, prog{path, string(data)})
+	}
+	progs = append(progs, prog{"ticket.shc", absintTicketProg})
+
+	totalProofs := 0
+	for _, pr := range progs {
+		pr := pr
+		t.Run(filepath.Base(pr.name), func(t *testing.T) {
+			a, err := Check(Source{Name: pr.name, Text: pr.text})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.OK() {
+				t.Fatalf("static checking failed: %v", a.Errors())
+			}
+			proofs := a.Vet().Proofs()
+			if len(proofs) == 0 {
+				return // nothing discharged by absint; nothing to falsify
+			}
+			totalProofs += len(proofs)
+
+			p, err := a.Build(DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(1); seed <= 5; seed++ {
+				sum := p.Explore(ExploreOptions{Schedules: 40, Strategy: "mix", Seed: seed})
+				for _, f := range sum.Findings {
+					at := fmt.Sprintf("%s:%d:%d", f.Pos.File, f.Pos.Line, f.Pos.Col)
+					if pf, ok := proofs[at]; ok {
+						t.Errorf("seed %d: explore conflict at %s, which absint proved %s (%s)",
+							seed, at, pf.Reason, pf.Detail)
+					}
+				}
+			}
+		})
+	}
+	if totalProofs == 0 {
+		t.Error("no program produced an absint proof; the cross-check never ran")
+	}
+}
